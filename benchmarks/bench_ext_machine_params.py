@@ -1,0 +1,94 @@
+"""EXT-B — machine-parameter sensitivity (the ablation behind principle 2).
+
+Banger tailors a program to a machine through four scalar parameters; this
+sweep shows predicted speedup as message startup cost grows (the axis along
+which 1990s distributed-memory machines differed most).
+
+Shape claims checked: speedup decays monotonically (within tolerance) as
+message startup rises; at extreme startup myopic list scheduling even drops
+*below* 1 (entry tasks spread for free, the messages home come due later) —
+and grain packing rescues it back to >= ~1, which is exactly why the
+Kruatrachue grain-packing line exists; faster processors leave speedup
+unchanged when communication is truly free (pure rescaling).
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.graph.generators import map_reduce
+from repro.machine import MachineParams
+from repro.sched import GrainPackedScheduler, MHScheduler, predict_speedup
+
+STARTUPS = [0.0, 0.5, 2.0, 8.0, 32.0, 128.0]
+
+
+def startup_sweep():
+    graph = map_reduce(12, work=8, comm=2)
+    points = []
+    for startup in STARTUPS:
+        params = MachineParams(msg_startup=startup, transmission_rate=4.0)
+        mh = predict_speedup(graph, (8,), scheduler=MHScheduler(), params=params)
+        packed = predict_speedup(
+            graph, (8,),
+            scheduler=GrainPackedScheduler(MHScheduler(), packer="ratio"),
+            params=params,
+        )
+        points.append((startup, mh.points[0].speedup, packed.points[0].speedup))
+    return points
+
+
+def test_ext_startup_sweep(benchmark, artifact_dir):
+    points = benchmark(startup_sweep)
+    lines = [f"{'msg_startup':>12} {'mh speedup':>12} {'grain[mh]':>12}"]
+    lines += [f"{s:>12g} {mh:>12.3f} {gp:>12.3f}" for s, mh, gp in points]
+    write_artifact("ext_machine_params.txt", "\n".join(lines))
+
+    mh_speedups = [mh for _, mh, _ in points]
+    assert mh_speedups[0] > 2.0  # free messages: real speedup
+    for a, b in zip(mh_speedups, mh_speedups[1:]):
+        assert b <= a * 1.05 + 1e-9  # decay (tolerating heuristic jitter)
+    # myopic spreading under extreme startup: slower than serial...
+    assert mh_speedups[-1] < 1.0
+    # ...which grain packing repairs
+    _, _, packed_last = points[-1]
+    assert packed_last >= 0.95
+    assert packed_last > mh_speedups[-1]
+
+
+def test_ext_processor_speed_is_pure_rescaling(benchmark):
+    """With (actually) free communication, speedup is invariant to
+    processor speed — both numerator and denominator rescale."""
+    graph = map_reduce(12, work=8, comm=2)
+    free_comm = dict(msg_startup=0.0, transmission_rate=1e9)
+
+    def both():
+        slow = predict_speedup(
+            graph, (8,), scheduler=MHScheduler(),
+            params=MachineParams(processor_speed=1.0, **free_comm))
+        fast = predict_speedup(
+            graph, (8,), scheduler=MHScheduler(),
+            params=MachineParams(processor_speed=8.0, **free_comm))
+        return slow.points[0].speedup, fast.points[0].speedup
+
+    s, f = benchmark(both)
+    assert s == pytest.approx(f)
+
+
+def test_ext_bandwidth_sweep(benchmark, artifact_dir):
+    """Speedup vs transmission rate at fixed startup: same collapse, other axis."""
+    graph = map_reduce(12, work=8, comm=16)
+
+    def sweep():
+        out = []
+        for rate in (64.0, 8.0, 1.0, 0.125):
+            params = MachineParams(msg_startup=0.2, transmission_rate=rate)
+            rep = predict_speedup(graph, (8,), scheduler=MHScheduler(), params=params)
+            out.append((rate, rep.points[0].speedup))
+        return out
+
+    points = benchmark(sweep)
+    speeds = [sp for _, sp in points]
+    assert speeds[0] > speeds[-1] - 1e-9
+    lines = [f"{'rate':>10} {'speedup':>10}"]
+    lines += [f"{r:>10g} {sp:>10.3f}" for r, sp in points]
+    write_artifact("ext_bandwidth.txt", "\n".join(lines))

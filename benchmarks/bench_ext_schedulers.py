@@ -1,0 +1,67 @@
+"""EXT-A — scheduler comparison (the ablation behind principle 1).
+
+The paper claims PITL/PITS separation is "made practical by the scheduling
+heuristics"; this table shows how much each PPSE heuristic actually buys
+over naive placement, across graph families.
+
+Shape claims checked: every heuristic beats the round-robin floor on the
+parallel graphs (MH's contention model gets a small margin); DSH never
+loses to HLFET; the serial baseline has speedup exactly 1.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.graph.generators import butterfly, gaussian_elimination, map_reduce, random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import SCHEDULERS, ScheduleReport, get_scheduler, report, speedup
+
+PARAMS = MachineParams(msg_startup=0.5, transmission_rate=5.0, process_startup=0.05)
+GRAPHS = {
+    "gauss8": gaussian_elimination(8, work=4, comm=1),
+    "butterfly16": butterfly(16, work=6, comm=1),
+    "mapreduce12": map_reduce(12, work=8, comm=1),
+    "random40": random_layered(40, 6, seed=5),
+}
+HEURISTICS = ["hlfet", "ish", "etf", "dls", "mcp", "mh", "mh-nocontention",
+              "dsh", "lc", "grain", "serial", "roundrobin", "random"]
+
+
+def comparison_table():
+    machine = make_machine("hypercube", 8, PARAMS)
+    rows = {}
+    for gname, graph in GRAPHS.items():
+        for hname in HEURISTICS:
+            schedule = get_scheduler(hname).schedule(graph, machine)
+            rows[(gname, hname)] = report(schedule)
+    return rows
+
+
+def test_ext_scheduler_comparison(benchmark, artifact_dir):
+    rows = benchmark(comparison_table)
+    lines = []
+    for gname in GRAPHS:
+        lines.append(f"--- {gname} on hypercube(8) ---")
+        lines.append(ScheduleReport.header())
+        lines.extend(rows[(gname, h)].as_row() for h in HEURISTICS)
+        lines.append("")
+    write_artifact("ext_schedulers.txt", "\n".join(lines))
+
+    for gname in GRAPHS:
+        floor = rows[(gname, "roundrobin")].makespan
+        for hname in ["hlfet", "ish", "etf", "dls", "dsh"]:
+            assert rows[(gname, hname)].makespan <= floor + 1e-6, (gname, hname)
+        assert rows[(gname, "mh")].makespan <= floor * 1.1 + 1e-6, gname
+        assert rows[(gname, "dsh")].makespan <= rows[(gname, "hlfet")].makespan + 1e-6
+        assert rows[(gname, "serial")].speedup == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("hname", sorted(set(SCHEDULERS) - {"exhaustive"}))
+def test_ext_scheduler_throughput(benchmark, hname):
+    """Scheduling latency per heuristic on a 40-task graph — the number a
+    designer feels on every instant-feedback refresh.  (The exhaustive
+    baseline is excluded: 40 tasks are far beyond enumeration range.)"""
+    graph = GRAPHS["random40"]
+    machine = make_machine("hypercube", 8, PARAMS)
+    schedule = benchmark(get_scheduler(hname).schedule, graph, machine)
+    assert schedule.is_complete()

@@ -1,0 +1,65 @@
+"""EXT-D — topology comparison for a fixed design.
+
+The same communication-heavy butterfly is scheduled onto every topology at
+(roughly) eight processors.  Richer topologies provide shorter routes and
+more link bandwidth, so they should never lose to poorer ones by much —
+and the star's hub should visibly hurt under contention simulation.
+
+Shape claims checked: fully-connected <= hypercube <= ring (within
+tolerance) on static makespan; bus/star contention replay >= their
+contention-free replay.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.graph.generators import butterfly
+from repro.machine import MachineParams, make_machine
+from repro.sched import MHScheduler, check_schedule
+from repro.sim import simulate
+
+PARAMS = MachineParams(msg_startup=1.0, transmission_rate=1.0)
+FAMILIES = [("full", 8), ("hypercube", 8), ("mesh", 9), ("torus", 9),
+            ("tree", 7), ("ring", 8), ("star", 8), ("bus", 8), ("linear", 8)]
+
+
+def rank_topologies():
+    graph = butterfly(8, work=4, comm=6)
+    rows = {}
+    for family, size in FAMILIES:
+        machine = make_machine(family, size, PARAMS)
+        schedule = MHScheduler().schedule(graph, machine)
+        check_schedule(schedule)
+        free = simulate(schedule, contention=False).makespan()
+        congested = simulate(schedule, contention=True).makespan()
+        rows[family] = (schedule.makespan(), free, congested)
+    return rows
+
+
+def test_ext_topology_ranking(benchmark, artifact_dir):
+    rows = benchmark(rank_topologies)
+    lines = [f"{'family':<10} {'static':>9} {'sim':>9} {'sim+cont':>9}"]
+    for family, (static, free, congested) in rows.items():
+        lines.append(f"{family:<10} {static:>9.2f} {free:>9.2f} {congested:>9.2f}")
+    write_artifact("ext_topology.txt", "\n".join(lines))
+
+    assert rows["full"][0] <= rows["hypercube"][0] + 1e-6
+    assert rows["hypercube"][0] <= rows["ring"][0] * 1.25 + 1e-6
+    for family, (_, free, congested) in rows.items():
+        assert congested >= free - 1e-6, family
+
+
+def test_ext_star_hub_contention(benchmark):
+    """Star traffic all crosses the hub; contention must show up."""
+    graph = butterfly(8, work=1, comm=10)
+    machine = make_machine("star", 8, PARAMS)
+
+    def run():
+        schedule = MHScheduler(contention=False).schedule(graph, machine)
+        return (
+            simulate(schedule, contention=False).makespan(),
+            simulate(schedule, contention=True).makespan(),
+        )
+
+    free, congested = benchmark(run)
+    assert congested >= free

@@ -1,0 +1,71 @@
+"""FIG2 — the interconnection topologies Banger supports (paper Figure 2).
+
+Regenerates: all five paper families (hypercube, mesh, tree, star,
+fully-connected) plus ring/torus/bus extensions, with routing tables.
+
+Shape claims checked: each family's textbook diameter/degree; analytic
+routes equal BFS shortest paths; the figure's gallery is written out.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.machine import (
+    PAPER_FAMILIES,
+    BalancedTree,
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Star,
+    Torus2D,
+    build_topology,
+)
+from repro.viz import render_topology_gallery
+
+SIZES = {"hypercube": 8, "mesh": 9, "tree": 7, "star": 8, "full": 8}
+
+
+def build_all_with_routes():
+    """Build every paper family and force full routing-table construction."""
+    topos = []
+    for family in PAPER_FAMILIES:
+        topo = build_topology(family, SIZES[family])
+        topo.diameter()  # forces the all-pairs tables
+        topos.append(topo)
+    return topos
+
+
+def test_fig2_families(benchmark, artifact_dir):
+    topos = benchmark(build_all_with_routes)
+    by_family = {t.family: t for t in topos}
+    assert by_family["hypercube"].diameter() == 3
+    assert by_family["mesh"].diameter() == 4
+    assert by_family["tree"].diameter() == 4
+    assert by_family["star"].diameter() == 2
+    assert by_family["full"].diameter() == 1
+    write_artifact("fig2_topologies.txt", render_topology_gallery(topos))
+
+
+@pytest.mark.parametrize(
+    "topo",
+    [Hypercube(4), Mesh2D(4, 4), Torus2D(4, 4), Ring(12), Star(12),
+     BalancedTree(4, 2), FullyConnected(12)],
+    ids=lambda t: t.name,
+)
+def test_fig2_routing_tables(benchmark, topo):
+    """Routing every pair is the hot loop of machine entry; bench it and
+    verify analytic routes are shortest paths."""
+
+    def route_all():
+        total = 0
+        for src in range(topo.n_procs):
+            for dst in range(topo.n_procs):
+                total += len(topo.route(src, dst))
+        return total
+
+    total = benchmark(route_all)
+    assert total >= topo.n_procs * topo.n_procs
+    for src in range(0, topo.n_procs, 3):
+        for dst in range(0, topo.n_procs, 2):
+            assert len(topo.route(src, dst)) - 1 == topo.hops(src, dst)

@@ -1,0 +1,99 @@
+"""FIG3 — Gantt charts and the speedup-prediction chart (paper Figure 3).
+
+Regenerates: MH schedules of the LU design on 2-, 4-, and 8-processor
+hypercubes plus the speedup chart over {1, 2, 4, 8} processors; the same
+sweep for the scaled LU task graph (n = 8), whose richer parallelism shows
+the canonical rise-then-saturate curve; and a discrete-event cross-check.
+
+Shape claims checked: speedup(1) == 1; speedup never exceeds p nor the
+graph's parallelism bound; the curve is non-decreasing then flat for the
+wide graph; simulated replay never finishes later than the static schedule.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.apps import lu3_taskgraph
+from repro.graph import average_parallelism
+from repro.graph.generators import lu_taskgraph
+from repro.machine import MachineParams
+from repro.sched import MHScheduler, predict_speedup, schedules_for_sizes
+from repro.sim import compare_with_static, simulate
+from repro.viz import render_gantt_series, render_speedup_chart
+
+#: Communication cheap relative to work, as on the paper's real hypercubes
+#: where the design's grains were sized to amortise messages.
+PARAMS = MachineParams(processor_speed=1.0, process_startup=0.05,
+                       msg_startup=0.2, transmission_rate=20.0)
+PROCS = (1, 2, 4, 8)
+
+
+def fig3_for(graph):
+    schedules = schedules_for_sizes(graph, (2, 4, 8), scheduler=MHScheduler(),
+                                    params=PARAMS)
+    report = predict_speedup(graph, PROCS, scheduler=MHScheduler(), params=PARAMS)
+    return schedules, report
+
+
+def test_fig3_lu3_design(benchmark, artifact_dir):
+    """The exact Figure 1 design: tiny, so speedup saturates almost at once."""
+    graph = lu3_taskgraph()
+    schedules, report = benchmark(fig3_for, graph)
+    speedups = [p.speedup for p in report.points]
+    assert speedups[0] == pytest.approx(1.0)
+    bound = average_parallelism(graph, exec_time=lambda t: PARAMS.exec_time(graph.work(t)))
+    for point in report.points:
+        assert point.speedup <= point.n_procs + 1e-9
+        assert point.speedup <= bound + 1e-9
+    write_artifact(
+        "fig3_lu3_gantts.txt", render_gantt_series(schedules)
+    )
+    write_artifact("fig3_lu3_speedup.txt", render_speedup_chart(report))
+
+
+def test_fig3_scaled_lu(benchmark, artifact_dir):
+    """LU at n=8: the rising, then saturating speedup curve of the figure."""
+    graph = lu_taskgraph(8, work=20, comm=1)
+    schedules, report = benchmark(fig3_for, graph)
+    speedups = [p.speedup for p in report.points]
+    assert speedups[0] == pytest.approx(1.0)
+    # rises: more processors help this graph
+    assert speedups[1] > 1.2
+    assert speedups[2] >= speedups[1] - 1e-6
+    # saturates: the 8-processor point gains little over 4
+    assert speedups[3] <= speedups[2] * 1.5
+    write_artifact("fig3_lu8_gantts.txt", render_gantt_series(schedules))
+    write_artifact("fig3_lu8_speedup.txt", render_speedup_chart(report))
+
+
+def test_fig3_real_programs_lu8(benchmark, artifact_dir):
+    """The strongest form of the figure: LU at n = 8 with *real* PITS
+    programs and *measured* task weights (no synthetic numbers anywhere)."""
+    import numpy as np
+
+    from repro.apps import lun_taskgraph
+    from repro.sim import calibrate_works
+
+    rng = np.random.default_rng(42)
+    A = rng.normal(size=(8, 8)) + 8 * np.eye(8)
+    b = rng.normal(size=8)
+    graph = calibrate_works(lun_taskgraph(8), {"A": A, "b": b})
+
+    schedules, report = benchmark(fig3_for, graph)
+    speedups = [p.speedup for p in report.points]
+    assert speedups[0] == pytest.approx(1.0)
+    assert speedups[1] > 1.2  # rises
+    assert speedups[3] <= speedups[2] * 1.5  # saturates
+    write_artifact("fig3_lun8_gantts.txt", render_gantt_series(schedules))
+    write_artifact("fig3_lun8_speedup.txt", render_speedup_chart(report))
+
+
+@pytest.mark.parametrize("n_procs", [2, 4, 8])
+def test_fig3_simulation_cross_check(benchmark, n_procs):
+    """Every Figure 3 schedule must replay consistently on the simulator."""
+    graph = lu_taskgraph(8, work=20, comm=1)
+    schedules = schedules_for_sizes(graph, (n_procs,), scheduler=MHScheduler(),
+                                    params=PARAMS)
+    schedule = schedules[n_procs]
+    trace = benchmark(simulate, schedule)
+    assert compare_with_static(schedule, trace) == []

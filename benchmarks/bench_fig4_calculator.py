@@ -1,0 +1,64 @@
+"""FIG4 — the calculator panel and the SquareRoot task (paper Figure 4).
+
+Regenerates: the panel with its variable windows and button grid, the
+Newton–Raphson routine entered via button presses, and trial runs.
+
+Shape claims checked: the routine converges to machine precision for a wide
+range of inputs; entry via buttons produces a statically clean program; the
+``=`` key evaluates expressions immediately.
+"""
+
+import math
+
+import pytest
+
+from conftest import write_artifact
+from repro.calc import CalculatorPanel, run_program, stock
+from repro.viz import render_panel
+
+
+def enter_square_root():
+    panel = (
+        CalculatorPanel("SquareRoot")
+        .declare_input("a")
+        .declare_output("x")
+        .declare_local("g", "eps")
+    )
+    panel.press("eps", ":=", "1e-12", "ENTER")
+    panel.press("g", ":=", "a", "/", "2", "ENTER")
+    panel.press("while", "abs", "g", "*", "g", "-", "a", ")", ">", "eps", "*", "a",
+                "do", "ENTER")
+    panel.press("g", ":=", "(", "g", "+", "a", "/", "g", ")", "/", "2", "ENTER")
+    panel.press("end", "ENTER")
+    panel.press("x", ":=", "g", "ENTER")
+    return panel
+
+
+def test_fig4_button_entry(benchmark, artifact_dir):
+    panel = benchmark(enter_square_root)
+    assert not [d for d in panel.diagnostics() if d.severity.value == "error"]
+    result = panel.trial_run(a=2.0)
+    assert result.outputs["x"] == pytest.approx(math.sqrt(2), rel=1e-10)
+    write_artifact("fig4_panel.txt", render_panel(panel))
+
+
+@pytest.mark.parametrize("a", [1e-6, 0.5, 2.0, 144.0, 98765.4321])
+def test_fig4_newton_raphson_accuracy(benchmark, a):
+    source = stock("square_root")
+    result = benchmark(run_program, source, a=a)
+    # the routine's stopping rule bounds |g*g - a|, so tiny inputs carry an
+    # absolute (not relative) error floor
+    assert result.outputs["x"] == pytest.approx(math.sqrt(a), rel=1e-9, abs=1e-9)
+
+
+def test_fig4_instant_evaluation(benchmark):
+    """The '=' button: expression evaluation latency on the panel."""
+
+    def eval_once():
+        panel = CalculatorPanel("t").declare_output("x")
+        panel.store(a=16.0)
+        panel.declare_input("a")
+        panel.press("sqrt", "a", ")", "+", "1")
+        return panel.calculate()
+
+    assert benchmark(eval_once) == 5.0

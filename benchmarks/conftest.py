@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark module regenerates one paper figure (or one extension table):
+the benched callable produces the figure's data; the test then asserts the
+*shape* claims recorded in EXPERIMENTS.md and writes the rendered artifact
+to ``benchmarks/out/`` so the figures can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(name: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text, encoding="utf-8")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Collect the benchmark artifacts into one readable report.
+
+Run after ``pytest benchmarks/ --benchmark-only``::
+
+    python benchmarks/report.py            # print to stdout
+    python benchmarks/report.py report.txt # write to a file
+
+The figure artifacts (fig1..fig4) come first, then the extension ablations,
+in DESIGN.md's experiment-index order.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+OUT = pathlib.Path(__file__).parent / "out"
+
+#: Artifact ordering: (title, filename prefix(es)).
+SECTIONS = [
+    ("FIG1 — hierarchical LU design", ["fig1_design.txt", "fig1_taskgraph.txt"]),
+    ("FIG2 — topologies", ["fig2_topologies.txt"]),
+    ("FIG3 — Gantt charts + speedup", [
+        "fig3_lu3_gantts.txt", "fig3_lu3_speedup.txt",
+        "fig3_lu8_gantts.txt", "fig3_lu8_speedup.txt",
+        "fig3_lun8_gantts.txt", "fig3_lun8_speedup.txt",
+    ]),
+    ("FIG4 — calculator panel", ["fig4_panel.txt"]),
+    ("EXT-A — scheduler comparison", ["ext_schedulers.txt"]),
+    ("EXT-B — machine parameters", ["ext_machine_params.txt", "ext_bandwidth.txt"]),
+    ("EXT-C — grain packing & duplication", ["ext_grain.txt", "ext_duplication.txt"]),
+    ("EXT-D — topology ranking", ["ext_topology.txt"]),
+    ("EXT-E — generated code", ["ext_codegen_python.py.txt"]),
+    ("EXT-F — forall node splitting", ["ext_forall.txt"]),
+    ("EXT-G — heuristics vs exhaustive optimum", ["ext_quality.txt"]),
+    ("EXT-H — contention awareness", ["ext_contention.txt"]),
+]
+
+
+def build_report() -> str:
+    parts: list[str] = ["Banger reproduction — benchmark artifact report", "=" * 60]
+    missing: list[str] = []
+    for title, files in SECTIONS:
+        parts.append("")
+        parts.append(title)
+        parts.append("-" * len(title))
+        for name in files:
+            path = OUT / name
+            if not path.exists():
+                missing.append(name)
+                continue
+            parts.append(f"[{name}]")
+            parts.append(path.read_text().rstrip())
+            parts.append("")
+    if missing:
+        parts.append("")
+        parts.append(
+            "missing artifacts (run `pytest benchmarks/ --benchmark-only` first): "
+            + ", ".join(missing)
+        )
+    return "\n".join(parts)
+
+
+def main(argv: list[str]) -> int:
+    report = build_report()
+    if len(argv) > 1:
+        pathlib.Path(argv[1]).write_text(report + "\n", encoding="utf-8")
+        print(f"wrote {argv[1]} ({len(report.splitlines())} lines)")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Figure 4, button by button: entering the SquareRoot task on the panel.
+
+Recreates the paper's calculator session: declare the input/output/local
+variables, press buttons to enter the Newton–Raphson routine, use the ``=``
+key for immediate evaluation, trial-run the task, and render the panel.
+
+Run:  python examples/calculator_session.py
+"""
+
+from repro.calc import CalculatorPanel
+from repro.viz import render_panel
+
+
+def main() -> None:
+    panel = (
+        CalculatorPanel("SquareRoot")
+        .declare_input("a")
+        .declare_output("x")
+        .declare_local("g", "eps")
+    )
+
+    # the '=' button evaluates the line being typed, like a real calculator
+    panel.store(a=2.0)
+    panel.press("a", "/", "2")
+    print(f"typed: {panel.current_line!r}  =  {panel.calculate()}")
+    panel.press("CLEAR")
+
+    # now enter the routine of Figure 4, one button at a time
+    panel.press("eps", ":=", "1e-12", "ENTER")
+    panel.press("g", ":=", "a", "/", "2", "ENTER")
+    panel.press("while", "abs", "g", "*", "g", "-", "a", ")", ">", "eps", "do", "ENTER")
+    panel.press("g", ":=", "(", "g", "+", "a", "/", "g", ")", "/", "2", "ENTER")
+    panel.press("end", "ENTER")
+    panel.press("x", ":=", "g", "ENTER")
+
+    print()
+    print(render_panel(panel))
+    print()
+
+    print("instant feedback (static analysis):",
+          [str(d) for d in panel.diagnostics()] or "clean")
+    print()
+
+    for a in (2.0, 9.0, 1e6):
+        result = panel.trial_run(a=a)
+        print(f"trial run a={a:<10g} ->  x = {result.outputs['x']:.12g} "
+              f"({result.ops:.0f} ops, {result.steps} steps)")
+
+
+if __name__ == "__main__":
+    main()

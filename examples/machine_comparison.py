@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Principle 2 in action: one design, many machines.
+
+The same machine-independent design is scheduled onto every topology family
+the paper supports (hypercube, mesh, tree, star, fully-connected) plus the
+ring/bus extensions, at two communication-cost settings.  The table shows
+how the scheduler absorbs machine differences — and where topology actually
+matters.
+
+Run:  python examples/machine_comparison.py
+"""
+
+from repro.graph.generators import butterfly
+from repro.machine import MachineParams, make_machine
+from repro.sched import MHScheduler, report, ScheduleReport
+from repro.viz import render_topology
+
+CHEAP = MachineParams(msg_startup=0.2, transmission_rate=20.0)
+DEAR = MachineParams(msg_startup=8.0, transmission_rate=0.5)
+
+FAMILIES = [("hypercube", 8), ("mesh", 9), ("tree", 7), ("star", 8),
+             ("full", 8), ("ring", 8), ("bus", 8)]
+
+
+def main() -> None:
+    graph = butterfly(8, work=10, comm=4)
+    print(f"design: {graph.name} — {len(graph)} tasks, {len(graph.edges)} edges\n")
+
+    print("=== one of the Figure 2 topologies, drawn ===")
+    print(render_topology(make_machine("mesh", 9, CHEAP).topology))
+    print()
+
+    scheduler = MHScheduler()
+    for label, params in (("cheap communication", CHEAP), ("dear communication", DEAR)):
+        print(f"=== {label} "
+              f"(msg startup {params.msg_startup}, rate {params.transmission_rate}) ===")
+        print(ScheduleReport.header())
+        for family, n in FAMILIES:
+            machine = make_machine(family, n, params)
+            schedule = scheduler.schedule(graph, machine)
+            row = report(schedule)
+            print(f"{machine.name:<14} {row.as_row()[15:]}")
+        print()
+
+    print("reading the table: with cheap messages every topology runs the")
+    print("butterfly well; with dear messages the scheduler pulls work onto")
+    print("fewer processors and topology differences shrink — exactly the")
+    print("machine-independence the paper's principle 2 claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Quickstart: the four Banger steps on a tiny design.
+
+1. draw a hierarchical dataflow graph (programming-in-the-large);
+2. define a target machine (four parameters + topology);
+3. write each node's routine on the calculator (programming-in-the-small);
+4. schedule, predict, run, and generate code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.env import BangerProject
+from repro.graph import DataflowGraph
+from repro.machine import MachineParams
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # step 1: draw the dataflow graph — storage rectangles + task ovals
+    # ------------------------------------------------------------------ #
+    design = DataflowGraph("quickstart")
+    design.add_storage("a", initial=9.0)          # program input
+    design.add_task("root")                       # x = sqrt(a)
+    design.add_storage("r")
+    design.add_task("scale")                      # y = 10 * r
+    design.add_storage("y")                       # program output
+    design.connect("a", "root")
+    design.connect("root", "r", var="r")
+    design.connect("r", "scale")
+    design.connect("scale", "y")
+
+    project = BangerProject("quickstart").set_design(design)
+    print(project.outline())
+    print()
+
+    # instant feedback: the nodes have no programs yet
+    print(project.feedback().render())
+    print()
+
+    # ------------------------------------------------------------------ #
+    # step 2: define the target machine
+    # ------------------------------------------------------------------ #
+    project.set_machine(
+        "hypercube", 4,
+        MachineParams(processor_speed=1.0, process_startup=0.1,
+                      msg_startup=1.0, transmission_rate=4.0),
+    )
+
+    # ------------------------------------------------------------------ #
+    # step 3: write the node routines (calculator metaphor)
+    # ------------------------------------------------------------------ #
+    project.attach_program("root", """\
+task root
+input a
+output r
+local g, eps
+eps := 1e-12
+g := a / 2
+while abs(g*g - a) > eps do
+  g := (g + a/g) / 2
+end
+r := g
+""", update_work=True, a=9.0)
+
+    project.attach_program("scale", """\
+task scale
+input r
+output y
+y := 10 * r
+""", update_work=True, r=3.0)
+
+    print(project.feedback().render())
+    print()
+
+    # trial-run a single node — instant numerical feedback
+    result = project.trial_run_node("root", a=2.0)
+    print(f"trial run of 'root' with a=2: r = {result.outputs['r']:.12f}")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # step 4: schedule, predict, run, generate
+    # ------------------------------------------------------------------ #
+    print(project.gantt("mh"))
+    print()
+    print(project.speedup_chart((1, 2, 4)))
+    print()
+
+    run = project.run()
+    print(f"sequential run: y = {run.outputs['y']}")
+    par = project.run_parallel()
+    print(f"parallel run:   y = {par.outputs['y']} "
+          f"({par.messages_sent} message(s) over {len(par.procs_used)} processor(s))")
+    print()
+
+    source = project.generate("python")
+    print(f"generated Python program: {len(source.splitlines())} lines "
+          f"(also available: 'mpi', 'c')")
+
+
+if __name__ == "__main__":
+    main()

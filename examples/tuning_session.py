@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""A performance-tuning session: profile, advise, act, verify.
+
+The loop a Banger user actually lives in once a design works:
+
+1. profile a node's routine to find the hot lines;
+2. ask the advisor what to do about the whole design;
+3. apply its suggestion (here: split the hot forall node);
+4. verify the gain with the simulator and the trace statistics.
+
+Run:  python examples/tuning_session.py
+"""
+
+import numpy as np
+
+from repro.calc import profile_program
+from repro.env import advise, render_advice
+from repro.graph import DataflowGraph, flatten
+from repro.graph.transform import split_forall
+from repro.machine import MachineParams, make_machine
+from repro.sched import MHScheduler
+from repro.sim import calibrate_works, simulate, trace_statistics
+from repro.viz import render_link_gantt
+
+N = 64
+FIELD = """\
+task field
+input v
+output w
+local i, n
+n := len(v)
+w := zeros(n)
+forall i := 1 to n do
+  w[i] := sqrt(abs(v[i]) + i) * sin(i / n)
+end
+"""
+
+POST = """\
+task post
+input w
+output total, peak
+local i, n
+n := len(w)
+total := sum(w)
+peak := w[1]
+for i := 2 to n do
+  peak := max(peak, w[i])
+end
+"""
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ #
+    # 1. profile the suspicious routine
+    # ------------------------------------------------------------------ #
+    print("=== step 1: profile the 'field' routine ===")
+    profile = profile_program(FIELD, v=np.linspace(-1, 1, N))
+    print(profile.render())
+    hot = profile.hottest(1)[0]
+    print(f"\nhot spot: line {hot.line} ({hot.ops:.0f} ops, "
+          f"{hot.ops / profile.run.ops:.0%} of the routine)\n")
+
+    # ------------------------------------------------------------------ #
+    # 2. build the design, ask the advisor
+    # ------------------------------------------------------------------ #
+    g = DataflowGraph("tuneme")
+    g.add_storage("v", initial=np.linspace(-1, 1, N), size=N)
+    g.add_task("field", program=FIELD, work=N)
+    g.add_storage("w", size=N)
+    g.add_task("post", program=POST, work=N)
+    g.add_storage("total")
+    g.add_storage("peak")
+    g.connect("v", "field")
+    g.connect("field", "w")
+    g.connect("w", "post")
+    g.connect("post", "total")
+    g.connect("post", "peak")
+
+    machine = make_machine("full", 4, MachineParams(msg_startup=0.3, transmission_rate=50.0))
+    tg = calibrate_works(flatten(g))
+
+    print("=== step 2: the advisor's verdict ===")
+    print(render_advice(advise(tg, machine)))
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 3. act on it: split the forall node
+    # ------------------------------------------------------------------ #
+    print("=== step 3: split the 'field' node 4 ways ===")
+    split = calibrate_works(split_forall(tg, "field", 4))
+    before = MHScheduler().schedule(tg, machine)
+    after = MHScheduler().schedule(split, machine)
+    print(f"makespan before: {before.makespan():10.1f}")
+    print(f"makespan after:  {after.makespan():10.1f} "
+          f"({1 - after.makespan() / before.makespan():.0%} faster)")
+    print()
+
+    # ------------------------------------------------------------------ #
+    # 4. verify with the simulator
+    # ------------------------------------------------------------------ #
+    print("=== step 4: simulate with link contention and inspect ===")
+    trace = simulate(after, contention=True)
+    print(trace_statistics(trace, split).render())
+    print()
+    print(render_link_gantt(trace, width=60))
+    print()
+    print(render_advice(advise(split, machine)))
+
+
+if __name__ == "__main__":
+    main()

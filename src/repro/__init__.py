@@ -1,0 +1,48 @@
+"""repro — a reproduction of Banger (Lewis, ICPP 1994).
+
+Banger is a large-grain parallel programming environment for non-programmers:
+draw a hierarchical dataflow graph (PITL), describe a target machine, write
+each node's sequential routine on a calculator panel (PITS), and let the
+environment schedule, predict, generate, and run the parallel program.
+
+Subpackages
+-----------
+``repro.graph``    PITL hierarchical dataflow graphs and the task-graph IR.
+``repro.machine``  Target machine models: parameters, topologies, routing.
+``repro.sched``    PPSE scheduling heuristics, Gantt schedules, metrics.
+``repro.calc``     The PITS calculator language and panel.
+``repro.sim``      Discrete-event target-machine simulator and real executor.
+``repro.codegen``  Code generators (runnable Python, mpi4py-style, C-like).
+``repro.viz``      ASCII renderers (graphs, Gantt, speedup, topologies).
+``repro.env``      The Banger project facade with instant feedback.
+``repro.apps``     Ready-made applications (LU decomposition of Figure 1...).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CalcError,
+    CodegenError,
+    CycleError,
+    GraphError,
+    MachineError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimError,
+    ValidationError,
+)
+
+__all__ = [
+    "CalcError",
+    "CodegenError",
+    "CycleError",
+    "GraphError",
+    "MachineError",
+    "ReproError",
+    "RoutingError",
+    "ScheduleError",
+    "SimError",
+    "ValidationError",
+    "__version__",
+]

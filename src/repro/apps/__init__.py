@@ -1,0 +1,58 @@
+"""Ready-made Banger applications with complete PITS node programs.
+
+* :mod:`repro.apps.lu` — the paper's Figure 1 (LU decomposition of a 3×3
+  system, 2-level hierarchical design);
+* :mod:`repro.apps.matmul` — 2×2-blocked matrix multiplication (wide);
+* :mod:`repro.apps.pipeline` — a 4-stage signal pipeline (serial);
+* :mod:`repro.apps.montecarlo` — Monte-Carlo pi (embarrassingly parallel).
+"""
+
+from repro.apps.heat import (
+    diffuse,
+    heat_design,
+    heat_taskgraph,
+    heat_taskgraph_split,
+    reference_diffuse,
+)
+from repro.apps.lu import lu3_design, lu3_taskgraph, lud_subgraph, solve3, solve_subgraph
+from repro.apps.lun import lun_design, lun_taskgraph, solve_n
+from repro.apps.matmul import matmul_design, matmul_taskgraph, multiply
+from repro.apps.montecarlo import (
+    estimate_pi,
+    montecarlo_design,
+    montecarlo_taskgraph,
+    reference_pi,
+)
+from repro.apps.pipeline import (
+    analyze_signal,
+    pipeline_design,
+    pipeline_taskgraph,
+    reference_stats,
+)
+
+__all__ = [
+    "analyze_signal",
+    "diffuse",
+    "estimate_pi",
+    "heat_design",
+    "heat_taskgraph",
+    "heat_taskgraph_split",
+    "reference_diffuse",
+    "lu3_design",
+    "lu3_taskgraph",
+    "lud_subgraph",
+    "lun_design",
+    "lun_taskgraph",
+    "solve_n",
+    "matmul_design",
+    "matmul_taskgraph",
+    "montecarlo_design",
+    "montecarlo_taskgraph",
+    "multiply",
+    "pipeline_design",
+    "pipeline_taskgraph",
+    "reference_pi",
+    "reference_stats",
+    "solve3",
+    "solve_subgraph",
+]

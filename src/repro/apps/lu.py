@@ -1,0 +1,172 @@
+"""The paper's Figure 1: a hierarchical dataflow design for LU decomposition
+of a 3-by-3 system Ax = b, with complete PITS routines for every node.
+
+Two bold (composite) nodes refine into lower-level graphs, exactly as in the
+figure:
+
+* ``lud`` — Doolittle LU factorisation of A without pivoting.  Internal
+  tasks follow the figure's naming style: ``fan1`` computes the first-column
+  multipliers, ``fl21``/``fl31`` update rows 2 and 3, ``fan2`` finishes the
+  trailing 2×2 block, ``asm`` assembles L and U.
+* ``solve`` — forward substitution (Ly = b) then back substitution (Ux = y).
+
+The design actually runs: :func:`solve3` executes the PITS programs and the
+result is checked against numpy in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import flatten
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.dataflow_exec import run_dataflow
+
+FAN1 = """\
+task fan1
+input A
+output m21, m31
+m21 := A[2,1] / A[1,1]
+m31 := A[3,1] / A[1,1]
+"""
+
+FL21 = """\
+task fl21
+input A, m21
+output row2
+row2 := zeros(2)
+row2[1] := A[2,2] - m21 * A[1,2]
+row2[2] := A[2,3] - m21 * A[1,3]
+"""
+
+FL31 = """\
+task fl31
+input A, m31
+output row3
+row3 := zeros(2)
+row3[1] := A[3,2] - m31 * A[1,2]
+row3[2] := A[3,3] - m31 * A[1,3]
+"""
+
+FAN2 = """\
+task fan2
+input row2, row3
+output m32, u33
+m32 := row3[1] / row2[1]
+u33 := row3[2] - m32 * row2[2]
+"""
+
+ASM = """\
+task assemble
+input A, m21, m31, m32, row2, u33
+output L, U
+L := [[1, 0, 0], [m21, 1, 0], [m31, m32, 1]]
+U := [[A[1,1], A[1,2], A[1,3]], [0, row2[1], row2[2]], [0, 0, u33]]
+"""
+
+FORWARD = """\
+task forward
+input L, b
+output y
+local i, j, n, s
+n := rows(L)
+y := zeros(n)
+for i := 1 to n do
+  s := b[i]
+  for j := 1 to i - 1 do
+    s := s - L[i,j] * y[j]
+  end
+  y[i] := s / L[i,i]
+end
+"""
+
+BACKWARD = """\
+task backward
+input U, y
+output x
+local i, j, n, s
+n := rows(U)
+x := zeros(n)
+for i := n to 1 step -1 do
+  s := y[i]
+  for j := i + 1 to n do
+    s := s - U[i,j] * x[j]
+  end
+  x[i] := s / U[i,i]
+end
+"""
+
+
+def lud_subgraph() -> DataflowGraph:
+    """The lower-level graph refining the bold ``lud`` node."""
+    g = DataflowGraph(
+        "lud",
+        inputs={"A": ["fan1", "fl21", "fl31", "asm"]},
+        outputs={"L": "asm", "U": "asm"},
+    )
+    g.add_task("fan1", label="first-column multipliers", work=4, program=FAN1)
+    g.add_task("fl21", label="update row 2", work=4, program=FL21)
+    g.add_task("fl31", label="update row 3", work=4, program=FL31)
+    g.add_task("fan2", label="trailing 2x2 step", work=3, program=FAN2)
+    g.add_task("asm", label="assemble L and U", work=6, program=ASM)
+    g.connect("fan1", "fl21", var="m21", size=1)
+    g.connect("fan1", "fl31", var="m31", size=1)
+    g.connect("fl21", "fan2", var="row2", size=2)
+    g.connect("fl31", "fan2", var="row3", size=2)
+    g.connect("fan1", "asm", var="m21", size=1)
+    g.connect("fan1", "asm", var="m31", size=1)
+    g.connect("fan2", "asm", var="m32", size=1)
+    g.connect("fan2", "asm", var="u33", size=1)
+    g.connect("fl21", "asm", var="row2", size=2)
+    return g
+
+
+def solve_subgraph() -> DataflowGraph:
+    """The lower-level graph refining the bold ``solve`` node."""
+    g = DataflowGraph(
+        "solve",
+        inputs={"L": ["forward"], "U": ["backward"], "b": ["forward"]},
+        outputs={"x": "backward"},
+    )
+    g.add_task("forward", label="forward substitution Ly=b", work=9, program=FORWARD)
+    g.add_task("backward", label="back substitution Ux=y", work=9, program=BACKWARD)
+    g.connect("forward", "backward", var="y", size=3)
+    return g
+
+
+def lu3_design(A: np.ndarray | None = None, b: np.ndarray | None = None) -> DataflowGraph:
+    """The full 2-level Figure 1 design (optionally with bound inputs)."""
+    top = DataflowGraph("lu3")
+    top.add_storage("A", size=9, initial=A)
+    top.add_storage("b", size=3, initial=b)
+    top.add_composite("lud", lud_subgraph(), label="LU decomposition of A")
+    top.add_storage("L", size=9)
+    top.add_storage("U", size=9)
+    top.add_composite("solve", solve_subgraph(), label="solve LUx = b")
+    top.add_storage("x", size=3)
+    top.connect("A", "lud")
+    top.connect("lud", "L")
+    top.connect("lud", "U")
+    top.connect("L", "solve")
+    top.connect("U", "solve")
+    top.connect("b", "solve")
+    top.connect("solve", "x")
+    return top
+
+
+def lu3_taskgraph(A: np.ndarray | None = None, b: np.ndarray | None = None) -> TaskGraph:
+    """Flattened scheduling IR of the Figure 1 design."""
+    return flatten(lu3_design(A, b))
+
+
+def solve3(A, b) -> np.ndarray:
+    """Solve the 3×3 system Ax = b by executing the design's PITS programs."""
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if A.shape != (3, 3):
+        raise ValueError(f"A must be 3x3, got {A.shape}")
+    if b.shape != (3,):
+        raise ValueError(f"b must have length 3, got {b.shape}")
+    result = run_dataflow(lu3_taskgraph(), {"A": A, "b": b})
+    return result.outputs["x"]

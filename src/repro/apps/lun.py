@@ -1,0 +1,139 @@
+"""Figure 1 generalised: LU decomposition + solve for any n, with programs.
+
+The paper's Figure 1 draws the n = 3 instance; this module generates the
+same design for arbitrary n, every node carrying a real PITS routine:
+
+* ``split`` — scatter A into row vectors ``r{i}_0``;
+* ``u{k}_{i}`` — step k's update of row i: consume the pivot row
+  ``r{k}_{k}`` and the current row ``r{i}_{k}``, emit the multiplier
+  ``m{i}_{k}`` and the updated row ``r{i}_{k+1}``.  These are the
+  ``fl21``-style tasks of the figure — (n-1)·n/2 of them;
+* ``fsub`` — forward substitution over the multipliers (L is unit lower
+  triangular; its entries *are* the multipliers);
+* ``bsub`` — back substitution over the final rows (U's row i is
+  ``r{i}_{i}``).
+
+The task graph has the shape of :func:`repro.graph.generators.lu_taskgraph`
+but is *executable*: tests solve random systems and compare against numpy.
+Because every routine is real, work weights can be measured
+(:func:`repro.sim.calibrate_works`), making this the repository's most
+faithful Figure 3 workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import flatten
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.dataflow_exec import run_dataflow
+
+
+def _split_program(n: int) -> str:
+    outs = ", ".join(f"r{i}_0" for i in range(n))
+    lines = ["task split", "input A", f"output {outs}", "local j"]
+    for i in range(n):
+        lines.append(f"r{i}_0 := zeros({n})")
+        lines.append(f"for j := 1 to {n} do")
+        lines.append(f"  r{i}_0[j] := A[{i + 1}, j]")
+        lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def _update_program(k: int, i: int, n: int) -> str:
+    """Step k's elimination of row i against pivot row r{k}_{k}."""
+    pivot = f"r{k}_{k}"
+    return (
+        f"task u{k}_{i}\n"
+        f"input {pivot}, r{i}_{k}\n"
+        f"output m{i}_{k}, r{i}_{k + 1}\n"
+        "local j\n"
+        f"m{i}_{k} := r{i}_{k}[{k + 1}] / {pivot}[{k + 1}]\n"
+        f"r{i}_{k + 1} := zeros({n})\n"
+        f"for j := {k + 2} to {n} do\n"
+        f"  r{i}_{k + 1}[j] := r{i}_{k}[j] - m{i}_{k} * {pivot}[j]\n"
+        "end\n"
+    )
+
+
+def _fsub_program(n: int) -> str:
+    """Forward substitution Ly = b; L's entries are the multipliers."""
+    multipliers = [f"m{i}_{k}" for k in range(n - 1) for i in range(k + 1, n)]
+    inputs = ", ".join(["b"] + multipliers)
+    lines = ["task fsub", f"input {inputs}", "output y", f"y := zeros({n})"]
+    for i in range(n):
+        terms = "".join(f" - m{i}_{k} * y[{k + 1}]" for k in range(i))
+        lines.append(f"y[{i + 1}] := b[{i + 1}]{terms}")
+    return "\n".join(lines) + "\n"
+
+
+def _bsub_program(n: int) -> str:
+    """Back substitution Ux = y; U's row i is r{i}_{i}."""
+    rows = ", ".join(f"r{i}_{i}" for i in range(n))
+    lines = ["task bsub", f"input y, {rows}", "output x", f"x := zeros({n})"]
+    for i in range(n - 1, -1, -1):
+        terms = "".join(
+            f" - r{i}_{i}[{j + 1}] * x[{j + 1}]" for j in range(i + 1, n)
+        )
+        lines.append(f"x[{i + 1}] := (y[{i + 1}]{terms}) / r{i}_{i}[{i + 1}]")
+    return "\n".join(lines) + "\n"
+
+
+def lun_design(
+    n: int, A: np.ndarray | None = None, b: np.ndarray | None = None
+) -> DataflowGraph:
+    """The executable LU + solve design for an n×n system (no pivoting)."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    g = DataflowGraph(f"lun{n}")
+    g.add_storage("A", size=n * n, initial=A)
+    g.add_storage("b", size=n, initial=b)
+    g.add_storage("x", size=n)
+    g.add_task("split", work=n * n, program=_split_program(n))
+    for k in range(n - 1):
+        for i in range(k + 1, n):
+            g.add_task(
+                f"u{k}_{i}",
+                work=2 * (n - k),
+                label=f"eliminate a[{i + 1},{k + 1}]",
+                program=_update_program(k, i, n),
+            )
+    g.add_task("fsub", work=n * n, label="forward substitution Ly=b",
+               program=_fsub_program(n))
+    g.add_task("bsub", work=n * n, label="back substitution Ux=y",
+               program=_bsub_program(n))
+    g.connect("A", "split")
+    g.connect("b", "fsub")
+
+    def row_producer(i: int, k: int) -> str:
+        """Task producing row i after step k (r{i}_{k})."""
+        return "split" if k == 0 else f"u{k - 1}_{i}"
+
+    for k in range(n - 1):
+        pivot_task = row_producer(k, k)
+        for i in range(k + 1, n):
+            g.connect(pivot_task, f"u{k}_{i}", var=f"r{k}_{k}", size=n)
+            g.connect(row_producer(i, k), f"u{k}_{i}", var=f"r{i}_{k}", size=n)
+            g.connect(f"u{k}_{i}", "fsub", var=f"m{i}_{k}", size=1)
+    for i in range(n):
+        g.connect(row_producer(i, i), "bsub", var=f"r{i}_{i}", size=n)
+    g.connect("fsub", "bsub", var="y", size=n)
+    g.connect("bsub", "x")
+    return g
+
+
+def lun_taskgraph(n: int) -> TaskGraph:
+    return flatten(lun_design(n))
+
+
+def solve_n(A, b) -> np.ndarray:
+    """Solve Ax = b (no pivoting) by executing the design's PITS programs."""
+    A = np.asarray(A, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(f"A must be square, got {A.shape}")
+    if b.shape != (A.shape[0],):
+        raise ValueError(f"b must have length {A.shape[0]}, got {b.shape}")
+    result = run_dataflow(lun_taskgraph(A.shape[0]), {"A": A, "b": b})
+    return result.outputs["x"]

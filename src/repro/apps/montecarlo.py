@@ -1,0 +1,101 @@
+"""Monte-Carlo estimation of pi as an embarrassingly parallel design.
+
+``w`` worker tasks each draw pseudo-random points with their own
+deterministic linear-congruential generator (written in PITS — the language
+is small but real), count hits inside the unit quarter-circle, and a
+reduction task combines the counts.  The design's width makes it the
+best-case workload for speedup prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import flatten
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.dataflow_exec import run_dataflow
+
+# Wichmann–Hill-style LCG: the modulus is small enough that every product
+# stays below 2**53, so PITS float arithmetic is exact.
+WORKER = """\
+task worker{idx}
+input seed{idx}, trials
+output hits{idx}
+local i, state, x, y
+state := seed{idx}
+hits{idx} := 0
+for i := 1 to trials do
+  state := (171 * state) % 30269
+  x := state / 30269
+  state := (171 * state) % 30269
+  y := state / 30269
+  if x * x + y * y <= 1 then
+    hits{idx} := hits{idx} + 1
+  end
+end
+"""
+
+
+def _reduce_program(w: int) -> str:
+    inputs = ", ".join(f"hits{i}" for i in range(w))
+    total = " + ".join(f"hits{i}" for i in range(w))
+    return (
+        f"task reduce\ninput {inputs}, trials, nworkers\noutput pi_est\n"
+        f"pi_est := 4 * ({total}) / (trials * nworkers)\n"
+    )
+
+
+def montecarlo_design(workers: int = 4, trials_per_worker: int = 200) -> DataflowGraph:
+    """``workers`` independent samplers reduced to one pi estimate."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    g = DataflowGraph(f"mcpi{workers}")
+    g.add_storage("trials", size=1, initial=float(trials_per_worker))
+    g.add_storage("nworkers", size=1, initial=float(workers))
+    for i in range(workers):
+        g.add_storage(f"seed{i}", size=1, initial=float(2_001 + 7 * i))
+        g.add_task(
+            f"worker{i}",
+            work=12 * trials_per_worker,
+            program=WORKER.format(idx=i),
+        )
+        g.add_storage(f"hits{i}", size=1)
+        g.connect(f"seed{i}", f"worker{i}")
+        g.connect("trials", f"worker{i}")
+        g.connect(f"worker{i}", f"hits{i}")
+    g.add_task("reduce", work=workers, program=_reduce_program(workers))
+    for i in range(workers):
+        g.connect(f"hits{i}", "reduce")
+    g.connect("trials", "reduce")
+    g.connect("nworkers", "reduce")
+    g.add_storage("pi_est", size=1)
+    g.connect("reduce", "pi_est")
+    return g
+
+
+def montecarlo_taskgraph(workers: int = 4, trials_per_worker: int = 200) -> TaskGraph:
+    return flatten(montecarlo_design(workers, trials_per_worker))
+
+
+def estimate_pi(workers: int = 4, trials_per_worker: int = 200) -> float:
+    """Run the design and return the pi estimate (deterministic per seed)."""
+    result = run_dataflow(montecarlo_taskgraph(workers, trials_per_worker))
+    return float(result.outputs["pi_est"])
+
+
+def reference_pi(workers: int = 4, trials_per_worker: int = 200) -> float:
+    """Same LCG streams in numpy — must agree with the PITS run exactly."""
+    total_hits = 0
+    for i in range(workers):
+        state = 2_001 + 7 * i
+        hits = 0
+        for _ in range(trials_per_worker):
+            state = (171 * state) % 30269
+            x = state / 30269
+            state = (171 * state) % 30269
+            y = state / 30269
+            if x * x + y * y <= 1:
+                hits += 1
+        total_hits += hits
+    return 4 * total_hits / (trials_per_worker * workers)

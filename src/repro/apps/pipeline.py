@@ -1,0 +1,125 @@
+"""A signal-processing pipeline design: generate → filter → decimate → stats.
+
+A classic "scientist's quick-and-dirty program": synthesise a noisy signal,
+smooth it with a 3-point moving average, decimate by 2, and report summary
+statistics.  The pipeline shape stresses the schedulers differently from the
+wide LU/matmul graphs — there is almost no task parallelism, so grain
+packing should keep the whole thing on one processor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import flatten
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.dataflow_exec import run_dataflow
+
+GENERATE = """\
+task generate
+input n, freq
+output signal
+local i
+signal := zeros(n)
+for i := 1 to n do
+  signal[i] := sin(2 * PI * freq * i / n) + 0.25 * sin(2 * PI * 7 * freq * i / n)
+end
+"""
+
+SMOOTH = """\
+task smooth
+input signal
+output smoothed
+local i, n
+n := len(signal)
+smoothed := zeros(n)
+smoothed[1] := signal[1]
+smoothed[n] := signal[n]
+for i := 2 to n - 1 do
+  smoothed[i] := (signal[i-1] + signal[i] + signal[i+1]) / 3
+end
+"""
+
+DECIMATE = """\
+task decimate
+input smoothed
+output decimated
+local i, n, h
+n := len(smoothed)
+h := floor(n / 2)
+decimated := zeros(h)
+for i := 1 to h do
+  decimated[i] := smoothed[2 * i]
+end
+"""
+
+STATS = """\
+task stats
+input decimated
+output m, peak, energy
+local i, n
+n := len(decimated)
+m := mean(decimated)
+peak := abs(decimated[1])
+energy := 0
+for i := 1 to n do
+  energy := energy + decimated[i] ^ 2
+  if abs(decimated[i]) > peak then
+    peak := abs(decimated[i])
+  end
+end
+"""
+
+
+def pipeline_design(n: int = 64, freq: float = 2.0) -> DataflowGraph:
+    """The four-stage pipeline with bound problem-size inputs."""
+    g = DataflowGraph("sigpipe")
+    g.add_storage("n", size=1, initial=float(n))
+    g.add_storage("freq", size=1, initial=float(freq))
+    g.add_task("generate", work=6 * n, program=GENERATE)
+    g.add_storage("signal", size=n)
+    g.add_task("smooth", work=4 * n, program=SMOOTH)
+    g.add_storage("smoothed", size=n)
+    g.add_task("decimate", work=2 * n, program=DECIMATE)
+    g.add_storage("decimated", size=n // 2)
+    g.add_task("stats", work=5 * n, program=STATS)
+    g.add_storage("m", size=1)
+    g.add_storage("peak", size=1)
+    g.add_storage("energy", size=1)
+    g.connect("n", "generate")
+    g.connect("freq", "generate")
+    g.connect("generate", "signal")
+    g.connect("signal", "smooth")
+    g.connect("smooth", "smoothed")
+    g.connect("smoothed", "decimate")
+    g.connect("decimate", "decimated")
+    g.connect("decimated", "stats")
+    g.connect("stats", "m")
+    g.connect("stats", "peak")
+    g.connect("stats", "energy")
+    return g
+
+
+def pipeline_taskgraph(n: int = 64, freq: float = 2.0) -> TaskGraph:
+    return flatten(pipeline_design(n, freq))
+
+
+def analyze_signal(n: int = 64, freq: float = 2.0) -> dict[str, float]:
+    """Run the pipeline and return its summary statistics."""
+    result = run_dataflow(pipeline_taskgraph(n, freq))
+    return {k: float(v) for k, v in result.outputs.items()}
+
+
+def reference_stats(n: int = 64, freq: float = 2.0) -> dict[str, float]:
+    """Numpy re-implementation used to verify the PITS pipeline."""
+    i = np.arange(1, n + 1, dtype=float)
+    signal = np.sin(2 * np.pi * freq * i / n) + 0.25 * np.sin(2 * np.pi * 7 * freq * i / n)
+    smoothed = signal.copy()
+    smoothed[1:-1] = (signal[:-2] + signal[1:-1] + signal[2:]) / 3
+    decimated = smoothed[1::2][: n // 2]
+    return {
+        "m": float(decimated.mean()),
+        "peak": float(np.abs(decimated).max()),
+        "energy": float((decimated**2).sum()),
+    }

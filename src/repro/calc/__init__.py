@@ -1,0 +1,60 @@
+"""The PITS calculator language — "programming-in-the-small".
+
+Public surface:
+
+* :func:`parse` / :func:`parse_expression` — source → AST;
+* :func:`run_program` / :func:`eval_expression` / :class:`Interpreter` —
+  execution with operation metering;
+* :func:`analyze` / :func:`is_clean` — instant-feedback static checks;
+* :func:`estimate_work` / :func:`measure_work` — task weights for PITL;
+* :class:`CalculatorPanel` — the Figure 4 button panel as a state machine;
+* :data:`LIBRARY` / :func:`stock` — ready-made routines (Newton sqrt, ...).
+"""
+
+from repro.calc.analyze import Diagnostic, Severity, analyze, errors, is_clean
+from repro.calc.builtins import BUILTINS, CONSTANTS, Builtin, lookup
+from repro.calc.cost import estimate_work, measure_work
+from repro.calc.interp import (
+    DEFAULT_STEP_LIMIT,
+    Interpreter,
+    RunResult,
+    eval_expression,
+    run_program,
+)
+from repro.calc.lexer import tokenize
+from repro.calc.panel import CalculatorPanel, all_buttons
+from repro.calc.profile import LineStats, ProfileResult, profile_program
+from repro.calc.parser import parse, parse_expression
+from repro.calc.library import LIBRARY, stock
+from repro.calc.unparse import unparse, unparse_expr
+
+__all__ = [
+    "BUILTINS",
+    "Builtin",
+    "CONSTANTS",
+    "CalculatorPanel",
+    "DEFAULT_STEP_LIMIT",
+    "Diagnostic",
+    "Interpreter",
+    "LIBRARY",
+    "LineStats",
+    "ProfileResult",
+    "profile_program",
+    "RunResult",
+    "Severity",
+    "all_buttons",
+    "analyze",
+    "errors",
+    "estimate_work",
+    "eval_expression",
+    "is_clean",
+    "lookup",
+    "measure_work",
+    "parse",
+    "parse_expression",
+    "run_program",
+    "stock",
+    "tokenize",
+    "unparse",
+    "unparse_expr",
+]

@@ -1,0 +1,238 @@
+"""Static analysis of PITS programs — the "instant feedback" checker.
+
+Principle 3 of the paper: "instant feedback to the user wherever possible
+... is believed to be a major contributor to early defect removal."  The
+analyzer runs on every edit (see :mod:`repro.env`) and reports *all*
+problems at once, each tagged with a severity and source line:
+
+* errors — undeclared variables, assignment to inputs, unknown functions,
+  wrong arity, an output that is never assigned;
+* warnings — variables that are never used, locals never assigned,
+  statements after all outputs are final (none currently), shadowed
+  constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.calc import ast
+from repro.calc.builtins import CONSTANTS, lookup
+from repro.calc.parser import parse
+from repro.errors import CalcSyntaxError
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    message: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        where = f"line {self.line}: " if self.line else ""
+        return f"{self.severity.value}: {where}{self.message}"
+
+
+def _is_constant(name: str) -> bool:
+    return name in CONSTANTS or (name.lower() == name and name.upper() in CONSTANTS)
+
+
+def analyze(program: ast.Program | str) -> list[Diagnostic]:
+    """Return every diagnostic for a PITS program (empty list = clean).
+
+    Accepts source text (syntax errors become a single ERROR diagnostic)
+    or an already parsed program.
+    """
+    if isinstance(program, str):
+        try:
+            program = parse(program)
+        except CalcSyntaxError as exc:
+            return [Diagnostic(Severity.ERROR, str(exc), exc.line)]
+
+    diags: list[Diagnostic] = []
+    declared = program.declared
+    assigned: set[str] = set(program.inputs)
+    used: set[str] = set()
+    loop_vars: set[str] = set()
+
+    for name in program.inputs:
+        if _is_constant(name):
+            diags.append(
+                Diagnostic(Severity.WARNING, f"input {name!r} shadows a constant")
+            )
+
+    stmts = ast.walk_stmts(program.body)
+    for s in stmts:
+        if isinstance(s, ast.For):
+            loop_vars.add(s.var)
+
+    all_vars = declared | loop_vars
+
+    for s in stmts:
+        for e in ast.stmt_exprs(s):
+            if isinstance(e, ast.Name):
+                if e.ident not in all_vars and not _is_constant(e.ident):
+                    diags.append(
+                        Diagnostic(
+                            Severity.ERROR,
+                            f"variable {e.ident!r} is not declared",
+                            e.line,
+                        )
+                    )
+                used.add(e.ident)
+            elif isinstance(e, ast.Index):
+                if e.base not in all_vars and not _is_constant(e.base):
+                    diags.append(
+                        Diagnostic(
+                            Severity.ERROR,
+                            f"variable {e.base!r} is not declared",
+                            e.line,
+                        )
+                    )
+                used.add(e.base)
+            elif isinstance(e, ast.Call):
+                if e.func == "display":
+                    continue
+                builtin = lookup(e.func)
+                if builtin is None:
+                    diags.append(
+                        Diagnostic(
+                            Severity.ERROR,
+                            f"unknown function {e.func!r}",
+                            e.line,
+                        )
+                    )
+                elif not builtin.check_arity(len(e.args)):
+                    expected = (
+                        str(builtin.min_args)
+                        if builtin.min_args == builtin.max_args
+                        else f"{builtin.min_args}..{builtin.max_args}"
+                    )
+                    diags.append(
+                        Diagnostic(
+                            Severity.ERROR,
+                            f"{e.func}() takes {expected} argument(s), got {len(e.args)}",
+                            e.line,
+                        )
+                    )
+
+        if isinstance(s, ast.Assign):
+            target = s.target
+            name = target.ident if isinstance(target, ast.Name) else target.base  # type: ignore[union-attr]
+            if name in program.inputs:
+                diags.append(
+                    Diagnostic(
+                        Severity.ERROR, f"input {name!r} is read-only", s.line
+                    )
+                )
+            elif name not in all_vars:
+                diags.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        f"variable {name!r} is not declared "
+                        "(add it to output or local)",
+                        s.line,
+                    )
+                )
+            assigned.add(name)
+            if isinstance(target, ast.Index):
+                used.add(name)  # subscripted write reads the array too
+        elif isinstance(s, ast.For):
+            if s.var in program.inputs:
+                diags.append(
+                    Diagnostic(
+                        Severity.ERROR, f"loop variable {s.var!r} is an input", s.line
+                    )
+                )
+            assigned.add(s.var)
+
+    # forall bodies must have independent iterations: every write inside
+    # must target an array element whose first subscript is the loop
+    # variable itself, so iterations touch disjoint locations
+    for s in stmts:
+        if isinstance(s, ast.For) and s.parallel:
+            diags.extend(_check_forall(s))
+
+    for name in program.outputs:
+        if name not in assigned:
+            diags.append(
+                Diagnostic(Severity.ERROR, f"output {name!r} is never assigned")
+            )
+    for name in program.inputs:
+        if name not in used:
+            diags.append(
+                Diagnostic(Severity.WARNING, f"input {name!r} is never used")
+            )
+    for name in program.locals:
+        if name not in used and name not in assigned:
+            diags.append(
+                Diagnostic(Severity.WARNING, f"local {name!r} is never used")
+            )
+
+    return diags
+
+
+def _check_forall(loop: ast.For) -> list[Diagnostic]:
+    """Disjoint-write rules for ``forall`` bodies."""
+    diags: list[Diagnostic] = []
+    for inner in ast.walk_stmts(loop.body):
+        if isinstance(inner, ast.Assign):
+            target = inner.target
+            if isinstance(target, ast.Name):
+                diags.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        f"forall body assigns scalar {target.ident!r}; only "
+                        f"elements indexed by {loop.var!r} may be written",
+                        inner.line,
+                    )
+                )
+            elif isinstance(target, ast.Index):
+                first = target.subscripts[0] if target.subscripts else None
+                if not (isinstance(first, ast.Name) and first.ident == loop.var):
+                    diags.append(
+                        Diagnostic(
+                            Severity.ERROR,
+                            f"forall body writes {target.base!r} with first "
+                            f"subscript not {loop.var!r}; iterations must "
+                            "write disjoint elements",
+                            inner.line,
+                        )
+                    )
+        elif isinstance(inner, ast.For) and inner.parallel:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "nested forall is not supported; make the inner loop a "
+                    "plain for",
+                    inner.line,
+                )
+            )
+        elif isinstance(inner, ast.CallStmt) and inner.call.func == "display":
+            diags.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "display inside forall prints in nondeterministic order "
+                    "once the node is split",
+                    inner.line,
+                )
+            )
+    return diags
+
+
+def errors(program: ast.Program | str) -> list[Diagnostic]:
+    return [d for d in analyze(program) if d.severity is Severity.ERROR]
+
+
+def is_clean(program: ast.Program | str) -> bool:
+    """True when the program has no ERROR-severity diagnostics."""
+    return not errors(program)

@@ -1,0 +1,220 @@
+"""Abstract syntax of PITS programs.
+
+A :class:`Program` mirrors the calculator panel of the paper's Figure 4: the
+input/output variable window (``inputs``/``outputs``), the local-variable
+window (``locals``), and the program window (``body``).  All AST nodes carry
+their source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Expr:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class Str(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """1-based subscripting: ``v[i]`` or ``A[i, j]``."""
+
+    base: str
+    subscripts: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str = ""  # "-", "+", "not"
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str = ""  # arithmetic, comparison, "and"/"or"
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    func: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class ArrayLit(Expr):
+    """``[1, 2, 3]`` (vector) or ``[[1, 2], [3, 4]]`` (matrix)."""
+
+    elements: tuple[Expr, ...] = ()
+
+
+# --------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target := expr`` where target is a Name or Index."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: tuple[Stmt, ...] = ()
+    elifs: tuple[tuple[Expr, tuple[Stmt, ...]], ...] = ()
+    orelse: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for var := start to stop [step s] do ... end`` (inclusive stop).
+
+    ``parallel=True`` marks a ``forall`` — the data-parallel variant whose
+    iterations are independent (the analyzer enforces disjoint writes), so
+    the environment may split the node across processors
+    (:mod:`repro.graph.transform`).  Sequential execution is always a valid
+    serialization, so the interpreter treats both forms identically.
+    """
+
+    var: str = ""
+    start: Expr = None  # type: ignore[assignment]
+    stop: Expr = None  # type: ignore[assignment]
+    step: Expr | None = None
+    body: tuple[Stmt, ...] = ()
+    parallel: bool = False
+
+
+@dataclass(frozen=True)
+class Repeat(Stmt):
+    """``repeat ... until cond`` — body runs at least once."""
+
+    body: tuple[Stmt, ...] = ()
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """A bare call used for effect, e.g. ``display(x)``."""
+
+    call: Call = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------- #
+# program
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Program:
+    """A complete PITS routine for one dataflow node."""
+
+    name: str = ""
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    locals: tuple[str, ...] = ()
+    body: tuple[Stmt, ...] = ()
+
+    @property
+    def declared(self) -> frozenset[str]:
+        return frozenset(self.inputs) | frozenset(self.outputs) | frozenset(self.locals)
+
+
+def walk_exprs(node: Expr) -> list[Expr]:
+    """All sub-expressions of ``node``, preorder (node first)."""
+    out: list[Expr] = [node]
+    if isinstance(node, Unary):
+        out += walk_exprs(node.operand)
+    elif isinstance(node, Binary):
+        out += walk_exprs(node.left) + walk_exprs(node.right)
+    elif isinstance(node, Call):
+        for a in node.args:
+            out += walk_exprs(a)
+    elif isinstance(node, Index):
+        for s in node.subscripts:
+            out += walk_exprs(s)
+    elif isinstance(node, ArrayLit):
+        for e in node.elements:
+            out += walk_exprs(e)
+    return out
+
+
+def walk_stmts(stmts: tuple[Stmt, ...]) -> list[Stmt]:
+    """All statements, preorder, including nested blocks."""
+    out: list[Stmt] = []
+    for s in stmts:
+        out.append(s)
+        if isinstance(s, If):
+            out += walk_stmts(s.then)
+            for _, block in s.elifs:
+                out += walk_stmts(block)
+            out += walk_stmts(s.orelse)
+        elif isinstance(s, (While,)):
+            out += walk_stmts(s.body)
+        elif isinstance(s, For):
+            out += walk_stmts(s.body)
+        elif isinstance(s, Repeat):
+            out += walk_stmts(s.body)
+    return out
+
+
+def stmt_exprs(s: Stmt) -> list[Expr]:
+    """The expressions directly attached to one statement (not nested stmts)."""
+    if isinstance(s, Assign):
+        exprs = walk_exprs(s.value)
+        if isinstance(s.target, Index):
+            for sub in s.target.subscripts:
+                exprs += walk_exprs(sub)
+        return exprs
+    if isinstance(s, If):
+        out = walk_exprs(s.cond)
+        for cond, _ in s.elifs:
+            out += walk_exprs(cond)
+        return out
+    if isinstance(s, While):
+        return walk_exprs(s.cond)
+    if isinstance(s, Repeat):
+        return walk_exprs(s.cond)
+    if isinstance(s, For):
+        out = walk_exprs(s.start) + walk_exprs(s.stop)
+        if s.step is not None:
+            out += walk_exprs(s.step)
+        return out
+    if isinstance(s, CallStmt):
+        return walk_exprs(s.call)
+    return []

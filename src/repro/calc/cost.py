@@ -1,0 +1,126 @@
+"""Work estimation for PITS routines — the PITS → PITL bridge.
+
+The scheduler needs a weight (operation count) for every task node.  Two
+estimators are provided:
+
+* :func:`measure_work` — **dynamic**: trial-run the program on sample inputs
+  and read the interpreter's exact operation counter.  This is what Banger's
+  "trial runs" enable, and the estimate the environment prefers.
+* :func:`estimate_work` — **static**: walk the AST counting operations,
+  multiplying loop bodies by their (constant) trip counts when derivable
+  and by ``default_iterations`` otherwise.  Useful before any sample inputs
+  exist.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.calc import ast
+from repro.calc.builtins import lookup
+from repro.calc.interp import Interpreter
+from repro.calc.parser import parse
+
+#: Assumed trip count for loops whose bounds are not literal constants.
+DEFAULT_ITERATIONS = 10.0
+
+
+def measure_work(program: ast.Program | str, **inputs: Any) -> float:
+    """Exact operation count of one trial run with the given inputs."""
+    return Interpreter(program).run(**inputs).ops
+
+
+def estimate_work(
+    program: ast.Program | str, default_iterations: float = DEFAULT_ITERATIONS
+) -> float:
+    """Static operation-count estimate (no inputs needed)."""
+    if isinstance(program, str):
+        program = parse(program)
+    return _block_cost(program.body, default_iterations)
+
+
+def _block_cost(stmts: tuple[ast.Stmt, ...], default_iter: float) -> float:
+    return sum(_stmt_cost(s, default_iter) for s in stmts)
+
+
+def _stmt_cost(s: ast.Stmt, default_iter: float) -> float:
+    if isinstance(s, ast.Assign):
+        cost = _expr_cost(s.value)
+        if isinstance(s.target, ast.Index):
+            cost += 1 + sum(_expr_cost(sub) for sub in s.target.subscripts)
+        return cost + 1
+    if isinstance(s, ast.If):
+        branches = [_block_cost(s.then, default_iter)]
+        branches += [_block_cost(b, default_iter) for _, b in s.elifs]
+        branches.append(_block_cost(s.orelse, default_iter))
+        conds = _expr_cost(s.cond) + sum(_expr_cost(c) for c, _ in s.elifs)
+        return conds + max(branches)
+    if isinstance(s, ast.While):
+        per_iter = _expr_cost(s.cond) + _block_cost(s.body, default_iter)
+        return default_iter * per_iter
+    if isinstance(s, ast.Repeat):
+        per_iter = _expr_cost(s.cond) + _block_cost(s.body, default_iter)
+        return default_iter * per_iter
+    if isinstance(s, ast.For):
+        trips = _trip_count(s, default_iter)
+        header = _expr_cost(s.start) + _expr_cost(s.stop)
+        if s.step is not None:
+            header += _expr_cost(s.step)
+        return header + trips * (1 + _block_cost(s.body, default_iter))
+    if isinstance(s, ast.CallStmt):
+        return _expr_cost(s.call)
+    return 1.0
+
+
+def _trip_count(s: ast.For, default_iter: float) -> float:
+    start = _const_value(s.start)
+    stop = _const_value(s.stop)
+    step = _const_value(s.step) if s.step is not None else 1.0
+    if start is None or stop is None or step is None or step == 0:
+        return default_iter
+    trips = (stop - start) / step + 1
+    return max(0.0, float(int(trips)))
+
+
+def _const_value(e: ast.Expr | None) -> float | None:
+    """Literal constant folding for loop bounds (numbers, +/- of numbers)."""
+    if e is None:
+        return None
+    if isinstance(e, ast.Num):
+        return e.value
+    if isinstance(e, ast.Unary) and e.op in ("-", "+"):
+        v = _const_value(e.operand)
+        if v is None:
+            return None
+        return -v if e.op == "-" else v
+    if isinstance(e, ast.Binary) and e.op in ("+", "-", "*"):
+        l, r = _const_value(e.left), _const_value(e.right)
+        if l is None or r is None:
+            return None
+        return {"+": l + r, "-": l - r, "*": l * r}[e.op]
+    return None
+
+
+def _expr_cost(e: ast.Expr) -> float:
+    if isinstance(e, (ast.Num, ast.BoolLit, ast.Str, ast.Name)):
+        return 0.0
+    if isinstance(e, ast.Index):
+        return 1.0 + sum(_expr_cost(s) for s in e.subscripts)
+    if isinstance(e, ast.Unary):
+        return 1.0 + _expr_cost(e.operand)
+    if isinstance(e, ast.Binary):
+        return 1.0 + _expr_cost(e.left) + _expr_cost(e.right)
+    if isinstance(e, ast.ArrayLit):
+        return max(1.0, float(len(e.elements))) + sum(_expr_cost(x) for x in e.elements)
+    if isinstance(e, ast.Call):
+        args_cost = sum(_expr_cost(a) for a in e.args)
+        builtin = lookup(e.func)
+        if builtin is None:
+            return args_cost + 1.0
+        # static costs cannot see array sizes; charge the scalar cost
+        try:
+            base = builtin.cost(*([1.0] * len(e.args)))
+        except Exception:
+            base = 2.0
+        return args_cost + float(base)
+    return 1.0

@@ -1,0 +1,484 @@
+"""Tree-walking interpreter for PITS programs.
+
+The interpreter is the engine behind two Banger features:
+
+* **trial runs** — "the ability to perform trial runs of tasks or entire
+  programs" — run a node's routine on sample inputs and see the outputs
+  (and ``display(...)`` messages) immediately;
+* **work metering** — every arithmetic operation, comparison, subscript,
+  and builtin call increments an operation counter, giving the task weight
+  the scheduler uses (:attr:`RunResult.ops`).
+
+Semantics
+---------
+Values are floats, booleans, strings (display only), and numpy vectors /
+matrices.  Subscripts are **1-based** (the calculator is aimed at
+scientists; ``A[1,1]`` is the top-left element).  ``input`` variables are
+read-only.  ``for`` bounds are inclusive.  A configurable step budget guards
+against runaway loops (:class:`~repro.errors.CalcLimitError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.calc import ast
+from repro.calc.builtins import CONSTANTS, Value, lookup
+from repro.calc.parser import parse
+from repro.errors import (
+    CalcLimitError,
+    CalcNameError,
+    CalcRuntimeError,
+    CalcTypeError,
+)
+
+#: Default cap on interpreter steps (statements + expression nodes).
+DEFAULT_STEP_LIMIT = 5_000_000
+
+
+@dataclass
+class RunResult:
+    """Outcome of one trial run."""
+
+    outputs: dict[str, Value]
+    locals: dict[str, Value]
+    ops: float
+    steps: int
+    displayed: list[str] = field(default_factory=list)
+
+    def output(self, name: str) -> Value:
+        try:
+            return self.outputs[name]
+        except KeyError:
+            raise CalcNameError(f"no output named {name!r}") from None
+
+
+def _as_number(v: Value, where: str, line: int) -> float:
+    if isinstance(v, bool):
+        raise CalcTypeError(f"line {line}: {where} expects a number, got a boolean")
+    if isinstance(v, (int, float)):
+        return float(v)
+    raise CalcTypeError(f"line {line}: {where} expects a number, got {type(v).__name__}")
+
+
+def _as_bool(v: Value, where: str, line: int) -> bool:
+    if isinstance(v, bool):
+        return v
+    raise CalcTypeError(f"line {line}: {where} expects a condition, got {type(v).__name__}")
+
+
+def _coerce_input(v: Any) -> Value:
+    """Accept friendly Python values for inputs (ints, lists, nested lists)."""
+    if isinstance(v, bool):
+        return v
+    if isinstance(v, (int, float)):
+        return float(v)
+    if isinstance(v, np.ndarray):
+        return v.astype(float)
+    if isinstance(v, (list, tuple)):
+        return np.array(v, dtype=float)
+    if isinstance(v, str):
+        return v
+    raise CalcTypeError(f"unsupported input value of type {type(v).__name__}")
+
+
+class Interpreter:
+    """Executes one PITS program.
+
+    Parameters
+    ----------
+    program:
+        Parsed :class:`~repro.calc.ast.Program` or source text.
+    step_limit:
+        Maximum interpreter steps before :class:`CalcLimitError`.
+    """
+
+    def __init__(self, program: ast.Program | str, step_limit: int = DEFAULT_STEP_LIMIT):
+        self.program = parse(program) if isinstance(program, str) else program
+        self.step_limit = step_limit
+        self.env: dict[str, Value] = {}
+        self.ops = 0.0
+        self.steps = 0
+        self.displayed: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    def run(self, **inputs: Any) -> RunResult:
+        """Execute the program with the given input bindings."""
+        prog = self.program
+        missing = [v for v in prog.inputs if v not in inputs]
+        if missing:
+            raise CalcNameError(f"missing input(s): {', '.join(missing)}")
+        extra = [v for v in inputs if v not in prog.inputs]
+        if extra:
+            raise CalcNameError(f"unknown input(s): {', '.join(extra)}")
+        self.env = {name: _coerce_input(v) for name, v in inputs.items()}
+        self.ops = 0.0
+        self.steps = 0
+        self.displayed = []
+        try:
+            self._exec_block(prog.body)
+        except RecursionError:
+            raise CalcRuntimeError(
+                "expression nesting exceeded the interpreter's stack"
+            ) from None
+        unset = [v for v in prog.outputs if v not in self.env]
+        if unset:
+            raise CalcRuntimeError(
+                f"program finished without assigning output(s): {', '.join(unset)}"
+            )
+        return RunResult(
+            outputs={v: self.env[v] for v in prog.outputs},
+            locals={v: self.env[v] for v in prog.locals if v in self.env},
+            ops=self.ops,
+            steps=self.steps,
+            displayed=list(self.displayed),
+        )
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+    def _tick(self, line: int) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise CalcLimitError(
+                f"line {line}: program exceeded {self.step_limit} steps "
+                "(possible infinite loop)"
+            )
+
+    def _exec_block(self, stmts: tuple[ast.Stmt, ...]) -> None:
+        for s in stmts:
+            self._exec_stmt(s)
+
+    def _exec_stmt(self, s: ast.Stmt) -> None:
+        self._tick(s.line)
+        if isinstance(s, ast.Assign):
+            self._exec_assign(s)
+        elif isinstance(s, ast.If):
+            if _as_bool(self._eval(s.cond), "if", s.line):
+                self._exec_block(s.then)
+                return
+            for cond, block in s.elifs:
+                if _as_bool(self._eval(cond), "elif", s.line):
+                    self._exec_block(block)
+                    return
+            self._exec_block(s.orelse)
+        elif isinstance(s, ast.While):
+            while _as_bool(self._eval(s.cond), "while", s.line):
+                self._tick(s.line)
+                self._exec_block(s.body)
+        elif isinstance(s, ast.Repeat):
+            while True:
+                self._tick(s.line)
+                self._exec_block(s.body)
+                if _as_bool(self._eval(s.cond), "until", s.line):
+                    break
+        elif isinstance(s, ast.For):
+            self._exec_for(s)
+        elif isinstance(s, ast.CallStmt):
+            self._exec_call_stmt(s)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CalcRuntimeError(f"line {s.line}: unknown statement {type(s).__name__}")
+
+    def _exec_for(self, s: ast.For) -> None:
+        if s.var in self.program.inputs:
+            raise CalcRuntimeError(f"line {s.line}: loop variable {s.var!r} is an input")
+        start = _as_number(self._eval(s.start), "for start", s.line)
+        stop = _as_number(self._eval(s.stop), "for stop", s.line)
+        step = _as_number(self._eval(s.step), "for step", s.line) if s.step else 1.0
+        if step == 0:
+            raise CalcRuntimeError(f"line {s.line}: for step must not be 0")
+        i = start
+        while (step > 0 and i <= stop + 1e-12) or (step < 0 and i >= stop - 1e-12):
+            self._tick(s.line)
+            self.env[s.var] = i
+            self._exec_block(s.body)
+            i += step
+
+    def _exec_call_stmt(self, s: ast.CallStmt) -> None:
+        call = s.call
+        if call.func == "display":
+            parts = []
+            for a in call.args:
+                v = self._eval(a)
+                parts.append(v if isinstance(v, str) else _format_value(v))
+            self.displayed.append(" ".join(parts))
+            return
+        # any other builtin may be called for effect; its value is dropped
+        self._eval(call)
+
+    def _exec_assign(self, s: ast.Assign) -> None:
+        value = self._eval(s.value)
+        target = s.target
+        if isinstance(target, ast.Name):
+            name = target.ident
+            self._check_assignable(name, s.line)
+            if isinstance(value, np.ndarray):
+                value = value.copy()  # value semantics: no aliasing surprises
+            self.env[name] = value
+        elif isinstance(target, ast.Index):
+            self._check_assignable(target.base, s.line)
+            arr = self.env.get(target.base)
+            if not isinstance(arr, np.ndarray):
+                raise CalcTypeError(
+                    f"line {s.line}: {target.base!r} is not an array "
+                    "(create it with zeros(...) first)"
+                )
+            idx = self._subscripts(target, arr, s.line)
+            self.ops += 1
+            arr[idx] = _as_number(value, "array element", s.line)
+        else:  # pragma: no cover
+            raise CalcRuntimeError(f"line {s.line}: bad assignment target")
+
+    def _check_assignable(self, name: str, line: int) -> None:
+        if name in self.program.inputs:
+            raise CalcRuntimeError(f"line {line}: input {name!r} is read-only")
+        if name not in self.program.declared:
+            raise CalcNameError(
+                f"line {line}: variable {name!r} is not declared "
+                "(add it to input, output, or local)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # expressions
+    # ------------------------------------------------------------------ #
+    def _eval(self, e: ast.Expr) -> Value:
+        self._tick(e.line)
+        if isinstance(e, ast.Num):
+            return e.value
+        if isinstance(e, ast.BoolLit):
+            return e.value
+        if isinstance(e, ast.Str):
+            return e.value
+        if isinstance(e, ast.Name):
+            return self._lookup(e.ident, e.line)
+        if isinstance(e, ast.Index):
+            return self._eval_index(e)
+        if isinstance(e, ast.Unary):
+            return self._eval_unary(e)
+        if isinstance(e, ast.Binary):
+            return self._eval_binary(e)
+        if isinstance(e, ast.Call):
+            return self._eval_call(e)
+        if isinstance(e, ast.ArrayLit):
+            return self._eval_array_lit(e)
+        raise CalcRuntimeError(f"line {e.line}: unknown expression {type(e).__name__}")
+
+    def _lookup(self, name: str, line: int) -> Value:
+        if name in self.env:
+            return self.env[name]
+        if name in CONSTANTS:
+            return CONSTANTS[name]
+        if name.upper() in CONSTANTS and name.lower() == name:
+            return CONSTANTS[name.upper()]
+        if name in self.program.declared:
+            raise CalcNameError(f"line {line}: variable {name!r} used before assignment")
+        raise CalcNameError(f"line {line}: unknown variable {name!r}")
+
+    def _subscripts(self, e: ast.Index, arr: np.ndarray, line: int) -> tuple[int, ...]:
+        if arr.ndim != len(e.subscripts):
+            kind = "vector" if arr.ndim == 1 else "matrix"
+            raise CalcTypeError(
+                f"line {line}: {e.base!r} is a {kind}; "
+                f"{len(e.subscripts)} subscript(s) given"
+            )
+        idx: list[int] = []
+        for sub, extent in zip(e.subscripts, arr.shape):
+            raw = _as_number(self._eval(sub), "subscript", line)
+            k = int(round(raw))
+            if abs(raw - k) > 1e-9:
+                raise CalcTypeError(f"line {line}: subscript {raw} is not an integer")
+            if not 1 <= k <= extent:
+                raise CalcRuntimeError(
+                    f"line {line}: subscript {k} out of range 1..{extent} for {e.base!r}"
+                )
+            idx.append(k - 1)
+        return tuple(idx)
+
+    def _eval_index(self, e: ast.Index) -> Value:
+        arr = self._lookup(e.base, e.line)
+        if not isinstance(arr, np.ndarray):
+            raise CalcTypeError(f"line {e.line}: {e.base!r} is not an array")
+        self.ops += 1
+        return float(arr[self._subscripts(e, arr, e.line)])
+
+    def _eval_unary(self, e: ast.Unary) -> Value:
+        v = self._eval(e.operand)
+        self.ops += 1
+        if e.op == "not":
+            return not _as_bool(v, "not", e.line)
+        if isinstance(v, np.ndarray):
+            return -v if e.op == "-" else v.copy()
+        n = _as_number(v, f"unary {e.op}", e.line)
+        return -n if e.op == "-" else n
+
+    def _eval_binary(self, e: ast.Binary) -> Value:
+        if e.op == "and":
+            return (
+                _as_bool(self._eval(e.left), "and", e.line)
+                and _as_bool(self._eval(e.right), "and", e.line)
+            )
+        if e.op == "or":
+            return (
+                _as_bool(self._eval(e.left), "or", e.line)
+                or _as_bool(self._eval(e.right), "or", e.line)
+            )
+        left = self._eval(e.left)
+        right = self._eval(e.right)
+        op = e.op
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return self._compare(op, left, right, e.line)
+        self.ops += max(
+            1.0,
+            float(left.size) if isinstance(left, np.ndarray) else 1.0,
+            float(right.size) if isinstance(right, np.ndarray) else 1.0,
+        )
+        array_operands = isinstance(left, np.ndarray) or isinstance(right, np.ndarray)
+        if array_operands:
+            return self._array_arith(op, left, right, e.line)
+        l = _as_number(left, f"operator {op}", e.line)
+        r = _as_number(right, f"operator {op}", e.line)
+        if op == "+":
+            return l + r
+        if op == "-":
+            return l - r
+        if op == "*":
+            return l * r
+        if op == "/":
+            if r == 0:
+                raise CalcRuntimeError(f"line {e.line}: division by zero")
+            return l / r
+        if op == "%":
+            if r == 0:
+                raise CalcRuntimeError(f"line {e.line}: modulo by zero")
+            return l % r
+        if op == "^":
+            try:
+                result = l**r
+            except (OverflowError, ZeroDivisionError, ValueError) as exc:
+                raise CalcRuntimeError(f"line {e.line}: {l} ^ {r}: {exc}") from None
+            if isinstance(result, complex):
+                raise CalcRuntimeError(f"line {e.line}: {l} ^ {r} is not a real number")
+            return float(result)
+        raise CalcRuntimeError(f"line {e.line}: unknown operator {op!r}")
+
+    def _array_arith(self, op: str, left: Value, right: Value, line: int) -> Value:
+        if op not in ("+", "-", "*", "/"):
+            raise CalcTypeError(f"line {line}: operator {op!r} not defined for arrays")
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            with np.errstate(divide="raise", invalid="raise"):
+                return left / right
+        except FloatingPointError:
+            raise CalcRuntimeError(f"line {line}: array division by zero") from None
+        except ValueError as exc:
+            raise CalcTypeError(f"line {line}: array shape mismatch: {exc}") from None
+
+    def _compare(self, op: str, left: Value, right: Value, line: int) -> bool:
+        self.ops += 1
+        if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+            if op in ("=", "<>"):
+                if not (isinstance(left, np.ndarray) and isinstance(right, np.ndarray)):
+                    raise CalcTypeError(f"line {line}: cannot compare array and scalar")
+                equal = left.shape == right.shape and bool(np.array_equal(left, right))
+                return equal if op == "=" else not equal
+            raise CalcTypeError(f"line {line}: ordering not defined for arrays")
+        if isinstance(left, bool) or isinstance(right, bool):
+            if op in ("=", "<>") and isinstance(left, bool) and isinstance(right, bool):
+                return (left == right) if op == "=" else (left != right)
+            raise CalcTypeError(f"line {line}: cannot order booleans")
+        l = _as_number(left, f"comparison {op}", line)
+        r = _as_number(right, f"comparison {op}", line)
+        return {
+            "=": l == r,
+            "<>": l != r,
+            "<": l < r,
+            "<=": l <= r,
+            ">": l > r,
+            ">=": l >= r,
+        }[op]
+
+    def _eval_call(self, e: ast.Call) -> Value:
+        builtin = lookup(e.func)
+        if builtin is None:
+            raise CalcNameError(f"line {e.line}: unknown function {e.func!r}")
+        if not builtin.check_arity(len(e.args)):
+            expected = (
+                str(builtin.min_args)
+                if builtin.min_args == builtin.max_args
+                else f"{builtin.min_args}..{builtin.max_args}"
+            )
+            raise CalcTypeError(
+                f"line {e.line}: {e.func}() takes {expected} argument(s), "
+                f"got {len(e.args)}"
+            )
+        args = [self._eval(a) for a in e.args]
+        self.ops += builtin.cost(*args)
+        try:
+            return builtin.fn(*args)
+        except (CalcRuntimeError, CalcTypeError) as exc:
+            raise type(exc)(f"line {e.line}: {exc}") from None
+
+    def _eval_array_lit(self, e: ast.ArrayLit) -> Value:
+        values = [self._eval(el) for el in e.elements]
+        self.ops += max(1.0, float(len(values)))
+        if not values:
+            return np.zeros(0)
+        if all(isinstance(v, np.ndarray) and v.ndim == 1 for v in values):
+            lengths = {v.shape[0] for v in values}
+            if len(lengths) != 1:
+                raise CalcTypeError(f"line {e.line}: ragged matrix literal")
+            return np.array([v for v in values], dtype=float)
+        if any(isinstance(v, np.ndarray) for v in values):
+            raise CalcTypeError(f"line {e.line}: mixed scalars and rows in array literal")
+        return np.array(
+            [_as_number(v, "array element", e.line) for v in values], dtype=float
+        )
+
+
+def _format_value(v: Value) -> str:
+    if isinstance(v, bool):
+        return "true" if v else "false"
+    if isinstance(v, float):
+        return f"{v:g}"
+    if isinstance(v, np.ndarray):
+        return np.array2string(v, precision=6, suppress_small=True)
+    return str(v)
+
+
+def run_program(source: str | ast.Program, step_limit: int = DEFAULT_STEP_LIMIT, **inputs: Any) -> RunResult:
+    """One-call trial run: parse (if needed), execute, return the result."""
+    return Interpreter(source, step_limit=step_limit).run(**inputs)
+
+
+def eval_expression(source: str, env: dict[str, Any] | None = None) -> Value:
+    """Evaluate a bare expression (the panel's ``=`` button).
+
+    ``env`` provides variable bindings; constants are always available.
+    """
+    from repro.calc.parser import parse_expression
+
+    expr = parse_expression(source)
+    names = sorted(
+        {n.ident for n in ast.walk_exprs(expr) if isinstance(n, ast.Name)}
+        | {n.base for n in ast.walk_exprs(expr) if isinstance(n, ast.Index)}
+    )
+    env = {k: v for k, v in (env or {}).items()}
+    program = ast.Program(
+        name="expr",
+        inputs=tuple(n for n in names if n not in CONSTANTS and n.upper() not in CONSTANTS),
+        outputs=("result_",),
+        body=(ast.Assign(target=ast.Name(ident="result_"), value=expr, line=1),),
+    )
+    missing = [k for k in program.inputs if k not in env]
+    if missing:
+        raise CalcNameError(f"unbound variable(s) in expression: {', '.join(missing)}")
+    interp = Interpreter(program)
+    return interp.run(**{k: env[k] for k in program.inputs}).outputs["result_"]

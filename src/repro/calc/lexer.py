@@ -1,0 +1,114 @@
+"""Tokenizer for the PITS calculator language."""
+
+from __future__ import annotations
+
+from repro.calc.tokens import KEYWORDS, OPERATORS, Token, TokenType
+from repro.errors import CalcSyntaxError
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert PITS source text into a token list ending with EOF.
+
+    Comments run from ``#`` to end of line.  Newlines are significant (they
+    terminate statements) and are emitted as NEWLINE tokens; consecutive
+    blank lines collapse to one.
+    """
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+
+    def push(type_: TokenType, value: str, l: int, c: int) -> None:
+        if type_ is TokenType.NEWLINE and (not tokens or tokens[-1].type is TokenType.NEWLINE):
+            return
+        tokens.append(Token(type_, value, l, c))
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            push(TokenType.NEWLINE, "\n", line, col)
+            i += 1
+            line += 1
+            col = 1
+            continue
+
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start, start_col = i, col
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c2 = source[i]
+                if c2.isdigit():
+                    i += 1
+                elif c2 == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c2 in "eE" and not seen_exp and i + 1 < n and (
+                    source[i + 1].isdigit()
+                    or (source[i + 1] in "+-" and i + 2 < n and source[i + 2].isdigit())
+                ):
+                    seen_exp = True
+                    i += 1
+                    if source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            col += i - start
+            push(TokenType.NUMBER, text, line, start_col)
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start, start_col = i, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            low = text.lower()
+            if low in KEYWORDS:
+                push(TokenType.KEYWORD, low, line, start_col)
+            else:
+                push(TokenType.IDENT, text, line, start_col)
+            continue
+
+        if ch == '"':
+            start_col = col
+            i += 1
+            col += 1
+            chars: list[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise CalcSyntaxError("unterminated string literal", line, start_col)
+                chars.append(source[i])
+                i += 1
+                col += 1
+            if i >= n:
+                raise CalcSyntaxError("unterminated string literal", line, start_col)
+            i += 1
+            col += 1
+            push(TokenType.STRING, "".join(chars), line, start_col)
+            continue
+
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                push(TokenType.OP, op, line, col)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise CalcSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    push(TokenType.NEWLINE, "\n", line, col)
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

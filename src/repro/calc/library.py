@@ -1,0 +1,248 @@
+"""Stock PITS routines — the calculator's formula library.
+
+The paper's calculator offers "constants, and formulas"; this module is the
+formula drawer: ready-made, analyzed, tested routines a non-programmer can
+drop onto a dataflow node.  ``SQUARE_ROOT`` is the exact program of
+Figure 4 (Newton–Raphson).
+"""
+
+from __future__ import annotations
+
+from repro.calc.analyze import is_clean
+from repro.errors import CalcError
+
+#: Figure 4's example: x = sqrt(a) by Newton-Raphson approximation.
+SQUARE_ROOT = """\
+task SquareRoot
+input a
+output x
+local g, eps
+eps := 1.0e-12
+if a < 0 then
+  display("sqrt of a negative number")
+  g := 0
+else
+  g := a / 2.0
+  if g = 0 then
+    g := a
+  end
+  while g > 0 and abs(g*g - a) > eps * max(a, 1) do
+    g := (g + a/g) / 2.0
+  end
+end
+x := g
+"""
+
+#: Evaluate a polynomial given its coefficient vector (Horner's rule).
+POLYNOMIAL = """\
+task PolyEval
+input c, x
+output y
+local i, n
+n := len(c)
+y := c[1]
+for i := 2 to n do
+  y := y * x + c[i]
+end
+"""
+
+#: Trapezoid-rule integral of sin over [a, b] with n panels.
+TRAPEZOID_SIN = """\
+task TrapezoidSin
+input a, b, n
+output area
+local h, i, s
+h := (b - a) / n
+s := (sin(a) + sin(b)) / 2
+for i := 1 to n - 1 do
+  s := s + sin(a + i * h)
+end
+area := s * h
+"""
+
+#: Sample mean and (population) standard deviation of a vector.
+STATS = """\
+task Stats
+input v
+output m, sd
+local i, n, s
+n := len(v)
+m := mean(v)
+s := 0
+for i := 1 to n do
+  s := s + (v[i] - m) ^ 2
+end
+sd := sqrt(s / n)
+"""
+
+#: Roots of a*x^2 + b*x + c (real roots only; flags via rc).
+QUADRATIC = """\
+task Quadratic
+input a, b, c
+output x1, x2, rc
+local d
+d := b^2 - 4*a*c
+if d < 0 then
+  rc := -1
+  x1 := 0
+  x2 := 0
+else
+  rc := 0
+  d := sqrt(d)
+  x1 := (-b + d) / (2*a)
+  x2 := (-b - d) / (2*a)
+end
+"""
+
+#: Dense matrix-vector product written with explicit loops.
+MATVEC = """\
+task MatVec
+input A, x
+output y
+local i, j, n, m, s
+n := rows(A)
+m := cols(A)
+y := zeros(n)
+for i := 1 to n do
+  s := 0
+  for j := 1 to m do
+    s := s + A[i,j] * x[j]
+  end
+  y[i] := s
+end
+"""
+
+#: y := a*x + y, the BLAS staple.
+AXPY = """\
+task Axpy
+input a, x, yin
+output y
+local i, n
+n := len(x)
+y := zeros(n)
+for i := 1 to n do
+  y[i] := a * x[i] + yin[i]
+end
+"""
+
+#: Greatest common divisor by Euclid's algorithm (repeat/until showcase).
+GCD = """\
+task Gcd
+input a, b
+output g
+local r, x, y
+x := abs(a)
+y := abs(b)
+if y = 0 then
+  g := x
+else
+  repeat
+    r := x % y
+    x := y
+    y := r
+  until y = 0
+  g := x
+end
+"""
+
+#: Root of f(x) = cos(x) - x by bisection on [lo, hi] (sign change assumed).
+BISECT_COS = """\
+task BisectCos
+input lo, hi, tol
+output root
+local a, b, m, fa, fm
+a := lo
+b := hi
+fa := cos(a) - a
+repeat
+  m := (a + b) / 2
+  fm := cos(m) - m
+  if fa * fm <= 0 then
+    b := m
+  else
+    a := m
+    fa := fm
+  end
+until b - a < tol
+root := (a + b) / 2
+"""
+
+#: Simpson's rule for the integral of exp over [a, b] with n panels (even).
+SIMPSON_EXP = """\
+task SimpsonExp
+input a, b, n
+output area
+local h, i, s
+h := (b - a) / n
+s := exp(a) + exp(b)
+for i := 1 to n - 1 do
+  if i % 2 = 1 then
+    s := s + 4 * exp(a + i * h)
+  else
+    s := s + 2 * exp(a + i * h)
+  end
+end
+area := s * h / 3
+"""
+
+#: Least-squares line fit: y ~ slope * x + intercept.
+LINREG = """\
+task LinReg
+input x, y
+output slope, intercept
+local i, n, sx, sy, sxx, sxy
+n := len(x)
+sx := sum(x)
+sy := sum(y)
+sxx := dot(x, x)
+sxy := dot(x, y)
+slope := (n * sxy - sx * sy) / (n * sxx - sx * sx)
+intercept := (sy - slope * sx) / n
+"""
+
+#: Compound interest table: balance after each of n years.
+COMPOUND = """\
+task Compound
+input principal, rate, n
+output balances
+local i, b
+balances := zeros(n)
+b := principal
+for i := 1 to n do
+  b := b * (1 + rate)
+  balances[i] := b
+end
+"""
+
+#: name -> source of every stock routine.
+LIBRARY: dict[str, str] = {
+    "square_root": SQUARE_ROOT,
+    "polynomial": POLYNOMIAL,
+    "trapezoid_sin": TRAPEZOID_SIN,
+    "stats": STATS,
+    "quadratic": QUADRATIC,
+    "matvec": MATVEC,
+    "axpy": AXPY,
+    "gcd": GCD,
+    "bisect_cos": BISECT_COS,
+    "simpson_exp": SIMPSON_EXP,
+    "linreg": LINREG,
+    "compound": COMPOUND,
+}
+
+
+def stock(name: str) -> str:
+    """Fetch a stock routine's source by name."""
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise CalcError(
+            f"no stock routine named {name!r}; available: {sorted(LIBRARY)}"
+        ) from None
+
+
+def self_check() -> None:
+    """Every shipped routine must pass static analysis (used in tests)."""
+    for name, source in LIBRARY.items():
+        if not is_clean(source):
+            raise CalcError(f"stock routine {name!r} has static errors")

@@ -1,0 +1,226 @@
+"""The programmable pocket calculator panel (the paper's Figure 4), sans pixels.
+
+The GUI of Figure 4 has four regions: an input/output-variable window (upper
+right), a local-variable window (upper left), a panel of programming buttons
+(upper middle), and a textual program window (bottom).  This class models
+that interaction as a state machine driven by :meth:`press`, so every
+behaviour the paper shows — entering the Newton–Raphson SquareRoot routine
+button by button, evaluating an expression on demand, trial-running the task
+— is exercised programmatically and covered by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.calc.analyze import Diagnostic, analyze
+from repro.calc.builtins import BUILTINS, CONSTANTS
+from repro.calc.interp import RunResult, eval_expression, run_program
+from repro.errors import CalcError
+
+#: Button categories, used by the ASCII renderer and for validation.
+DIGIT_BUTTONS = tuple("0123456789") + (".",)
+OPERATOR_BUTTONS = ("+", "-", "*", "/", "^", "%", "(", ")", "[", "]", ",", ":=",
+                    "=", "<>", "<", "<=", ">", ">=")
+KEYWORD_BUTTONS = (
+    "if", "then", "else", "elif", "end", "while", "do",
+    "for", "to", "step", "repeat", "until", "and", "or", "not",
+    "true", "false",
+)
+FUNCTION_BUTTONS = tuple(sorted(BUILTINS)) + ("display",)
+CONSTANT_BUTTONS = tuple(sorted(CONSTANTS))
+EDIT_BUTTONS = ("ENTER", "CLEAR", "BACKSPACE", "CLEAR-ALL")
+
+#: Tokens that glue to the following token without a space when rendered.
+_NO_SPACE_AFTER = frozenset({"(", "["})
+_NO_SPACE_BEFORE = frozenset({")", "]", ",", "(", "["})
+
+
+class CalculatorPanel:
+    """A Banger PITS calculator for one dataflow node.
+
+    Parameters
+    ----------
+    task_name:
+        Name shown in the title bar (and emitted as the ``task`` header).
+    """
+
+    def __init__(self, task_name: str = ""):
+        self.task_name = task_name
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.locals: list[str] = []
+        self.lines: list[str] = []
+        self._entry: list[str] = []  # tokens of the line being typed
+        self._digits: str = ""  # digit accumulator
+        self.register: Any = None  # last evaluated value (the display)
+        self.memory: dict[str, Any] = {}  # sample bindings for "="
+
+    # ------------------------------------------------------------------ #
+    # variable windows
+    # ------------------------------------------------------------------ #
+    def _declare(self, bucket: list[str], names: tuple[str, ...]) -> None:
+        for name in names:
+            if not name.isidentifier():
+                raise CalcError(f"{name!r} is not a valid variable name")
+            if any(name in b for b in (self.inputs, self.outputs, self.locals)):
+                raise CalcError(f"variable {name!r} is already declared")
+            bucket.append(name)
+
+    def declare_input(self, *names: str) -> "CalculatorPanel":
+        self._declare(self.inputs, names)
+        return self
+
+    def declare_output(self, *names: str) -> "CalculatorPanel":
+        self._declare(self.outputs, names)
+        return self
+
+    def declare_local(self, *names: str) -> "CalculatorPanel":
+        self._declare(self.locals, names)
+        return self
+
+    @property
+    def variables(self) -> list[str]:
+        return self.inputs + self.outputs + self.locals
+
+    # ------------------------------------------------------------------ #
+    # buttons
+    # ------------------------------------------------------------------ #
+    def press(self, *buttons: str) -> "CalculatorPanel":
+        """Press one or more buttons, in order (chainable)."""
+        for label in buttons:
+            self._press_one(label)
+        return self
+
+    def _press_one(self, label: str) -> None:
+        if label in DIGIT_BUTTONS:
+            self._digits += label
+            return
+        if label == "BACKSPACE":
+            self._edit(label)  # digit accumulator shrinks before any flush
+            return
+        self._flush_digits()
+        if label in EDIT_BUTTONS:
+            self._edit(label)
+        elif label in OPERATOR_BUTTONS:
+            self._entry.append(label)
+        elif label in KEYWORD_BUTTONS:
+            self._entry.append(label)
+        elif label in FUNCTION_BUTTONS:
+            self._entry.append(label)
+            self._entry.append("(")
+        elif label in CONSTANT_BUTTONS:
+            self._entry.append(label)
+        elif label in self.variables:
+            self._entry.append(label)
+        elif label.replace(".", "", 1).replace("e-", "", 1).replace("e+", "", 1).isdigit():
+            self._entry.append(label)  # whole number typed at once
+        else:
+            raise CalcError(
+                f"no button labelled {label!r} (declare the variable first?)"
+            )
+
+    def _flush_digits(self) -> None:
+        if self._digits:
+            self._entry.append(self._digits)
+            self._digits = ""
+
+    def _edit(self, label: str) -> None:
+        if label == "ENTER":
+            line = self.current_line
+            if line:
+                self.lines.append(line)
+            self._entry = []
+        elif label == "CLEAR":
+            self._entry = []
+            self._digits = ""
+        elif label == "BACKSPACE":
+            if self._digits:
+                self._digits = self._digits[:-1]
+            elif self._entry:
+                self._entry.pop()
+        elif label == "CLEAR-ALL":
+            self.lines = []
+            self._entry = []
+            self._digits = ""
+            self.register = None
+
+    @property
+    def current_line(self) -> str:
+        """The line under construction, rendered with calculator spacing."""
+        tokens = self._entry + ([self._digits] if self._digits else [])
+        out: list[str] = []
+        for tok in tokens:
+            if out and tok not in _NO_SPACE_BEFORE and out[-1] not in _NO_SPACE_AFTER:
+                out.append(" ")
+            out.append(tok)
+        return "".join(out)
+
+    def type_line(self, line: str) -> "CalculatorPanel":
+        """Shortcut for tests and power users: append raw source lines."""
+        for piece in line.split("\n"):
+            self.lines.append(piece)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # the display
+    # ------------------------------------------------------------------ #
+    def source(self) -> str:
+        """Assemble the full PITS routine from the panel's four windows."""
+        header: list[str] = []
+        if self.task_name:
+            header.append(f"task {self.task_name}")
+        if self.inputs:
+            header.append("input " + ", ".join(self.inputs))
+        if self.outputs:
+            header.append("output " + ", ".join(self.outputs))
+        if self.locals:
+            header.append("local " + ", ".join(self.locals))
+        return "\n".join(header + self.lines) + "\n"
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """Instant feedback: analyze the program as it currently stands."""
+        return analyze(self.source())
+
+    def calculate(self) -> Any:
+        """The ``=`` button: evaluate the line being typed, show it in the
+        register, and leave the line intact for further editing.
+
+        Variables are bound from :attr:`memory` (set via :meth:`store`).
+        """
+        self._flush_digits()
+        if not self._entry:
+            raise CalcError("nothing to calculate")
+        self.register = eval_expression(self.current_line, env=self.memory)
+        return self.register
+
+    def store(self, **bindings: Any) -> "CalculatorPanel":
+        """Bind sample values used by the ``=`` button."""
+        self.memory.update(bindings)
+        return self
+
+    def trial_run(self, **inputs: Any) -> RunResult:
+        """Run the whole routine on sample inputs (the instant-feedback run)."""
+        result = run_program(self.source(), **inputs)
+        if result.outputs:
+            # show the first output on the display, like a real calculator
+            self.register = result.outputs[self.outputs[0]] if self.outputs else None
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"CalculatorPanel({self.task_name!r}, io={len(self.inputs)}+"
+            f"{len(self.outputs)}, locals={len(self.locals)}, lines={len(self.lines)})"
+        )
+
+
+def all_buttons() -> dict[str, tuple[str, ...]]:
+    """Every button on the panel, grouped for rendering."""
+    return {
+        "digits": DIGIT_BUTTONS,
+        "operators": OPERATOR_BUTTONS,
+        "keywords": KEYWORD_BUTTONS,
+        "functions": FUNCTION_BUTTONS,
+        "constants": CONSTANT_BUTTONS,
+        "editing": EDIT_BUTTONS,
+    }

@@ -1,0 +1,110 @@
+"""Pretty-printer: PITS AST back to source text.
+
+Used by the node-splitting transform (:mod:`repro.graph.transform`), which
+rewrites a routine's AST and must hand the result back to the environment
+as ordinary source.  Round-trip property (tested):
+``parse(unparse(parse(src)))`` behaves identically to ``parse(src)``.
+"""
+
+from __future__ import annotations
+
+from repro.calc import ast
+from repro.errors import CalcError
+
+_INDENT = "  "
+
+#: Operators whose mixing warrants parentheses; we parenthesise every
+#: nested binary expression instead of tracking precedence — the output is
+#: for machines first, humans second, and re-parses identically.
+_BOOL_OPS = ("and", "or")
+
+
+def unparse_expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.Num):
+        if e.value == int(e.value) and abs(e.value) < 1e15:
+            return str(int(e.value))
+        return repr(e.value)
+    if isinstance(e, ast.BoolLit):
+        return "true" if e.value else "false"
+    if isinstance(e, ast.Str):
+        return f'"{e.value}"'
+    if isinstance(e, ast.Name):
+        return e.ident
+    if isinstance(e, ast.Index):
+        subs = ", ".join(unparse_expr(s) for s in e.subscripts)
+        return f"{e.base}[{subs}]"
+    if isinstance(e, ast.Unary):
+        inner = unparse_expr(e.operand)
+        if e.op == "not":
+            return f"not ({inner})"
+        return f"{e.op}({inner})"
+    if isinstance(e, ast.Binary):
+        return f"({unparse_expr(e.left)} {e.op} {unparse_expr(e.right)})"
+    if isinstance(e, ast.Call):
+        args = ", ".join(unparse_expr(a) for a in e.args)
+        return f"{e.func}({args})"
+    if isinstance(e, ast.ArrayLit):
+        items = ", ".join(unparse_expr(x) for x in e.elements)
+        return f"[{items}]"
+    raise CalcError(f"cannot unparse {type(e).__name__}")
+
+
+def _unparse_stmt(s: ast.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(s, ast.Assign):
+        return [f"{pad}{unparse_expr(s.target)} := {unparse_expr(s.value)}"]
+    if isinstance(s, ast.If):
+        lines = [f"{pad}if {unparse_expr(s.cond)} then"]
+        lines += _unparse_block(s.then, depth + 1)
+        for cond, block in s.elifs:
+            lines.append(f"{pad}elif {unparse_expr(cond)} then")
+            lines += _unparse_block(block, depth + 1)
+        if s.orelse:
+            lines.append(f"{pad}else")
+            lines += _unparse_block(s.orelse, depth + 1)
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(s, ast.While):
+        return (
+            [f"{pad}while {unparse_expr(s.cond)} do"]
+            + _unparse_block(s.body, depth + 1)
+            + [f"{pad}end"]
+        )
+    if isinstance(s, ast.Repeat):
+        return (
+            [f"{pad}repeat"]
+            + _unparse_block(s.body, depth + 1)
+            + [f"{pad}until {unparse_expr(s.cond)}"]
+        )
+    if isinstance(s, ast.For):
+        kw = "forall" if s.parallel else "for"
+        header = f"{pad}{kw} {s.var} := {unparse_expr(s.start)} to {unparse_expr(s.stop)}"
+        if s.step is not None:
+            header += f" step {unparse_expr(s.step)}"
+        header += " do"
+        return [header] + _unparse_block(s.body, depth + 1) + [f"{pad}end"]
+    if isinstance(s, ast.CallStmt):
+        return [f"{pad}{unparse_expr(s.call)}"]
+    raise CalcError(f"cannot unparse {type(s).__name__}")
+
+
+def _unparse_block(stmts: tuple[ast.Stmt, ...], depth: int) -> list[str]:
+    out: list[str] = []
+    for s in stmts:
+        out += _unparse_stmt(s, depth)
+    return out
+
+
+def unparse(program: ast.Program) -> str:
+    """Full source text of a PITS program."""
+    lines: list[str] = []
+    if program.name:
+        lines.append(f"task {program.name}")
+    if program.inputs:
+        lines.append("input " + ", ".join(program.inputs))
+    if program.outputs:
+        lines.append("output " + ", ".join(program.outputs))
+    if program.locals:
+        lines.append("local " + ", ".join(program.locals))
+    lines += _unparse_block(program.body, 0)
+    return "\n".join(lines) + "\n"

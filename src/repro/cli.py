@@ -1,0 +1,272 @@
+"""Command-line interface: drive a saved Banger project from the shell.
+
+Projects are the JSON documents written by
+:meth:`repro.env.project.BangerProject.save`.  Usage::
+
+    python -m repro.cli feedback  project.json
+    python -m repro.cli outline   project.json
+    python -m repro.cli schedule  project.json --scheduler mh --gantt
+    python -m repro.cli speedup   project.json --procs 1,2,4,8
+    python -m repro.cli simulate  project.json --contention
+    python -m repro.cli run       project.json [--parallel]
+    python -m repro.cli codegen   project.json --language python -o prog.py
+    python -m repro.cli topology  --family hypercube --procs 8
+    python -m repro.cli demo
+
+Every command returns a nonzero exit status on error and prints a single
+actionable message — the command-line flavour of instant feedback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.env.project import BangerProject
+from repro.errors import ReproError
+from repro.machine.topologies import build_topology
+from repro.sched import SCHEDULERS, report
+from repro.sched.metrics import ScheduleReport
+from repro.sim import simulate
+from repro.viz import render_gantt, render_trace_gantt, render_topology
+from repro.viz.export import schedule_to_chrome_trace, schedule_to_csv
+
+
+def _load(path: str) -> BangerProject:
+    return BangerProject.load(path)
+
+
+def _parse_procs(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(p) for p in text.split(","))
+    except ValueError:
+        raise ReproError(f"bad processor list {text!r}; expected e.g. 1,2,4,8") from None
+
+
+# --------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------- #
+def cmd_feedback(args: argparse.Namespace) -> int:
+    project = _load(args.project)
+    fb = project.feedback()
+    print(fb.render())
+    return 0 if fb.ok else 1
+
+
+def cmd_outline(args: argparse.Namespace) -> int:
+    print(_load(args.project).outline())
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from repro.env.advisor import render_advice
+
+    project = _load(args.project)
+    print(render_advice(project.advise()))
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    project = _load(args.project)
+    schedule = project.schedule(args.scheduler)
+    print(ScheduleReport.header())
+    print(report(schedule).as_row())
+    if args.gantt:
+        print()
+        print(render_gantt(schedule, show_messages=args.messages,
+                           highlight_critical=True))
+    if args.why:
+        from repro.sched import render_explanations
+
+        print()
+        print(render_explanations(schedule))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(schedule_to_csv(schedule))
+        print(f"\nwrote {args.csv}")
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            fh.write(schedule_to_chrome_trace(schedule))
+        print(f"wrote {args.chrome_trace} (open in chrome://tracing)")
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    project = _load(args.project)
+    report_ = project.speedup(_parse_procs(args.procs), scheduler=args.scheduler,
+                              family=args.family)
+    from repro.viz import render_speedup_chart
+
+    print(render_speedup_chart(report_))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    project = _load(args.project)
+    schedule = project.schedule(args.scheduler)
+    trace = simulate(schedule, contention=args.contention)
+    print(render_trace_gantt(trace))
+    print()
+    print(f"static makespan    {schedule.makespan():.3f}")
+    print(f"simulated makespan {trace.makespan():.3f}"
+          + (" (with link contention)" if args.contention else ""))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    project = _load(args.project)
+    if args.parallel:
+        result = project.run_parallel(scheduler=args.scheduler)
+        print(f"ran on processors {result.procs_used} "
+              f"with {result.messages_sent} message(s)")
+        outputs = result.outputs
+    else:
+        seq = project.run()
+        for line in seq.displayed():
+            print(line)
+        outputs = seq.outputs
+    for name in sorted(outputs):
+        print(f"{name} = {outputs[name]}")
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    project = _load(args.project)
+    source = project.generate(args.language, scheduler=args.scheduler)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(source)
+        print(f"wrote {args.output} ({len(source.splitlines())} lines)")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    topo = build_topology(args.family, args.procs)
+    print(render_topology(topo))
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Build the Figure 1 project in a temp file and show the pipeline."""
+    import numpy as np
+
+    from repro.apps import lu3_design
+    from repro.machine import MachineParams
+
+    project = BangerProject("figure1").set_design(lu3_design())
+    project.set_machine("hypercube", 4,
+                        MachineParams(msg_startup=0.2, transmission_rate=20.0))
+    print(project.feedback().render())
+    print()
+    print(project.gantt("mh"))
+    print()
+    A = np.array([[4.0, 3.0, 2.0], [2.0, 4.0, 1.0], [1.0, 2.0, 3.0]])
+    b = np.array([1.0, 2.0, 3.0])
+    x = project.run({"A": A, "b": b}).outputs["x"]
+    print(f"solve([[4,3,2],[2,4,1],[1,2,3]], [1,2,3]) = {x}")
+    if args.save:
+        project.save(args.save)
+        print(f"saved project to {args.save}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="banger", description="Banger parallel programming environment (CLI)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_project(p: argparse.ArgumentParser) -> None:
+        p.add_argument("project", help="path to a saved Banger project (.json)")
+
+    def add_scheduler(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheduler", default="mh", choices=sorted(SCHEDULERS))
+
+    p = sub.add_parser("feedback", help="validate everything; exit 1 on errors")
+    add_project(p)
+    p.set_defaults(fn=cmd_feedback)
+
+    p = sub.add_parser("outline", help="print the design outline")
+    add_project(p)
+    p.set_defaults(fn=cmd_outline)
+
+    p = sub.add_parser("advise", help="measured improvement suggestions")
+    add_project(p)
+    p.set_defaults(fn=cmd_advise)
+
+    p = sub.add_parser("schedule", help="schedule and summarise")
+    add_project(p)
+    add_scheduler(p)
+    p.add_argument("--gantt", action="store_true", help="print the Gantt chart")
+    p.add_argument("--messages", action="store_true", help="list planned messages")
+    p.add_argument("--why", action="store_true",
+                   help="explain each placement's binding constraint")
+    p.add_argument("--csv", help="write placements as CSV")
+    p.add_argument("--chrome-trace", help="write Chrome tracing JSON")
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("speedup", help="speedup prediction sweep")
+    add_project(p)
+    add_scheduler(p)
+    p.add_argument("--procs", default="1,2,4,8")
+    p.add_argument("--family", default="hypercube")
+    p.set_defaults(fn=cmd_speedup)
+
+    p = sub.add_parser("simulate", help="discrete-event replay of the schedule")
+    add_project(p)
+    add_scheduler(p)
+    p.add_argument("--contention", action="store_true",
+                   help="model one-message-at-a-time links")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("run", help="execute the design")
+    add_project(p)
+    add_scheduler(p)
+    p.add_argument("--parallel", action="store_true",
+                   help="threaded execution of the schedule (default: sequential)")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("codegen", help="generate the parallel program")
+    add_project(p)
+    add_scheduler(p)
+    p.add_argument("--language", default="python", choices=("python", "mpi", "c"))
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p.set_defaults(fn=cmd_codegen)
+
+    p = sub.add_parser("topology", help="draw a topology family")
+    p.add_argument("--family", default="hypercube")
+    p.add_argument("--procs", type=int, default=8)
+    p.set_defaults(fn=cmd_topology)
+
+    p = sub.add_parser("demo", help="the Figure 1 pipeline, end to end")
+    p.add_argument("--save", help="also save the demo project JSON here")
+    p.set_defaults(fn=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # the consumer (e.g. `| head`) closed the pipe; exit quietly
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

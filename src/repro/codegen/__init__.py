@@ -1,0 +1,29 @@
+"""Code generation — the paper's promised final step, implemented.
+
+Three generators, all driven by the schedule's communication plan:
+
+* :func:`generate_python` — a runnable threaded message-passing Python
+  program (:func:`run_generated` executes it for tests and demos);
+* :func:`generate_mpi` — an mpi4py script (one rank per processor);
+* :func:`generate_c` — C-like pseudocode for human review.
+
+PITS-level translation lives in :mod:`repro.codegen.pits2py`
+(:func:`gen_task_function`), with runtime semantics shared with the
+interpreter via :mod:`repro.codegen.runtime`.
+"""
+
+from repro.codegen.cgen import generate_c
+from repro.codegen.mpigen import generate_mpi
+from repro.codegen.pits2py import function_name, gen_expr, gen_task_function, mangle
+from repro.codegen.pygen import generate_python, run_generated
+
+__all__ = [
+    "function_name",
+    "gen_expr",
+    "gen_task_function",
+    "generate_c",
+    "generate_mpi",
+    "generate_python",
+    "mangle",
+    "run_generated",
+]

@@ -1,0 +1,16 @@
+"""The Banger environment: project facade and instant feedback."""
+
+from repro.env.advisor import Advice, advise, render_advice
+from repro.env.feedback import Feedback, project_feedback
+from repro.env.project import BangerProject
+from repro.env.shell import BangerShell
+
+__all__ = [
+    "Advice",
+    "BangerProject",
+    "BangerShell",
+    "Feedback",
+    "advise",
+    "project_feedback",
+    "render_advice",
+]

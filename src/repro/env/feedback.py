@@ -1,0 +1,116 @@
+"""Project-wide instant feedback: every problem, everywhere, right now.
+
+The paper's principle 3 says feedback should be "instant ... wherever
+possible".  :func:`project_feedback` aggregates the three validation layers
+— design structure, per-node PITS diagnostics, and machine/design fit —
+into one report the environment refreshes on every edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.calc.analyze import Diagnostic, Severity, analyze
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import expand
+from repro.graph.node import TaskNode
+from repro.machine.machine import TargetMachine
+
+
+@dataclass
+class Feedback:
+    """One refresh of the environment's problem windows."""
+
+    design_problems: list[str] = field(default_factory=list)
+    node_diagnostics: dict[str, list[Diagnostic]] = field(default_factory=dict)
+    machine_notes: list[str] = field(default_factory=list)
+    missing_programs: list[str] = field(default_factory=list)
+
+    @property
+    def error_count(self) -> int:
+        return len(self.design_problems) + sum(
+            1
+            for diags in self.node_diagnostics.values()
+            for d in diags
+            if d.severity is Severity.ERROR
+        )
+
+    @property
+    def warning_count(self) -> int:
+        return (
+            sum(
+                1
+                for diags in self.node_diagnostics.values()
+                for d in diags
+                if d.severity is Severity.WARNING
+            )
+            + len(self.machine_notes)
+            + len(self.missing_programs)
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing blocks scheduling or code generation."""
+        return self.error_count == 0 and not self.missing_programs
+
+    def render(self) -> str:
+        lines = [
+            f"feedback: {self.error_count} error(s), {self.warning_count} warning(s)"
+        ]
+        for p in self.design_problems:
+            lines.append(f"  [design] {p}")
+        for node, diags in sorted(self.node_diagnostics.items()):
+            for d in diags:
+                lines.append(f"  [{node}] {d}")
+        for node in self.missing_programs:
+            lines.append(f"  [{node}] warning: no PITS program yet")
+        for note in self.machine_notes:
+            lines.append(f"  [machine] {note}")
+        return "\n".join(lines)
+
+
+def project_feedback(
+    design: DataflowGraph | None,
+    machine: TargetMachine | None = None,
+) -> Feedback:
+    """Validate everything the user has entered so far."""
+    fb = Feedback()
+    if design is None:
+        fb.design_problems.append("no design yet — draw the dataflow graph first")
+        return fb
+    fb.design_problems = design.problems()
+
+    try:
+        flat = expand(design)
+    except Exception:
+        flat = None  # structural problems already reported above
+    nodes = flat.tasks if flat is not None else [
+        n for n in design.tasks if not n.is_composite
+    ]
+    for node in nodes:
+        if not isinstance(node, TaskNode) or node.is_composite:
+            continue
+        if node.program is None:
+            fb.missing_programs.append(node.name)
+            continue
+        diags = analyze(node.program)
+        if diags:
+            fb.node_diagnostics[node.name] = diags
+
+    if machine is not None and flat is not None:
+        n_tasks = len(nodes)
+        if machine.n_procs > n_tasks:
+            fb.machine_notes.append(
+                f"machine has {machine.n_procs} processors but the design has "
+                f"only {n_tasks} tasks; some processors will idle"
+            )
+        if machine.params.msg_startup > 0 and n_tasks > 1:
+            mean_work = (
+                sum(n.work for n in nodes) / n_tasks if n_tasks else 0.0
+            )
+            if machine.params.msg_startup > 10 * max(mean_work, 1e-12):
+                fb.machine_notes.append(
+                    "message startup cost dwarfs mean task work; expect the "
+                    "scheduler to serialise the design (consider grain packing)"
+                )
+    return fb

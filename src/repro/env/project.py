@@ -1,0 +1,311 @@
+"""The Banger environment facade: one object, the paper's four-step workflow.
+
+    "The first step in using Banger is to draw a hierarchical dataflow graph
+    of the application... Next, we define a target machine... Third, we use
+    a novel programmable pocket calculator metaphor to specify algorithms as
+    small sequential tasks.  Finally, we generate the code."
+
+:class:`BangerProject` walks exactly those steps, with instant feedback
+available at every point and trial runs of single nodes or the whole design.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.calc.cost import measure_work
+from repro.calc.interp import RunResult, run_program
+from repro.calc.panel import CalculatorPanel
+from repro.codegen.cgen import generate_c
+from repro.codegen.mpigen import generate_mpi
+from repro.codegen.pygen import generate_python
+from repro.errors import ReproError, ValidationError
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import flatten
+from repro.graph.node import NodeKind, TaskNode
+from repro.graph.serialize import dataflow_from_dict, dataflow_to_dict
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine, make_machine
+from repro.machine.params import MachineParams
+from repro.sched.base import Scheduler
+from repro.sched.schedule import Schedule
+from repro.sched import get_scheduler
+from repro.sched.sweeps import SpeedupReport, predict_speedup, schedules_for_sizes
+from repro.sim.dataflow_exec import DataflowResult, run_dataflow
+from repro.sim.threaded import ParallelResult, run_parallel
+from repro.env.feedback import Feedback, project_feedback
+from repro.viz.gantt import render_gantt, render_gantt_series
+from repro.viz.graphs import render_dataflow
+from repro.viz.speedup import render_speedup_chart
+
+
+class BangerProject:
+    """A complete Banger session: design + machine + programs + schedules.
+
+    Parameters
+    ----------
+    name:
+        Project (and default design) name.
+    """
+
+    def __init__(self, name: str = "untitled"):
+        self.name = name
+        self.design: DataflowGraph = DataflowGraph(name)
+        self.machine: TargetMachine | None = None
+        self._flat: TaskGraph | None = None
+
+    # ------------------------------------------------------------------ #
+    # step 1: the drawing
+    # ------------------------------------------------------------------ #
+    def set_design(self, design: DataflowGraph) -> "BangerProject":
+        self.design = design
+        self._flat = None
+        return self
+
+    def _invalidate(self) -> None:
+        self._flat = None
+
+    # ------------------------------------------------------------------ #
+    # step 2: the target machine
+    # ------------------------------------------------------------------ #
+    def set_machine(
+        self,
+        family: str = "hypercube",
+        n_procs: int = 4,
+        params: MachineParams | None = None,
+    ) -> "BangerProject":
+        """Describe the target machine by family + the four parameters."""
+        self.machine = make_machine(family, n_procs, params or MachineParams())
+        return self
+
+    def set_machine_object(self, machine: TargetMachine) -> "BangerProject":
+        self.machine = machine
+        return self
+
+    def _require_machine(self) -> TargetMachine:
+        if self.machine is None:
+            raise ReproError(
+                "no target machine defined; call set_machine(family, n_procs, params)"
+            )
+        return self.machine
+
+    # ------------------------------------------------------------------ #
+    # step 3: the calculator
+    # ------------------------------------------------------------------ #
+    def _find_task(self, node: str) -> tuple[DataflowGraph, TaskNode]:
+        """Locate a (possibly nested, dot-separated) primitive task node."""
+        graph = self.design
+        parts = node.split(".")
+        for part in parts[:-1]:
+            graph = graph.subgraph(part)
+        found = graph.node(parts[-1])
+        if not isinstance(found, TaskNode) or found.kind is NodeKind.COMPOSITE:
+            raise ReproError(f"{node!r} is not a primitive task node")
+        return graph, found
+
+    def open_calculator(self, node: str) -> CalculatorPanel:
+        """A panel pre-loaded with the node's routine (if any)."""
+        _, task = self._find_task(node)
+        panel = CalculatorPanel(task.name)
+        if task.program:
+            from repro.calc.parser import parse
+
+            program = parse(task.program)
+            panel.declare_input(*program.inputs)
+            panel.declare_output(*program.outputs)
+            panel.declare_local(*program.locals)
+            body_lines = [
+                line
+                for line in task.program.splitlines()
+                if line.strip()
+                and not line.split()[0].lower() in ("task", "input", "output", "local")
+            ]
+            for line in body_lines:
+                panel.type_line(line)
+        return panel
+
+    def attach_program(
+        self, node: str, source: str, update_work: bool = False, **sample_inputs: Any
+    ) -> Feedback:
+        """Install a PITS routine on a node; returns fresh project feedback.
+
+        With ``update_work=True`` and sample inputs, the routine is trial-run
+        and the node's scheduling weight becomes the measured op count.
+        """
+        _, task = self._find_task(node)
+        task.program = source
+        if update_work:
+            task.work = max(measure_work(source, **sample_inputs), 1e-9)
+        self._invalidate()
+        return self.feedback()
+
+    def commit_panel(self, node: str, panel: CalculatorPanel, **sample_inputs: Any) -> Feedback:
+        """Write a panel's program back onto its node."""
+        return self.attach_program(
+            node, panel.source(), update_work=bool(sample_inputs), **sample_inputs
+        )
+
+    def trial_run_node(self, node: str, **inputs: Any) -> RunResult:
+        """Instant feedback: run one node's routine on sample inputs."""
+        _, task = self._find_task(node)
+        if task.program is None:
+            raise ReproError(f"node {node!r} has no PITS program yet")
+        return run_program(task.program, **inputs)
+
+    # ------------------------------------------------------------------ #
+    # feedback + flattening
+    # ------------------------------------------------------------------ #
+    def feedback(self) -> Feedback:
+        return project_feedback(self.design if len(self.design) else None, self.machine)
+
+    def outline(self) -> str:
+        return render_dataflow(self.design)
+
+    def flat(self) -> TaskGraph:
+        """The flattened scheduling IR (cached until the design changes)."""
+        if self._flat is None:
+            self._flat = flatten(self.design)
+        return self._flat
+
+    def calibrate(self, inputs: dict[str, Any] | None = None) -> TaskGraph:
+        """Trial-run the whole design and reweight tasks by measured ops."""
+        from repro.sim.dataflow_exec import calibrate_works
+
+        self._flat = calibrate_works(self.flat(), inputs)
+        return self._flat
+
+    def split_node(self, node: str, ways: int) -> TaskGraph:
+        """Shard a data-parallel (forall) node across ``ways`` shards.
+
+        Operates on the flattened scheduling view; the drawn design stays
+        coarse (the shards appear in schedules, runs, and generated code).
+        """
+        from repro.graph.transform import split_forall
+
+        self._flat = split_forall(self.flat(), node, ways)
+        return self._flat
+
+    def split_all(self, ways: int) -> TaskGraph:
+        """Shard every splittable node ``ways`` ways."""
+        from repro.graph.transform import split_all
+
+        self._flat = split_all(self.flat(), ways)
+        return self._flat
+
+    def advise(self) -> list:
+        """Measured improvement suggestions (see :mod:`repro.env.advisor`)."""
+        from repro.env.advisor import advise
+
+        return advise(self.flat(), self._require_machine())
+
+    # ------------------------------------------------------------------ #
+    # step 3.5: scheduling and prediction
+    # ------------------------------------------------------------------ #
+    def schedule(self, scheduler: str | Scheduler = "mh") -> Schedule:
+        machine = self._require_machine()
+        if isinstance(scheduler, str):
+            scheduler = get_scheduler(scheduler)
+        return scheduler.schedule(self.flat(), machine)
+
+    def gantt(self, scheduler: str | Scheduler = "mh", width: int = 72) -> str:
+        return render_gantt(self.schedule(scheduler), width=width)
+
+    def gantt_series(
+        self,
+        proc_counts: Sequence[int] = (2, 4, 8),
+        scheduler: str | Scheduler = "mh",
+        family: str = "hypercube",
+    ) -> str:
+        """Figure 3's stack of Gantt charts across machine sizes."""
+        machine = self._require_machine()
+        sched = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        schedules = schedules_for_sizes(
+            self.flat(), proc_counts, scheduler=sched, family=family,
+            params=machine.params,
+        )
+        return render_gantt_series(schedules)
+
+    def speedup(
+        self,
+        proc_counts: Sequence[int] = (1, 2, 4, 8),
+        scheduler: str | Scheduler = "mh",
+        family: str = "hypercube",
+    ) -> SpeedupReport:
+        machine = self._require_machine()
+        sched = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
+        return predict_speedup(
+            self.flat(), proc_counts, scheduler=sched, family=family,
+            params=machine.params,
+        )
+
+    def speedup_chart(self, proc_counts: Sequence[int] = (1, 2, 4, 8)) -> str:
+        return render_speedup_chart(self.speedup(proc_counts))
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(self, inputs: dict[str, Any] | None = None) -> DataflowResult:
+        """Sequential trial run of the entire design."""
+        return run_dataflow(self.flat(), inputs)
+
+    def run_parallel(
+        self, inputs: dict[str, Any] | None = None, scheduler: str | Scheduler = "mh"
+    ) -> ParallelResult:
+        """Real threaded run of the scheduled design."""
+        return run_parallel(self.schedule(scheduler), inputs)
+
+    # ------------------------------------------------------------------ #
+    # step 4: code generation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self, language: str = "python", scheduler: str | Scheduler = "mh"
+    ) -> str:
+        """Generate the parallel program ('python', 'mpi', or 'c')."""
+        schedule = self.schedule(scheduler)
+        if language == "python":
+            return generate_python(schedule)
+        if language == "mpi":
+            return generate_mpi(schedule)
+        if language == "c":
+            return generate_c(schedule)
+        raise ReproError(f"unknown language {language!r} (python, mpi, or c)")
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "type": "banger-project",
+            "name": self.name,
+            "design": dataflow_to_dict(self.design),
+        }
+        if self.machine is not None:
+            doc["machine"] = self.machine.to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "BangerProject":
+        if doc.get("type") != "banger-project":
+            raise ValidationError(f"not a project document (type={doc.get('type')!r})")
+        project = cls(doc.get("name", "untitled"))
+        project.design = dataflow_from_dict(doc["design"])
+        if "machine" in doc:
+            project.machine = TargetMachine.from_dict(doc["machine"])
+        return project
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def load(cls, path: str) -> "BangerProject":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __repr__(self) -> str:
+        machine = self.machine.name if self.machine else "unset"
+        return (
+            f"BangerProject({self.name!r}, nodes={len(self.design)}, "
+            f"machine={machine})"
+        )

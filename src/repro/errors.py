@@ -1,0 +1,94 @@
+"""Exception hierarchy shared by every Banger subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+type.  Subsystems raise the most specific subclass available; the message is
+always actionable (it names the offending node, arc, processor, or source
+location) because "instant feedback" is one of the paper's three goals.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a dataflow graph (unknown node, duplicate name)."""
+
+
+class CycleError(GraphError):
+    """A dataflow graph contains a precedence cycle.
+
+    Attributes
+    ----------
+    cycle:
+        A list of node names forming the cycle, in order, when known.
+    """
+
+    def __init__(self, message: str, cycle: list[str] | None = None):
+        super().__init__(message)
+        self.cycle = list(cycle) if cycle else []
+
+
+class ValidationError(ReproError):
+    """An object failed semantic validation; ``problems`` lists every issue."""
+
+    def __init__(self, message: str, problems: list[str] | None = None):
+        super().__init__(message)
+        self.problems = list(problems) if problems else []
+
+
+class MachineError(ReproError):
+    """Bad target-machine description (parameters or topology)."""
+
+
+class RoutingError(MachineError):
+    """No route exists between two processors of a topology."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed or violates precedence/occupancy rules."""
+
+
+class CalcError(ReproError):
+    """Base class for PITS calculator-language errors."""
+
+
+class CalcSyntaxError(CalcError):
+    """Lexical or grammatical error in a PITS program.
+
+    Attributes
+    ----------
+    line, column:
+        1-based source position of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"line {line}, column {column}: {message}" if line else message)
+        self.line = line
+        self.column = column
+
+
+class CalcNameError(CalcError):
+    """Reference to an undeclared variable or unknown function."""
+
+
+class CalcTypeError(CalcError):
+    """Operation applied to operands of the wrong type."""
+
+
+class CalcRuntimeError(CalcError):
+    """Runtime failure while interpreting a PITS program (e.g. divide by 0)."""
+
+
+class CalcLimitError(CalcRuntimeError):
+    """A PITS program exceeded its step budget (runaway loop protection)."""
+
+
+class CodegenError(ReproError):
+    """Code generation failed (e.g. a node has no PITS program)."""
+
+
+class SimError(ReproError):
+    """Discrete-event simulation failed or was given inconsistent input."""

@@ -1,0 +1,78 @@
+"""PITL hierarchical dataflow graphs — the "programming-in-the-large" half.
+
+Public surface:
+
+* :class:`DataflowGraph` with :class:`TaskNode`, :class:`StorageNode`,
+  :class:`Arc` — one level of a Banger drawing;
+* :func:`expand` / :func:`flatten` / :func:`depth` — hierarchy handling;
+* :class:`TaskGraph` — the flat, weighted scheduling IR;
+* DAG analyses (:func:`b_levels`, :func:`critical_path`, ...);
+* graph families and random generators (:mod:`repro.graph.generators`);
+* JSON serialization (:mod:`repro.graph.serialize`).
+"""
+
+from repro.graph.analysis import (
+    asap_schedule_times,
+    average_parallelism,
+    b_levels,
+    communication_to_computation_ratio,
+    critical_path,
+    critical_path_length,
+    level_widths,
+    max_width,
+    precedence_levels,
+    static_levels,
+    t_levels,
+)
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import SCOPE_SEP, count_primitive_tasks, depth, expand, flatten
+from repro.graph.node import Arc, NodeKind, StorageNode, TaskNode
+from repro.graph.taskgraph import TaskEdge, TaskGraph, TaskSpec
+from repro.graph import generators, transform
+from repro.graph.serialize import (
+    dataflow_from_dict,
+    dataflow_from_json,
+    dataflow_to_dict,
+    dataflow_to_json,
+    taskgraph_from_dict,
+    taskgraph_from_json,
+    taskgraph_to_dict,
+    taskgraph_to_json,
+)
+
+__all__ = [
+    "Arc",
+    "DataflowGraph",
+    "NodeKind",
+    "SCOPE_SEP",
+    "StorageNode",
+    "TaskEdge",
+    "TaskGraph",
+    "TaskNode",
+    "TaskSpec",
+    "asap_schedule_times",
+    "average_parallelism",
+    "b_levels",
+    "communication_to_computation_ratio",
+    "count_primitive_tasks",
+    "critical_path",
+    "critical_path_length",
+    "dataflow_from_dict",
+    "dataflow_from_json",
+    "dataflow_to_dict",
+    "dataflow_to_json",
+    "depth",
+    "expand",
+    "flatten",
+    "generators",
+    "level_widths",
+    "max_width",
+    "precedence_levels",
+    "static_levels",
+    "t_levels",
+    "taskgraph_from_dict",
+    "taskgraph_from_json",
+    "taskgraph_to_dict",
+    "taskgraph_to_json",
+    "transform",
+]

@@ -1,0 +1,337 @@
+"""Task-graph families and random-DAG generators for tests and benchmarks.
+
+The families are the stock shapes of the static-scheduling literature the
+paper's heuristics were evaluated on (chains, fork/join, trees, diamonds,
+FFT butterflies, Gaussian elimination / LU update graphs) plus seeded random
+layered DAGs.  Every generator is deterministic given its arguments.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import GraphError
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.taskgraph import TaskGraph
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise GraphError(msg)
+
+
+def chain(n: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """A linear pipeline ``t0 -> t1 -> ... -> t{n-1}`` (zero parallelism)."""
+    _require(n >= 1, f"chain: n must be >= 1, got {n}")
+    tg = TaskGraph(f"chain{n}")
+    for i in range(n):
+        tg.add_task(f"t{i}", work=work)
+    for i in range(n - 1):
+        tg.add_edge(f"t{i}", f"t{i+1}", var=f"v{i}", size=comm)
+    return tg
+
+
+def fork_join(width: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """``fork`` fans out to ``width`` parallel workers joined by ``join``."""
+    _require(width >= 1, f"fork_join: width must be >= 1, got {width}")
+    tg = TaskGraph(f"forkjoin{width}")
+    tg.add_task("fork", work=work)
+    tg.add_task("join", work=work)
+    for i in range(width):
+        w = f"w{i}"
+        tg.add_task(w, work=work)
+        tg.add_edge("fork", w, var=f"in{i}", size=comm)
+        tg.add_edge(w, "join", var=f"out{i}", size=comm)
+    return tg
+
+
+def diamond(levels: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """A diamond lattice: widths 1, 2, ..., levels, ..., 2, 1.
+
+    ``levels`` is the width at the waist; the graph has ``2*levels - 1``
+    ranks and each node feeds its (up to two) neighbours in the next rank,
+    like a wavefront computation over a triangular domain.
+    """
+    _require(levels >= 1, f"diamond: levels must be >= 1, got {levels}")
+    tg = TaskGraph(f"diamond{levels}")
+    ranks: list[list[str]] = []
+    widths = list(range(1, levels + 1)) + list(range(levels - 1, 0, -1))
+    for r, width in enumerate(widths):
+        rank = [f"d{r}_{i}" for i in range(width)]
+        for name in rank:
+            tg.add_task(name, work=work)
+        ranks.append(rank)
+    for r in range(len(ranks) - 1):
+        cur, nxt = ranks[r], ranks[r + 1]
+        if len(nxt) > len(cur):  # expanding half
+            for i, name in enumerate(cur):
+                tg.add_edge(name, nxt[i], var=f"l{r}_{i}", size=comm)
+                tg.add_edge(name, nxt[i + 1], var=f"r{r}_{i}", size=comm)
+        else:  # contracting half
+            for i, name in enumerate(nxt):
+                tg.add_edge(cur[i], name, var=f"l{r}_{i}", size=comm)
+                tg.add_edge(cur[i + 1], name, var=f"r{r}_{i}", size=comm)
+    return tg
+
+
+def out_tree(depth: int, fanout: int = 2, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """A rooted divide tree: the root spawns ``fanout`` children per level."""
+    _require(depth >= 1, f"out_tree: depth must be >= 1, got {depth}")
+    _require(fanout >= 1, f"out_tree: fanout must be >= 1, got {fanout}")
+    tg = TaskGraph(f"outtree{depth}x{fanout}")
+    tg.add_task("n0", work=work)
+    frontier = ["n0"]
+    counter = 1
+    for _ in range(depth - 1):
+        nxt: list[str] = []
+        for parent in frontier:
+            for _ in range(fanout):
+                child = f"n{counter}"
+                counter += 1
+                tg.add_task(child, work=work)
+                tg.add_edge(parent, child, var=child, size=comm)
+                nxt.append(child)
+        frontier = nxt
+    return tg
+
+
+def in_tree(depth: int, fanin: int = 2, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """A reduction tree (mirror of :func:`out_tree`): leaves combine to a root."""
+    src = out_tree(depth, fanin, work=work, comm=comm)
+    tg = TaskGraph(f"intree{depth}x{fanin}")
+    for t in src.tasks:
+        tg.add_task(t.name, work=t.work)
+    for e in src.edges:
+        tg.add_edge(e.dst, e.src, var=e.var, size=e.size)
+    return tg
+
+
+def butterfly(n_points: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """The FFT butterfly DAG over ``n_points`` (a power of two) points.
+
+    ``log2(n)`` ranks of ``n`` tasks; task ``(r+1, i)`` depends on ``(r, i)``
+    and ``(r, i XOR 2^r)`` — the classic machine-stressing graph because
+    every rank communicates across strides.
+    """
+    _require(n_points >= 2 and n_points & (n_points - 1) == 0,
+             f"butterfly: n_points must be a power of two >= 2, got {n_points}")
+    stages = int(math.log2(n_points))
+    tg = TaskGraph(f"fft{n_points}")
+    for r in range(stages + 1):
+        for i in range(n_points):
+            tg.add_task(f"f{r}_{i}", work=work)
+    for r in range(stages):
+        for i in range(n_points):
+            partner = i ^ (1 << r)
+            tg.add_edge(f"f{r}_{i}", f"f{r+1}_{i}", var=f"s{r}_{i}", size=comm)
+            tg.add_edge(f"f{r}_{i}", f"f{r+1}_{partner}", var=f"x{r}_{i}", size=comm)
+    return tg
+
+
+def gaussian_elimination(n: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """The column-oriented Gaussian-elimination task graph for an n×n system.
+
+    Pivot task ``p{k}`` normalises column ``k`` and feeds the update tasks
+    ``u{k}_{j}`` (j > k), each of which feeds the next pivot and the next
+    update of its own column — the canonical "GE" graph of the scheduling
+    literature (weights shrink with k, matching the real operation counts).
+    """
+    _require(n >= 2, f"gaussian_elimination: n must be >= 2, got {n}")
+    tg = TaskGraph(f"gauss{n}")
+    for k in range(n - 1):
+        tg.add_task(f"p{k}", work=work * (n - k))
+        for j in range(k + 1, n):
+            tg.add_task(f"u{k}_{j}", work=work * (n - k))
+    for k in range(n - 1):
+        for j in range(k + 1, n):
+            tg.add_edge(f"p{k}", f"u{k}_{j}", var=f"col{k}", size=comm * (n - k))
+        if k + 1 < n - 1:
+            tg.add_edge(f"u{k}_{k+1}", f"p{k+1}", var=f"piv{k+1}", size=comm * (n - k - 1))
+            for j in range(k + 2, n):
+                tg.add_edge(f"u{k}_{j}", f"u{k+1}_{j}", var=f"c{k+1}_{j}", size=comm * (n - k - 1))
+    return tg
+
+
+def lu_taskgraph(n: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """Dense LU-decomposition (no pivoting) task graph for an n×n matrix.
+
+    Per step ``k``: ``d{k}`` (compute multipliers of column k) feeds update
+    tasks ``e{k}_{i}`` for each trailing row i, which feed step ``k+1``.
+    This generalises the paper's Figure 1 design (n = 3) to any n.
+    """
+    _require(n >= 2, f"lu_taskgraph: n must be >= 2, got {n}")
+    tg = TaskGraph(f"lu{n}")
+    for k in range(n - 1):
+        tg.add_task(f"d{k}", work=work * (n - k - 1))
+        for i in range(k + 1, n):
+            tg.add_task(f"e{k}_{i}", work=work * (n - k - 1))
+    for k in range(n - 1):
+        for i in range(k + 1, n):
+            tg.add_edge(f"d{k}", f"e{k}_{i}", var=f"l{k}_{i}", size=comm)
+        if k + 1 < n - 1:
+            tg.add_edge(f"e{k}_{k+1}", f"d{k+1}", var=f"a{k+1}", size=comm * (n - k - 1))
+            for i in range(k + 2, n):
+                tg.add_edge(f"e{k}_{i}", f"e{k+1}_{i}", var=f"r{k+1}_{i}", size=comm * (n - k - 1))
+    return tg
+
+
+def map_reduce(width: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """``width`` independent mappers reduced by a binary combining tree."""
+    _require(width >= 1, f"map_reduce: width must be >= 1, got {width}")
+    tg = TaskGraph(f"mapreduce{width}")
+    frontier = []
+    for i in range(width):
+        name = f"map{i}"
+        tg.add_task(name, work=work)
+        frontier.append(name)
+    level = 0
+    while len(frontier) > 1:
+        nxt = []
+        for j in range(0, len(frontier) - 1, 2):
+            red = f"red{level}_{j//2}"
+            tg.add_task(red, work=work)
+            tg.add_edge(frontier[j], red, var=f"a{level}_{j}", size=comm)
+            tg.add_edge(frontier[j + 1], red, var=f"b{level}_{j}", size=comm)
+            nxt.append(red)
+        if len(frontier) % 2:
+            nxt.append(frontier[-1])
+        frontier = nxt
+        level += 1
+    return tg
+
+
+def stencil(rows: int, cols: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """A 2-D wavefront: task (i, j) depends on (i-1, j) and (i, j-1)."""
+    _require(rows >= 1 and cols >= 1, "stencil: rows and cols must be >= 1")
+    tg = TaskGraph(f"stencil{rows}x{cols}")
+    for i in range(rows):
+        for j in range(cols):
+            tg.add_task(f"s{i}_{j}", work=work)
+    for i in range(rows):
+        for j in range(cols):
+            if i + 1 < rows:
+                tg.add_edge(f"s{i}_{j}", f"s{i+1}_{j}", var=f"v{i}_{j}", size=comm)
+            if j + 1 < cols:
+                tg.add_edge(f"s{i}_{j}", f"s{i}_{j+1}", var=f"h{i}_{j}", size=comm)
+    return tg
+
+
+def random_layered(
+    n_tasks: int,
+    n_layers: int,
+    edge_prob: float = 0.4,
+    seed: int = 0,
+    work_range: tuple[float, float] = (1.0, 10.0),
+    comm_range: tuple[float, float] = (1.0, 10.0),
+) -> TaskGraph:
+    """A seeded random layered DAG (edges only between consecutive layers...
+    plus occasional skip edges), connected so no task is isolated.
+
+    Parameters mirror the standard benchmark generators: task weights and
+    edge sizes are drawn uniformly from the given ranges.
+    """
+    _require(n_tasks >= 1, f"random_layered: n_tasks must be >= 1, got {n_tasks}")
+    _require(1 <= n_layers <= n_tasks, "random_layered: need 1 <= n_layers <= n_tasks")
+    _require(0.0 <= edge_prob <= 1.0, "random_layered: edge_prob must be in [0, 1]")
+    rng = random.Random(seed)
+    tg = TaskGraph(f"rand{n_tasks}x{n_layers}s{seed}")
+
+    # deal tasks into layers: every layer gets at least one task
+    layers: list[list[str]] = [[] for _ in range(n_layers)]
+    for i in range(n_tasks):
+        layer = i if i < n_layers else rng.randrange(n_layers)
+        name = f"r{i}"
+        layers[layer].append(name)
+        tg.add_task(name, work=rng.uniform(*work_range))
+
+    for li in range(n_layers - 1):
+        for src in layers[li]:
+            for lj in range(li + 1, n_layers):
+                prob = edge_prob if lj == li + 1 else edge_prob / 4
+                for dst in layers[lj]:
+                    if rng.random() < prob:
+                        tg.add_edge(src, dst, var=f"{src}_{dst}",
+                                    size=rng.uniform(*comm_range))
+    # connect any isolated non-first-layer task to a random earlier task
+    for li in range(1, n_layers):
+        for dst in layers[li]:
+            if not tg.predecessors(dst):
+                src = rng.choice(layers[rng.randrange(li)])
+                tg.add_edge(src, dst, var=f"fix_{dst}", size=rng.uniform(*comm_range))
+    return tg
+
+
+def random_hierarchical(
+    depth: int = 2,
+    seed: int = 0,
+    fan: int = 3,
+) -> DataflowGraph:
+    """A seeded random *hierarchical* design for stressing expand/flatten.
+
+    Each level is a small chain of nodes; a node may become a composite
+    refined by a recursively generated subgraph (until ``depth`` runs out).
+    All boundary arcs carry the single variable ``d``, and every subgraph
+    exposes ``d`` as both its input port (first node) and output port (last
+    node), so the design always validates and flattens at any nesting.
+    """
+    _require(depth >= 1, f"random_hierarchical: depth must be >= 1, got {depth}")
+    rng = random.Random(seed)
+    counter = [0]
+
+    def build(level: int) -> DataflowGraph:
+        counter[0] += 1
+        g = DataflowGraph(f"lvl{level}_{counter[0]}")
+        n = rng.randint(2, max(2, fan))
+        names: list[str] = []
+        for i in range(n):
+            name = f"n{counter[0]}_{i}"
+            if level > 1 and rng.random() < 0.5:
+                g.add_composite(name, build(level - 1))
+            else:
+                g.add_task(name, work=rng.uniform(1, 5))
+            names.append(name)
+        for a, b in zip(names, names[1:]):
+            g.connect(a, b, var="d", size=rng.uniform(1, 5))
+        g.inputs = {"d": [names[0]]}
+        g.outputs = {"d": names[-1]}
+        return g
+
+    top = build(depth)
+    top.inputs = {}
+    top.outputs = {}
+    return top
+
+
+def as_dataflow(tg: TaskGraph) -> DataflowGraph:
+    """Lift a flat task graph back into a PITL drawing.
+
+    Each task becomes an oval; each edge becomes a ``task -> storage ->
+    task`` chain so the result renders like a Banger design.  Useful for
+    visualising generated benchmark graphs.
+    """
+    g = DataflowGraph(tg.name)
+    for spec in tg.tasks:
+        g.add_task(spec.name, label=spec.label, work=spec.work, program=spec.program)
+    for idx, e in enumerate(tg.edges):
+        store = f"st{idx}_{e.var}" if e.var else f"st{idx}"
+        g.add_storage(store, data=e.var or store, size=max(e.size, 1e-9))
+        g.connect(e.src, store)
+        g.connect(store, e.dst)
+    return g
+
+
+#: Name -> zero-config builder, for parameter-sweep benchmarks.
+FAMILIES = {
+    "chain": lambda: chain(16),
+    "fork_join": lambda: fork_join(8),
+    "diamond": lambda: diamond(5),
+    "out_tree": lambda: out_tree(4),
+    "in_tree": lambda: in_tree(4),
+    "butterfly": lambda: butterfly(8),
+    "gauss": lambda: gaussian_elimination(6),
+    "lu": lambda: lu_taskgraph(6),
+    "map_reduce": lambda: map_reduce(8),
+    "stencil": lambda: stencil(4, 4),
+    "random": lambda: random_layered(32, 6, seed=7),
+}

@@ -1,0 +1,249 @@
+"""The scheduling intermediate representation: a flat, weighted task DAG.
+
+Flattening a hierarchical PITL design (see :mod:`repro.graph.hierarchy`)
+produces a :class:`TaskGraph`: only primitive tasks remain, storage nodes are
+elided, and each edge carries the variable name and size of the datum that
+must be communicated if its endpoints land on different processors.
+
+This is the structure every scheduler in :mod:`repro.sched` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import CycleError, GraphError
+from repro.graph.node import DEFAULT_WORK
+
+
+@dataclass(frozen=True)
+class TaskEdge:
+    """A precedence+communication edge of the flat task DAG."""
+
+    src: str
+    dst: str
+    var: str = ""
+    size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise GraphError(f"self-loop edge on {self.src!r}")
+        if self.size < 0:
+            raise GraphError(f"edge {self.src}->{self.dst}: negative size")
+
+
+@dataclass
+class TaskSpec:
+    """A schedulable task: its weight, optional PITS program, and bindings.
+
+    ``inputs`` / ``outputs`` record, per variable, where the datum comes from
+    or goes to: another task, a graph input, or a graph output.  They are
+    filled in by flattening and used by the executor and code generators.
+    """
+
+    name: str
+    work: float = DEFAULT_WORK
+    label: str = ""
+    program: str | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class TaskGraph:
+    """A weighted DAG of primitive tasks (the input to scheduling).
+
+    Parameters
+    ----------
+    name:
+        Graph name, carried over from the design.
+    """
+
+    def __init__(self, name: str = "taskgraph"):
+        self.name = name
+        self._tasks: dict[str, TaskSpec] = {}
+        self._edges: list[TaskEdge] = []
+        self._succ: dict[str, list[TaskEdge]] = {}
+        self._pred: dict[str, list[TaskEdge]] = {}
+        #: graph-level inputs: variable -> (consumer task names)
+        self.graph_inputs: dict[str, list[str]] = {}
+        #: graph-level outputs: variable -> producer task name
+        self.graph_outputs: dict[str, str] = {}
+        #: initial values for graph inputs (from storage nodes), if any
+        self.input_values: dict[str, Any] = {}
+        #: sizes (abstract units) of graph-level inputs and outputs
+        self.input_sizes: dict[str, float] = {}
+        self.output_sizes: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_task(
+        self,
+        name: str,
+        work: float = DEFAULT_WORK,
+        label: str = "",
+        program: str | None = None,
+        **meta: Any,
+    ) -> TaskSpec:
+        if name in self._tasks:
+            raise GraphError(f"duplicate task {name!r} in task graph {self.name!r}")
+        if work < 0:
+            raise GraphError(f"task {name!r}: work must be >= 0")
+        spec = TaskSpec(name, work=work, label=label, program=program, meta=meta)
+        self._tasks[name] = spec
+        self._succ[name] = []
+        self._pred[name] = []
+        return spec
+
+    def add_edge(self, src: str, dst: str, var: str = "", size: float = 1.0) -> TaskEdge:
+        for endpoint in (src, dst):
+            if endpoint not in self._tasks:
+                raise GraphError(f"unknown task {endpoint!r} in task graph {self.name!r}")
+        edge = TaskEdge(src, dst, var=var, size=size)
+        if any(e.src == src and e.dst == dst and e.var == var for e in self._edges):
+            raise GraphError(f"duplicate edge {src}->{dst} ({var!r})")
+        self._edges.append(edge)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+        return edge
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tasks)
+
+    def task(self, name: str) -> TaskSpec:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise GraphError(f"unknown task {name!r} in task graph {self.name!r}") from None
+
+    @property
+    def task_names(self) -> list[str]:
+        return list(self._tasks)
+
+    @property
+    def tasks(self) -> list[TaskSpec]:
+        return list(self._tasks.values())
+
+    @property
+    def edges(self) -> list[TaskEdge]:
+        return list(self._edges)
+
+    def work(self, name: str) -> float:
+        return self.task(name).work
+
+    def set_work(self, name: str, work: float) -> None:
+        if work < 0:
+            raise GraphError(f"task {name!r}: work must be >= 0")
+        self.task(name).work = work
+
+    def successors(self, name: str) -> list[str]:
+        self.task(name)
+        return [e.dst for e in self._succ[name]]
+
+    def predecessors(self, name: str) -> list[str]:
+        self.task(name)
+        return [e.src for e in self._pred[name]]
+
+    def out_edges(self, name: str) -> list[TaskEdge]:
+        self.task(name)
+        return list(self._succ[name])
+
+    def in_edges(self, name: str) -> list[TaskEdge]:
+        self.task(name)
+        return list(self._pred[name])
+
+    def edge(self, src: str, dst: str) -> TaskEdge:
+        """The (first) edge ``src -> dst``; raises if absent."""
+        for e in self._succ.get(src, ()):
+            if e.dst == dst:
+                return e
+        raise GraphError(f"no edge {src}->{dst} in task graph {self.name!r}")
+
+    def edges_between(self, src: str, dst: str) -> list[TaskEdge]:
+        return [e for e in self._succ.get(src, ()) if e.dst == dst]
+
+    def comm_size(self, src: str, dst: str) -> float:
+        """Total data units flowing ``src -> dst`` (sum over variables)."""
+        return sum(e.size for e in self.edges_between(src, dst))
+
+    def entry_tasks(self) -> list[str]:
+        return [t for t in self._tasks if not self._pred[t]]
+
+    def exit_tasks(self) -> list[str]:
+        return [t for t in self._tasks if not self._succ[t]]
+
+    def total_work(self) -> float:
+        """Sum of all task weights = serial execution operation count."""
+        return sum(t.work for t in self._tasks.values())
+
+    def total_comm(self) -> float:
+        """Sum of all edge sizes (upper bound on data moved)."""
+        return sum(e.size for e in self._edges)
+
+    # ------------------------------------------------------------------ #
+    # algorithms
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> list[str]:
+        """Deterministic Kahn sort; raises :class:`CycleError` on cycles."""
+        indeg = {t: len(self._pred[t]) for t in self._tasks}
+        ready = [t for t in self._tasks if indeg[t] == 0]
+        order: list[str] = []
+        while ready:
+            t = ready.pop(0)
+            order.append(t)
+            for e in self._succ[t]:
+                indeg[e.dst] -= 1
+                if indeg[e.dst] == 0:
+                    ready.append(e.dst)
+        if len(order) != len(self._tasks):
+            raise CycleError(f"task graph {self.name!r} contains a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+            return True
+        except CycleError:
+            return False
+
+    def transitive_closure(self) -> dict[str, set[str]]:
+        """``reach[u]`` = set of tasks reachable from ``u`` (u excluded)."""
+        order = self.topological_order()
+        reach: dict[str, set[str]] = {t: set() for t in self._tasks}
+        for t in reversed(order):
+            for e in self._succ[t]:
+                reach[t].add(e.dst)
+                reach[t] |= reach[e.dst]
+        return reach
+
+    def independent(self, a: str, b: str) -> bool:
+        """True when no precedence path connects ``a`` and ``b``."""
+        reach = self.transitive_closure()
+        return b not in reach[a] and a not in reach[b]
+
+    def copy(self) -> "TaskGraph":
+        import copy as _copy
+
+        g = TaskGraph(self.name)
+        for spec in self._tasks.values():
+            g.add_task(spec.name, spec.work, spec.label, spec.program, **_copy.deepcopy(spec.meta))
+        for e in self._edges:
+            g.add_edge(e.src, e.dst, e.var, e.size)
+        g.graph_inputs = {k: list(v) for k, v in self.graph_inputs.items()}
+        g.graph_outputs = dict(self.graph_outputs)
+        g.input_values = dict(self.input_values)
+        g.input_sizes = dict(self.input_sizes)
+        g.output_sizes = dict(self.output_sizes)
+        return g
+
+    def __repr__(self) -> str:
+        return f"TaskGraph({self.name!r}, tasks={len(self._tasks)}, edges={len(self._edges)})"

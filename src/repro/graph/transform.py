@@ -1,0 +1,392 @@
+"""Node splitting: turn one data-parallel task into W shards plus a merge.
+
+This implements the paper's closing conjecture — "Banger can be extended to
+encompass fine-grained parallelism through the use of machine-independent
+data-parallel constructs" — on top of the ``forall`` construct:
+
+* a task whose routine is *prelude + one top-level forall* (prelude creates
+  every array the forall writes with ``zeros(...)``) can be split;
+* each shard runs the same prelude, then the forall restricted to its slice
+  of the iteration space (bounds computed at run time, so they may depend
+  on inputs);
+* because iterations write disjoint elements of zero-initialised arrays,
+  the merge task reconstructs each parallel output as the elementwise sum
+  of the shard versions; prelude-only ("replicated") outputs are taken from
+  shard 0.
+
+The transform operates on the flattened :class:`TaskGraph` and returns a
+new graph; the original is untouched.  Splitting never changes results —
+tested by comparing executions before and after.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.calc import ast
+from repro.calc.analyze import errors as static_errors
+from repro.calc.parser import parse
+from repro.calc.unparse import unparse
+from repro.errors import GraphError
+from repro.graph.taskgraph import TaskGraph
+
+#: Suffix pattern for shard output variables: ``x`` of shard 3 -> ``x__p3``.
+def shard_var(var: str, k: int) -> str:
+    return f"{var}__p{k}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SplitPlan:
+    """What splitting one task would produce (from :func:`analyze_split`)."""
+
+    task: str
+    program: ast.Program
+    prelude: tuple[ast.Stmt, ...]
+    loop: ast.For
+    parallel_outputs: tuple[str, ...]
+    replicated_outputs: tuple[str, ...]
+
+
+def split_problems(program_source: str) -> list[str]:
+    """Why this routine cannot be split (empty list == splittable)."""
+    diags = static_errors(program_source)
+    if diags:
+        return [f"routine has static errors: {diags[0]}"]
+    program = parse(program_source)
+    problems: list[str] = []
+
+    foralls = [s for s in program.body if isinstance(s, ast.For) and s.parallel]
+    nested = [
+        s for s in ast.walk_stmts(program.body)
+        if isinstance(s, ast.For) and s.parallel
+    ]
+    if not foralls:
+        problems.append("routine has no top-level forall")
+        return problems
+    if len(foralls) > 1:
+        problems.append("routine has more than one top-level forall")
+    if len(nested) > len(foralls):
+        problems.append("forall nested inside another statement is not splittable")
+    loop = foralls[0]
+    if program.body[-1] is not loop:
+        problems.append("statements after the forall are not allowed")
+    for s in program.body[:-1]:
+        if s is not loop and not isinstance(s, ast.Assign):
+            problems.append("prelude before the forall may only contain assignments")
+            break
+
+    # every array written by the forall must be zeros(...)-initialised in
+    # the prelude, so shard merging by elementwise sum is exact
+    written = {
+        s.target.base
+        for s in ast.walk_stmts(loop.body)
+        if isinstance(s, ast.Assign) and isinstance(s.target, ast.Index)
+    }
+    zeroed = {
+        s.target.ident
+        for s in program.body[:-1]
+        if isinstance(s, ast.Assign)
+        and isinstance(s.target, ast.Name)
+        and isinstance(s.value, ast.Call)
+        and s.value.func == "zeros"
+    }
+    for name in sorted(written - zeroed):
+        problems.append(
+            f"array {name!r} is written by the forall but not created with "
+            "zeros(...) in the prelude"
+        )
+    for name in sorted(written):
+        if name in program.inputs:
+            problems.append(f"forall writes input {name!r}")
+    # element writes in the prelude to a forall-written array would be
+    # replicated by every shard and then summed W times by the merge
+    for s in program.body[:-1]:
+        if (
+            isinstance(s, ast.Assign)
+            and isinstance(s.target, ast.Index)
+            and s.target.base in written
+        ):
+            problems.append(
+                f"prelude writes element(s) of {s.target.base!r}, which the "
+                "forall also writes; move the boundary cases into the forall"
+            )
+    return problems
+
+
+def analyze_split(task: str, program_source: str) -> SplitPlan:
+    """Validate and describe the split of one routine."""
+    problems = split_problems(program_source)
+    if problems:
+        raise GraphError(
+            f"task {task!r} is not splittable: " + "; ".join(problems)
+        )
+    program = parse(program_source)
+    loop = program.body[-1]
+    assert isinstance(loop, ast.For) and loop.parallel
+    written = {
+        s.target.base
+        for s in ast.walk_stmts(loop.body)
+        if isinstance(s, ast.Assign) and isinstance(s.target, ast.Index)
+    }
+    parallel_outputs = tuple(o for o in program.outputs if o in written)
+    replicated_outputs = tuple(o for o in program.outputs if o not in written)
+    return SplitPlan(
+        task=task,
+        program=program,
+        prelude=tuple(program.body[:-1]),
+        loop=loop,
+        parallel_outputs=parallel_outputs,
+        replicated_outputs=replicated_outputs,
+    )
+
+
+# --------------------------------------------------------------------- #
+# AST surgery
+# --------------------------------------------------------------------- #
+def _rename_expr(e: ast.Expr, renames: dict[str, str]) -> ast.Expr:
+    if isinstance(e, ast.Name):
+        return dataclasses.replace(e, ident=renames.get(e.ident, e.ident))
+    if isinstance(e, ast.Index):
+        return dataclasses.replace(
+            e,
+            base=renames.get(e.base, e.base),
+            subscripts=tuple(_rename_expr(s, renames) for s in e.subscripts),
+        )
+    if isinstance(e, ast.Unary):
+        return dataclasses.replace(e, operand=_rename_expr(e.operand, renames))
+    if isinstance(e, ast.Binary):
+        return dataclasses.replace(
+            e,
+            left=_rename_expr(e.left, renames),
+            right=_rename_expr(e.right, renames),
+        )
+    if isinstance(e, ast.Call):
+        return dataclasses.replace(
+            e, args=tuple(_rename_expr(a, renames) for a in e.args)
+        )
+    if isinstance(e, ast.ArrayLit):
+        return dataclasses.replace(
+            e, elements=tuple(_rename_expr(x, renames) for x in e.elements)
+        )
+    return e
+
+
+def _rename_stmt(s: ast.Stmt, renames: dict[str, str]) -> ast.Stmt:
+    if isinstance(s, ast.Assign):
+        return dataclasses.replace(
+            s,
+            target=_rename_expr(s.target, renames),
+            value=_rename_expr(s.value, renames),
+        )
+    if isinstance(s, ast.If):
+        return dataclasses.replace(
+            s,
+            cond=_rename_expr(s.cond, renames),
+            then=tuple(_rename_stmt(x, renames) for x in s.then),
+            elifs=tuple(
+                (_rename_expr(c, renames), tuple(_rename_stmt(x, renames) for x in b))
+                for c, b in s.elifs
+            ),
+            orelse=tuple(_rename_stmt(x, renames) for x in s.orelse),
+        )
+    if isinstance(s, ast.While):
+        return dataclasses.replace(
+            s,
+            cond=_rename_expr(s.cond, renames),
+            body=tuple(_rename_stmt(x, renames) for x in s.body),
+        )
+    if isinstance(s, ast.Repeat):
+        return dataclasses.replace(
+            s,
+            cond=_rename_expr(s.cond, renames),
+            body=tuple(_rename_stmt(x, renames) for x in s.body),
+        )
+    if isinstance(s, ast.For):
+        return dataclasses.replace(
+            s,
+            start=_rename_expr(s.start, renames),
+            stop=_rename_expr(s.stop, renames),
+            step=None if s.step is None else _rename_expr(s.step, renames),
+            body=tuple(_rename_stmt(x, renames) for x in s.body),
+        )
+    if isinstance(s, ast.CallStmt):
+        return dataclasses.replace(s, call=_rename_expr(s.call, renames))
+    return s
+
+
+def _shard_program(plan: SplitPlan, k: int, ways: int) -> str:
+    """Shard k's routine: prelude + bound computation + sliced loop."""
+    program, loop = plan.program, plan.loop
+    renames = {o: shard_var(o, k) for o in program.outputs}
+
+    count = ast.Binary(
+        op="+",
+        left=ast.Binary(op="-", left=loop.stop, right=loop.start),
+        right=ast.Num(value=1.0),
+    )
+
+    def bound(numerator_factor: float) -> ast.Expr:
+        # start + floor(count * j / ways)
+        return ast.Binary(
+            op="+",
+            left=loop.start,
+            right=ast.Call(
+                func="floor",
+                args=(
+                    ast.Binary(
+                        op="/",
+                        left=ast.Binary(
+                            op="*", left=count, right=ast.Num(value=numerator_factor)
+                        ),
+                        right=ast.Num(value=float(ways)),
+                    ),
+                ),
+            ),
+        )
+
+    lo_assign = ast.Assign(target=ast.Name(ident="lo__"), value=bound(float(k)))
+    hi_assign = ast.Assign(
+        target=ast.Name(ident="hi__"),
+        value=ast.Binary(op="-", left=bound(float(k + 1)), right=ast.Num(value=1.0)),
+    )
+    sliced = ast.For(
+        var=loop.var,
+        start=ast.Name(ident="lo__"),
+        stop=ast.Name(ident="hi__"),
+        step=None,
+        body=tuple(_rename_stmt(s, renames) for s in loop.body),
+        parallel=False,
+    )
+    shard = ast.Program(
+        name=f"{program.name or plan.task}_part{k}",
+        inputs=program.inputs,
+        outputs=tuple(shard_var(o, k) for o in program.outputs),
+        locals=tuple(program.locals) + ("lo__", "hi__"),
+        body=tuple(_rename_stmt(s, renames) for s in plan.prelude)
+        + (lo_assign, hi_assign, sliced),
+    )
+    return unparse(shard)
+
+
+def _merge_program(plan: SplitPlan, ways: int) -> str:
+    """The merge routine: sum parallel outputs, copy replicated ones."""
+    inputs: list[str] = []
+    body: list[ast.Stmt] = []
+    for out in plan.parallel_outputs:
+        parts = [shard_var(out, k) for k in range(ways)]
+        inputs.extend(parts)
+        expr: ast.Expr = ast.Name(ident=parts[0])
+        for part in parts[1:]:
+            expr = ast.Binary(op="+", left=expr, right=ast.Name(ident=part))
+        body.append(ast.Assign(target=ast.Name(ident=out), value=expr))
+    for out in plan.replicated_outputs:
+        inputs.append(shard_var(out, 0))
+        body.append(
+            ast.Assign(target=ast.Name(ident=out), value=ast.Name(ident=shard_var(out, 0)))
+        )
+    merge = ast.Program(
+        name=f"{plan.program.name or plan.task}_merge",
+        inputs=tuple(inputs),
+        outputs=plan.program.outputs,
+        locals=(),
+        body=tuple(body),
+    )
+    return unparse(merge)
+
+
+# --------------------------------------------------------------------- #
+# the graph rewrite
+# --------------------------------------------------------------------- #
+def split_forall(tg: TaskGraph, task: str, ways: int) -> TaskGraph:
+    """Return a copy of ``tg`` with ``task`` split ``ways`` ways.
+
+    Raises :class:`GraphError` when the task's routine is not splittable
+    (see :func:`split_problems` for the reasons).
+    """
+    if ways < 2:
+        raise GraphError(f"ways must be >= 2, got {ways}")
+    spec = tg.task(task)
+    if spec.program is None:
+        raise GraphError(f"task {task!r} has no PITS program to split")
+    plan = analyze_split(task, spec.program)
+
+    out = TaskGraph(tg.name)
+    shard_names = [f"{task}#p{k}" for k in range(ways)]
+    merge_name = f"{task}#merge"
+    for name in shard_names + [merge_name]:
+        if name in tg:
+            raise GraphError(f"split would collide with existing task {name!r}")
+
+    # copy untouched tasks
+    for other in tg.tasks:
+        if other.name != task:
+            out.add_task(other.name, other.work, other.label, other.program,
+                         **dict(other.meta))
+    shard_work = max(spec.work / ways, 1e-9)
+    for k, name in enumerate(shard_names):
+        out.add_task(name, work=shard_work, label=f"{spec.label or task} [{k+1}/{ways}]",
+                     program=_shard_program(plan, k, ways))
+    merge_work = max(float(len(plan.parallel_outputs)) * ways, 1.0)
+    out.add_task(merge_name, work=merge_work, label=f"merge {task}",
+                 program=_merge_program(plan, ways))
+
+    out_sizes = {e.var: e.size for e in tg.out_edges(task)}
+    for var in tg.graph_outputs:
+        if tg.graph_outputs[var] == task:
+            out_sizes.setdefault(var, tg.output_sizes.get(var, 1.0))
+
+    for e in tg.edges:
+        if e.src != task and e.dst != task:
+            out.add_edge(e.src, e.dst, e.var, e.size)
+        elif e.dst == task:  # fan the input to every shard
+            for name in shard_names:
+                out.add_edge(e.src, name, e.var, e.size)
+        else:  # e.src == task: the merge now feeds the consumers
+            out.add_edge(merge_name, e.dst, e.var, e.size)
+
+    # shard -> merge edges carry the (full-size, mostly-zero) shard outputs
+    for outvar in plan.parallel_outputs:
+        size = out_sizes.get(outvar, 1.0)
+        for k, name in enumerate(shard_names):
+            out.add_edge(name, merge_name, shard_var(outvar, k), size)
+    for outvar in plan.replicated_outputs:
+        size = out_sizes.get(outvar, 1.0)
+        out.add_edge(shard_names[0], merge_name, shard_var(outvar, 0), size)
+
+    # graph-level wiring
+    out.graph_inputs = {
+        var: [
+            (c if c != task else c)  # placeholder replaced below
+            for c in consumers
+        ]
+        for var, consumers in tg.graph_inputs.items()
+    }
+    for var, consumers in out.graph_inputs.items():
+        if task in consumers:
+            consumers.remove(task)
+            consumers.extend(shard_names)
+    out.graph_outputs = {
+        var: (merge_name if producer == task else producer)
+        for var, producer in tg.graph_outputs.items()
+    }
+    out.input_values = dict(tg.input_values)
+    out.input_sizes = dict(tg.input_sizes)
+    out.output_sizes = dict(tg.output_sizes)
+    return out
+
+
+def splittable_tasks(tg: TaskGraph) -> list[str]:
+    """Tasks whose routines qualify for :func:`split_forall`."""
+    found = []
+    for spec in tg.tasks:
+        if spec.program and not split_problems(spec.program):
+            found.append(spec.name)
+    return found
+
+
+def split_all(tg: TaskGraph, ways: int) -> TaskGraph:
+    """Split every splittable task ``ways`` ways."""
+    out = tg
+    for task in splittable_tasks(tg):
+        out = split_forall(out, task, ways)
+    return out

@@ -1,0 +1,67 @@
+"""Target machine models: parameters, topologies, routing, and cost model.
+
+Public surface:
+
+* :class:`MachineParams` — the paper's four scalar characteristics;
+* topology families (:class:`Hypercube`, :class:`Mesh2D`, :class:`Torus2D`,
+  :class:`Ring`, :class:`Star`, :class:`BalancedTree`,
+  :class:`FullyConnected`, :class:`Bus`, :class:`LinearArray`,
+  :class:`CustomTopology`) and :func:`build_topology`;
+* :class:`TargetMachine` binding both, with :func:`make_machine` /
+  :func:`single_processor` conveniences.
+"""
+
+from repro.machine.machine import TargetMachine, make_machine, single_processor
+from repro.machine.params import (
+    IDEAL,
+    IPSC_LIKE,
+    LAN_WORKSTATIONS,
+    NCUBE_LIKE,
+    PRESETS,
+    TIGHT_SMP,
+    MachineParams,
+)
+from repro.machine.topologies import (
+    PAPER_FAMILIES,
+    BalancedTree,
+    Bus,
+    ChordalRing,
+    FullyConnected,
+    Hypercube,
+    LinearArray,
+    Mesh2D,
+    Mesh3D,
+    Ring,
+    Star,
+    Torus2D,
+    build_topology,
+)
+from repro.machine.topology import CustomTopology, Topology
+
+__all__ = [
+    "BalancedTree",
+    "Bus",
+    "ChordalRing",
+    "CustomTopology",
+    "Mesh3D",
+    "FullyConnected",
+    "Hypercube",
+    "IDEAL",
+    "IPSC_LIKE",
+    "LAN_WORKSTATIONS",
+    "PRESETS",
+    "TIGHT_SMP",
+    "LinearArray",
+    "MachineParams",
+    "Mesh2D",
+    "NCUBE_LIKE",
+    "PAPER_FAMILIES",
+    "Ring",
+    "Star",
+    "TargetMachine",
+    "Topology",
+    "Torus2D",
+    "build_topology",
+    "make_machine",
+    "single_processor",
+]

@@ -1,0 +1,136 @@
+"""The target machine: scalar parameters bound to an interconnection graph.
+
+A :class:`TargetMachine` is the single cost model shared by the static
+schedulers (:mod:`repro.sched`) and the discrete-event simulator
+(:mod:`repro.sim`), which is what makes the cross-validation between
+predicted and simulated schedules exact in the contention-free case.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import MachineError
+from repro.machine.params import IDEAL, MachineParams
+from repro.machine.topologies import build_topology
+from repro.machine.topology import CustomTopology, Topology
+
+
+class TargetMachine:
+    """A parallel computer: ``params`` + ``topology``.
+
+    Parameters
+    ----------
+    topology:
+        The interconnection graph (see :mod:`repro.machine.topologies`).
+    params:
+        The paper's four scalar characteristics (defaults to the ideal
+        machine: unit-speed processors, free communication).
+    name:
+        Display name; defaults to the topology's.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: MachineParams = IDEAL,
+        name: str = "",
+    ):
+        topology.validate()
+        self.topology = topology
+        self.params = params
+        self.name = name or topology.name
+
+    # ------------------------------------------------------------------ #
+    # the cost model
+    # ------------------------------------------------------------------ #
+    @property
+    def n_procs(self) -> int:
+        return self.topology.n_procs
+
+    def procs(self) -> range:
+        return range(self.n_procs)
+
+    def exec_time(self, work: float) -> float:
+        """Wall time for a task of ``work`` operations (any processor)."""
+        return self.params.exec_time(work)
+
+    def comm_cost(self, src_proc: int, dst_proc: int, size: float) -> float:
+        """Wall time to move ``size`` units between two processors.
+
+        Zero when ``src_proc == dst_proc`` — co-located tasks share memory.
+        """
+        hops = self.topology.hops(src_proc, dst_proc)
+        return self.params.comm_time(size, hops)
+
+    def mean_comm_cost(self, size: float) -> float:
+        """Average cost of moving ``size`` units between two distinct
+        random processors — the machine-aware edge weight used when
+        computing scheduling priorities before placement is known."""
+        if self.n_procs == 1:
+            return 0.0
+        avg_hops = self.topology.average_distance()
+        if avg_hops == 0:
+            return 0.0
+        # average_distance is fractional, so apply the affine cost model
+        # directly instead of calling comm_time (which wants integer hops)
+        return (
+            self.params.msg_startup
+            + avg_hops * self.params.hop_latency
+            + avg_hops * size / self.params.transmission_rate
+        )
+
+    def route(self, src_proc: int, dst_proc: int) -> list[int]:
+        return self.topology.route(src_proc, dst_proc)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "machine",
+            "name": self.name,
+            "params": {
+                "processor_speed": self.params.processor_speed,
+                "process_startup": self.params.process_startup,
+                "msg_startup": self.params.msg_startup,
+                "transmission_rate": self.params.transmission_rate,
+                "hop_latency": self.params.hop_latency,
+            },
+            "topology": {
+                "family": self.topology.family,
+                "name": self.topology.name,
+                "n_procs": self.topology.n_procs,
+                "links": [list(l) for l in self.topology.links],
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TargetMachine":
+        if data.get("type") != "machine":
+            raise MachineError(f"not a machine document (type={data.get('type')!r})")
+        params = MachineParams(**data.get("params", {}))
+        topo_doc = data.get("topology", {})
+        topo = CustomTopology(
+            topo_doc["n_procs"],
+            [tuple(l) for l in topo_doc.get("links", [])],
+            name=topo_doc.get("name", ""),
+        )
+        return cls(topo, params, name=data.get("name", ""))
+
+    def __repr__(self) -> str:
+        return f"TargetMachine({self.name!r}, procs={self.n_procs})"
+
+
+def make_machine(
+    family: str,
+    n_procs: int,
+    params: MachineParams = IDEAL,
+) -> TargetMachine:
+    """One-call builder: ``make_machine("hypercube", 8, NCUBE_LIKE)``."""
+    return TargetMachine(build_topology(family, n_procs), params)
+
+
+def single_processor(params: MachineParams = IDEAL) -> TargetMachine:
+    """The 1-processor machine — the baseline for speedup charts."""
+    return TargetMachine(CustomTopology(1, [], name="uniprocessor"), params)

@@ -1,0 +1,99 @@
+"""Simulated-annealing refinement over task→processor assignments.
+
+A stochastic post-pass: start from any heuristic's assignment and walk the
+neighbourhood (move one task to another processor), accepting uphill steps
+with the Metropolis rule under a geometric cooling ladder.  Deterministic
+for a fixed seed.  Complements :func:`repro.sched.edit.hill_climb`, which
+is the greedy special case (temperature 0).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import Scheduler
+from repro.sched.clustering import assignment_to_schedule
+from repro.sched.edit import primary_assignment
+from repro.sched.mh import MHScheduler
+from repro.sched.schedule import Schedule
+
+
+class AnnealingScheduler(Scheduler):
+    """Refine an inner heuristic's schedule by simulated annealing.
+
+    Parameters
+    ----------
+    inner:
+        Heuristic providing the starting point (default MH).
+    iterations:
+        Total proposal count.
+    start_temp:
+        Initial temperature as a fraction of the initial makespan.
+    seed:
+        RNG seed (results are reproducible).
+    """
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        inner: Scheduler | None = None,
+        iterations: int = 400,
+        start_temp: float = 0.15,
+        seed: int = 0,
+    ):
+        self.inner = inner or MHScheduler()
+        self.iterations = iterations
+        self.start_temp = start_temp
+        self.seed = seed
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        initial = self.inner.schedule(graph, machine)
+        if initial.has_duplication():
+            initial = primary_assignment(initial)
+        if machine.n_procs == 1 or len(graph) <= 1:
+            return initial
+
+        rng = random.Random(self.seed)
+        tasks = graph.task_names
+        current = initial.assignment()
+        current_cost = initial.makespan()
+        best = dict(current)
+        best_cost = current_cost
+
+        temp0 = max(self.start_temp * current_cost, 1e-9)
+        for step in range(self.iterations):
+            temp = temp0 * (0.02 / 1.0) ** (step / max(self.iterations - 1, 1))
+            task = rng.choice(tasks)
+            old_proc = current[task]
+            new_proc = rng.randrange(machine.n_procs - 1)
+            if new_proc >= old_proc:
+                new_proc += 1
+            current[task] = new_proc
+            candidate = assignment_to_schedule(
+                graph, machine, current, scheduler_name=self.name, insertion=True
+            )
+            cost = candidate.makespan()
+            delta = cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                current_cost = cost
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best = dict(current)
+            else:
+                current[task] = old_proc
+
+        final = assignment_to_schedule(
+            graph, machine, best, scheduler_name=self.name, insertion=True
+        )
+        # the refinement must never lose to its own starting point
+        if final.makespan() > initial.makespan() + 1e-9:
+            initial_again = assignment_to_schedule(
+                graph, machine, initial.assignment(),
+                scheduler_name=self.name, insertion=True,
+            )
+            return initial_again if initial_again.makespan() <= initial.makespan() else initial
+        return final

@@ -1,0 +1,62 @@
+"""Baseline schedulers: serial, round-robin, and random placement.
+
+Every comparison table needs a floor.  ``serial`` is also the denominator of
+the paper's speedup chart (speedup on p processors = serial time / parallel
+makespan).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import Scheduler
+from repro.sched.clustering import assignment_to_schedule
+from repro.sched.schedule import Schedule
+
+
+class SerialScheduler(Scheduler):
+    """Everything on processor 0 in topological order (no communication)."""
+
+    name = "serial"
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        sched = Schedule(graph, machine, scheduler=self.name)
+        t = 0.0
+        for task in graph.topological_order():
+            dur = machine.exec_time(graph.work(task))
+            sched.add(task, 0, t, t + dur)
+            t += dur
+        return sched
+
+
+class RoundRobinScheduler(Scheduler):
+    """Tasks dealt to processors cyclically in topological order.
+
+    The timing pass still respects precedence and communication, so the
+    schedule is feasible — just communication-oblivious.
+    """
+
+    name = "roundrobin"
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        assignment = {
+            task: i % machine.n_procs
+            for i, task in enumerate(graph.topological_order())
+        }
+        return assignment_to_schedule(graph, machine, assignment, scheduler_name=self.name)
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random (seeded) processor per task."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        rng = random.Random(self.seed)
+        assignment = {t: rng.randrange(machine.n_procs) for t in graph.task_names}
+        return assignment_to_schedule(graph, machine, assignment, scheduler_name=self.name)

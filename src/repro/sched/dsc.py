@@ -1,0 +1,162 @@
+"""Dominant Sequence Clustering (Yang & Gerasoulis) and Sarkar's edge zeroing.
+
+Two more members of the clustering family PPSE drew on, complementing
+:mod:`repro.sched.clustering`'s linear clustering:
+
+* **DSC** walks tasks in priority order (t-level + b-level, the "dominant
+  sequence") and merges each task into the predecessor cluster that most
+  reduces its start time, provided the merge does not delay it;
+* **Sarkar** examines edges heaviest-first and zeroes an edge (merges its
+  endpoint clusters) whenever the estimated parallel time of the clustered
+  graph does not grow.
+
+Both produce cluster lists that are then mapped onto the real machine with
+the shared LPT + fixed-assignment timing pass.
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import b_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import Scheduler
+from repro.sched.clustering import assignment_to_schedule, map_clusters_lpt
+from repro.sched.schedule import Schedule
+
+
+def cluster_makespan(
+    graph: TaskGraph, machine: TargetMachine, owner: dict[str, int]
+) -> float:
+    """PERT estimate of the clustered graph on unbounded processors.
+
+    Tasks sharing a cluster serialise (in topological order); edges inside a
+    cluster are free; edges between clusters cost the machine's mean
+    communication.  This is the objective Sarkar's merge test uses.
+    """
+    exec_time = lambda t: machine.exec_time(graph.work(t))
+    finish: dict[str, float] = {}
+    cluster_free: dict[int, float] = {}
+    for task in graph.topological_order():
+        ready = 0.0
+        for e in graph.in_edges(task):
+            cost = 0.0 if owner[e.src] == owner[task] else machine.mean_comm_cost(e.size)
+            ready = max(ready, finish[e.src] + cost)
+        start = max(ready, cluster_free.get(owner[task], 0.0))
+        finish[task] = start + exec_time(task)
+        cluster_free[owner[task]] = finish[task]
+    return max(finish.values(), default=0.0)
+
+
+def dsc_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]:
+    """DSC-style clustering; returns clusters as topologically ordered lists."""
+    comm = lambda e: machine.mean_comm_cost(e.size)
+    exec_time = lambda t: machine.exec_time(graph.work(t))
+    bl = b_levels(graph, exec_time=exec_time, comm_cost=comm)
+
+    owner: dict[str, int] = {}
+    members: dict[int, list[str]] = {}
+    cluster_finish: dict[int, float] = {}
+    finish: dict[str, float] = {}
+    next_cluster = 0
+
+    # priority = b-level, examined in a topological-compatible order: among
+    # unexamined tasks with all predecessors examined, highest b-level first
+    done: set[str] = set()
+    order_index = {t: i for i, t in enumerate(graph.task_names)}
+    while len(done) < len(graph):
+        ready = [
+            t for t in graph.task_names
+            if t not in done and all(p in done for p in graph.predecessors(t))
+        ]
+        task = max(ready, key=lambda t: (bl[t], -order_index[t]))
+        duration = exec_time(task)
+
+        # candidate clusters: each predecessor's, or a fresh one
+        best_cluster = None
+        best_start = None
+        for cand in {owner[p] for p in graph.predecessors(task)}:
+            ready_time = 0.0
+            for e in graph.in_edges(task):
+                cost = 0.0 if owner[e.src] == cand else comm(e)
+                ready_time = max(ready_time, finish[e.src] + cost)
+            start = max(ready_time, cluster_finish.get(cand, 0.0))
+            if best_start is None or start < best_start - 1e-12:
+                best_start = start
+                best_cluster = cand
+        fresh_ready = max(
+            (finish[e.src] + comm(e) for e in graph.in_edges(task)), default=0.0
+        )
+        if best_start is None or fresh_ready < best_start - 1e-12:
+            best_cluster = next_cluster
+            next_cluster += 1
+            best_start = fresh_ready
+
+        owner[task] = best_cluster
+        members.setdefault(best_cluster, []).append(task)
+        finish[task] = best_start + duration
+        cluster_finish[best_cluster] = finish[task]
+        done.add(task)
+
+    return [members[c] for c in sorted(members)]
+
+
+def sarkar_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]:
+    """Sarkar's edge-zeroing clustering."""
+    owner = {t: i for i, t in enumerate(graph.task_names)}
+    current = cluster_makespan(graph, machine, owner)
+
+    edges = sorted(
+        graph.edges,
+        key=lambda e: (-machine.mean_comm_cost(e.size), e.src, e.dst),
+    )
+    for e in edges:
+        a, b = owner[e.src], owner[e.dst]
+        if a == b:
+            continue
+        trial = {t: (a if c == b else c) for t, c in owner.items()}
+        trial_makespan = cluster_makespan(graph, machine, trial)
+        if trial_makespan <= current + 1e-12:
+            owner = trial
+            current = trial_makespan
+
+    topo_pos = {t: i for i, t in enumerate(graph.topological_order())}
+    members: dict[int, list[str]] = {}
+    for t, c in owner.items():
+        members.setdefault(c, []).append(t)
+    groups = [sorted(g, key=topo_pos.__getitem__) for g in members.values()]
+    groups.sort(key=lambda g: topo_pos[g[0]])
+    return groups
+
+
+class DSCScheduler(Scheduler):
+    """DSC clustering + LPT mapping + fixed-assignment timing."""
+
+    name = "dsc"
+
+    def __init__(self, insertion: bool = True):
+        self.insertion = insertion
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        clusters = dsc_clusters(graph, machine)
+        assignment = map_clusters_lpt(clusters, graph, machine)
+        return assignment_to_schedule(
+            graph, machine, assignment, scheduler_name=self.name,
+            insertion=self.insertion,
+        )
+
+
+class SarkarScheduler(Scheduler):
+    """Sarkar edge-zeroing + LPT mapping + fixed-assignment timing."""
+
+    name = "sarkar"
+
+    def __init__(self, insertion: bool = True):
+        self.insertion = insertion
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        clusters = sarkar_clusters(graph, machine)
+        assignment = map_clusters_lpt(clusters, graph, machine)
+        return assignment_to_schedule(
+            graph, machine, assignment, scheduler_name=self.name,
+            insertion=self.insertion,
+        )

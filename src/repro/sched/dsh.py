@@ -1,0 +1,145 @@
+"""DSH — the Duplication Scheduling Heuristic (Kruatrachue & Lewis).
+
+The insight behind duplication: when a message from a predecessor delays a
+task, it can be cheaper to *re-execute* the predecessor locally in the idle
+gap than to wait for the wire.  DSH is the aggressive end of the PPSE
+heuristic family the paper's scheduling layer drew on (Kruatrachue's 1987
+thesis under Lewis, cited in the acknowledgements).
+
+This implementation duplicates **direct** predecessors iteratively: while the
+critical (latest-arriving) message can be replaced by a local copy that
+starts the task earlier, the copy is inserted into an idle slot.  Copies are
+planned tentatively per candidate processor and committed only for the
+winner, so the result is always feasible (the independent validator checks
+duplicated schedules too).
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import static_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import Scheduler, place, ready_tasks
+from repro.sched.schedule import Schedule
+
+_EPS = 1e-12
+
+
+class DSHScheduler(Scheduler):
+    """List scheduling by static level with idle-slot task duplication.
+
+    Parameters
+    ----------
+    max_dups_per_task:
+        Upper bound on copies planned while placing one task (runaway guard;
+        the loop also stops at the first non-improving copy).
+    """
+
+    name = "dsh"
+
+    def __init__(self, max_dups_per_task: int = 8):
+        self.max_dups_per_task = max_dups_per_task
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        sched = Schedule(graph, machine, scheduler=self.name)
+        sl = static_levels(graph, exec_time=lambda t: machine.exec_time(graph.work(t)))
+        order = {t: i for i, t in enumerate(graph.task_names)}
+        done: set[str] = set()
+        while len(done) < len(graph):
+            ready = ready_tasks(graph, done)
+            task = max(ready, key=lambda t: (sl[t], -order[t]))
+            best: tuple[float, int, float, list[tuple[str, float, float]]] | None = None
+            duration = machine.exec_time(graph.work(task))
+            for proc in machine.procs():
+                est, dups = self._plan(sched, task, proc)
+                key = (est + duration, proc)
+                if best is None or key < (best[0], best[1]):
+                    best = (est + duration, proc, est, dups)
+            assert best is not None
+            _, proc, est, dups = best
+            for name, start, finish in dups:
+                sched.add(name, proc, start, finish)
+            place(sched, task, proc, est)
+            done.add(task)
+        return sched
+
+    # ------------------------------------------------------------------ #
+    def _plan(
+        self, sched: Schedule, task: str, proc: int
+    ) -> tuple[float, list[tuple[str, float, float]]]:
+        """Earliest start of ``task`` on ``proc`` with planned duplications.
+
+        Returns ``(est, copies)`` where ``copies`` is a list of
+        ``(task_name, start, finish)`` duplications on ``proc`` that must be
+        committed for ``est`` to hold.
+        """
+        graph, machine = sched.graph, sched.machine
+        duration = machine.exec_time(graph.work(task))
+        added: list[tuple[str, float, float]] = []
+
+        def finishes_of(u: str) -> list[tuple[float, int]]:
+            """(finish, proc) of every available copy of u, planned included."""
+            out = [(e.finish, e.proc) for e in sched.placements(u)] if u in sched else []
+            out += [(f, proc) for (n, s, f) in added if n == u]
+            return out
+
+        def arrival(edge) -> float:
+            return min(
+                f + machine.comm_cost(p, proc, edge.size) for f, p in finishes_of(edge.src)
+            )
+
+        def occupancy() -> list[tuple[float, float]]:
+            slots = [(e.start, e.finish) for e in sched.on_proc(proc)]
+            slots += [(s, f) for (_, s, f) in added]
+            return sorted(slots)
+
+        def earliest_slot(ready: float, dur: float) -> float:
+            prev = 0.0
+            for s, f in occupancy():
+                start = max(ready, prev)
+                if start + dur <= s + _EPS:
+                    return start
+                prev = max(prev, f)
+            return max(ready, prev)
+
+        def est_now() -> float:
+            ready = max((arrival(e) for e in graph.in_edges(task)), default=0.0)
+            return earliest_slot(ready, duration)
+
+        est = est_now()
+        for _ in range(self.max_dups_per_task):
+            in_edges = graph.in_edges(task)
+            if not in_edges:
+                break
+            crit = max(in_edges, key=arrival)
+            if arrival(crit) <= _EPS:
+                break
+            u = crit.src
+            if any(p == proc for _, p in finishes_of(u)):
+                break  # the critical input is already local
+            # data-ready time of a copy of u on this processor
+            u_ready = 0.0
+            feasible = True
+            for e in graph.in_edges(u):
+                if e.src not in sched:
+                    feasible = False
+                    break
+                u_ready = max(
+                    u_ready,
+                    min(
+                        f + machine.comm_cost(p, proc, e.size)
+                        for f, p in finishes_of(e.src)
+                    ),
+                )
+            if not feasible:
+                break
+            u_dur = machine.exec_time(graph.work(u))
+            u_start = earliest_slot(u_ready, u_dur)
+            added.append((u, u_start, u_start + u_dur))
+            new_est = est_now()
+            if new_est < est - _EPS:
+                est = new_est
+            else:
+                added.pop()
+                break
+        return est, added

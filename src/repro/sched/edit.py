@@ -1,0 +1,146 @@
+"""What-if schedule editing: move tasks by hand, see the consequences now.
+
+The paper's principle 4 (instant feedback) applies to schedules too: an
+expert user looking at a Gantt chart will want to drag a task to another
+processor and watch the makespan respond.  These helpers implement that as
+pure functions: each edit takes a schedule, changes the *assignment*, and
+re-times everything with the shared fixed-assignment pass — so the result
+is always feasible, and the before/after delta is honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ScheduleError
+from repro.sched.clustering import assignment_to_schedule
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class EditResult:
+    """Outcome of one hand edit."""
+
+    schedule: Schedule
+    makespan_before: float
+    makespan_after: float
+
+    @property
+    def delta(self) -> float:
+        """Positive = the edit made things worse."""
+        return self.makespan_after - self.makespan_before
+
+    def render(self) -> str:
+        arrow = "worse" if self.delta > 1e-9 else ("better" if self.delta < -1e-9 else "same")
+        return (
+            f"makespan {self.makespan_before:.3f} -> {self.makespan_after:.3f} "
+            f"({arrow}, {self.delta:+.3f})"
+        )
+
+
+def _retime(schedule: Schedule, assignment: dict[str, int]) -> Schedule:
+    return assignment_to_schedule(
+        schedule.graph,
+        schedule.machine,
+        assignment,
+        scheduler_name=f"{schedule.scheduler}+edit" if schedule.scheduler else "edit",
+        insertion=True,
+    )
+
+
+def move_task(schedule: Schedule, task: str, proc: int) -> EditResult:
+    """Reassign one task to another processor and re-time the schedule.
+
+    Duplicated schedules cannot be hand-edited this way (the assignment is
+    no longer a function); simplify with the primary copies first.
+    """
+    if schedule.has_duplication():
+        raise ScheduleError(
+            "cannot hand-edit a duplicated schedule; use primary_assignment() first"
+        )
+    if proc not in schedule.machine.procs():
+        raise ScheduleError(
+            f"processor {proc} out of range for {schedule.machine.name!r}"
+        )
+    assignment = schedule.assignment()
+    if task not in assignment:
+        raise ScheduleError(f"unknown task {task!r}")
+    before = schedule.makespan()
+    assignment[task] = proc
+    edited = _retime(schedule, assignment)
+    return EditResult(edited, before, edited.makespan())
+
+
+def swap_tasks(schedule: Schedule, a: str, b: str) -> EditResult:
+    """Exchange the processors of two tasks."""
+    if schedule.has_duplication():
+        raise ScheduleError("cannot hand-edit a duplicated schedule")
+    assignment = schedule.assignment()
+    for t in (a, b):
+        if t not in assignment:
+            raise ScheduleError(f"unknown task {t!r}")
+    before = schedule.makespan()
+    assignment[a], assignment[b] = assignment[b], assignment[a]
+    edited = _retime(schedule, assignment)
+    return EditResult(edited, before, edited.makespan())
+
+
+def move_cluster(schedule: Schedule, tasks: list[str], proc: int) -> EditResult:
+    """Move a group of tasks together (e.g. a whole Gantt row segment)."""
+    if schedule.has_duplication():
+        raise ScheduleError("cannot hand-edit a duplicated schedule")
+    assignment = schedule.assignment()
+    for t in tasks:
+        if t not in assignment:
+            raise ScheduleError(f"unknown task {t!r}")
+    if proc not in schedule.machine.procs():
+        raise ScheduleError(f"processor {proc} out of range")
+    before = schedule.makespan()
+    for t in tasks:
+        assignment[t] = proc
+    edited = _retime(schedule, assignment)
+    return EditResult(edited, before, edited.makespan())
+
+
+def primary_assignment(schedule: Schedule) -> Schedule:
+    """Collapse a duplicated schedule to its primary copies and re-time."""
+    return _retime(schedule, schedule.assignment())
+
+
+def best_single_move(schedule: Schedule) -> EditResult | None:
+    """Greedy hill-climb step: the single task move that helps most.
+
+    Returns None when no move improves the makespan — the schedule is
+    1-move locally optimal.
+    """
+    if schedule.has_duplication():
+        schedule = primary_assignment(schedule)
+    assignment = schedule.assignment()
+    before = schedule.makespan()
+    best: EditResult | None = None
+    for task in schedule.graph.task_names:
+        current = assignment[task]
+        for proc in schedule.machine.procs():
+            if proc == current:
+                continue
+            trial = dict(assignment)
+            trial[task] = proc
+            edited = _retime(schedule, trial)
+            after = edited.makespan()
+            if after < before - 1e-9 and (best is None or after < best.makespan_after):
+                best = EditResult(edited, before, after)
+    return best
+
+
+def hill_climb(schedule: Schedule, max_moves: int = 50) -> Schedule:
+    """Apply :func:`best_single_move` until no move helps (or the cap hits).
+
+    A cheap post-pass usable after any heuristic; never worsens a schedule.
+    """
+    current = primary_assignment(schedule) if schedule.has_duplication() else schedule
+    for _ in range(max_moves):
+        step = best_single_move(current)
+        if step is None:
+            break
+        current = step.schedule
+    return current

@@ -1,0 +1,238 @@
+"""Grain packing (Kruatrachue & Lewis): merge fine grains into larger tasks.
+
+"Static Task Scheduling and Grain Packing in Parallel Processing Systems"
+is the other half of the Kruatrachue thesis behind Banger's scheduling layer:
+when tasks are small relative to message costs, *pack* communicating tasks
+into one grain so the message disappears, then schedule the coarser graph.
+
+Two packers are provided:
+
+* :func:`pack_linear_chains` — purely structural: merge ``u -> v`` whenever
+  ``u`` has one successor and ``v`` one predecessor (never changes the
+  graph's parallelism);
+* :func:`pack_by_ratio` — machine-aware: repeatedly merge across the edge
+  whose communication cost most exceeds the gain from running its endpoints
+  in parallel, subject to an acyclicity check.
+
+:class:`GrainPackedScheduler` wraps any inner scheduler: pack, schedule the
+packed graph, then expand each grain back into its constituent tasks run
+back-to-back in the grain's slot, yielding a feasible schedule of the
+*original* graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import Scheduler
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class Packing:
+    """A coarsened graph plus the grain → ordered-member mapping."""
+
+    packed: TaskGraph
+    members: dict[str, list[str]] = field(default_factory=dict)
+
+    def grain_of(self, task: str) -> str:
+        for grain, tasks in self.members.items():
+            if task in tasks:
+                return grain
+        raise ScheduleError(f"task {task!r} not in any grain")
+
+
+def _grain_work(graph: TaskGraph, members: list[str], machine: TargetMachine | None) -> float:
+    """Weight of a grain such that its execution time equals the sum of its
+    members' execution times (extra process startups folded into work)."""
+    total = sum(graph.work(t) for t in members)
+    if machine is not None and len(members) > 1:
+        total += (len(members) - 1) * machine.params.process_startup * machine.params.processor_speed
+    return total
+
+
+def _build_packed(
+    graph: TaskGraph, groups: list[list[str]], machine: TargetMachine | None
+) -> Packing:
+    """Contract each ordered group into one grain task."""
+    owner: dict[str, str] = {}
+    members: dict[str, list[str]] = {}
+    for group in groups:
+        grain = group[0] if len(group) == 1 else "+".join(group)
+        members[grain] = list(group)
+        for t in group:
+            owner[t] = grain
+
+    packed = TaskGraph(f"{graph.name}:packed")
+    for grain, group in members.items():
+        packed.add_task(grain, work=_grain_work(graph, group, machine),
+                        label="+".join(graph.task(t).label or t for t in group))
+    seen: set[tuple[str, str, str]] = set()
+    for e in graph.edges:
+        gs, gd = owner[e.src], owner[e.dst]
+        if gs == gd:
+            continue
+        key = (gs, gd, e.var)
+        if key in seen:
+            continue
+        seen.add(key)
+        packed.add_edge(gs, gd, var=e.var, size=e.size)
+    if not packed.is_acyclic():
+        raise ScheduleError("grain packing produced a cyclic graph")
+    return Packing(packed=packed, members=members)
+
+
+def pack_linear_chains(
+    graph: TaskGraph, machine: TargetMachine | None = None
+) -> Packing:
+    """Merge maximal single-in/single-out chains into grains."""
+    next_in_chain: dict[str, str] = {}
+    for t in graph.task_names:
+        succs = graph.successors(t)
+        if len(set(succs)) == 1:
+            (v,) = set(succs)
+            if len(set(graph.predecessors(v))) == 1:
+                next_in_chain[t] = v
+    has_prev = set(next_in_chain.values())
+    groups: list[list[str]] = []
+    for t in graph.topological_order():
+        if t in has_prev:
+            continue
+        group = [t]
+        while group[-1] in next_in_chain:
+            group.append(next_in_chain[group[-1]])
+        groups.append(group)
+    return _build_packed(graph, groups, machine)
+
+
+def pack_by_ratio(
+    graph: TaskGraph,
+    machine: TargetMachine,
+    threshold: float = 1.0,
+    max_grain_tasks: int = 8,
+) -> Packing:
+    """Merge across edges whose mean message cost exceeds ``threshold`` ×
+    the smaller endpoint's execution time.
+
+    Candidate edges are processed heaviest-cost-first; a merge is skipped if
+    it would create a cycle (i.e. another path connects the two grains) or
+    grow a grain past ``max_grain_tasks`` members.
+    """
+    owner = {t: t for t in graph.task_names}
+    members: dict[str, list[str]] = {t: [t] for t in graph.task_names}
+
+    def find(t: str) -> str:
+        while owner[t] != t:
+            owner[t] = owner[owner[t]]
+            t = owner[t]
+        return t
+
+    def would_cycle(a: str, b: str) -> bool:
+        """True if merging grains a and b creates a cycle in the contraction."""
+        contracted: dict[str, set[str]] = {}
+        for e in graph.edges:
+            ga, gb = find(e.src), find(e.dst)
+            ga = a if ga == b else ga
+            gb = a if gb == b else gb
+            if ga != gb:
+                contracted.setdefault(ga, set()).add(gb)
+        # DFS from the merged grain looking for a path back to itself
+        seen: set[str] = set()
+        stack = list(contracted.get(a, ()))
+        while stack:
+            g = stack.pop()
+            if g == a:
+                return True
+            if g in seen:
+                continue
+            seen.add(g)
+            stack.extend(contracted.get(g, ()))
+        return False
+
+    candidates = sorted(
+        graph.edges,
+        key=lambda e: -machine.mean_comm_cost(e.size),
+    )
+    for e in candidates:
+        cost = machine.mean_comm_cost(e.size)
+        gain = min(machine.exec_time(graph.work(e.src)), machine.exec_time(graph.work(e.dst)))
+        if cost < threshold * gain:
+            continue
+        ga, gb = find(e.src), find(e.dst)
+        if ga == gb:
+            continue
+        if len(members[ga]) + len(members[gb]) > max_grain_tasks:
+            continue
+        if would_cycle(ga, gb):
+            continue
+        owner[gb] = ga
+        members[ga].extend(members.pop(gb))
+
+    # order each grain's members topologically so expansion is feasible
+    topo_pos = {t: i for i, t in enumerate(graph.topological_order())}
+    groups = [sorted(g, key=topo_pos.__getitem__) for g in members.values()]
+    groups.sort(key=lambda g: topo_pos[g[0]])
+    return _build_packed(graph, groups, machine)
+
+
+class GrainPackedScheduler(Scheduler):
+    """Pack grains, schedule the coarse graph, expand back to real tasks.
+
+    Parameters
+    ----------
+    inner:
+        Scheduler for the packed graph.
+    packer:
+        ``"chains"`` (structural) or ``"ratio"`` (machine-aware).
+    threshold:
+        Passed to :func:`pack_by_ratio`.
+    """
+
+    name = "grain"
+
+    def __init__(self, inner: Scheduler, packer: str = "ratio", threshold: float = 1.0):
+        if packer not in ("chains", "ratio"):
+            raise ScheduleError(f"unknown packer {packer!r} (use 'chains' or 'ratio')")
+        self.inner = inner
+        self.packer = packer
+        self.threshold = threshold
+        self.name = f"grain[{inner.name}]"
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        if self.packer == "chains":
+            packing = pack_linear_chains(graph, machine)
+        else:
+            packing = pack_by_ratio(graph, machine, threshold=self.threshold)
+        coarse = self.inner.schedule(packing.packed, machine)
+        expanded = expand_packed_schedule(coarse, packing, graph)
+        expanded.scheduler = self.name
+        return expanded
+
+
+def expand_packed_schedule(
+    coarse: Schedule, packing: Packing, graph: TaskGraph
+) -> Schedule:
+    """Rewrite a packed-graph schedule as a schedule of the original graph.
+
+    Each grain's members run back-to-back inside the grain's slot, in the
+    grain's stored (topological) order; the grain weight was constructed so
+    the pieces exactly fill the slot.
+    """
+    machine = coarse.machine
+    out = Schedule(graph, machine, scheduler=coarse.scheduler and f"{coarse.scheduler}+expand")
+    for entry in coarse:
+        t = entry.start
+        for member in packing.members[entry.task]:
+            dur = machine.exec_time(graph.work(member))
+            out.add(member, entry.proc, t, t + dur)
+            t += dur
+        if t > entry.finish + 1e-6:
+            raise ScheduleError(
+                f"grain {entry.task!r} members overflow its slot "
+                f"({t:g} > {entry.finish:g})"
+            )
+    out.messages = list(coarse.messages)
+    return out

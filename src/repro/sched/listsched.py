@@ -1,0 +1,167 @@
+"""Classic list-scheduling heuristics: HLFET, ISH, ETF, and DLS.
+
+These are the workhorse heuristics of the PPSE line of work the paper
+builds on:
+
+* **HLFET** (Highest Level First with Estimated Times, Adam/Chandy/Dickson):
+  priority = static level (b-level without communication); each task goes
+  to the processor giving the earliest finish.
+* **ISH** (Insertion Scheduling Heuristic, Kruatrachue & Lewis): HLFET plus
+  filling idle gaps created by communication delays.
+* **ETF** (Earliest Task First, Hwang et al.): among all (ready task,
+  processor) pairs pick the earliest possible start, breaking ties by
+  higher static level.
+* **DLS** (Dynamic Level Scheduling, Sih & Lee): maximise the *dynamic
+  level* ``SL(t) - EST(t, p)`` over (task, processor) pairs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import b_levels, static_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import (
+    Scheduler,
+    best_processor,
+    earliest_start,
+    place,
+    ready_tasks,
+)
+from repro.sched.schedule import Schedule
+
+
+class HLFETScheduler(Scheduler):
+    """Highest (static) Level First with Estimated Times.
+
+    Parameters
+    ----------
+    use_comm_levels:
+        When True, priorities are b-levels including mean machine
+        communication costs instead of pure static levels — a machine-aware
+        refinement used by PPSE when communication dominates.
+    """
+
+    name = "hlfet"
+
+    def __init__(self, use_comm_levels: bool = False):
+        self.use_comm_levels = use_comm_levels
+        self.insertion = False
+
+    def _priorities(self, graph: TaskGraph, machine: TargetMachine) -> dict[str, float]:
+        exec_time = lambda t: machine.exec_time(graph.work(t))
+        if self.use_comm_levels:
+            return b_levels(
+                graph,
+                exec_time=exec_time,
+                comm_cost=lambda e: machine.mean_comm_cost(e.size),
+            )
+        return static_levels(graph, exec_time=exec_time)
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        sched = Schedule(graph, machine, scheduler=self.name)
+        prio = self._priorities(graph, machine)
+        order = {t: i for i, t in enumerate(graph.task_names)}
+        done: set[str] = set()
+        while len(done) < len(graph):
+            ready = ready_tasks(graph, done)
+            task = max(ready, key=lambda t: (prio[t], -order[t]))
+            proc, start = best_processor(sched, task, insertion=self.insertion)
+            place(sched, task, proc, start)
+            done.add(task)
+        return sched
+
+
+class ISHScheduler(HLFETScheduler):
+    """Kruatrachue's Insertion Scheduling Heuristic: HLFET + gap filling."""
+
+    name = "ish"
+
+    def __init__(self, use_comm_levels: bool = False):
+        super().__init__(use_comm_levels=use_comm_levels)
+        self.insertion = True
+
+
+class ETFScheduler(Scheduler):
+    """Earliest Task First: globally earliest (task, processor) start wins."""
+
+    name = "etf"
+
+    def __init__(self, insertion: bool = False):
+        self.insertion = insertion
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        sched = Schedule(graph, machine, scheduler=self.name)
+        sl = static_levels(graph, exec_time=lambda t: machine.exec_time(graph.work(t)))
+        done: set[str] = set()
+        while len(done) < len(graph):
+            best: tuple[float, float, int, str, int] | None = None
+            for task in ready_tasks(graph, done):
+                for proc in machine.procs():
+                    start = earliest_start(sched, task, proc, insertion=self.insertion)
+                    key = (start, -sl[task], proc, task, proc)
+                    if best is None or key < best:
+                        best = key
+            assert best is not None
+            start, _, _, task, proc = best
+            place(sched, task, proc, start)
+            done.add(task)
+        return sched
+
+
+class DLSScheduler(Scheduler):
+    """Dynamic Level Scheduling: maximise ``SL(task) - EST(task, proc)``."""
+
+    name = "dls"
+
+    def __init__(self, insertion: bool = True):
+        self.insertion = insertion
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        sched = Schedule(graph, machine, scheduler=self.name)
+        sl = static_levels(graph, exec_time=lambda t: machine.exec_time(graph.work(t)))
+        done: set[str] = set()
+        while len(done) < len(graph):
+            best: tuple[float, float, int, str] | None = None
+            chosen: tuple[str, int, float] | None = None
+            for task in ready_tasks(graph, done):
+                for proc in machine.procs():
+                    start = earliest_start(sched, task, proc, insertion=self.insertion)
+                    level = sl[task] - start
+                    key = (-level, start, proc, task)
+                    if best is None or key < best:
+                        best = key
+                        chosen = (task, proc, start)
+            assert chosen is not None
+            task, proc, start = chosen
+            place(sched, task, proc, start)
+            done.add(task)
+        return sched
+
+
+class MCPScheduler(Scheduler):
+    """Modified Critical Path (Wu & Gajski): priority = ALAP time, ascending.
+
+    The ALAP (as-late-as-possible) time of a task is the critical-path
+    length minus its b-level (communication included); tasks that can least
+    afford to wait go first, each to its earliest-finish processor with
+    insertion.
+    """
+
+    name = "mcp"
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        sched = Schedule(graph, machine, scheduler=self.name)
+        exec_time = lambda t: machine.exec_time(graph.work(t))
+        comm = lambda e: machine.mean_comm_cost(e.size)
+        bl = b_levels(graph, exec_time=exec_time, comm_cost=comm)
+        cp = max(bl.values(), default=0.0)
+        alap = {t: cp - bl[t] for t in graph.task_names}
+        done: set[str] = set()
+        order = {t: i for i, t in enumerate(graph.task_names)}
+        while len(done) < len(graph):
+            ready = ready_tasks(graph, done)
+            task = min(ready, key=lambda t: (alap[t], order[t]))
+            proc, start = best_processor(sched, task, insertion=True)
+            place(sched, task, proc, start)
+            done.add(task)
+        return sched

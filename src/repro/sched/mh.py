@@ -1,0 +1,230 @@
+"""The Mapping Heuristic (MH) of El-Rewini & Lewis — reference [1] of the paper.
+
+MH is the scheduler Banger uses: it "finds the shortest elapsed execution
+time schedule for a specific target machine" by modelling the machine's
+interconnection network explicitly.  Messages are routed hop by hop over the
+topology's links; each link can carry one message at a time, so the heuristic
+sees (and avoids) network *contention*, which is what distinguishes MH from
+machine-oblivious list scheduling.
+
+Algorithm per step:
+
+1. among ready tasks pick the one with the highest machine-aware b-level;
+2. for every processor, tentatively route all incoming messages over the
+   link timelines and compute the task's earliest start;
+3. commit the task to the best processor and reserve its messages' links.
+
+With ``contention=False`` links are infinitely wide and MH reduces to a
+routed-cost list scheduler (useful as an ablation).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.graph.analysis import b_levels
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import Scheduler, ready_tasks
+from repro.sched.schedule import Message, Schedule
+
+Link = tuple[int, int]
+
+
+class LinkTimeline:
+    """Busy intervals of one link, with earliest-fit reservation."""
+
+    def __init__(self) -> None:
+        self._intervals: list[tuple[float, float]] = []
+
+    def earliest_fit(self, not_before: float, duration: float) -> float:
+        """Earliest ``t >= not_before`` with the link free for ``duration``."""
+        if duration <= 0:
+            return not_before
+        t = not_before
+        while True:
+            idx = bisect.bisect_left(self._intervals, (t, float("-inf")))
+            if idx > 0 and self._intervals[idx - 1][1] > t:
+                t = self._intervals[idx - 1][1]
+                continue
+            if idx < len(self._intervals) and self._intervals[idx][0] < t + duration:
+                t = self._intervals[idx][1]
+                continue
+            return t
+
+    def reserve(self, start: float, duration: float) -> None:
+        if duration <= 0:
+            return
+        bisect.insort(self._intervals, (start, start + duration))
+
+    def copy(self) -> "LinkTimeline":
+        dup = LinkTimeline()
+        dup._intervals = list(self._intervals)
+        return dup
+
+
+class _Network:
+    """Per-link timelines for an entire machine."""
+
+    def __init__(self, machine: TargetMachine, shared: bool):
+        self.machine = machine
+        self.shared = shared  # bus: all links alias one timeline
+        self._links: dict[Link, LinkTimeline] = {}
+        self._bus = LinkTimeline()
+
+    def _timeline(self, link: Link) -> LinkTimeline:
+        if self.shared:
+            return self._bus
+        return self._links.setdefault(link, LinkTimeline())
+
+    def transit(
+        self,
+        src: int,
+        dst: int,
+        size: float,
+        available: float,
+        commit: bool,
+        hops_out: list[tuple[Link, float, float]] | None = None,
+    ) -> float:
+        """Arrival time of a message injected at ``available`` from src to dst.
+
+        Hop-by-hop store-and-forward over the route's links, paying the
+        message startup once at injection.  When ``commit`` is False the
+        link timelines are left untouched (tentative evaluation).  When
+        ``hops_out`` is given, each reserved hop ``(link, start, finish)``
+        is appended — the data behind contention-accurate message records.
+        """
+        params = self.machine.params
+        if src == dst:
+            return available
+        t = available + params.msg_startup
+        hop_time = params.hop_latency + size / params.transmission_rate
+        reservations: list[tuple[LinkTimeline, float]] = []
+        path = self.machine.route(src, dst)
+        for a, b in zip(path, path[1:]):
+            link = (min(a, b), max(a, b))
+            timeline = self._timeline(link)
+            start = timeline.earliest_fit(t, hop_time)
+            reservations.append((timeline, start))
+            if hops_out is not None:
+                hops_out.append((link, start, start + hop_time))
+            t = start + hop_time
+        if commit:
+            for timeline, start in reservations:
+                timeline.reserve(start, hop_time)
+        return t
+
+
+class MHScheduler(Scheduler):
+    """El-Rewini & Lewis's Mapping Heuristic with link contention.
+
+    Parameters
+    ----------
+    contention:
+        Model links as single-message resources (the real MH).  When False,
+        messages never queue — pure routed-cost scheduling.
+    """
+
+    name = "mh"
+
+    def __init__(self, contention: bool = True):
+        self.contention = contention
+        if not contention:
+            self.name = "mh-nc"
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        sched = Schedule(graph, machine, scheduler=self.name)
+        shared = bool(getattr(machine.topology, "shared_medium", False))
+        network = _Network(machine, shared=shared) if self.contention else None
+
+        exec_time = lambda t: machine.exec_time(graph.work(t))
+        prio = b_levels(
+            graph,
+            exec_time=exec_time,
+            comm_cost=lambda e: machine.mean_comm_cost(e.size),
+        )
+        order = {t: i for i, t in enumerate(graph.task_names)}
+        done: set[str] = set()
+
+        while len(done) < len(graph):
+            ready = ready_tasks(graph, done)
+            task = max(ready, key=lambda t: (prio[t], -order[t]))
+            proc = self._best_proc(sched, network, task)
+            self._commit(sched, network, task, proc)
+            done.add(task)
+        return sched
+
+    # ------------------------------------------------------------------ #
+    def _arrivals(
+        self,
+        sched: Schedule,
+        network: _Network | None,
+        task: str,
+        proc: int,
+        commit: bool,
+    ) -> float:
+        """Data-ready time of ``task`` on ``proc`` under the network model."""
+        graph, machine = sched.graph, sched.machine
+        ready = 0.0
+        for edge in graph.in_edges(task):
+            src = sched.primary(edge.src)
+            if network is not None:
+                arrival = network.transit(src.proc, proc, edge.size, src.finish, commit)
+            else:
+                arrival = src.finish + machine.comm_cost(src.proc, proc, edge.size)
+            ready = max(ready, arrival)
+        return ready
+
+    def _est(self, sched: Schedule, network: _Network | None, task: str, proc: int) -> float:
+        ready = self._arrivals(sched, network, task, proc, commit=False)
+        timeline = sched.on_proc(proc)
+        return max(ready, timeline[-1].finish if timeline else 0.0)
+
+    def _best_proc(self, sched: Schedule, network: _Network | None, task: str) -> int:
+        duration = sched.machine.exec_time(sched.graph.work(task))
+        best: tuple[float, int] | None = None
+        for proc in sched.machine.procs():
+            finish = self._est(sched, network, task, proc) + duration
+            if best is None or (finish, proc) < best:
+                best = (finish, proc)
+        assert best is not None
+        return best[1]
+
+    def _commit(
+        self, sched: Schedule, network: _Network | None, task: str, proc: int
+    ) -> None:
+        graph, machine = sched.graph, sched.machine
+        # recompute per-edge arrivals while committing link reservations, so
+        # message records carry the *actual* (contention-delayed) times
+        ready = 0.0
+        messages: list[Message] = []
+        for edge in graph.in_edges(task):
+            src = sched.primary(edge.src)
+            if network is not None:
+                hops: list = []
+                arrival = network.transit(
+                    src.proc, proc, edge.size, src.finish, commit=True, hops_out=hops
+                )
+            else:
+                arrival = src.finish + machine.comm_cost(src.proc, proc, edge.size)
+            ready = max(ready, arrival)
+            if src.proc != proc:
+                messages.append(
+                    Message(
+                        src_task=edge.src,
+                        dst_task=task,
+                        var=edge.var,
+                        size=edge.size,
+                        src_proc=src.proc,
+                        dst_proc=proc,
+                        start=src.finish,
+                        finish=arrival,
+                        route=tuple(machine.route(src.proc, proc)),
+                    )
+                )
+        timeline = sched.on_proc(proc)
+        start = max(ready, timeline[-1].finish if timeline else 0.0)
+        finish = start + machine.exec_time(graph.work(task))
+        sched.add(task, proc, start, finish)
+        for message in messages:
+            sched.add_message(message)

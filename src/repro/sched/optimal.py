@@ -1,0 +1,67 @@
+"""Exhaustive assignment search — a quality yardstick for the heuristics.
+
+Static multiprocessor scheduling is NP-hard, but for the small designs
+Banger targets ("quick-and-dirty" programs of a handful of tasks) we can
+afford to enumerate every task→processor assignment and time each one with
+the shared fixed-assignment pass.  The result is the optimal *assignment*
+under b-level list ordering — not a proof of global optimality (ordering is
+fixed), but a strong, deterministic lower reference the test suite uses to
+measure how far the heuristics stray.
+
+Symmetry pruning: processors of the common regular topologies are
+interchangeable up to relabelling, so the first task is pinned to
+processor 0, cutting the search by a factor of ``n_procs``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ScheduleError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.base import Scheduler
+from repro.sched.clustering import assignment_to_schedule
+from repro.sched.schedule import Schedule
+
+#: Hard cap on assignments examined (|procs| ** |tasks| after pruning).
+DEFAULT_BUDGET = 20_000
+
+
+class ExhaustiveScheduler(Scheduler):
+    """Try every assignment; keep the best makespan.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of assignments examined; exceeding it raises, so the
+        caller knows the graph is out of exhaustive range rather than
+        silently getting a partial search.
+    """
+
+    name = "exhaustive"
+
+    def __init__(self, budget: int = DEFAULT_BUDGET):
+        self.budget = budget
+
+    def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
+        tasks = graph.task_names
+        n, p = len(tasks), machine.n_procs
+        count = p ** max(n - 1, 0)
+        if count > self.budget:
+            raise ScheduleError(
+                f"exhaustive search needs {count} assignments for {n} tasks on "
+                f"{p} processors; budget is {self.budget} (use a heuristic)"
+            )
+        best: Schedule | None = None
+        first, rest = tasks[0], tasks[1:]
+        for combo in itertools.product(range(p), repeat=len(rest)):
+            assignment = {first: 0}
+            assignment.update(zip(rest, combo))
+            candidate = assignment_to_schedule(
+                graph, machine, assignment, scheduler_name=self.name, insertion=True
+            )
+            if best is None or candidate.makespan() < best.makespan() - 1e-12:
+                best = candidate
+        assert best is not None
+        return best

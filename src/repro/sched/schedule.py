@@ -1,0 +1,200 @@
+"""Schedule representation: the data behind the paper's Gantt charts.
+
+A :class:`Schedule` maps each task of a :class:`~repro.graph.taskgraph.TaskGraph`
+to one or more ``(processor, start, finish)`` placements ("or more" because
+the duplication heuristic may run a task on several processors).  Schedules
+also record the messages the scheduler planned, so communication can be drawn
+on the Gantt chart and replayed by the simulator.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ScheduleError
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One execution of ``task`` on ``proc`` during ``[start, finish)``."""
+
+    task: str
+    proc: int
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ScheduleError(f"task {self.task!r}: negative start {self.start}")
+        if self.finish < self.start:
+            raise ScheduleError(
+                f"task {self.task!r}: finish {self.finish} before start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class Message:
+    """A planned inter-processor transfer for edge ``src_task -> dst_task``."""
+
+    src_task: str
+    dst_task: str
+    var: str
+    size: float
+    src_proc: int
+    dst_proc: int
+    start: float
+    finish: float
+    route: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start:
+            raise ScheduleError(
+                f"message {self.src_task}->{self.dst_task}: finish before start"
+            )
+
+
+class Schedule:
+    """Task placements on a target machine, plus planned messages.
+
+    Parameters
+    ----------
+    graph, machine:
+        What is being scheduled and onto what.
+    scheduler:
+        Name of the heuristic that produced this schedule (for reports).
+    """
+
+    def __init__(self, graph: TaskGraph, machine: TargetMachine, scheduler: str = ""):
+        self.graph = graph
+        self.machine = machine
+        self.scheduler = scheduler
+        self._by_proc: dict[int, list[Placement]] = {p: [] for p in machine.procs()}
+        self._by_task: dict[str, list[Placement]] = {}
+        self.messages: list[Message] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add(self, task: str, proc: int, start: float, finish: float) -> Placement:
+        """Place (a copy of) ``task`` on ``proc``; overlap is checked here."""
+        if task not in self.graph:
+            raise ScheduleError(f"task {task!r} is not in graph {self.graph.name!r}")
+        if proc not in self._by_proc:
+            raise ScheduleError(
+                f"processor {proc} out of range for machine {self.machine.name!r}"
+            )
+        entry = Placement(task, proc, start, finish)
+        timeline = self._by_proc[proc]
+        idx = bisect.bisect_left([e.start for e in timeline], start)
+        if idx > 0 and timeline[idx - 1].finish > start + 1e-9:
+            raise ScheduleError(
+                f"task {task!r} at [{start}, {finish}) overlaps "
+                f"{timeline[idx - 1].task!r} on processor {proc}"
+            )
+        if idx < len(timeline) and timeline[idx].start < finish - 1e-9:
+            raise ScheduleError(
+                f"task {task!r} at [{start}, {finish}) overlaps "
+                f"{timeline[idx].task!r} on processor {proc}"
+            )
+        if any(abs(p.start - start) < 1e-12 and p.proc == proc
+               for p in self._by_task.get(task, ())):
+            raise ScheduleError(f"task {task!r} placed twice at the same slot")
+        timeline.insert(idx, entry)
+        self._by_task.setdefault(task, []).append(entry)
+        return entry
+
+    def add_message(self, message: Message) -> None:
+        self.messages.append(message)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def __contains__(self, task: str) -> bool:
+        return task in self._by_task
+
+    def __iter__(self) -> Iterator[Placement]:
+        for proc in sorted(self._by_proc):
+            yield from self._by_proc[proc]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_task.values())
+
+    def placements(self, task: str) -> list[Placement]:
+        """Every copy of ``task`` (more than one only under duplication)."""
+        if task not in self._by_task:
+            raise ScheduleError(f"task {task!r} has not been scheduled")
+        return sorted(self._by_task[task], key=lambda e: (e.finish, e.proc))
+
+    def primary(self, task: str) -> Placement:
+        """The earliest-finishing copy of ``task``."""
+        return self.placements(task)[0]
+
+    def proc_of(self, task: str) -> int:
+        return self.primary(task).proc
+
+    def assignment(self) -> dict[str, int]:
+        """task -> processor of its primary copy."""
+        return {t: self.primary(t).proc for t in self._by_task}
+
+    def on_proc(self, proc: int) -> list[Placement]:
+        if proc not in self._by_proc:
+            raise ScheduleError(f"processor {proc} out of range")
+        return list(self._by_proc[proc])
+
+    # ------------------------------------------------------------------ #
+    # aggregate measures
+    # ------------------------------------------------------------------ #
+    @property
+    def n_procs(self) -> int:
+        return self.machine.n_procs
+
+    def makespan(self) -> float:
+        return max((e.finish for v in self._by_proc.values() for e in v), default=0.0)
+
+    def proc_finish(self, proc: int) -> float:
+        timeline = self.on_proc(proc)
+        return timeline[-1].finish if timeline else 0.0
+
+    def busy_time(self, proc: int) -> float:
+        return sum(e.duration for e in self.on_proc(proc))
+
+    def idle_time(self, proc: int) -> float:
+        """Idle time on ``proc`` before the global makespan."""
+        return self.makespan() - self.busy_time(proc)
+
+    def procs_used(self) -> list[int]:
+        return [p for p, v in sorted(self._by_proc.items()) if v]
+
+    def gaps(self, proc: int) -> list[tuple[float, float]]:
+        """Idle intervals on ``proc`` between time 0 and its last finish."""
+        out: list[tuple[float, float]] = []
+        t = 0.0
+        for e in self.on_proc(proc):
+            if e.start > t + 1e-12:
+                out.append((t, e.start))
+            t = max(t, e.finish)
+        return out
+
+    def has_duplication(self) -> bool:
+        return any(len(v) > 1 for v in self._by_task.values())
+
+    def scheduled_tasks(self) -> list[str]:
+        return sorted(self._by_task)
+
+    def is_complete(self) -> bool:
+        """Every graph task has at least one placement."""
+        return all(t in self._by_task for t in self.graph.task_names)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.scheduler or 'unnamed'!r}, graph={self.graph.name!r}, "
+            f"machine={self.machine.name!r}, makespan={self.makespan():.3f})"
+        )

@@ -1,0 +1,122 @@
+"""Speedup prediction across machine sizes — the paper's Figure 3 chart.
+
+Banger shows "a speedup prediction graph obtained by mapping the PITL design
+onto 2, 4, and 8 hypercube processors".  :func:`predict_speedup` reproduces
+that analysis for any graph, scheduler, machine family, and processor-count
+sweep, returning one :class:`SpeedupPoint` per machine size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graph.analysis import average_parallelism
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import make_machine, single_processor
+from repro.machine.params import IDEAL, MachineParams
+from repro.sched.base import Scheduler
+from repro.sched.metrics import efficiency
+from repro.sched.mh import MHScheduler
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One machine size of a speedup sweep."""
+
+    n_procs: int
+    makespan: float
+    speedup: float
+    efficiency: float
+
+    def as_row(self) -> str:
+        return (
+            f"{self.n_procs:>5d} {self.makespan:>12.3f} "
+            f"{self.speedup:>8.3f} {self.efficiency:>6.3f}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return f"{'procs':>5} {'makespan':>12} {'speedup':>8} {'eff':>6}"
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """A full sweep: serial baseline plus one point per machine size."""
+
+    graph: str
+    scheduler: str
+    family: str
+    serial_time: float
+    points: tuple[SpeedupPoint, ...]
+    max_parallelism: float
+
+    def best(self) -> SpeedupPoint:
+        return max(self.points, key=lambda p: p.speedup)
+
+    def table(self) -> str:
+        lines = [
+            f"speedup prediction: {self.graph} on {self.family} ({self.scheduler})",
+            f"serial time = {self.serial_time:.3f}, "
+            f"graph parallelism bound = {self.max_parallelism:.2f}",
+            SpeedupPoint.header(),
+        ]
+        lines += [p.as_row() for p in self.points]
+        return "\n".join(lines)
+
+
+def predict_speedup(
+    graph: TaskGraph,
+    proc_counts: Sequence[int] = (1, 2, 4, 8),
+    scheduler: Scheduler | None = None,
+    family: str = "hypercube",
+    params: MachineParams = IDEAL,
+) -> SpeedupReport:
+    """Schedule ``graph`` on each machine size and report speedups.
+
+    The serial baseline runs on a single processor with the same parameters,
+    so the curve starts at exactly 1.0 for ``n_procs == 1``.
+    """
+    scheduler = scheduler or MHScheduler()
+    serial = sum(params.exec_time(t.work) for t in graph.tasks)
+    points: list[SpeedupPoint] = []
+    for n in proc_counts:
+        machine = single_processor(params) if n == 1 else make_machine(family, n, params)
+        sched = scheduler.schedule(graph, machine)
+        ms = sched.makespan()
+        sp = serial / ms if ms > 0 else 0.0
+        points.append(
+            SpeedupPoint(
+                n_procs=n,
+                makespan=ms,
+                speedup=sp,
+                efficiency=sp / n if n else 0.0,
+            )
+        )
+    return SpeedupReport(
+        graph=graph.name,
+        scheduler=scheduler.name,
+        family=family,
+        serial_time=serial,
+        points=tuple(points),
+        max_parallelism=average_parallelism(
+            graph, exec_time=lambda t: params.exec_time(graph.work(t))
+        ),
+    )
+
+
+def schedules_for_sizes(
+    graph: TaskGraph,
+    proc_counts: Sequence[int],
+    scheduler: Scheduler | None = None,
+    family: str = "hypercube",
+    params: MachineParams = IDEAL,
+) -> dict[int, Schedule]:
+    """The Gantt-chart side of Figure 3: one schedule per machine size."""
+    scheduler = scheduler or MHScheduler()
+    out: dict[int, Schedule] = {}
+    for n in proc_counts:
+        machine = single_processor(params) if n == 1 else make_machine(family, n, params)
+        out[n] = scheduler.schedule(graph, machine)
+    return out

@@ -1,0 +1,55 @@
+"""Execution substrate: simulated target machines and real executors.
+
+* :func:`simulate` — discrete-event replay of a schedule on the machine
+  model (our stand-in for the paper's physical hypercubes), with optional
+  link contention; returns a :class:`Trace`;
+* :func:`run_dataflow` — sequential reference execution of a design's PITS
+  programs (semantic ground truth);
+* :func:`run_parallel` / :class:`ThreadedExecutor` — real threads + queues
+  executing the schedule's communication plan;
+* :func:`build_comm_plan` — explicit send/recv program derived from a
+  schedule (shared with the code generators);
+* :func:`calibrate_works` — measure task weights by trial-running a design.
+"""
+
+from repro.sim.dataflow_exec import (
+    DataflowResult,
+    calibrate_works,
+    collect_task_env,
+    required_outputs,
+    run_dataflow,
+    run_task,
+)
+from repro.sim.engine import EventEngine
+from repro.sim.executor import compare_with_static, simulate
+from repro.sim.plan import CommPlan, LocalRead, Recv, Send, Step, build_comm_plan
+from repro.sim.stats import TaskTiming, TraceStats, trace_statistics
+from repro.sim.threaded import ParallelResult, ThreadedExecutor, run_parallel
+from repro.sim.trace import MessageHop, TaskRun, Trace
+
+__all__ = [
+    "CommPlan",
+    "DataflowResult",
+    "EventEngine",
+    "LocalRead",
+    "MessageHop",
+    "ParallelResult",
+    "Recv",
+    "Send",
+    "Step",
+    "TaskRun",
+    "TaskTiming",
+    "ThreadedExecutor",
+    "Trace",
+    "TraceStats",
+    "trace_statistics",
+    "build_comm_plan",
+    "calibrate_works",
+    "collect_task_env",
+    "compare_with_static",
+    "required_outputs",
+    "run_dataflow",
+    "run_parallel",
+    "run_task",
+    "simulate",
+]

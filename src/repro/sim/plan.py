@@ -1,0 +1,149 @@
+"""Communication plans: who sends what to whom, per processor.
+
+A :class:`CommPlan` turns a schedule into explicit per-processor step lists
+with receive/send instructions — the shape of a real message-passing
+program.  It is shared by the threaded executor (:mod:`repro.sim.threaded`)
+and by the code generators (:mod:`repro.codegen`), so what we *run* and what
+we *generate* stay consistent by construction.
+
+Sender selection matches the simulator: each (consumer copy, in-edge) pair
+takes its datum from the copy of the producer with the cheapest static
+``finish + comm_cost``; a local copy always wins (cost 0 beats any message).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimError
+from repro.sched.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Wait for variable ``var`` of ``src_task`` from processor ``src_proc``."""
+
+    src_task: str
+    var: str
+    src_proc: int
+    size: float = 1.0
+
+
+@dataclass(frozen=True)
+class Send:
+    """Ship variable ``var`` (produced here by ``src_task``) to ``dst_proc``
+    for ``dst_task``."""
+
+    src_task: str
+    dst_task: str
+    var: str
+    dst_proc: int
+    size: float = 1.0
+
+
+@dataclass(frozen=True)
+class LocalRead:
+    """Read ``var`` of ``src_task`` from this processor's local store."""
+
+    src_task: str
+    var: str
+
+
+@dataclass
+class Step:
+    """Run one task copy: receive, read locals, execute, then send."""
+
+    task: str
+    proc: int
+    start: float
+    recvs: list[Recv] = field(default_factory=list)
+    local_reads: list[LocalRead] = field(default_factory=list)
+    sends: list[Send] = field(default_factory=list)
+    graph_inputs: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CommPlan:
+    """Per-processor step lists plus graph-level input/output wiring."""
+
+    steps_by_proc: dict[int, list[Step]]
+    #: graph output variable -> (producer task, processor holding the value)
+    output_sources: dict[str, tuple[str, int]]
+
+    def procs_used(self) -> list[int]:
+        return sorted(p for p, steps in self.steps_by_proc.items() if steps)
+
+    def all_steps(self) -> list[Step]:
+        return [s for p in sorted(self.steps_by_proc) for s in self.steps_by_proc[p]]
+
+    def channel_count(self) -> int:
+        return sum(len(s.sends) for s in self.all_steps())
+
+
+def build_comm_plan(schedule: Schedule) -> CommPlan:
+    """Derive the explicit message-passing program from a schedule."""
+    graph, machine = schedule.graph, schedule.machine
+    if not schedule.is_complete():
+        missing = [t for t in graph.task_names if t not in schedule]
+        raise SimError(f"cannot plan an incomplete schedule; missing: {missing[:5]}")
+
+    # collect copies, reject two copies of one task on one processor (the
+    # channel naming scheme keys consumers by processor)
+    procs_of: dict[str, list[int]] = {}
+    for entry in schedule:
+        bucket = procs_of.setdefault(entry.task, [])
+        if entry.proc in bucket:
+            raise SimError(
+                f"task {entry.task!r} appears twice on processor {entry.proc}"
+            )
+        bucket.append(entry.proc)
+
+    steps_by_proc: dict[int, list[Step]] = {p: [] for p in machine.procs()}
+    step_of: dict[tuple[str, int], Step] = {}
+    for proc in machine.procs():
+        for placement in schedule.on_proc(proc):
+            step = Step(task=placement.task, proc=proc, start=placement.start)
+            steps_by_proc[proc].append(step)
+            step_of[(placement.task, proc)] = step
+
+    # wire edges: chosen sender per (consumer copy, edge)
+    for task in graph.task_names:
+        for dst_proc in procs_of[task]:
+            consumer = step_of[(task, dst_proc)]
+            for edge in graph.in_edges(task):
+                sender_proc = min(
+                    procs_of[edge.src],
+                    key=lambda p: (
+                        _copy_finish(schedule, edge.src, p)
+                        + machine.comm_cost(p, dst_proc, edge.size),
+                        p,
+                    ),
+                )
+                if sender_proc == dst_proc:
+                    consumer.local_reads.append(LocalRead(edge.src, edge.var))
+                else:
+                    consumer.recvs.append(
+                        Recv(edge.src, edge.var, sender_proc, edge.size)
+                    )
+                    step_of[(edge.src, sender_proc)].sends.append(
+                        Send(edge.src, task, edge.var, dst_proc, edge.size)
+                    )
+
+    # graph inputs are preloaded on every processor that consumes them
+    for var, consumers in graph.graph_inputs.items():
+        for task in consumers:
+            for proc in procs_of[task]:
+                step_of[(task, proc)].graph_inputs.append(var)
+
+    output_sources = {
+        var: (producer, schedule.primary(producer).proc)
+        for var, producer in graph.graph_outputs.items()
+    }
+    return CommPlan(steps_by_proc=steps_by_proc, output_sources=output_sources)
+
+
+def _copy_finish(schedule: Schedule, task: str, proc: int) -> float:
+    for placement in schedule.placements(task):
+        if placement.proc == proc:
+            return placement.finish
+    raise SimError(f"no copy of {task!r} on processor {proc}")

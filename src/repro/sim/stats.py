@@ -1,0 +1,111 @@
+"""Trace analytics: where did the time go?
+
+Post-mortem statistics over a simulated run: per-task waiting (data-ready
+delay vs. processor-busy delay), per-link utilisation, and a one-screen
+summary.  This is the quantitative side of the animation — the numbers a
+designer reads after watching the machine run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.taskgraph import TaskGraph
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Decomposition of one task's life: when it could/did start and why."""
+
+    task: str
+    proc: int
+    pred_finish: float  # latest predecessor finish (its own copy choices)
+    start: float
+    finish: float
+
+    @property
+    def wait(self) -> float:
+        """Time between the last predecessor finishing and this task
+        starting — communication delay plus processor queueing."""
+        return max(self.start - self.pred_finish, 0.0)
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class TraceStats:
+    timings: dict[str, TaskTiming]
+    makespan: float
+    total_busy: float
+    total_wait: float
+    link_utilisation: dict[tuple[int, int], float]
+
+    @property
+    def wait_fraction(self) -> float:
+        """Waiting as a fraction of total task lifetime (0 = no stalls)."""
+        denom = self.total_busy + self.total_wait
+        return self.total_wait / denom if denom > 0 else 0.0
+
+    def slowest_waits(self, k: int = 3) -> list[TaskTiming]:
+        return sorted(self.timings.values(), key=lambda t: -t.wait)[:k]
+
+    def render(self) -> str:
+        lines = [
+            f"trace statistics: makespan {self.makespan:g}, "
+            f"busy {self.total_busy:g}, waiting {self.total_wait:g} "
+            f"({self.wait_fraction:.0%} of task lifetime)",
+        ]
+        worst = [t for t in self.slowest_waits() if t.wait > 0]
+        if worst:
+            lines.append("longest waits:")
+            for t in worst:
+                lines.append(
+                    f"  {t.task} on P{t.proc}: waited {t.wait:g} "
+                    f"(ready {t.pred_finish:g}, started {t.start:g})"
+                )
+        if self.link_utilisation:
+            busiest = sorted(
+                self.link_utilisation.items(), key=lambda kv: -kv[1]
+            )[:3]
+            lines.append("busiest links:")
+            for link, util in busiest:
+                lines.append(f"  {link[0]}-{link[1]}: {util:.0%}")
+        return "\n".join(lines)
+
+
+def trace_statistics(trace: Trace, graph: TaskGraph) -> TraceStats:
+    """Compute per-task wait decomposition and link utilisation."""
+    finish_times = trace.finish_times()
+    timings: dict[str, TaskTiming] = {}
+    total_busy = 0.0
+    total_wait = 0.0
+    for task in graph.task_names:
+        run = trace.run_of(task)
+        pred_finish = max(
+            (finish_times[p] for p in graph.predecessors(task)), default=0.0
+        )
+        timing = TaskTiming(
+            task=task,
+            proc=run.proc,
+            pred_finish=pred_finish,
+            start=run.start,
+            finish=run.finish,
+        )
+        timings[task] = timing
+        total_busy += timing.duration
+        total_wait += timing.wait
+    makespan = trace.makespan()
+    link_util = {
+        link: (busy / makespan if makespan > 0 else 0.0)
+        for link, busy in trace.link_busy_time().items()
+    }
+    return TraceStats(
+        timings=timings,
+        makespan=makespan,
+        total_busy=total_busy,
+        total_wait=total_wait,
+        link_utilisation=link_util,
+    )

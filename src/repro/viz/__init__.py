@@ -1,0 +1,66 @@
+"""Text renderers for every Banger visual: graphs, Gantt charts, speedup
+charts, topologies, and the calculator panel.
+
+The paper's GUI is substituted with these renderers (see DESIGN.md); each
+figure of the paper has a corresponding function here:
+
+* Figure 1 — :func:`render_dataflow` / :func:`dataflow_to_dot`;
+* Figure 2 — :func:`render_topology` / :func:`render_topology_gallery`;
+* Figure 3 — :func:`render_gantt` / :func:`render_gantt_series` /
+  :func:`render_speedup_chart`;
+* Figure 4 — :func:`render_panel`.
+"""
+
+from repro.viz.animate import animation_frames, machine_state_at, render_animation, render_frame
+from repro.viz.export import (
+    reports_to_csv,
+    schedule_to_chrome_trace,
+    schedule_to_csv,
+    speedup_to_csv,
+    trace_to_chrome_trace,
+)
+from repro.viz.gantt import (
+    render_gantt,
+    render_gantt_series,
+    render_link_gantt,
+    render_trace_gantt,
+)
+from repro.viz.graphs import (
+    dataflow_to_dot,
+    render_dataflow,
+    render_taskgraph,
+    taskgraph_to_dot,
+)
+from repro.viz.panel import render_panel
+from repro.viz.speedup import (
+    render_speedup_chart,
+    render_speedup_comparison,
+    render_speedup_table,
+)
+from repro.viz.topology import render_topology, render_topology_gallery
+
+__all__ = [
+    "animation_frames",
+    "dataflow_to_dot",
+    "machine_state_at",
+    "render_animation",
+    "render_frame",
+    "reports_to_csv",
+    "schedule_to_chrome_trace",
+    "schedule_to_csv",
+    "speedup_to_csv",
+    "trace_to_chrome_trace",
+    "render_dataflow",
+    "render_gantt",
+    "render_gantt_series",
+    "render_link_gantt",
+    "render_panel",
+    "render_speedup_chart",
+    "render_speedup_comparison",
+    "render_speedup_table",
+    "render_taskgraph",
+    "render_topology",
+    "render_topology_gallery",
+    "render_trace_gantt",
+    "taskgraph_to_dot",
+]

@@ -1,0 +1,127 @@
+"""Machine-readable exports: Chrome tracing JSON and CSV tables.
+
+``chrome://tracing`` (or Perfetto) renders the JSON as an interactive Gantt
+chart — the modern equivalent of Banger's animated displays.  CSV exports
+feed spreadsheets and plotting scripts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.sched.metrics import ScheduleReport
+from repro.sched.schedule import Schedule
+from repro.sched.sweeps import SpeedupReport
+from repro.sim.trace import Trace
+
+#: Chrome tracing wants microseconds; one abstract time unit maps to this.
+_TIME_SCALE = 1000.0
+
+
+def schedule_to_chrome_trace(schedule: Schedule) -> str:
+    """Chrome tracing JSON for a static schedule (tasks + messages)."""
+    events = []
+    for entry in schedule:
+        events.append(
+            {
+                "name": entry.task,
+                "cat": "task",
+                "ph": "X",
+                "ts": entry.start * _TIME_SCALE,
+                "dur": entry.duration * _TIME_SCALE,
+                "pid": 0,
+                "tid": entry.proc,
+                "args": {"work": schedule.graph.work(entry.task)},
+            }
+        )
+    for i, m in enumerate(schedule.messages):
+        events.append(
+            {
+                "name": f"{m.var or 'msg'}:{m.src_task}->{m.dst_task}",
+                "cat": "message",
+                "ph": "X",
+                "ts": m.start * _TIME_SCALE,
+                "dur": max(m.finish - m.start, 1e-3) * _TIME_SCALE,
+                "pid": 1,
+                "tid": m.src_proc,
+                "args": {"size": m.size, "route": list(m.route)},
+            }
+        )
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": f"processors ({schedule.machine.name})"}},
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "messages"}},
+    ]
+    return json.dumps({"traceEvents": meta + events, "displayTimeUnit": "ms"}, indent=1)
+
+
+def trace_to_chrome_trace(trace: Trace) -> str:
+    """Chrome tracing JSON for a simulated trace (runs + link hops)."""
+    events = []
+    for run in trace.runs:
+        events.append(
+            {
+                "name": run.task,
+                "cat": "task",
+                "ph": "X",
+                "ts": run.start * _TIME_SCALE,
+                "dur": max(run.finish - run.start, 1e-3) * _TIME_SCALE,
+                "pid": 0,
+                "tid": run.proc,
+            }
+        )
+    link_rows = {link: i for i, link in enumerate(sorted({h.link for h in trace.hops}))}
+    for hop in trace.hops:
+        events.append(
+            {
+                "name": f"{hop.var or 'msg'} {hop.src_task}->{hop.dst_task}",
+                "cat": "link",
+                "ph": "X",
+                "ts": hop.start * _TIME_SCALE,
+                "dur": max(hop.finish - hop.start, 1e-3) * _TIME_SCALE,
+                "pid": 1,
+                "tid": link_rows[hop.link],
+                "args": {"link": list(hop.link)},
+            }
+        )
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": f"processors ({trace.machine_name})"}},
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "links"}},
+    ]
+    for link, row in link_rows.items():
+        meta.append(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": row,
+             "args": {"name": f"link {link[0]}-{link[1]}"}}
+        )
+    return json.dumps({"traceEvents": meta + events, "displayTimeUnit": "ms"}, indent=1)
+
+
+def schedule_to_csv(schedule: Schedule) -> str:
+    """One row per placement: task,proc,start,finish,duration."""
+    lines = ["task,proc,start,finish,duration"]
+    for entry in schedule:
+        lines.append(
+            f"{entry.task},{entry.proc},{entry.start:g},{entry.finish:g},{entry.duration:g}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def reports_to_csv(reports: list[ScheduleReport]) -> str:
+    """Scheduler-comparison rows as CSV."""
+    lines = ["scheduler,graph,machine,n_procs,makespan,speedup,efficiency,slr,"
+             "messages,comm_volume,duplicated"]
+    for r in reports:
+        lines.append(
+            f"{r.scheduler},{r.graph},{r.machine},{r.n_procs},{r.makespan:g},"
+            f"{r.speedup:g},{r.efficiency:g},{r.slr:g},{r.messages},"
+            f"{r.comm_volume:g},{int(r.duplicated)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def speedup_to_csv(report: SpeedupReport) -> str:
+    lines = ["n_procs,makespan,speedup,efficiency"]
+    for p in report.points:
+        lines.append(f"{p.n_procs},{p.makespan:g},{p.speedup:g},{p.efficiency:g}")
+    return "\n".join(lines) + "\n"

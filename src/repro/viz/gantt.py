@@ -1,0 +1,171 @@
+"""ASCII Gantt charts — the paper's Figure 3, rendered in text.
+
+Works for both static schedules and simulator traces; processors are rows,
+time flows left to right, task names are written into their bars when they
+fit.
+"""
+
+from __future__ import annotations
+
+from repro.sched.schedule import Schedule
+from repro.sim.trace import Trace
+
+_BAR = "="
+_CP_BAR = "#"
+_IDLE = "."
+
+
+def _bars(
+    rows: dict[int, list[tuple[str, float, float]]],
+    makespan: float,
+    width: int,
+    emphasized: frozenset[str] = frozenset(),
+) -> list[str]:
+    lines = []
+    scale = width / makespan if makespan > 0 else 0.0
+    for proc in sorted(rows):
+        cells = [_IDLE] * width
+        for task, start, finish in rows[proc]:
+            bar = _CP_BAR if task in emphasized else _BAR
+            a = int(round(start * scale))
+            b = max(a + 1, int(round(finish * scale)))
+            b = min(b, width)
+            for i in range(a, b):
+                cells[i] = bar
+            label = task[: max(0, b - a - 2)]
+            if label and b - a >= len(label) + 2:
+                mid = a + (b - a - len(label)) // 2
+                cells[mid : mid + len(label)] = label
+        lines.append(f"P{proc:<3}|{''.join(cells)}|")
+    return lines
+
+
+def _axis(makespan: float, width: int) -> str:
+    ticks = 6
+    cells = [" "] * (width + 5)
+    for i in range(ticks + 1):
+        t = makespan * i / ticks
+        pos = 4 + int(round(width * i / ticks))
+        label = f"{t:g}"
+        for j, ch in enumerate(label):
+            if pos + j < len(cells):
+                cells[pos + j] = ch
+    return "".join(cells).rstrip()
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 72,
+    show_messages: bool = False,
+    highlight_critical: bool = False,
+) -> str:
+    """Text Gantt chart of a static schedule.
+
+    With ``highlight_critical`` the tasks of the machine-aware critical
+    path are drawn with ``#`` bars, so the chain that bounds the makespan
+    stands out from the overlappable work.
+    """
+    makespan = schedule.makespan()
+    rows = {
+        p: [(e.task, e.start, e.finish) for e in schedule.on_proc(p)]
+        for p in schedule.machine.procs()
+    }
+    emphasized: frozenset[str] = frozenset()
+    if highlight_critical:
+        from repro.graph.analysis import critical_path
+
+        graph, machine = schedule.graph, schedule.machine
+        _, path = critical_path(
+            graph,
+            exec_time=lambda t: machine.exec_time(graph.work(t)),
+            comm_cost=lambda e: machine.mean_comm_cost(e.size),
+        )
+        emphasized = frozenset(path)
+    header = (
+        f"Gantt chart: {schedule.graph.name} on {schedule.machine.name}"
+        f" ({schedule.scheduler or 'manual'}), makespan {makespan:.3f}"
+    )
+    if emphasized:
+        header += "  ['#' bars = critical path]"
+    lines = [header, _axis(makespan, width)]
+    lines += _bars(rows, makespan, width, emphasized)
+    if show_messages and schedule.messages:
+        lines.append("messages:")
+        for m in sorted(schedule.messages, key=lambda m: (m.start, m.src_task)):
+            route = "->".join(str(p) for p in m.route) if m.route else f"{m.src_proc}->{m.dst_proc}"
+            lines.append(
+                f"  {m.src_task} -> {m.dst_task}  {m.var or '(control)'}"
+                f"  [{m.start:g}, {m.finish:g}]  via {route}"
+            )
+    return "\n".join(lines)
+
+
+def render_trace_gantt(trace: Trace, width: int = 72, show_hops: bool = False) -> str:
+    """Text Gantt chart of a simulated trace."""
+    makespan = trace.makespan()
+    procs = sorted({r.proc for r in trace.runs})
+    rows = {
+        p: [(r.task, r.start, r.finish) for r in trace.runs_on(p)] for p in procs
+    }
+    header = (
+        f"Simulated Gantt: {trace.graph_name} on {trace.machine_name}, "
+        f"makespan {makespan:.3f}"
+    )
+    lines = [header, _axis(makespan, width)]
+    lines += _bars(rows, makespan, width)
+    if show_hops and trace.hops:
+        lines.append("link traffic:")
+        for hop in trace.hops:
+            lines.append(
+                f"  link {hop.link[0]}-{hop.link[1]}: {hop.var or '(control)'} "
+                f"of {hop.src_task}->{hop.dst_task}  [{hop.start:g}, {hop.finish:g}]"
+            )
+    return "\n".join(lines)
+
+
+def render_link_gantt(trace: Trace, width: int = 72) -> str:
+    """Link-utilisation chart: one row per link, bars where messages fly.
+
+    The complement of the processor Gantt — this is where contention is
+    visible (stacked demand on one row means queued messages).
+    """
+    makespan = trace.makespan()
+    links = sorted({h.link for h in trace.hops})
+    if not links:
+        return "no link traffic (everything ran on one processor)"
+    rows: dict[int, list[tuple[str, float, float]]] = {}
+    labels: dict[int, str] = {}
+    for idx, link in enumerate(links):
+        labels[idx] = f"{link[0]}-{link[1]}"
+        rows[idx] = [
+            (h.var or "msg", h.start, h.finish)
+            for h in trace.hops
+            if h.link == link
+        ]
+    header = (
+        f"Link utilisation: {trace.graph_name} on {trace.machine_name}, "
+        f"{len(trace.hops)} hop(s) over {len(links)} link(s)"
+    )
+    lines = [header, _axis(makespan, width)]
+    scale = width / makespan if makespan > 0 else 0.0
+    busy = trace.link_busy_time()
+    for idx in sorted(rows):
+        cells = [_IDLE] * width
+        for name, start, finish in rows[idx]:
+            a = int(round(start * scale))
+            b = min(max(a + 1, int(round(finish * scale))), width)
+            for i in range(a, b):
+                cells[i] = "#" if cells[i] in (_IDLE, "#") else "!"
+        link = links[idx]
+        util = busy.get(link, 0.0) / makespan if makespan else 0.0
+        lines.append(f"{labels[idx]:>4}|{''.join(cells)}| {util:4.0%}")
+    return "\n".join(lines)
+
+
+def render_gantt_series(schedules: dict[int, Schedule], width: int = 72) -> str:
+    """Stacked Gantt charts for several machine sizes (Figure 3's layout)."""
+    parts = []
+    for n in sorted(schedules):
+        parts.append(render_gantt(schedules[n], width=width))
+        parts.append("")
+    return "\n".join(parts).rstrip()

@@ -1,0 +1,88 @@
+"""Dataflow-graph rendering: Graphviz dot output and a levelled ASCII view.
+
+The dot output mirrors the paper's Figure 1 conventions: tasks are ovals,
+composites are bold ovals, storage nodes are open rectangles, and arcs are
+labelled with the variable that flows along them.
+"""
+
+from __future__ import annotations
+
+from repro.graph.analysis import precedence_levels
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.node import StorageNode, TaskNode
+from repro.graph.taskgraph import TaskGraph
+
+
+def dataflow_to_dot(graph: DataflowGraph) -> str:
+    """Graphviz source for one level of a design (Figure 1 styling)."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for node in graph.nodes:
+        if isinstance(node, StorageNode):
+            label = node.data if node.data == node.name else f"{node.name}\\n({node.data})"
+            lines.append(f'  "{node.name}" [shape=box, label="{label}"];')
+        elif isinstance(node, TaskNode) and node.is_composite:
+            label = node.label or node.name
+            lines.append(
+                f'  "{node.name}" [shape=ellipse, penwidth=3, label="{label}"];'
+            )
+        else:
+            label = node.label or node.name
+            lines.append(f'  "{node.name}" [shape=ellipse, label="{label}"];')
+    for arc in graph.arcs:
+        attr = f' [label="{arc.var}"]' if arc.var else ""
+        lines.append(f'  "{arc.src}" -> "{arc.dst}"{attr};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def taskgraph_to_dot(tg: TaskGraph) -> str:
+    """Graphviz source for a flat task graph (weights in labels)."""
+    lines = [f'digraph "{tg.name}" {{', "  rankdir=TB;"]
+    for spec in tg.tasks:
+        lines.append(
+            f'  "{spec.name}" [shape=ellipse, label="{spec.name}\\nw={spec.work:g}"];'
+        )
+    for e in tg.edges:
+        label = f"{e.var} ({e.size:g})" if e.var else f"{e.size:g}"
+        lines.append(f'  "{e.src}" -> "{e.dst}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_taskgraph(tg: TaskGraph) -> str:
+    """Levelled ASCII view: one line per precedence level."""
+    levels = precedence_levels(tg)
+    by_level: dict[int, list[str]] = {}
+    for task, level in levels.items():
+        by_level.setdefault(level, []).append(task)
+    lines = [
+        f"task graph {tg.name}: {len(tg)} tasks, {len(tg.edges)} edges, "
+        f"total work {tg.total_work():g}, total comm {tg.total_comm():g}"
+    ]
+    for level in sorted(by_level):
+        names = "  ".join(sorted(by_level[level]))
+        lines.append(f"  level {level}: {names}")
+    lines.append("edges:")
+    for e in tg.edges:
+        lines.append(f"  {e.src} -> {e.dst}  {e.var or '(control)'} size {e.size:g}")
+    return "\n".join(lines)
+
+
+def render_dataflow(graph: DataflowGraph, indent: str = "") -> str:
+    """Indented outline of a hierarchical design (composites recurse)."""
+    lines = [f"{indent}design {graph.name}:"]
+    for node in graph.nodes:
+        if isinstance(node, StorageNode):
+            init = " (input)" if node.initial is not None else ""
+            lines.append(f"{indent}  [storage] {node.name}: {node.data}{init}")
+        elif node.is_composite:
+            lines.append(f"{indent}  [composite] {node.name}: {node.label or ''}".rstrip())
+            lines.append(render_dataflow(graph.subgraph(node.name), indent + "    "))
+        else:
+            has_prog = " +program" if node.program else ""
+            lines.append(
+                f"{indent}  [task] {node.name}: work {node.work:g}{has_prog}"
+            )
+    for arc in graph.arcs:
+        lines.append(f"{indent}  {arc.src} --{arc.var or ''}--> {arc.dst}")
+    return "\n".join(lines)

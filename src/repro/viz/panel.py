@@ -1,0 +1,54 @@
+"""ASCII rendering of the calculator panel — the paper's Figure 4 layout.
+
+Four regions, exactly as the figure describes them: local variables upper
+left, input/output variables upper right, the button panel upper middle,
+and the textual program window at the bottom.
+"""
+
+from __future__ import annotations
+
+from repro.calc.panel import CalculatorPanel, all_buttons
+
+_WIDTH = 78
+
+
+def _boxed(title: str, content: list[str], width: int) -> list[str]:
+    inner = width - 2
+    lines = [f"+{('[ ' + title + ' ]').center(inner, '-')}+"]
+    for line in content:
+        lines.append(f"|{line[:inner].ljust(inner)}|")
+    lines.append(f"+{'-' * inner}+")
+    return lines
+
+
+def render_panel(panel: CalculatorPanel, width: int = _WIDTH) -> str:
+    """The full calculator window as text."""
+    half = width // 2 - 1
+
+    locals_win = panel.locals or ["(none)"]
+    io_win = [f"in:  {', '.join(panel.inputs) or '-'}",
+              f"out: {', '.join(panel.outputs) or '-'}"]
+    left = _boxed("local variables", locals_win, half)
+    right = _boxed("input/output variables", io_win, half)
+    height = max(len(left), len(right))
+    left += [" " * half] * (height - len(left))
+    right += [" " * half] * (height - len(right))
+    lines = [f"Calculator — {panel.task_name or 'untitled task'}"]
+    lines += [f"{l} {r}" for l, r in zip(left, right)]
+
+    groups = all_buttons()
+    button_rows: list[str] = []
+    for name in ("digits", "operators", "keywords", "functions", "constants", "editing"):
+        row = " ".join(f"[{b}]" for b in groups[name])
+        while len(row) > width - 4:
+            cut = row.rfind(" ", 0, width - 4)
+            button_rows.append(row[:cut])
+            row = row[cut + 1 :]
+        button_rows.append(row)
+    lines += _boxed("buttons", button_rows, width)
+
+    display = f"> {panel.current_line}" if panel.current_line else ">"
+    register = f"= {panel.register}" if panel.register is not None else "="
+    program = panel.lines or ["(empty program)"]
+    lines += _boxed("program", program + [display, register], width)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""ASCII speedup chart — the right half of the paper's Figure 3."""
+
+from __future__ import annotations
+
+from repro.sched.sweeps import SpeedupReport
+
+
+def render_speedup_chart(report: SpeedupReport, width: int = 50) -> str:
+    """Horizontal bar chart of speedup vs processor count.
+
+    One bar per machine size; the ideal (linear) speedup position is marked
+    with ``|`` so saturation is visible at a glance.
+    """
+    lines = [
+        f"Speedup prediction: {report.graph} on {report.family} "
+        f"({report.scheduler})",
+        f"serial time {report.serial_time:g}; "
+        f"graph parallelism bound {report.max_parallelism:.2f}",
+    ]
+    max_procs = max(p.n_procs for p in report.points)
+    scale = width / max_procs
+    for point in report.points:
+        bar_len = max(1, int(round(point.speedup * scale)))
+        ideal_pos = int(round(point.n_procs * scale))
+        cells = ["#"] * bar_len + [" "] * max(0, width - bar_len + 2)
+        if ideal_pos < len(cells):
+            cells[ideal_pos] = "|"
+        lines.append(
+            f"p={point.n_procs:<3} [{''.join(cells[:width + 1])}] "
+            f"{point.speedup:5.2f}x  eff {point.efficiency:4.2f}"
+        )
+    lines.append(f"('|' marks ideal linear speedup; bars are predicted speedup)")
+    return "\n".join(lines)
+
+
+def render_speedup_table(report: SpeedupReport) -> str:
+    """Plain table of the same sweep (for logs and EXPERIMENTS.md)."""
+    return report.table()
+
+
+def render_speedup_comparison(reports: dict[str, SpeedupReport]) -> str:
+    """Several sweeps side by side (e.g. before/after splitting, or per
+    scheduler): rows are processor counts, columns are the labelled runs."""
+    if not reports:
+        return "(no sweeps to compare)"
+    all_procs = sorted({p.n_procs for rep in reports.values() for p in rep.points})
+    labels = list(reports)
+    head = f"{'procs':>6} " + " ".join(f"{label:>12}" for label in labels)
+    lines = ["Speedup comparison", head]
+    for n in all_procs:
+        cells = []
+        for label in labels:
+            match = next(
+                (p for p in reports[label].points if p.n_procs == n), None
+            )
+            cells.append(f"{match.speedup:>11.2f}x" if match else f"{'-':>12}")
+        lines.append(f"{n:>6} " + " ".join(cells))
+    return "\n".join(lines)

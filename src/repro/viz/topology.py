@@ -1,0 +1,58 @@
+"""ASCII renderings of interconnection topologies (the paper's Figure 2)."""
+
+from __future__ import annotations
+
+from repro.machine.topologies import Hypercube, Mesh2D
+from repro.machine.topology import Topology
+
+
+def render_topology(topo: Topology) -> str:
+    """Summary + adjacency listing; meshes and small hypercubes get drawings."""
+    lines = [
+        f"topology {topo.name}: {topo.n_procs} processors, {topo.n_links} links",
+        f"diameter {topo.diameter()}, average distance {topo.average_distance():.3f}, "
+        f"max degree {topo.max_degree()}",
+    ]
+    if isinstance(topo, Mesh2D):
+        lines.append("")
+        lines += _draw_mesh(topo)
+    elif isinstance(topo, Hypercube) and topo.dim == 3:
+        lines.append("")
+        lines += _draw_cube3()
+    lines.append("")
+    lines.append("adjacency:")
+    for p in range(topo.n_procs):
+        neighbors = " ".join(str(q) for q in topo.neighbors(p))
+        lines.append(f"  {p}: {neighbors}")
+    return "\n".join(lines)
+
+
+def _draw_mesh(mesh: Mesh2D) -> list[str]:
+    lines = []
+    for r in range(mesh.rows):
+        row = " -- ".join(f"{mesh.proc_at(r, c):>2}" for c in range(mesh.cols))
+        lines.append(row)
+        if r + 1 < mesh.rows:
+            lines.append("  |  " * mesh.cols)
+    return lines
+
+
+def _draw_cube3() -> list[str]:
+    return [
+        "      6--------7",
+        "     /|       /|",
+        "    4--------5 |",
+        "    | |      | |",
+        "    | 2------|-3",
+        "    |/       |/",
+        "    0--------1",
+    ]
+
+
+def render_topology_gallery(topos: list[Topology]) -> str:
+    """Several topologies side by... stacked (Figure 2 shows two examples)."""
+    parts = []
+    for topo in topos:
+        parts.append(render_topology(topo))
+        parts.append("")
+    return "\n".join(parts).rstrip()

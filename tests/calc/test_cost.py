@@ -1,0 +1,76 @@
+"""Tests for static and dynamic work estimation."""
+
+import pytest
+
+from repro.calc import estimate_work, measure_work
+from repro.calc.library import LIBRARY
+
+
+class TestMeasureWork:
+    def test_counts_scale_with_input(self):
+        src = "input n\noutput s\nlocal i\ns := 0\nfor i := 1 to n do\ns := s + i\nend"
+        small = measure_work(src, n=10)
+        big = measure_work(src, n=100)
+        assert big > small * 5
+
+    def test_straightline_count(self):
+        # one binary op + one assignment op accounting
+        assert measure_work("output x\nx := 1 + 2") >= 1
+
+    def test_builtin_cost_included(self):
+        plain = measure_work("output x\nx := 1 + 1")
+        trig = measure_work("output x\nx := sin(1) + 1")
+        assert trig > plain
+
+    def test_array_ops_cost_by_size(self):
+        small = measure_work("input v\noutput s\ns := sum(v)", v=[1] * 4)
+        big = measure_work("input v\noutput s\ns := sum(v)", v=[1] * 400)
+        assert big > small
+
+
+class TestEstimateWork:
+    def test_constant_for_loop_trip_count(self):
+        src10 = "output s\nlocal i\ns := 0\nfor i := 1 to 10 do\ns := s + i\nend"
+        src100 = src10.replace("10", "100")
+        assert estimate_work(src100) > estimate_work(src10) * 5
+
+    def test_step_respected(self):
+        base = "output s\nlocal i\ns := 0\nfor i := 1 to 100 do\ns := s + 1\nend"
+        stepped = "output s\nlocal i\ns := 0\nfor i := 1 to 100 step 10 do\ns := s + 1\nend"
+        assert estimate_work(base) > estimate_work(stepped) * 5
+
+    def test_while_uses_default_iterations(self):
+        src = "output s\ns := 0\nwhile s < 5 do\ns := s + 1\nend"
+        assert estimate_work(src, default_iterations=10) < estimate_work(
+            src, default_iterations=1000
+        )
+
+    def test_if_takes_max_branch(self):
+        cheap_then = (
+            "input a\noutput s\nif a > 0 then\ns := 1\nelse\n"
+            "s := sin(a) + cos(a) + exp(a)\nend"
+        )
+        only_cheap = "input a\noutput s\nif a > 0 then\ns := 1\nelse\ns := 2\nend"
+        assert estimate_work(cheap_then) > estimate_work(only_cheap)
+
+    def test_nonconstant_bounds_fall_back(self):
+        src = "input n\noutput s\nlocal i\ns := 0\nfor i := 1 to n do\ns := s + 1\nend"
+        lo = estimate_work(src, default_iterations=2)
+        hi = estimate_work(src, default_iterations=200)
+        assert hi > lo * 10
+
+    def test_negative_trip_count_clamped(self):
+        src = "output s\nlocal i\ns := 0\nfor i := 5 to 1 do\ns := s + 1\nend"
+        assert estimate_work(src) >= 0
+
+    def test_all_library_routines_estimable(self):
+        for name, src in LIBRARY.items():
+            assert estimate_work(src) > 0, name
+
+
+class TestStaticVsDynamicAgreement:
+    def test_same_order_of_magnitude_for_loops(self):
+        src = "output s\nlocal i\ns := 0\nfor i := 1 to 50 do\ns := s + i * 2\nend"
+        static = estimate_work(src)
+        dynamic = measure_work(src)
+        assert 0.2 < static / dynamic < 5.0

@@ -1,0 +1,138 @@
+"""Tests for the forall construct and the PITS unparser."""
+
+import numpy as np
+import pytest
+
+from repro.calc import Severity, analyze, parse, run_program
+from repro.calc.ast import For
+from repro.calc.library import LIBRARY
+from repro.calc.unparse import unparse
+from repro.errors import CalcSyntaxError
+
+
+class TestForallParsing:
+    def test_parses_as_parallel_for(self):
+        p = parse("output w\nlocal i\nw := zeros(4)\nforall i := 1 to 4 do\nw[i] := i\nend")
+        loop = p.body[-1]
+        assert isinstance(loop, For)
+        assert loop.parallel
+        assert loop.step is None
+
+    def test_plain_for_not_parallel(self):
+        p = parse("output w\nlocal i\nw := zeros(4)\nfor i := 1 to 4 do\nw[i] := i\nend")
+        assert not p.body[-1].parallel
+
+    def test_step_rejected(self):
+        with pytest.raises(CalcSyntaxError, match="step"):
+            parse("output w\nforall i := 1 to 9 step 2 do\nw[i] := i\nend")
+
+
+class TestForallSemantics:
+    def test_runs_like_for(self):
+        src = "input n\noutput w\nlocal i\nw := zeros(n)\nforall i := 1 to n do\nw[i] := i * i\nend"
+        r = run_program(src, n=5)
+        np.testing.assert_allclose(r.outputs["w"], [1, 4, 9, 16, 25])
+
+    def test_matrix_rows(self):
+        src = (
+            "input A\noutput B\nlocal i, j, n\nn := rows(A)\nB := zeros(n, n)\n"
+            "forall i := 1 to n do\nfor j := 1 to n do\nB[i, j] := 2 * A[i, j]\nend\nend"
+        )
+        r = run_program(src, A=[[1, 2], [3, 4]])
+        np.testing.assert_allclose(r.outputs["B"], [[2, 4], [6, 8]])
+
+    def test_codegen_parity(self):
+        from repro.codegen import function_name, gen_task_function
+        from repro.codegen import runtime as _rt
+
+        src = "input n\noutput w\nlocal i\nw := zeros(n)\nforall i := 1 to n do\nw[i] := i\nend"
+        code = gen_task_function("t", src)
+        namespace = {"_rt": _rt, "_np": np}
+        exec(compile(code, "<g>", "exec"), namespace)
+        out = namespace[function_name("t")]({"n": 4.0}, lambda s: None)
+        np.testing.assert_allclose(out["w"], [1, 2, 3, 4])
+
+
+class TestForallAnalysis:
+    def test_clean_forall(self):
+        src = "input v\noutput w\nlocal i\nw := zeros(len(v))\nforall i := 1 to len(v) do\nw[i] := v[i]\nend"
+        assert not [d for d in analyze(src) if d.severity is Severity.ERROR]
+
+    def test_scalar_write_rejected(self):
+        src = "output s\nlocal i\ns := 0\nforall i := 1 to 4 do\ns := s + i\nend"
+        msgs = [d.message for d in analyze(src) if d.severity is Severity.ERROR]
+        assert any("assigns scalar" in m for m in msgs)
+
+    def test_wrong_first_subscript_rejected(self):
+        src = (
+            "output w\nlocal i\nw := zeros(4)\n"
+            "forall i := 1 to 4 do\nw[5 - i] := i\nend"
+        )
+        msgs = [d.message for d in analyze(src) if d.severity is Severity.ERROR]
+        assert any("first" in m and "subscript" in m for m in msgs)
+
+    def test_nested_forall_rejected(self):
+        src = (
+            "output A\nlocal i, j\nA := zeros(3, 3)\n"
+            "forall i := 1 to 3 do\nforall j := 1 to 3 do\nA[j, i] := 1\nend\nend"
+        )
+        msgs = [d.message for d in analyze(src) if d.severity is Severity.ERROR]
+        assert any("nested forall" in m for m in msgs)
+
+    def test_display_in_forall_warns(self):
+        src = (
+            "output w\nlocal i\nw := zeros(3)\n"
+            'forall i := 1 to 3 do\nw[i] := i\ndisplay("hi")\nend'
+        )
+        warns = [d.message for d in analyze(src) if d.severity is Severity.WARNING]
+        assert any("nondeterministic" in m for m in warns)
+
+
+class TestUnparse:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_library_roundtrip_behaviour(self, name):
+        """parse(unparse(parse(src))) must behave like parse(src)."""
+        from repro.calc import stock
+
+        src = stock(name)
+        twice = unparse(parse(src))
+        reparsed = parse(twice)
+        assert reparsed.inputs == parse(src).inputs
+        assert reparsed.outputs == parse(src).outputs
+        samples = {
+            "square_root": {"a": 7.0},
+            "polynomial": {"c": [1.0, -2.0], "x": 3.0},
+            "trapezoid_sin": {"a": 0.0, "b": 1.0, "n": 10.0},
+            "stats": {"v": [1.0, 2.0, 5.0]},
+            "quadratic": {"a": 1.0, "b": -4.0, "c": 3.0},
+            "matvec": {"A": [[1.0, 2.0], [3.0, 4.0]], "x": [1.0, -1.0]},
+            "axpy": {"a": 2.0, "x": [1.0], "yin": [3.0]},
+            "gcd": {"a": 12.0, "b": 18.0},
+            "bisect_cos": {"lo": 0.0, "hi": 1.0, "tol": 1e-8},
+            "simpson_exp": {"a": 0.0, "b": 1.0, "n": 10.0},
+            "linreg": {"x": [1.0, 2.0, 3.0], "y": [2.0, 4.0, 6.0]},
+            "compound": {"principal": 100.0, "rate": 0.05, "n": 3.0},
+        }
+        original = run_program(src, **samples[name])
+        again = run_program(twice, **samples[name])
+        assert set(original.outputs) == set(again.outputs)
+        for key, value in original.outputs.items():
+            np.testing.assert_allclose(again.outputs[key], value)
+
+    def test_forall_keyword_preserved(self):
+        src = "output w\nlocal i\nw := zeros(4)\nforall i := 1 to 4 do\nw[i] := i\nend\n"
+        assert "forall i := 1 to 4 do" in unparse(parse(src))
+
+    def test_strings_and_booleans(self):
+        src = 'output x\nlocal ok\nok := true\nif ok then\nx := 1\nelse\nx := 2\nend\ndisplay("done")\n'
+        twice = unparse(parse(src))
+        r = run_program(twice)
+        assert r.outputs["x"] == 1.0
+        assert r.displayed == ["done"]
+
+    def test_repeat_and_step(self):
+        src = (
+            "output s\nlocal i\ns := 0\nfor i := 10 to 2 step -2 do\ns := s + i\nend\n"
+            "repeat\ns := s - 1\nuntil s < 20\n"
+        )
+        assert run_program(unparse(parse(src))).outputs == run_program(src).outputs

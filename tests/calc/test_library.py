@@ -1,0 +1,90 @@
+"""Tests for the stock routine library — every formula must be correct."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.calc import run_program, stock
+from repro.calc.library import LIBRARY, self_check
+from repro.errors import CalcError
+
+
+class TestInventory:
+    def test_self_check_passes(self):
+        self_check()
+
+    def test_stock_lookup(self):
+        assert "Newton" not in stock("square_root")  # source, not prose
+        assert "task SquareRoot" in stock("square_root")
+
+    def test_unknown_stock(self):
+        with pytest.raises(CalcError, match="no stock routine"):
+            stock("warp_drive")
+
+    def test_all_have_task_headers(self):
+        for name, src in LIBRARY.items():
+            assert src.startswith("task "), name
+
+
+class TestSquareRoot:
+    @pytest.mark.parametrize("a", [0.0, 1.0, 2.0, 9.0, 1e-6, 12345.678])
+    def test_matches_math_sqrt(self, a):
+        r = run_program(stock("square_root"), a=a)
+        assert r.outputs["x"] == pytest.approx(math.sqrt(a), rel=1e-9, abs=1e-9)
+
+    def test_negative_input_displays_and_returns_zero(self):
+        r = run_program(stock("square_root"), a=-4.0)
+        assert r.outputs["x"] == 0.0
+        assert any("negative" in line for line in r.displayed)
+
+
+class TestPolynomial:
+    def test_horner(self):
+        # c = [2, -3, 1] means 2x^2 - 3x + 1
+        r = run_program(stock("polynomial"), c=[2, -3, 1], x=4.0)
+        assert r.outputs["y"] == 2 * 16 - 12 + 1
+
+
+class TestTrapezoidSin:
+    def test_integral_of_sin_over_half_period(self):
+        r = run_program(stock("trapezoid_sin"), a=0.0, b=math.pi, n=200)
+        assert r.outputs["area"] == pytest.approx(2.0, abs=1e-3)
+
+
+class TestStats:
+    def test_mean_and_std(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        r = run_program(stock("stats"), v=data)
+        assert r.outputs["m"] == pytest.approx(np.mean(data))
+        assert r.outputs["sd"] == pytest.approx(np.std(data))
+
+
+class TestQuadratic:
+    def test_two_real_roots(self):
+        r = run_program(stock("quadratic"), a=1, b=-5, c=6)
+        assert r.outputs["rc"] == 0.0
+        assert sorted([r.outputs["x1"], r.outputs["x2"]]) == [2.0, 3.0]
+
+    def test_no_real_roots(self):
+        r = run_program(stock("quadratic"), a=1, b=0, c=1)
+        assert r.outputs["rc"] == -1.0
+
+
+class TestLinearAlgebraRoutines:
+    def test_matvec_matches_numpy(self):
+        A = [[1, 2, 3], [4, 5, 6]]
+        x = [1, 0, -1]
+        r = run_program(stock("matvec"), A=A, x=x)
+        np.testing.assert_allclose(r.outputs["y"], np.array(A) @ np.array(x))
+
+    def test_axpy(self):
+        r = run_program(stock("axpy"), a=2.0, x=[1, 2], yin=[10, 20])
+        np.testing.assert_allclose(r.outputs["y"], [12, 24])
+
+
+class TestGcd:
+    @pytest.mark.parametrize("a,b,g", [(48, 36, 12), (7, 3, 1), (0, 5, 5), (5, 0, 5), (-8, 12, 4)])
+    def test_euclid(self, a, b, g):
+        r = run_program(stock("gcd"), a=a, b=b)
+        assert r.outputs["g"] == g

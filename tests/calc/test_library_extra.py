@@ -1,0 +1,71 @@
+"""Tests for the newer builtins and stock routines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.calc import eval_expression, run_program, stock
+
+
+class TestNewBuiltins:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("sinh(1)", math.sinh(1)),
+            ("cosh(1)", math.cosh(1)),
+            ("tanh(0.5)", math.tanh(0.5)),
+            ("hypot(3, 4)", 5.0),
+            ("deg(PI)", 180.0),
+            ("rad(180)", math.pi),
+            ("clamp(5, 0, 3)", 3.0),
+            ("clamp(-1, 0, 3)", 0.0),
+            ("clamp(2, 0, 3)", 2.0),
+        ],
+    )
+    def test_values(self, expr, expected):
+        assert eval_expression(expr) == pytest.approx(expected)
+
+    def test_hypot_avoids_overflow(self):
+        assert eval_expression("hypot(3e150, 4e150)") == pytest.approx(5e150)
+
+
+class TestBisect:
+    def test_finds_dottie_number(self):
+        # the fixed point of cos: x = 0.739085...
+        r = run_program(stock("bisect_cos"), lo=0.0, hi=1.0, tol=1e-10)
+        assert r.outputs["root"] == pytest.approx(0.7390851332151607, abs=1e-8)
+
+
+class TestSimpson:
+    def test_integral_of_exp(self):
+        r = run_program(stock("simpson_exp"), a=0.0, b=1.0, n=20)
+        assert r.outputs["area"] == pytest.approx(math.e - 1.0, rel=1e-6)
+
+    def test_converges_with_panels(self):
+        coarse = run_program(stock("simpson_exp"), a=0.0, b=2.0, n=4)
+        fine = run_program(stock("simpson_exp"), a=0.0, b=2.0, n=64)
+        exact = math.exp(2) - 1
+        assert abs(fine.outputs["area"] - exact) < abs(coarse.outputs["area"] - exact)
+
+
+class TestLinReg:
+    def test_exact_line(self):
+        r = run_program(stock("linreg"), x=[0, 1, 2, 3], y=[1, 3, 5, 7])
+        assert r.outputs["slope"] == pytest.approx(2.0)
+        assert r.outputs["intercept"] == pytest.approx(1.0)
+
+    def test_matches_numpy_polyfit(self):
+        rng = np.random.default_rng(5)
+        x = np.arange(10, dtype=float)
+        y = 3 * x - 2 + rng.normal(scale=0.1, size=10)
+        r = run_program(stock("linreg"), x=x, y=y)
+        slope, intercept = np.polyfit(x, y, 1)
+        assert r.outputs["slope"] == pytest.approx(slope)
+        assert r.outputs["intercept"] == pytest.approx(intercept)
+
+
+class TestCompound:
+    def test_balances(self):
+        r = run_program(stock("compound"), principal=100.0, rate=0.10, n=3)
+        np.testing.assert_allclose(r.outputs["balances"], [110.0, 121.0, 133.1])

@@ -1,0 +1,218 @@
+"""Tests for the PITS parser (structure, precedence, errors)."""
+
+import pytest
+
+from repro.calc import ast, parse, parse_expression
+from repro.errors import CalcSyntaxError
+
+
+class TestProgramStructure:
+    def test_header(self):
+        p = parse("task Foo\ninput a, b\noutput y\nlocal t\ny := a\n")
+        assert p.name == "Foo"
+        assert p.inputs == ("a", "b")
+        assert p.outputs == ("y",)
+        assert p.locals == ("t",)
+        assert len(p.body) == 1
+
+    def test_no_header(self):
+        p = parse("x := 1")
+        assert p.name == ""
+        assert p.declared == frozenset()
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(CalcSyntaxError, match="declared twice"):
+            parse("input a\nlocal a\n")
+
+    def test_declarations_after_statements_are_errors(self):
+        with pytest.raises(CalcSyntaxError):
+            parse("x := 1\ninput a\n")
+
+    def test_semicolons_separate_statements(self):
+        p = parse("x := 1; y := 2")
+        assert len(p.body) == 2
+
+    def test_empty_program(self):
+        p = parse("")
+        assert p.body == ()
+
+
+class TestStatements:
+    def test_assign_name(self):
+        (s,) = parse("x := 1 + 2").body
+        assert isinstance(s, ast.Assign)
+        assert isinstance(s.target, ast.Name)
+
+    def test_assign_index(self):
+        (s,) = parse("A[i, j] := 0").body
+        assert isinstance(s.target, ast.Index)
+        assert len(s.target.subscripts) == 2
+
+    def test_three_subscripts_rejected(self):
+        with pytest.raises(CalcSyntaxError, match="at most two"):
+            parse("A[i, j, k] := 0")
+
+    def test_if_elif_else(self):
+        (s,) = parse(
+            "if a > 0 then\nx := 1\nelif a < 0 then\nx := 2\nelse\nx := 3\nend"
+        ).body
+        assert isinstance(s, ast.If)
+        assert len(s.elifs) == 1
+        assert len(s.orelse) == 1
+
+    def test_one_line_if(self):
+        (s,) = parse("if a > 0 then x := 1 end").body
+        assert isinstance(s, ast.If)
+        assert len(s.then) == 1
+
+    def test_while(self):
+        (s,) = parse("while x < 10 do\nx := x + 1\nend").body
+        assert isinstance(s, ast.While)
+
+    def test_for_with_step(self):
+        (s,) = parse("for i := 10 to 1 step -1 do\nx := i\nend").body
+        assert isinstance(s, ast.For)
+        assert s.step is not None
+
+    def test_repeat_until(self):
+        (s,) = parse("repeat\nx := x - 1\nuntil x <= 0").body
+        assert isinstance(s, ast.Repeat)
+
+    def test_call_statement(self):
+        (s,) = parse('display("x is", x)').body
+        assert isinstance(s, ast.CallStmt)
+        assert s.call.func == "display"
+
+    def test_missing_end(self):
+        with pytest.raises(CalcSyntaxError):
+            parse("while x do\ny := 1\n")
+
+    def test_stray_end(self):
+        with pytest.raises(CalcSyntaxError, match="outside any block"):
+            parse("end")
+
+    def test_missing_then(self):
+        with pytest.raises(CalcSyntaxError, match="then"):
+            parse("if x > 0\ny := 1\nend")
+
+    def test_equals_is_not_assignment(self):
+        with pytest.raises(CalcSyntaxError):
+            parse("x = 1")
+
+    def test_garbage_after_expression(self):
+        with pytest.raises(CalcSyntaxError):
+            parse("x := 1 2")
+
+
+class TestPrecedence:
+    def test_mul_before_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_power_right_assoc(self):
+        e = parse_expression("2 ^ 3 ^ 2")
+        assert e.op == "^"
+        assert e.right.op == "^"
+
+    def test_unary_minus_of_power(self):
+        # -x^2 parses as -(x^2)
+        e = parse_expression("-x ^ 2")
+        assert isinstance(e, ast.Unary)
+        assert e.operand.op == "^"
+
+    def test_power_of_negative_exponent(self):
+        e = parse_expression("2 ^ -3")
+        assert isinstance(e.right, ast.Unary)
+
+    def test_comparison_looser_than_arith(self):
+        e = parse_expression("a + 1 > b * 2")
+        assert e.op == ">"
+
+    def test_and_or_not(self):
+        e = parse_expression("not a > 0 and b > 0 or c > 0")
+        assert e.op == "or"
+        assert e.left.op == "and"
+        assert isinstance(e.left.left, ast.Unary)
+
+    def test_parentheses(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_modulo(self):
+        e = parse_expression("a % 2")
+        assert e.op == "%"
+
+
+class TestAtoms:
+    def test_call_in_expression(self):
+        e = parse_expression("sqrt(x) + sin(y)")
+        assert e.left.func == "sqrt"
+        assert e.right.func == "sin"
+
+    def test_call_case_folded(self):
+        e = parse_expression("SQRT(x)")
+        assert e.func == "sqrt"
+
+    def test_nested_calls(self):
+        e = parse_expression("max(min(a, b), abs(-c))")
+        assert e.func == "max"
+        assert e.args[0].func == "min"
+
+    def test_index_expression(self):
+        e = parse_expression("A[i+1, 2]")
+        assert isinstance(e, ast.Index)
+        assert e.base == "A"
+
+    def test_array_literal_vector(self):
+        e = parse_expression("[1, 2, 3]")
+        assert isinstance(e, ast.ArrayLit)
+        assert len(e.elements) == 3
+
+    def test_array_literal_matrix(self):
+        e = parse_expression("[[1, 2], [3, 4]]")
+        assert isinstance(e.elements[0], ast.ArrayLit)
+
+    def test_booleans(self):
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(CalcSyntaxError):
+            parse_expression("")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(CalcSyntaxError):
+            parse_expression("1 + 2 )")
+
+
+class TestDepthGuards:
+    def test_pathological_nesting_reports_cleanly(self):
+        deep = "(" * 5000 + "1" + ")" * 5000
+        with pytest.raises(CalcSyntaxError, match="nested too deeply"):
+            parse_expression(deep)
+
+    def test_reasonable_depth_still_parses(self):
+        expr = "(" * 40 + "1" + ")" * 40
+        assert parse_expression(expr) is not None
+
+    def test_long_flat_expression_fine(self):
+        from repro.calc import eval_expression
+
+        assert eval_expression("1" + " + 1" * 300) == 301.0
+
+
+class TestLineNumbers:
+    def test_statement_lines(self):
+        p = parse("x := 1\n\ny := 2\n")
+        assert p.body[0].line == 1
+        assert p.body[1].line == 3
+
+    def test_error_reports_line(self):
+        try:
+            parse("x := 1\nwhile do\nend")
+        except CalcSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected CalcSyntaxError")

@@ -1,0 +1,68 @@
+"""Tests for the PITS line profiler."""
+
+import pytest
+
+from repro.calc import profile_program, stock
+
+
+class TestProfileAccounting:
+    def test_attribution_is_exact(self):
+        """Per-line ops must sum to the run's total — no loss, no double count."""
+        p = profile_program(stock("square_root"), a=1234.5)
+        assert sum(s.ops for s in p.lines.values()) == pytest.approx(p.run.ops)
+
+    @pytest.mark.parametrize("name,inputs", [
+        ("gcd", {"a": 252.0, "b": 105.0}),
+        ("stats", {"v": [1.0, 2.0, 3.0, 4.0]}),
+        ("matvec", {"A": [[1.0, 2.0], [3.0, 4.0]], "x": [1.0, 1.0]}),
+        ("trapezoid_sin", {"a": 0.0, "b": 1.0, "n": 20.0}),
+    ])
+    def test_exact_for_library(self, name, inputs):
+        p = profile_program(stock(name), **inputs)
+        assert sum(s.ops for s in p.lines.values()) == pytest.approx(p.run.ops)
+
+    def test_loop_body_hit_counts(self):
+        src = "input n\noutput s\nlocal i\ns := 0\nfor i := 1 to n do\ns := s + i\nend"
+        p = profile_program(src, n=7)
+        body_line = src.splitlines().index("s := s + i") + 1
+        assert p.lines[body_line].hits == 7
+
+    def test_untaken_branch_has_no_stats(self):
+        src = "input a\noutput x\nif a > 0 then\nx := 1\nelse\nx := 2\nend"
+        p = profile_program(src, a=5.0)
+        taken = src.splitlines().index("x := 1") + 1
+        untaken = src.splitlines().index("x := 2") + 1
+        assert taken in p.lines
+        assert untaken not in p.lines
+
+    def test_hottest(self):
+        src = (
+            "input n\noutput s\nlocal i\ns := 0\n"
+            "for i := 1 to n do\ns := s + sin(i) * cos(i)\nend\n"
+            "s := s + 1"
+        )
+        p = profile_program(src, n=50)
+        hot = p.hottest(1)[0]
+        body_line = src.splitlines().index("s := s + sin(i) * cos(i)") + 1
+        assert hot.line == body_line
+
+    def test_outputs_unchanged(self):
+        p = profile_program(stock("square_root"), a=49.0)
+        assert p.run.outputs["x"] == pytest.approx(7.0)
+
+
+class TestRender:
+    def test_render_shows_source_and_percentages(self):
+        p = profile_program(stock("gcd"), a=48.0, b=18.0)
+        text = p.render()
+        assert "line" in text.splitlines()[0]
+        assert "repeat" in text
+        assert "%" in text
+        assert text.strip().endswith("steps")
+
+    def test_unexecuted_lines_blank(self):
+        src = "input a\noutput x\nif a > 0 then\nx := 1\nelse\nx := 2\nend"
+        text = profile_program(src, a=1.0).render()
+        else_row = [l for l in text.splitlines() if l.endswith("x := 2")][0]
+        # untaken branch: line number and source only — no hits/ops/percent
+        assert else_row.split() == ["6", "x", ":=", "2"]

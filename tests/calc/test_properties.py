@@ -1,0 +1,95 @@
+"""Property-based tests for the PITS language."""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.calc import eval_expression, measure_work, run_program, tokenize
+from repro.calc.parser import parse_expression
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@given(finite, finite)
+@settings(max_examples=100, deadline=None)
+def test_arithmetic_matches_python(a, b):
+    env = {"a": a, "b": b}
+    assert eval_expression("a + b", env) == a + b
+    assert eval_expression("a - b", env) == a - b
+    assert eval_expression("a * b", env) == a * b
+
+
+@given(finite, finite.filter(lambda x: abs(x) > 1e-9))
+@settings(max_examples=100, deadline=None)
+def test_division_matches_python(a, b):
+    assert eval_expression("a / b", {"a": a, "b": b}) == a / b
+
+
+@given(finite, finite)
+@settings(max_examples=100, deadline=None)
+def test_comparisons_match_python(a, b):
+    env = {"a": a, "b": b}
+    assert eval_expression("a < b", env) == (a < b)
+    assert eval_expression("a >= b", env) == (a >= b)
+    assert eval_expression("a = b", env) == (a == b)
+    assert eval_expression("a <> b", env) == (a != b)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e12, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_newton_sqrt_converges_everywhere(a):
+    from repro.calc import stock
+
+    r = run_program(stock("square_root"), a=a)
+    assert abs(r.outputs["x"] - math.sqrt(a)) <= 1e-6 * max(1.0, math.sqrt(a))
+
+
+@given(st.lists(finite, min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_vector_sum_matches(vs):
+    expected = sum(float(x) for x in vs)
+    got = eval_expression("sum(v)", {"v": vs})
+    # numpy's pairwise summation may differ from sequential sum in the last ulps
+    assert math.isclose(got, expected, rel_tol=1e-12, abs_tol=1e-9)
+
+
+@given(st.integers(0, 60))
+@settings(max_examples=30, deadline=None)
+def test_loop_ops_grow_linearly(n):
+    src = "input n\noutput s\nlocal i\ns := 0\nfor i := 1 to n do\ns := s + i\nend"
+    r = run_program(src, n=n)
+    assert r.outputs["s"] == n * (n + 1) / 2
+    ops_n = measure_work(src, n=n)
+    ops_2n = measure_work(src, n=2 * n)
+    assert ops_2n >= ops_n
+
+
+@given(st.text(alphabet="abcdefxyz0123456789+-*/^()<>=:, \n", max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_lexer_never_crashes_on_almost_valid_text(text):
+    """The lexer either tokenizes or raises CalcSyntaxError — nothing else."""
+    from repro.errors import CalcError
+
+    try:
+        tokenize(text)
+    except CalcError:
+        pass
+
+
+@given(st.text(alphabet="abx1+-*/() :=\n", max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_parser_never_crashes(text):
+    from repro.errors import CalcError
+
+    try:
+        parse_expression(text)
+    except CalcError:
+        pass
+
+
+@given(finite)
+@settings(max_examples=60, deadline=None)
+def test_unary_minus_roundtrip(a):
+    assert eval_expression("--a", {"a": a}) == a
+    assert eval_expression("-(-a)", {"a": a}) == a

@@ -1,0 +1,159 @@
+"""Tests for the PITS → Python translator: generated functions must match
+the interpreter exactly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.calc import run_program
+from repro.calc.library import LIBRARY
+from repro.codegen import function_name, gen_task_function
+from repro.codegen import runtime as _rt
+from repro.errors import CodegenError
+
+
+def run_translated(source, **inputs):
+    """Generate, exec, and call the Python function for a PITS routine."""
+    from repro.calc.interp import _coerce_input
+
+    code = gen_task_function("t", source)
+    namespace = {"_rt": _rt, "_np": np}
+    exec(compile(code, "<gen>", "exec"), namespace)
+    displays = []
+    coerced = {k: _coerce_input(v) for k, v in inputs.items()}
+    out = namespace[function_name("t")](coerced, displays.append)
+    return out, displays
+
+
+def assert_same_as_interpreter(source, **inputs):
+    expected = run_program(source, **inputs)
+    got, displays = run_translated(source, **inputs)
+    assert set(got) == set(expected.outputs)
+    for key, value in expected.outputs.items():
+        if isinstance(value, np.ndarray):
+            np.testing.assert_allclose(got[key], value)
+        else:
+            assert got[key] == value, key
+    assert displays == expected.displayed
+    return got
+
+
+class TestScalarPrograms:
+    def test_arithmetic(self):
+        assert_same_as_interpreter(
+            "input a, b\noutput x\nx := (a + b) * 2 - a / b + a % b", a=7.0, b=2.0
+        )
+
+    def test_power_and_unary(self):
+        assert_same_as_interpreter("input a\noutput x\nx := -a ^ 2 + (-a) ^ 2", a=3.0)
+
+    def test_booleans_and_comparisons(self):
+        src = (
+            "input a, b\noutput x\n"
+            "if a > b and not (a = b) or false then\nx := 1\nelse\nx := 0\nend"
+        )
+        assert_same_as_interpreter(src, a=5.0, b=2.0)
+        assert_same_as_interpreter(src, a=1.0, b=2.0)
+
+    def test_constants(self):
+        got = assert_same_as_interpreter("output x\nx := PI + E")
+        assert got["x"] == pytest.approx(math.pi + math.e)
+
+    def test_while(self):
+        assert_same_as_interpreter(
+            "input n\noutput s\ns := 0\nwhile s < n do\ns := s + 7\nend", n=50.0
+        )
+
+    def test_for_with_step(self):
+        assert_same_as_interpreter(
+            "input n\noutput s\nlocal i\ns := 0\n"
+            "for i := n to 1 step -2 do\ns := s + i\nend",
+            n=11.0,
+        )
+
+    def test_repeat(self):
+        assert_same_as_interpreter(
+            "input n\noutput c\nlocal x\nx := n\nc := 0\n"
+            "repeat\nx := x / 2\nc := c + 1\nuntil x < 1",
+            n=100.0,
+        )
+
+    def test_display(self):
+        _, displays = run_translated('input a\noutput x\nx := a\ndisplay("got", a)', a=4.0)
+        assert displays == ["got 4"]
+
+
+class TestArrayPrograms:
+    def test_vector_ops(self):
+        assert_same_as_interpreter(
+            "input v\noutput w, t\nw := v * 2 + 1\nt := sum(w)", v=[1.0, 2.0, 3.0]
+        )
+
+    def test_subscript_read_write(self):
+        src = (
+            "input v\noutput w\nlocal i, n\nn := len(v)\nw := zeros(n)\n"
+            "for i := 1 to n do\nw[i] := v[i] * i\nend"
+        )
+        assert_same_as_interpreter(src, v=[5.0, 6.0, 7.0])
+
+    def test_matrix_programs(self):
+        src = (
+            "input A\noutput t\nlocal i, n\nn := rows(A)\nt := 0\n"
+            "for i := 1 to n do\nt := t + A[i, i]\nend"
+        )
+        assert_same_as_interpreter(src, A=[[1.0, 9.0], [9.0, 2.0]])
+
+    def test_array_literals(self):
+        assert_same_as_interpreter("output v, A\nv := [1, 2, 3]\nA := [[1, 2], [3, 4]]")
+
+    def test_value_semantics_preserved(self):
+        src = (
+            "input v\noutput a, b\na := v\nb := a\nb[1] := 99\n"
+        )
+        got = assert_same_as_interpreter(src, v=[1.0, 2.0])
+        assert got["a"][0] == 1.0
+
+    def test_runtime_bounds_error_matches(self):
+        from repro.errors import CalcRuntimeError
+
+        src = "input v\noutput x\nx := v[5]"
+        with pytest.raises(CalcRuntimeError, match="out of range"):
+            run_translated(src, v=[1.0, 2.0])
+
+
+class TestBuiltinParity:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_every_library_routine_translates_and_matches(self, name):
+        from repro.calc import stock
+
+        samples = {
+            "square_root": {"a": 7.0},
+            "polynomial": {"c": [1.0, -2.0, 3.0], "x": 1.5},
+            "trapezoid_sin": {"a": 0.0, "b": 1.0, "n": 25.0},
+            "stats": {"v": [1.0, 3.0, 5.0, 9.0]},
+            "quadratic": {"a": 1.0, "b": -4.0, "c": 3.0},
+            "matvec": {"A": [[2.0, 0.0], [1.0, 1.0]], "x": [3.0, 4.0]},
+            "axpy": {"a": 0.5, "x": [2.0, 4.0], "yin": [1.0, 1.0]},
+            "gcd": {"a": 252.0, "b": 105.0},
+            "bisect_cos": {"lo": 0.0, "hi": 1.0, "tol": 1e-10},
+            "simpson_exp": {"a": -1.0, "b": 2.0, "n": 20.0},
+            "linreg": {"x": [0.0, 1.0, 2.0, 3.0], "y": [1.0, 2.9, 5.1, 7.0]},
+            "compound": {"principal": 500.0, "rate": 0.1, "n": 5.0},
+        }
+        assert_same_as_interpreter(stock(name), **samples[name])
+
+
+class TestGuards:
+    def test_static_errors_block_generation(self):
+        with pytest.raises(CodegenError, match="static errors"):
+            gen_task_function("bad", "output x\nx := undeclared_thing")
+
+    def test_function_name_mangles_dots(self):
+        assert function_name("C.s1") == "task_C_s1"
+
+    def test_division_by_zero_matches(self):
+        from repro.errors import CalcRuntimeError
+
+        with pytest.raises(CalcRuntimeError, match="division by zero"):
+            run_translated("input a\noutput x\nx := 1 / a", a=0.0)

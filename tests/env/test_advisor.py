@@ -1,0 +1,122 @@
+"""Tests for the design advisor and project-level node splitting."""
+
+import numpy as np
+import pytest
+
+from repro.apps import heat_taskgraph, montecarlo_taskgraph
+from repro.env import BangerProject, advise, render_advice
+from repro.graph import DataflowGraph, TaskGraph, flatten
+from repro.graph.generators import chain, fork_join
+from repro.machine import MachineParams, make_machine
+
+
+def kinds(advice):
+    return {a.kind for a in advice}
+
+
+class TestAdvise:
+    def test_empty_graph(self):
+        machine = make_machine("full", 2, MachineParams())
+        advice = advise(TaskGraph(), machine)
+        assert kinds(advice) == {"design"}
+
+    def test_serial_chain_without_foralls(self):
+        machine = make_machine("hypercube", 4, MachineParams())
+        advice = advise(chain(6, work=2, comm=1), machine)
+        assert any(
+            a.kind == "parallelism" and "restructure" in a.message for a in advice
+        )
+
+    def test_serial_chain_with_foralls_points_at_split(self):
+        machine = make_machine("hypercube", 4, MachineParams(msg_startup=0.1))
+        advice = advise(heat_taskgraph(24, 2), machine)
+        hits = [a for a in advice if a.kind == "parallelism"]
+        assert hits
+        assert "split" in hits[0].message
+        assert "step1" in hits[0].message
+
+    def test_comm_heavy_recommends_grain_packing(self):
+        """Greedy EFT spreads the free entry tasks of a map-reduce, then
+        pays enormous reduction messages; packing avoids that trap."""
+        from repro.graph.generators import map_reduce
+
+        machine = make_machine("hypercube", 8,
+                               MachineParams(msg_startup=128, transmission_rate=4))
+        advice = advise(map_reduce(12, work=8, comm=2), machine)
+        grain_hits = [a for a in advice if a.kind == "grain"]
+        assert grain_hits and grain_hits[0].gain > 0.05
+
+    def test_duplication_advice(self):
+        """Heavy fan-out data, light results: re-running the fork locally
+        beats both shipping its output and serialising."""
+        machine = make_machine("full", 4, MachineParams(msg_startup=5, transmission_rate=1))
+        tg = TaskGraph("dupwin")
+        tg.add_task("fork", work=5)
+        tg.add_task("join", work=5)
+        for i in range(4):
+            w = f"w{i}"
+            tg.add_task(w, work=30)
+            tg.add_edge("fork", w, var=f"in{i}", size=50)   # heavy inputs
+            tg.add_edge(w, "join", var=f"out{i}", size=1)   # light outputs
+        advice = advise(tg, machine)
+        dup_hits = [a for a in advice if a.kind == "duplication"]
+        assert dup_hits and dup_hits[0].gain > 0.05
+
+    def test_oversized_machine_flagged(self):
+        machine = make_machine("hypercube", 16, MachineParams(msg_startup=5.0))
+        advice = advise(chain(4, work=1, comm=10), machine)
+        assert any(a.kind == "machine" and "smaller" in a.message for a in advice)
+
+    def test_healthy_design_says_ok(self):
+        machine = make_machine("full", 4, MachineParams(msg_startup=0.05, transmission_rate=100))
+        tg = fork_join(4, work=10, comm=0.1)
+        advice = advise(tg, machine)
+        assert kinds(advice) <= {"ok", "machine"}
+
+    def test_render(self):
+        machine = make_machine("full", 2, MachineParams())
+        text = render_advice(advise(chain(3), machine))
+        assert text.startswith("[")
+
+
+class TestProjectIntegration:
+    @pytest.fixture
+    def project(self):
+        g = DataflowGraph("dp")
+        g.add_storage("v", initial=np.arange(24, dtype=float), size=24)
+        g.add_task("f", work=24, program=(
+            "input v\noutput w\nlocal i, n\nn := len(v)\nw := zeros(n)\n"
+            "forall i := 1 to n do\nw[i] := v[i] * 2 + i\nend"
+        ))
+        g.add_storage("w", size=24)
+        g.connect("v", "f")
+        g.connect("f", "w")
+        return BangerProject("dp").set_design(g).set_machine(
+            "full", 4, MachineParams(msg_startup=0.1)
+        )
+
+    def test_split_node(self, project):
+        before = project.run().outputs["w"]
+        project.split_node("f", 4)
+        assert "f#p3" in project.flat()
+        np.testing.assert_allclose(project.run().outputs["w"], before)
+
+    def test_split_all(self, project):
+        project.split_all(2)
+        assert "f#p1" in project.flat()
+
+    def test_split_view_resets_with_design(self, project):
+        project.split_node("f", 2)
+        project.set_design(project.design)  # re-setting invalidates the cache
+        assert "f#p1" not in project.flat()
+
+    def test_project_advise(self, project):
+        advice = project.advise()
+        assert advice
+        assert any(a.kind in ("parallelism", "ok", "machine") for a in advice)
+
+    def test_mcpi_project_advice_is_clean_on_right_size(self):
+        tg = montecarlo_taskgraph(4, 50)
+        machine = make_machine("full", 4, MachineParams(msg_startup=0.01, transmission_rate=100))
+        advice = advise(tg, machine)
+        assert not any(a.kind == "parallelism" for a in advice)

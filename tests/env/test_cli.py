@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import lu3_design
+from repro.cli import main
+from repro.env import BangerProject
+from repro.machine import MachineParams
+
+
+@pytest.fixture
+def project_path(tmp_path):
+    A = np.array([[4.0, 3.0, 2.0], [2.0, 4.0, 1.0], [1.0, 2.0, 3.0]])
+    b = np.array([1.0, 2.0, 3.0])
+    project = BangerProject("cli-test").set_design(lu3_design(A, b))
+    project.set_machine("hypercube", 4,
+                        MachineParams(msg_startup=0.2, transmission_rate=20.0))
+    path = tmp_path / "project.json"
+    project.save(str(path))
+    return str(path)
+
+
+class TestFeedbackAndOutline:
+    def test_feedback_ok(self, project_path, capsys):
+        assert main(["feedback", project_path]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_feedback_fails_on_broken_project(self, tmp_path, capsys):
+        from repro.graph import DataflowGraph
+
+        g = DataflowGraph("broken")
+        g.add_task("t")  # no program
+        project = BangerProject("broken").set_design(g)
+        path = tmp_path / "broken.json"
+        project.save(str(path))
+        assert main(["feedback", str(path)]) == 1
+
+    def test_outline(self, project_path, capsys):
+        assert main(["outline", project_path]) == 0
+        assert "[composite] lud" in capsys.readouterr().out
+
+    def test_advise(self, project_path, capsys):
+        assert main(["advise", project_path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("[")  # at least one [kind] line
+
+    def test_missing_file(self, capsys):
+        assert main(["outline", "/nonexistent/project.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSchedule:
+    def test_summary_row(self, project_path, capsys):
+        assert main(["schedule", project_path]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "mh" in out
+
+    def test_gantt_flag(self, project_path, capsys):
+        assert main(["schedule", project_path, "--gantt", "--messages"]) == 0
+        assert "Gantt chart" in capsys.readouterr().out
+
+    def test_why_flag(self, project_path, capsys):
+        assert main(["schedule", project_path, "--why"]) == 0
+        assert "why the schedule" in capsys.readouterr().out
+
+    def test_csv_and_chrome_outputs(self, project_path, tmp_path, capsys):
+        csv = tmp_path / "sched.csv"
+        trace = tmp_path / "sched.trace.json"
+        assert main([
+            "schedule", project_path, "--csv", str(csv),
+            "--chrome-trace", str(trace),
+        ]) == 0
+        assert csv.read_text().startswith("task,proc")
+        json.loads(trace.read_text())
+
+    def test_scheduler_choice(self, project_path, capsys):
+        assert main(["schedule", project_path, "--scheduler", "dsh"]) == 0
+        assert "dsh" in capsys.readouterr().out
+
+
+class TestSweepSimRun:
+    def test_speedup(self, project_path, capsys):
+        assert main(["speedup", project_path, "--procs", "1,2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Speedup prediction" in out
+        assert "p=4" in out
+
+    def test_bad_procs_list(self, project_path, capsys):
+        assert main(["speedup", project_path, "--procs", "a,b"]) == 1
+
+    def test_simulate(self, project_path, capsys):
+        assert main(["simulate", project_path, "--contention"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulated Gantt" in out
+        assert "simulated makespan" in out
+
+    def test_run_sequential(self, project_path, capsys):
+        assert main(["run", project_path]) == 0
+        assert "x = " in capsys.readouterr().out
+
+    def test_run_parallel(self, project_path, capsys):
+        assert main(["run", project_path, "--parallel"]) == 0
+        out = capsys.readouterr().out
+        assert "ran on processors" in out
+        assert "x = " in out
+
+
+class TestCodegenTopologyDemo:
+    def test_codegen_stdout(self, project_path, capsys):
+        assert main(["codegen", project_path, "--language", "mpi"]) == 0
+        assert "mpi4py" in capsys.readouterr().out
+
+    def test_codegen_to_file(self, project_path, tmp_path, capsys):
+        out_file = tmp_path / "prog.py"
+        assert main(["codegen", project_path, "-o", str(out_file)]) == 0
+        text = out_file.read_text()
+        compile(text, "prog", "exec")
+
+    def test_topology(self, capsys):
+        assert main(["topology", "--family", "mesh", "--procs", "9"]) == 0
+        assert "mesh(3x3)" in capsys.readouterr().out
+
+    def test_demo(self, tmp_path, capsys):
+        save = tmp_path / "demo.json"
+        assert main(["demo", "--save", str(save)]) == 0
+        out = capsys.readouterr().out
+        assert "Gantt chart" in out
+        assert save.exists()
+        # the saved project round-trips through the CLI again
+        assert main(["outline", str(save)]) == 0

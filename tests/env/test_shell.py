@@ -1,0 +1,140 @@
+"""Tests for the interactive shell (driven via onecmd / scripted stdin)."""
+
+import io
+
+import pytest
+
+from repro.env.shell import BangerShell
+
+
+def make_shell(stdin_text: str = ""):
+    out = io.StringIO()
+    shell = BangerShell(stdin=io.StringIO(stdin_text), stdout=out)
+    return shell, out
+
+
+class TestDrawing:
+    def test_new_task_storage_connect(self):
+        shell, out = make_shell()
+        shell.onecmd("new demo")
+        shell.onecmd("storage a 4")
+        shell.onecmd("task sq 2")
+        shell.onecmd("storage r")
+        shell.onecmd("connect a sq")
+        shell.onecmd("connect sq r r")
+        shell.onecmd("outline")
+        text = out.getvalue()
+        assert "new design 'demo'" in text
+        assert "[task] sq" in text
+        assert "[storage] a" in text
+
+    def test_feedback_counts_update(self):
+        shell, out = make_shell()
+        shell.onecmd("new d")
+        shell.onecmd("task t")
+        assert "warning" in out.getvalue()
+
+    def test_errors_are_caught_not_raised(self):
+        shell, out = make_shell()
+        shell.onecmd("new d")
+        shell.onecmd("connect nope alsonope")
+        assert "error:" in out.getvalue()
+
+    def test_usage_messages(self):
+        shell, out = make_shell()
+        for bad in ("task", "storage", "connect x", "program", "save", "load",
+                    "split onlyone"):
+            shell.onecmd(bad)
+        assert out.getvalue().count("usage:") == 7
+
+
+class TestFullSession:
+    def build_session(self):
+        program = "input a\noutput r\nr := sqrt(a)\n.\n"
+        shell, out = make_shell(stdin_text=program)
+        shell.onecmd("new demo")
+        shell.onecmd("storage a 16")
+        shell.onecmd("task sq 2")
+        shell.onecmd("storage r")
+        shell.onecmd("connect a sq")
+        shell.onecmd("connect sq r r")
+        shell.onecmd("machine hypercube 4 ncube")
+        shell.onecmd("program sq")
+        return shell, out
+
+    def test_program_entry_and_trial(self):
+        shell, out = self.build_session()
+        shell.onecmd("trial sq a=25")
+        text = out.getvalue()
+        assert "0 error(s)" in text
+        assert "r = 5.0" in text
+
+    def test_run_and_gantt_and_speedup(self):
+        shell, out = self.build_session()
+        shell.onecmd("run")
+        shell.onecmd("gantt")
+        shell.onecmd("speedup 1,2")
+        text = out.getvalue()
+        assert "r = 4.0" in text
+        assert "Gantt chart" in text
+        assert "Speedup prediction" in text
+
+    def test_run_parallel(self):
+        shell, out = self.build_session()
+        shell.onecmd("run parallel")
+        assert "ran on processors" in out.getvalue()
+
+    def test_advise(self):
+        shell, out = self.build_session()
+        shell.onecmd("advise")
+        assert "[" in out.getvalue()
+
+    def test_why(self):
+        shell, out = self.build_session()
+        shell.onecmd("why")
+        assert "why the schedule" in out.getvalue()
+
+    def test_codegen_to_file(self, tmp_path):
+        shell, out = self.build_session()
+        target = tmp_path / "prog.py"
+        shell.onecmd(f"codegen python {target}")
+        assert target.exists()
+        compile(target.read_text(), "prog", "exec")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        shell, out = self.build_session()
+        path = tmp_path / "session.json"
+        shell.onecmd(f"save {path}")
+        shell2, out2 = make_shell()
+        shell2.onecmd(f"load {path}")
+        shell2.onecmd("run")
+        assert "r = 4.0" in out2.getvalue()
+
+    def test_quit(self):
+        shell, out = make_shell()
+        assert shell.onecmd("quit") is True
+        assert "bye" in out.getvalue()
+
+    def test_empty_line_is_noop(self):
+        shell, out = make_shell()
+        assert shell.onecmd("") is False
+
+
+class TestSplitInShell:
+    def test_split_command(self):
+        program = (
+            "input v\noutput w\nlocal i, n\nn := len(v)\nw := zeros(n)\n"
+            "forall i := 1 to n do\nw[i] := v[i] * 2\nend\n.\n"
+        )
+        shell, out = make_shell(stdin_text=program)
+        shell.onecmd("new dp")
+        shell.onecmd("storage v")
+        shell.onecmd("task f 8")
+        shell.onecmd("storage w")
+        shell.onecmd("connect v f")
+        shell.onecmd("connect f w w")
+        shell.onecmd("machine full 4 smp")
+        shell.onecmd("program f")
+        shell.onecmd("split f 4")
+        assert "split 'f' 4 ways" in out.getvalue()
+        assert "f#p3" in shell.project.flat()

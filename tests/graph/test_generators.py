@@ -1,0 +1,153 @@
+"""Tests for graph-family and random-DAG generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import flatten, max_width, precedence_levels
+from repro.graph.generators import (
+    FAMILIES,
+    as_dataflow,
+    butterfly,
+    chain,
+    diamond,
+    fork_join,
+    gaussian_elimination,
+    in_tree,
+    lu_taskgraph,
+    map_reduce,
+    out_tree,
+    random_layered,
+    stencil,
+)
+
+
+class TestFamilies:
+    def test_chain_shape(self):
+        tg = chain(5)
+        assert len(tg) == 5
+        assert len(tg.edges) == 4
+        assert tg.entry_tasks() == ["t0"]
+        assert tg.exit_tasks() == ["t4"]
+
+    def test_chain_min_size(self):
+        assert len(chain(1)) == 1
+        with pytest.raises(GraphError):
+            chain(0)
+
+    def test_fork_join_shape(self):
+        tg = fork_join(6)
+        assert len(tg) == 8
+        assert len(tg.successors("fork")) == 6
+        assert len(tg.predecessors("join")) == 6
+
+    def test_diamond_widths(self):
+        tg = diamond(4)
+        widths = sorted(
+            len([t for t, l in precedence_levels(tg).items() if l == k])
+            for k in range(7)
+        )
+        assert max(widths) == 4
+        assert len(tg) == 1 + 2 + 3 + 4 + 3 + 2 + 1
+
+    def test_out_tree_counts(self):
+        tg = out_tree(3, fanout=2)
+        assert len(tg) == 1 + 2 + 4
+        assert len(tg.exit_tasks()) == 4
+
+    def test_in_tree_is_mirror(self):
+        tg = in_tree(3, fanin=2)
+        assert len(tg.entry_tasks()) == 4
+        assert len(tg.exit_tasks()) == 1
+
+    def test_butterfly_shape(self):
+        tg = butterfly(8)
+        assert len(tg) == 8 * 4  # (log2(8)+1) ranks of 8
+        assert all(len(tg.predecessors(f"f3_{i}")) == 2 for i in range(8))
+
+    def test_butterfly_requires_power_of_two(self):
+        with pytest.raises(GraphError):
+            butterfly(6)
+
+    def test_gauss_structure(self):
+        tg = gaussian_elimination(4)
+        assert "p0" in tg and "u0_3" in tg
+        assert tg.is_acyclic()
+        # pivot k feeds all updates of step k
+        assert set(tg.successors("p0")) == {"u0_1", "u0_2", "u0_3"}
+
+    def test_lu_structure(self):
+        tg = lu_taskgraph(3)
+        assert sorted(tg.task_names) == ["d0", "d1", "e0_1", "e0_2", "e1_2"]
+        assert tg.is_acyclic()
+        assert set(tg.successors("d0")) == {"e0_1", "e0_2"}
+
+    def test_map_reduce_reduces_to_one(self):
+        tg = map_reduce(5)
+        assert len(tg.exit_tasks()) == 1
+        assert len(tg.entry_tasks()) == 5
+
+    def test_stencil_wavefront(self):
+        tg = stencil(3, 4)
+        assert len(tg) == 12
+        assert max_width(tg) == 3
+        assert tg.entry_tasks() == ["s0_0"]
+        assert tg.exit_tasks() == ["s2_3"]
+
+    def test_every_family_builder_is_acyclic(self):
+        for name, build in FAMILIES.items():
+            tg = build()
+            assert tg.is_acyclic(), name
+            assert len(tg) > 0, name
+
+
+class TestRandomLayered:
+    def test_deterministic_given_seed(self):
+        a = random_layered(30, 5, seed=42)
+        b = random_layered(30, 5, seed=42)
+        assert a.task_names == b.task_names
+        assert [(e.src, e.dst, e.size) for e in a.edges] == [
+            (e.src, e.dst, e.size) for e in b.edges
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_layered(30, 5, seed=1)
+        b = random_layered(30, 5, seed=2)
+        assert [(e.src, e.dst) for e in a.edges] != [(e.src, e.dst) for e in b.edges]
+
+    def test_acyclic_and_connected(self):
+        tg = random_layered(50, 8, seed=3)
+        assert tg.is_acyclic()
+        entries = set(tg.entry_tasks())
+        # every entry task must sit in layer 0 by construction: no task in a
+        # later layer may be isolated
+        lvl = precedence_levels(tg)
+        for t in entries:
+            assert lvl[t] == 0
+
+    def test_work_and_comm_ranges(self):
+        tg = random_layered(40, 5, seed=9, work_range=(2, 3), comm_range=(5, 6))
+        assert all(2 <= t.work <= 3 for t in tg.tasks)
+        assert all(5 <= e.size <= 6 for e in tg.edges)
+
+    def test_bad_parameters(self):
+        with pytest.raises(GraphError):
+            random_layered(0, 1)
+        with pytest.raises(GraphError):
+            random_layered(5, 9)
+        with pytest.raises(GraphError):
+            random_layered(5, 2, edge_prob=1.5)
+
+
+class TestAsDataflow:
+    def test_roundtrip_through_dataflow(self):
+        tg = fork_join(3)
+        g = as_dataflow(tg)
+        g.validate()
+        back = flatten(g)
+        assert sorted(back.task_names) == sorted(tg.task_names)
+        assert {(e.src, e.dst) for e in back.edges} == {(e.src, e.dst) for e in tg.edges}
+
+    def test_preserves_work(self):
+        tg = chain(3, work=4.5)
+        g = as_dataflow(tg)
+        assert all(t.work == 4.5 for t in g.tasks)

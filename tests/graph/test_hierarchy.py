@@ -1,0 +1,181 @@
+"""Tests for hierarchical expansion and flattening (the paper's Figure 1 mechanics)."""
+
+import pytest
+
+from repro.errors import GraphError, ValidationError
+from repro.graph import DataflowGraph, SCOPE_SEP, count_primitive_tasks, depth, expand, flatten
+
+
+def make_inner():
+    """A two-task refinement:  in(v) -> s1 -> S -> s2 -> out(w)."""
+    inner = DataflowGraph("inner", inputs={"v": "s1"}, outputs={"w": "s2"})
+    inner.add_task("s1", work=1.0)
+    inner.add_storage("S", data="u", size=2.0)
+    inner.add_task("s2", work=1.0)
+    inner.connect("s1", "S")
+    inner.connect("S", "s2")
+    return inner
+
+
+def make_outer():
+    """pre -> V -> C(inner) -> W -> post, C composite."""
+    outer = DataflowGraph("outer")
+    outer.add_task("pre", work=1.0)
+    outer.add_storage("V", data="v")
+    outer.add_composite("C", make_inner())
+    outer.add_storage("W", data="w")
+    outer.add_task("post", work=1.0)
+    outer.connect("pre", "V")
+    outer.connect("V", "C")
+    outer.connect("C", "W")
+    outer.connect("W", "post")
+    return outer
+
+
+class TestDepthAndCounts:
+    def test_flat_depth(self):
+        g = DataflowGraph()
+        g.add_task("t")
+        assert depth(g) == 1
+        assert count_primitive_tasks(g) == 1
+
+    def test_two_level(self):
+        assert depth(make_outer()) == 2
+        assert count_primitive_tasks(make_outer()) == 4  # pre, s1, s2, post
+
+    def test_three_level(self):
+        mid = DataflowGraph("mid", inputs={"v": "K"}, outputs={"w": "K"})
+        mid.add_composite("K", make_inner())
+        top = DataflowGraph("top")
+        top.add_composite("M", mid)
+        assert depth(top) == 3
+
+
+class TestExpand:
+    def test_expansion_namespaces_children(self):
+        flat = expand(make_outer())
+        assert f"C{SCOPE_SEP}s1" in flat
+        assert f"C{SCOPE_SEP}s2" in flat
+        assert "C" not in flat
+        assert not flat.composites
+
+    def test_expansion_reroutes_arcs(self):
+        flat = expand(make_outer())
+        assert flat.successors("V") == [f"C{SCOPE_SEP}s1"]
+        assert flat.predecessors("W") == [f"C{SCOPE_SEP}s2"]
+
+    def test_expansion_keeps_internal_arcs(self):
+        flat = expand(make_outer())
+        assert f"C{SCOPE_SEP}S" in flat
+        assert flat.successors(f"C{SCOPE_SEP}s1") == [f"C{SCOPE_SEP}S"]
+
+    def test_missing_input_port_raises(self):
+        inner = DataflowGraph("inner", inputs={}, outputs={"w": "s"})
+        inner.add_task("s")
+        outer = DataflowGraph("outer")
+        outer.add_storage("V", data="v")
+        outer.add_composite("C", inner)
+        outer.connect("V", "C")
+        with pytest.raises(GraphError, match="no\\s+input port|no input port"):
+            expand(outer)
+
+    def test_missing_output_port_raises(self):
+        inner = DataflowGraph("inner", inputs={"v": "s"}, outputs={})
+        inner.add_task("s")
+        outer = DataflowGraph("outer")
+        outer.add_composite("C", inner)
+        outer.add_storage("W", data="w")
+        outer.connect("C", "W")
+        with pytest.raises(GraphError, match="output port"):
+            expand(outer)
+
+    def test_three_level_expansion(self):
+        mid = DataflowGraph("mid", inputs={"v": "K"}, outputs={"w": "K"})
+        mid.add_composite("K", make_inner())
+        top = DataflowGraph("top")
+        top.add_storage("V", data="v", initial=1.0)
+        top.add_composite("M", mid)
+        top.add_storage("W", data="w")
+        top.connect("V", "M")
+        top.connect("M", "W")
+        flat = expand(top)
+        name = f"M{SCOPE_SEP}K{SCOPE_SEP}s1"
+        assert name in flat
+        assert flat.successors("V") == [name]
+
+
+class TestFlatten:
+    def test_storage_elision(self):
+        tg = flatten(make_outer())
+        assert sorted(tg.task_names) == ["C.s1", "C.s2", "post", "pre"]
+        assert tg.edge("pre", "C.s1").var == "v"
+        assert tg.edge("C.s1", "C.s2").var == "u"
+        assert tg.edge("C.s1", "C.s2").size == 2.0
+        assert tg.edge("C.s2", "post").var == "w"
+
+    def test_graph_inputs_and_outputs(self):
+        g = DataflowGraph("io")
+        g.add_storage("A", initial=5.0, size=3.0)
+        g.add_task("t")
+        g.add_storage("R")
+        g.connect("A", "t")
+        g.connect("t", "R")
+        tg = flatten(g)
+        assert tg.graph_inputs == {"A": ["t"]}
+        assert tg.input_values == {"A": 5.0}
+        assert tg.input_sizes == {"A": 3.0}
+        assert tg.graph_outputs == {"R": "t"}
+
+    def test_fanout_storage(self):
+        g = DataflowGraph("fan")
+        g.add_task("p")
+        g.add_storage("S", size=4.0)
+        g.add_task("c1")
+        g.add_task("c2")
+        g.connect("p", "S")
+        g.connect("S", "c1")
+        g.connect("S", "c2")
+        tg = flatten(g)
+        assert set(tg.successors("p")) == {"c1", "c2"}
+        assert tg.edge("p", "c1").size == 4.0
+
+    def test_direct_task_to_task_arc_kept(self):
+        g = DataflowGraph("ctl")
+        g.add_task("a")
+        g.add_task("b")
+        g.connect("a", "b", var="go", size=0.0)
+        tg = flatten(g)
+        assert tg.edge("a", "b").var == "go"
+        assert tg.edge("a", "b").size == 0.0
+
+    def test_flatten_validates_by_default(self):
+        g = DataflowGraph("bad")
+        g.add_task("t1")
+        g.add_task("t2")
+        g.add_storage("S")
+        g.connect("t1", "S")
+        g.connect("t2", "S")
+        with pytest.raises(ValidationError):
+            flatten(g)
+
+    def test_flatten_preserves_programs_and_work(self):
+        g = DataflowGraph("p")
+        g.add_task("t", work=7.0, program="output x\nx := 1")
+        tg = flatten(g)
+        assert tg.work("t") == 7.0
+        assert "x := 1" in tg.task("t").program
+
+    def test_duplicate_producer_consumer_pair_merged(self):
+        # two storages carrying the same var between the same tasks would
+        # produce duplicate edges; flatten de-duplicates by (src, dst, var)
+        g = DataflowGraph("dup")
+        g.add_task("a")
+        g.add_task("b")
+        g.add_storage("S1", data="v")
+        g.add_storage("S2", data="v")
+        g.connect("a", "S1")
+        g.connect("S1", "b")
+        g.connect("a", "S2")
+        g.connect("S2", "b")
+        tg = flatten(g)
+        assert len(tg.edges_between("a", "b")) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for PITL node and arc types."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Arc, NodeKind, StorageNode, TaskNode
+
+
+class TestTaskNode:
+    def test_defaults(self):
+        n = TaskNode("t1")
+        assert n.name == "t1"
+        assert n.kind is NodeKind.TASK
+        assert n.work == 1.0
+        assert n.program is None
+        assert not n.is_composite
+
+    def test_composite_flag(self):
+        n = TaskNode("c", kind=NodeKind.COMPOSITE)
+        assert n.is_composite
+
+    def test_label_and_meta(self):
+        n = TaskNode("fanl", label="fan-out of L column", meta={"color": "bold"})
+        assert n.label.startswith("fan-out")
+        assert n.meta["color"] == "bold"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(GraphError):
+            TaskNode("")
+
+    def test_rejects_whitespace_name(self):
+        with pytest.raises(GraphError):
+            TaskNode("a b")
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(GraphError):
+            TaskNode("t", work=-1.0)
+
+    def test_rejects_storage_kind(self):
+        with pytest.raises(GraphError):
+            TaskNode("t", kind=NodeKind.STORAGE)
+
+    def test_hashable_by_name(self):
+        assert hash(TaskNode("x")) == hash(TaskNode("x", work=5))
+
+
+class TestStorageNode:
+    def test_data_defaults_to_name(self):
+        s = StorageNode("A")
+        assert s.data == "A"
+        assert s.kind is NodeKind.STORAGE
+
+    def test_explicit_data_and_size(self):
+        s = StorageNode("store_A", data="A", size=9.0)
+        assert s.data == "A"
+        assert s.size == 9.0
+
+    def test_initial_value(self):
+        s = StorageNode("b", initial=[1.0, 2.0, 3.0])
+        assert s.initial == [1.0, 2.0, 3.0]
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(GraphError):
+            StorageNode("A", size=0.0)
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(GraphError):
+            StorageNode("two words")
+
+
+class TestArc:
+    def test_basic(self):
+        a = Arc("u", "v", var="x", size=3.0)
+        assert (a.src, a.dst, a.var, a.size) == ("u", "v", "x", 3.0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            Arc("u", "u")
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(GraphError):
+            Arc("u", "v", size=-0.5)
+
+    def test_renamed(self):
+        a = Arc("u", "v", var="x", size=3.0)
+        b = a.renamed(dst="w")
+        assert (b.src, b.dst, b.var, b.size) == ("u", "w", "x", 3.0)
+        assert a.dst == "v"  # original untouched (frozen)
+
+    def test_frozen(self):
+        a = Arc("u", "v")
+        with pytest.raises(Exception):
+            a.src = "z"  # type: ignore[misc]

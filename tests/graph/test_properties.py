@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for graph invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import (
+    TaskGraph,
+    average_parallelism,
+    b_levels,
+    critical_path,
+    critical_path_length,
+    flatten,
+    max_width,
+    t_levels,
+)
+from repro.graph.generators import as_dataflow, random_layered
+from repro.graph.serialize import taskgraph_from_json, taskgraph_to_json
+
+graph_params = st.tuples(
+    st.integers(min_value=1, max_value=40),   # n_tasks
+    st.integers(min_value=1, max_value=8),    # n_layers
+    st.floats(min_value=0.0, max_value=1.0),  # edge_prob
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def build(params) -> TaskGraph:
+    n, layers, prob, seed = params
+    return random_layered(n, min(layers, n), edge_prob=prob, seed=seed)
+
+
+@given(graph_params)
+@settings(max_examples=50, deadline=None)
+def test_random_graphs_are_acyclic(params):
+    assert build(params).is_acyclic()
+
+
+@given(graph_params)
+@settings(max_examples=50, deadline=None)
+def test_topological_order_respects_edges(params):
+    tg = build(params)
+    pos = {t: i for i, t in enumerate(tg.topological_order())}
+    assert all(pos[e.src] < pos[e.dst] for e in tg.edges)
+
+
+@given(graph_params)
+@settings(max_examples=50, deadline=None)
+def test_critical_path_bounds(params):
+    tg = build(params)
+    cp_comm = critical_path_length(tg)
+    cp_nocomm = critical_path_length(tg, comm_cost=lambda e: 0.0)
+    # adding communication can only lengthen the critical path
+    assert cp_comm >= cp_nocomm - 1e-9
+    # the zero-comm critical path is at most the serial time
+    assert cp_nocomm <= tg.total_work() + 1e-9
+    # and at least the heaviest single task
+    assert cp_nocomm >= max(t.work for t in tg.tasks) - 1e-9
+
+
+@given(graph_params)
+@settings(max_examples=50, deadline=None)
+def test_critical_path_is_a_real_path(params):
+    tg = build(params)
+    length, path = critical_path(tg)
+    assert len(path) >= 1
+    for u, v in zip(path, path[1:]):
+        assert v in tg.successors(u)
+    walked = sum(tg.work(t) for t in path) + sum(
+        tg.edge(u, v).size for u, v in zip(path, path[1:])
+    )
+    # tg.edge returns the first edge; with parallel multi-var edges the true
+    # path may use a heavier one, so only check one direction loosely when
+    # no parallel edges exist
+    if all(len(tg.edges_between(u, v)) == 1 for u, v in zip(path, path[1:])):
+        assert abs(walked - length) < 1e-6
+
+
+@given(graph_params)
+@settings(max_examples=50, deadline=None)
+def test_levels_are_consistent(params):
+    tg = build(params)
+    tl, bl = t_levels(tg), b_levels(tg)
+    cp = critical_path_length(tg)
+    for t in tg.task_names:
+        # every task sits on a path no longer than the critical path
+        assert tl[t] + bl[t] <= cp + 1e-6
+    # some task attains it
+    assert any(abs(tl[t] + bl[t] - cp) < 1e-6 for t in tg.task_names)
+
+
+@given(graph_params)
+@settings(max_examples=40, deadline=None)
+def test_average_parallelism_bounded_by_width_times_levels(params):
+    tg = build(params)
+    ap = average_parallelism(tg)
+    assert 0 < ap <= len(tg) + 1e-9
+    assert max_width(tg) <= len(tg)
+
+
+@given(graph_params)
+@settings(max_examples=30, deadline=None)
+def test_serialization_roundtrip(params):
+    tg = build(params)
+    back = taskgraph_from_json(taskgraph_to_json(tg))
+    assert back.task_names == tg.task_names
+    assert [(e.src, e.dst, e.var) for e in back.edges] == [
+        (e.src, e.dst, e.var) for e in tg.edges
+    ]
+
+
+@given(graph_params)
+@settings(max_examples=20, deadline=None)
+def test_dataflow_lift_and_flatten_is_identity(params):
+    tg = build(params)
+    back = flatten(as_dataflow(tg))
+    assert sorted(back.task_names) == sorted(tg.task_names)
+    assert {(e.src, e.dst) for e in back.edges} == {(e.src, e.dst) for e in tg.edges}

@@ -1,0 +1,94 @@
+"""JSON round-trip tests for designs and task graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    DataflowGraph,
+    dataflow_from_dict,
+    dataflow_from_json,
+    dataflow_to_dict,
+    dataflow_to_json,
+    flatten,
+    taskgraph_from_json,
+    taskgraph_to_json,
+)
+from repro.graph.generators import gaussian_elimination
+
+
+def make_design():
+    inner = DataflowGraph("inner", inputs={"v": "s"}, outputs={"w": "s"})
+    inner.add_task("s", work=2.0, program="input v\noutput w\nw := v * 2")
+    g = DataflowGraph("doc")
+    g.add_storage("V", data="v", initial=np.array([1.0, 2.0]), size=2.0)
+    g.add_composite("C", inner, label="refined")
+    g.add_storage("W", data="w")
+    g.connect("V", "C")
+    g.connect("C", "W")
+    return g
+
+
+class TestDataflowRoundTrip:
+    def test_roundtrip_structure(self):
+        g = make_design()
+        back = dataflow_from_json(dataflow_to_json(g))
+        assert back.name == "doc"
+        assert sorted(back.node_names) == sorted(g.node_names)
+        assert [(a.src, a.dst, a.var) for a in back.arcs] == [
+            (a.src, a.dst, a.var) for a in g.arcs
+        ]
+
+    def test_roundtrip_hierarchy(self):
+        back = dataflow_from_json(dataflow_to_json(make_design()))
+        sub = back.subgraph("C")
+        assert sub.inputs == {"v": "s"}
+        assert "w := v * 2" in sub.node("s").program
+
+    def test_roundtrip_ndarray_initial(self):
+        back = dataflow_from_json(dataflow_to_json(make_design()))
+        init = back.node("V").initial
+        assert isinstance(init, np.ndarray)
+        np.testing.assert_allclose(init, [1.0, 2.0])
+
+    def test_roundtrip_flattens_identically(self):
+        g = make_design()
+        a = flatten(g)
+        b = flatten(dataflow_from_json(dataflow_to_json(g)))
+        assert sorted(a.task_names) == sorted(b.task_names)
+        assert {(e.src, e.dst, e.var, e.size) for e in a.edges} == {
+            (e.src, e.dst, e.var, e.size) for e in b.edges
+        }
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(GraphError, match="not a dataflow"):
+            dataflow_from_dict({"type": "taskgraph"})
+
+    def test_unknown_node_kind_rejected(self):
+        doc = dataflow_to_dict(make_design())
+        doc["nodes"][0]["kind"] = "alien"
+        with pytest.raises(GraphError, match="unknown node kind"):
+            dataflow_from_dict(doc)
+
+
+class TestTaskGraphRoundTrip:
+    def test_roundtrip(self):
+        tg = gaussian_elimination(5)
+        tg.graph_inputs = {"A": ["p0"]}
+        tg.input_values = {"A": np.eye(2)}
+        back = taskgraph_from_json(taskgraph_to_json(tg))
+        assert back.name == tg.name
+        assert sorted(back.task_names) == sorted(tg.task_names)
+        assert back.total_work() == pytest.approx(tg.total_work())
+        assert back.total_comm() == pytest.approx(tg.total_comm())
+        assert back.graph_inputs == {"A": ["p0"]}
+        np.testing.assert_allclose(back.input_values["A"], np.eye(2))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(GraphError, match="not a taskgraph"):
+            taskgraph_from_json('{"type": "dataflow"}')
+
+    def test_compact_json(self):
+        tg = gaussian_elimination(3)
+        text = taskgraph_to_json(tg, indent=None)
+        assert "\n" not in text

@@ -1,0 +1,46 @@
+"""The CLI must work as a real subprocess (`python -m repro ...`)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, check=True):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    if check:
+        assert result.returncode == 0, result.stderr
+    return result
+
+
+class TestSubprocessCLI:
+    def test_topology(self):
+        result = run_cli("topology", "--family", "hypercube", "--procs", "8")
+        assert "hypercube(8)" in result.stdout
+        assert "diameter 3" in result.stdout
+
+    def test_demo_saves_loadable_project(self, tmp_path):
+        save = tmp_path / "demo.json"
+        result = run_cli("demo", "--save", str(save))
+        assert "Gantt chart" in result.stdout
+        doc = json.loads(save.read_text())
+        assert doc["type"] == "banger-project"
+        # and the saved file round-trips through another invocation
+        result2 = run_cli("speedup", str(save), "--procs", "1,2")
+        assert "Speedup prediction" in result2.stdout
+
+    def test_bad_project_path_exit_code(self):
+        result = run_cli("outline", "/no/such/file.json", check=False)
+        assert result.returncode == 2
+        assert "error" in result.stderr
+
+    def test_help(self):
+        result = run_cli("--help")
+        for sub in ("feedback", "schedule", "speedup", "codegen", "advise"):
+            assert sub in result.stdout

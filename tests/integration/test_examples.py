@@ -1,0 +1,33 @@
+"""Every example script must run clean — they are living documentation."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"
+
+
+def test_example_inventory():
+    """The README promises seven walkthroughs; hold it to that."""
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "lu_decomposition",
+        "machine_comparison",
+        "calculator_session",
+        "montecarlo_pi",
+        "heat_equation",
+        "tuning_session",
+    } <= names

@@ -1,0 +1,93 @@
+"""Tests for the TargetMachine cost model and serialization."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import (
+    IDEAL,
+    NCUBE_LIKE,
+    Hypercube,
+    MachineParams,
+    Star,
+    TargetMachine,
+    make_machine,
+    single_processor,
+)
+
+
+@pytest.fixture
+def cube():
+    return TargetMachine(Hypercube(3), NCUBE_LIKE)
+
+
+class TestCostModel:
+    def test_exec_time_delegates(self, cube):
+        assert cube.exec_time(4.0) == NCUBE_LIKE.exec_time(4.0)
+
+    def test_local_comm_free(self, cube):
+        assert cube.comm_cost(3, 3, 100.0) == 0.0
+
+    def test_comm_uses_topology_hops(self, cube):
+        one_hop = cube.comm_cost(0, 1, 10.0)
+        three_hops = cube.comm_cost(0, 7, 10.0)
+        assert one_hop == NCUBE_LIKE.comm_time(10.0, 1)
+        assert three_hops == NCUBE_LIKE.comm_time(10.0, 3)
+        assert three_hops > one_hop
+
+    def test_mean_comm_between_extremes(self, cube):
+        size = 10.0
+        mean = cube.mean_comm_cost(size)
+        assert NCUBE_LIKE.comm_time(size, 1) <= mean <= NCUBE_LIKE.comm_time(size, 3)
+
+    def test_mean_comm_single_proc_zero(self):
+        assert single_processor(NCUBE_LIKE).mean_comm_cost(50.0) == 0.0
+
+    def test_route_delegates(self, cube):
+        assert cube.route(0, 7) == [0, 1, 3, 7]
+
+    def test_procs_iterator(self, cube):
+        assert list(cube.procs()) == list(range(8))
+
+    def test_disconnected_topology_rejected(self):
+        from repro.machine import CustomTopology
+
+        with pytest.raises(MachineError):
+            TargetMachine(CustomTopology(3, [(0, 1)]))
+
+
+class TestBuilders:
+    def test_make_machine(self):
+        m = make_machine("hypercube", 4, NCUBE_LIKE)
+        assert m.n_procs == 4
+        assert m.params == NCUBE_LIKE
+
+    def test_single_processor(self):
+        m = single_processor()
+        assert m.n_procs == 1
+        assert m.comm_cost(0, 0, 5.0) == 0.0
+
+    def test_default_params_ideal(self):
+        m = make_machine("star", 5)
+        assert m.params == IDEAL
+
+
+class TestSerialization:
+    def test_roundtrip(self, cube):
+        doc = cube.to_dict()
+        back = TargetMachine.from_dict(doc)
+        assert back.n_procs == cube.n_procs
+        assert back.params == cube.params
+        assert back.name == cube.name
+        # routing distances survive (links preserved)
+        for src in range(8):
+            for dst in range(8):
+                assert back.topology.hops(src, dst) == cube.topology.hops(src, dst)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(MachineError):
+            TargetMachine.from_dict({"type": "nope"})
+
+    def test_star_roundtrip_preserves_structure(self):
+        m = TargetMachine(Star(5), MachineParams(msg_startup=2.0))
+        back = TargetMachine.from_dict(m.to_dict())
+        assert back.comm_cost(1, 2, 4.0) == m.comm_cost(1, 2, 4.0)

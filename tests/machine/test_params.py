@@ -1,0 +1,89 @@
+"""Unit tests for the four-parameter machine cost model."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import IDEAL, NCUBE_LIKE, MachineParams
+
+
+class TestValidation:
+    def test_defaults_are_ideal(self):
+        p = MachineParams()
+        assert p.processor_speed == 1.0
+        assert p.msg_startup == 0.0
+        assert p == IDEAL
+
+    @pytest.mark.parametrize("kw", [
+        {"processor_speed": 0.0},
+        {"processor_speed": -1.0},
+        {"transmission_rate": 0.0},
+        {"process_startup": -0.1},
+        {"msg_startup": -1.0},
+        {"hop_latency": -2.0},
+    ])
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(MachineError):
+            MachineParams(**kw)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            IDEAL.processor_speed = 2.0  # type: ignore[misc]
+
+
+class TestExecTime:
+    def test_unit_speed(self):
+        assert IDEAL.exec_time(5.0) == 5.0
+
+    def test_speed_scales_inverse(self):
+        p = MachineParams(processor_speed=4.0)
+        assert p.exec_time(8.0) == 2.0
+
+    def test_startup_added(self):
+        p = MachineParams(process_startup=1.5)
+        assert p.exec_time(2.0) == 3.5
+
+    def test_zero_work(self):
+        p = MachineParams(process_startup=0.25)
+        assert p.exec_time(0.0) == 0.25
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(MachineError):
+            IDEAL.exec_time(-1.0)
+
+
+class TestCommTime:
+    def test_same_processor_is_free(self):
+        assert NCUBE_LIKE.comm_time(100.0, 0) == 0.0
+
+    def test_one_hop(self):
+        p = MachineParams(msg_startup=5.0, transmission_rate=2.0)
+        assert p.comm_time(10.0, 1) == 5.0 + 10.0 / 2.0
+
+    def test_store_and_forward_scales_with_hops(self):
+        p = MachineParams(msg_startup=5.0, transmission_rate=2.0)
+        assert p.comm_time(10.0, 3) == 5.0 + 3 * 5.0
+
+    def test_hop_latency(self):
+        p = MachineParams(msg_startup=1.0, transmission_rate=1.0, hop_latency=0.5)
+        assert p.comm_time(4.0, 2) == 1.0 + 2 * 0.5 + 2 * 4.0
+
+    def test_zero_size_message_still_pays_startup(self):
+        p = MachineParams(msg_startup=3.0)
+        assert p.comm_time(0.0, 2) == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(MachineError):
+            IDEAL.comm_time(-1.0, 1)
+        with pytest.raises(MachineError):
+            IDEAL.comm_time(1.0, -1)
+
+
+class TestScaled:
+    def test_scaled_speed_only(self):
+        p = NCUBE_LIKE.scaled(2.0)
+        assert p.processor_speed == 2 * NCUBE_LIKE.processor_speed
+        assert p.msg_startup == NCUBE_LIKE.msg_startup
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(MachineError):
+            NCUBE_LIKE.scaled(0.0)

@@ -1,0 +1,42 @@
+"""Tests for the named machine-parameter presets."""
+
+import pytest
+
+from repro.machine import (
+    IDEAL,
+    IPSC_LIKE,
+    LAN_WORKSTATIONS,
+    NCUBE_LIKE,
+    PRESETS,
+    TIGHT_SMP,
+)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert PRESETS == {
+            "ideal": IDEAL,
+            "ncube": NCUBE_LIKE,
+            "ipsc": IPSC_LIKE,
+            "lan": LAN_WORKSTATIONS,
+            "smp": TIGHT_SMP,
+        }
+
+    def test_all_valid(self):
+        for name, params in PRESETS.items():
+            assert params.exec_time(1.0) > 0, name
+            assert params.comm_time(1.0, 1) >= 0, name
+
+    def test_lan_messages_dwarf_smp(self):
+        assert LAN_WORKSTATIONS.comm_time(1.0, 1) > 100 * TIGHT_SMP.comm_time(1.0, 1)
+
+    def test_presets_order_grain_decisions(self):
+        """The same fine-grain design packs on a LAN, spreads on an SMP."""
+        from repro.graph.generators import fork_join
+        from repro.machine import make_machine
+        from repro.sched import MHScheduler
+
+        tg = fork_join(8, work=2, comm=4)
+        lan = MHScheduler().schedule(tg, make_machine("full", 8, LAN_WORKSTATIONS))
+        smp = MHScheduler().schedule(tg, make_machine("full", 8, TIGHT_SMP))
+        assert len(lan.procs_used()) < len(smp.procs_used())

@@ -1,0 +1,83 @@
+"""Property-based tests for topology/cost-model invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.machine import (
+    BalancedTree,
+    Hypercube,
+    MachineParams,
+    Mesh2D,
+    Ring,
+    TargetMachine,
+    Torus2D,
+)
+
+
+def topologies():
+    return st.one_of(
+        st.integers(0, 4).map(Hypercube),
+        st.tuples(st.integers(1, 5), st.integers(1, 5)).map(lambda rc: Mesh2D(*rc)),
+        st.tuples(st.integers(1, 4), st.integers(1, 4)).map(lambda rc: Torus2D(*rc)),
+        st.integers(3, 10).map(Ring),
+        st.tuples(st.integers(1, 3), st.integers(1, 3)).map(lambda da: BalancedTree(*da)),
+    )
+
+
+@given(topologies())
+@settings(max_examples=60, deadline=None)
+def test_hops_is_a_metric(topo):
+    n = topo.n_procs
+    pairs = [(a, b) for a in range(min(n, 6)) for b in range(min(n, 6))]
+    for a, b in pairs:
+        assert topo.hops(a, b) == topo.hops(b, a)  # symmetry
+        assert (topo.hops(a, b) == 0) == (a == b)  # identity
+    if n >= 3:
+        for a in range(min(n, 4)):
+            for b in range(min(n, 4)):
+                for c in range(min(n, 4)):
+                    assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+
+
+@given(topologies())
+@settings(max_examples=60, deadline=None)
+def test_routes_walk_real_links(topo):
+    n = topo.n_procs
+    for src in range(min(n, 5)):
+        for dst in range(min(n, 5)):
+            path = topo.route(src, dst)
+            assert path[0] == src and path[-1] == dst
+            assert len(path) - 1 == topo.hops(src, dst)
+            for a, b in zip(path, path[1:]):
+                assert topo.has_link(a, b)
+            assert len(set(path)) == len(path)  # no processor revisited
+
+
+@given(
+    topologies(),
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=0.01, max_value=100.0),
+    st.floats(min_value=0.0, max_value=50.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_comm_cost_monotone_in_distance(topo, size, rate, startup):
+    params = MachineParams(msg_startup=startup, transmission_rate=rate)
+    if not topo.is_connected():
+        return
+    m = TargetMachine(topo, params)
+    costs_by_hops: dict[int, float] = {}
+    for dst in range(min(topo.n_procs, 8)):
+        h = topo.hops(0, dst)
+        costs_by_hops[h] = m.comm_cost(0, dst, size)
+    hops_sorted = sorted(costs_by_hops)
+    for h1, h2 in zip(hops_sorted, hops_sorted[1:]):
+        assert costs_by_hops[h1] <= costs_by_hops[h2] + 1e-9
+
+
+@given(st.integers(0, 4))
+@settings(max_examples=10, deadline=None)
+def test_hypercube_distance_is_hamming(dim):
+    h = Hypercube(dim)
+    for a in range(h.n_procs):
+        for b in range(h.n_procs):
+            assert h.hops(a, b) == bin(a ^ b).count("1")

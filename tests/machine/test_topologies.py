@@ -1,0 +1,291 @@
+"""Tests for every topology family: structure, routing, distances."""
+
+import pytest
+
+from repro.errors import MachineError, RoutingError
+from repro.machine import (
+    PAPER_FAMILIES,
+    BalancedTree,
+    Bus,
+    CustomTopology,
+    FullyConnected,
+    Hypercube,
+    LinearArray,
+    Mesh2D,
+    Ring,
+    Star,
+    Torus2D,
+    build_topology,
+)
+
+ALL_SAMPLES = [
+    FullyConnected(6),
+    Bus(5),
+    Star(7),
+    Ring(8),
+    LinearArray(5),
+    Hypercube(3),
+    Mesh2D(3, 4),
+    Torus2D(3, 3),
+    BalancedTree(3, 2),
+    CustomTopology(4, [(0, 1), (1, 2), (2, 3), (3, 0)]),
+]
+
+
+@pytest.mark.parametrize("topo", ALL_SAMPLES, ids=lambda t: t.name)
+class TestAllFamilies:
+    def test_connected(self, topo):
+        assert topo.is_connected()
+        topo.validate()
+
+    def test_routes_are_shortest_paths(self, topo):
+        """Every family's analytic route must match BFS distance."""
+        for src in range(topo.n_procs):
+            for dst in range(topo.n_procs):
+                path = topo.route(src, dst)
+                assert path[0] == src and path[-1] == dst
+                # consecutive path entries must be linked
+                for a, b in zip(path, path[1:]):
+                    assert topo.has_link(a, b), (topo.name, path)
+                # length must equal the BFS shortest distance
+                bfs = Topology_bfs_hops(topo, src, dst)
+                assert len(path) - 1 == bfs == topo.hops(src, dst)
+
+    def test_route_links_match_route(self, topo):
+        links = topo.route_links(0, topo.n_procs - 1)
+        assert len(links) == topo.hops(0, topo.n_procs - 1)
+
+    def test_self_route(self, topo):
+        assert topo.route(2 % topo.n_procs, 2 % topo.n_procs) == [2 % topo.n_procs]
+        assert topo.hops(0, 0) == 0
+
+    def test_out_of_range(self, topo):
+        with pytest.raises(MachineError):
+            topo.hops(0, topo.n_procs)
+        with pytest.raises(MachineError):
+            topo.neighbors(-1)
+
+
+def Topology_bfs_hops(topo, src, dst):
+    """Reference shortest-path computation, independent of the class tables."""
+    from collections import deque
+
+    dist = {src: 0}
+    q = deque([src])
+    while q:
+        u = q.popleft()
+        if u == dst:
+            return dist[u]
+        for v in topo.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                q.append(v)
+    raise AssertionError("disconnected")
+
+
+class TestHypercube:
+    def test_sizes(self):
+        assert Hypercube(0).n_procs == 1
+        assert Hypercube(3).n_procs == 8
+        assert Hypercube(3).n_links == 12  # n * dim / 2
+
+    def test_hamming_distance(self):
+        h = Hypercube(4)
+        assert h.hops(0b0000, 0b1111) == 4
+        assert h.hops(0b0101, 0b0100) == 1
+
+    def test_diameter_is_dim(self):
+        assert Hypercube(3).diameter() == 3
+
+    def test_ecube_route_fixes_bits_low_to_high(self):
+        h = Hypercube(3)
+        assert h.route(0b000, 0b101) == [0b000, 0b001, 0b101]
+
+    def test_for_procs(self):
+        assert Hypercube.for_procs(8).dim == 3
+        with pytest.raises(MachineError):
+            Hypercube.for_procs(6)
+
+    def test_degree_is_dim(self):
+        h = Hypercube(3)
+        assert all(h.degree(p) == 3 for p in range(8))
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(MachineError):
+            Hypercube(-1)
+        with pytest.raises(MachineError):
+            Hypercube(20)
+
+
+class TestMesh:
+    def test_coords_roundtrip(self):
+        m = Mesh2D(3, 4)
+        assert m.coords(7) == (1, 3)
+        assert m.proc_at(1, 3) == 7
+
+    def test_manhattan_distance(self):
+        m = Mesh2D(3, 4)
+        assert m.hops(0, 11) == 2 + 3
+
+    def test_xy_route_goes_row_first(self):
+        m = Mesh2D(3, 3)
+        assert m.route(0, 8) == [0, 1, 2, 5, 8]
+
+    def test_diameter(self):
+        assert Mesh2D(3, 4).diameter() == 5
+
+    def test_square_builder(self):
+        assert Mesh2D.square(9).rows == 3
+        with pytest.raises(MachineError):
+            Mesh2D.square(8)
+
+    def test_corner_degree(self):
+        m = Mesh2D(3, 3)
+        assert m.degree(0) == 2
+        assert m.degree(4) == 4
+
+    def test_out_of_grid(self):
+        with pytest.raises(MachineError):
+            Mesh2D(2, 2).proc_at(2, 0)
+
+
+class TestTorus:
+    def test_wraparound_shortens(self):
+        t = Torus2D(4, 4)
+        assert t.hops(0, 3) == 1  # wrap in the row
+        assert t.hops(0, 12) == 1  # wrap in the column
+
+    def test_diameter_halves(self):
+        assert Torus2D(4, 4).diameter() == 4
+        assert Mesh2D(4, 4).diameter() == 6
+
+    def test_small_extent_no_wrap_duplicates(self):
+        t = Torus2D(2, 3)
+        t.validate()
+        assert t.hops(0, 2) == 1  # wrap on the length-3 axis only
+
+    def test_route_uses_wrap(self):
+        t = Torus2D(1, 5)
+        assert t.route(0, 4) == [0, 4]
+
+
+class TestRingStarLinear:
+    def test_ring_takes_short_way(self):
+        r = Ring(6)
+        assert r.route(0, 5) == [0, 5]
+        assert r.route(0, 2) == [0, 1, 2]
+        assert r.diameter() == 3
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(MachineError):
+            Ring(2)
+
+    def test_star_routes_through_hub(self):
+        s = Star(5)
+        assert s.route(1, 2) == [1, 0, 2]
+        assert s.route(0, 3) == [0, 3]
+        assert s.diameter() == 2
+        assert s.degree(0) == 4
+
+    def test_linear_array(self):
+        l = LinearArray(4)
+        assert l.route(3, 0) == [3, 2, 1, 0]
+        assert l.diameter() == 3
+
+
+class TestTree:
+    def test_sizes(self):
+        assert BalancedTree(3, 2).n_procs == 7
+        assert BalancedTree(2, 3).n_procs == 4
+
+    def test_parent_child(self):
+        t = BalancedTree(3, 2)
+        assert t.parent(0) is None
+        assert t.parent(4) == 1
+        assert t.children(1) == [3, 4]
+        assert t.children(3) == []
+
+    def test_route_through_lca(self):
+        t = BalancedTree(3, 2)
+        assert t.route(3, 4) == [3, 1, 4]
+        assert t.route(3, 6) == [3, 1, 0, 2, 6]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(MachineError):
+            BalancedTree(0)
+        with pytest.raises(MachineError):
+            BalancedTree(2, 0)
+
+
+class TestFullAndBus:
+    def test_full_diameter_one(self):
+        f = FullyConnected(5)
+        assert f.diameter() == 1
+        assert f.n_links == 10
+
+    def test_bus_flag(self):
+        assert Bus(4).shared_medium
+        assert not getattr(FullyConnected(4), "shared_medium", False)
+
+    def test_single_processor_full(self):
+        f = FullyConnected(1)
+        assert f.diameter() == 0
+        assert f.average_distance() == 0.0
+
+
+class TestCustomAndBuild:
+    def test_custom_topology(self):
+        c = CustomTopology(3, [(0, 1), (1, 2)])
+        assert c.hops(0, 2) == 2
+        assert c.route(0, 2) == [0, 1, 2]
+
+    def test_disconnected_detected(self):
+        c = CustomTopology(4, [(0, 1), (2, 3)])
+        assert not c.is_connected()
+        with pytest.raises(MachineError):
+            c.validate()
+        with pytest.raises(RoutingError):
+            c.hops(0, 3)
+        with pytest.raises(RoutingError):
+            c.diameter()
+
+    def test_self_link_rejected(self):
+        with pytest.raises(MachineError):
+            CustomTopology(2, [(0, 0)])
+
+    def test_build_topology_families(self):
+        for family in PAPER_FAMILIES:
+            size = {"hypercube": 8, "mesh": 9, "tree": 7}.get(family, 6)
+            topo = build_topology(family, size)
+            assert topo.n_procs == size
+            topo.validate()
+
+    def test_build_topology_extensions(self):
+        assert build_topology("ring", 5).family == "ring"
+        assert build_topology("torus", 9).family == "torus"
+        assert build_topology("bus", 4).family == "bus"
+        assert build_topology("linear", 4).family == "linear"
+
+    def test_build_topology_unknown(self):
+        with pytest.raises(MachineError):
+            build_topology("moebius", 4)
+
+    def test_build_topology_bad_sizes(self):
+        with pytest.raises(MachineError):
+            build_topology("hypercube", 6)
+        with pytest.raises(MachineError):
+            build_topology("tree", 6)
+        with pytest.raises(MachineError):
+            build_topology("torus", 8)
+
+
+class TestDistances:
+    def test_average_distance_full(self):
+        assert FullyConnected(4).average_distance() == 1.0
+
+    def test_average_distance_star(self):
+        # star(3): pairs (0,1),(0,2) at 1, (1,2) at 2 -> mean = (1+1+2)*2/6
+        assert Star(3).average_distance() == pytest.approx(4 / 3)
+
+    def test_average_distance_single(self):
+        assert CustomTopology(1, []).average_distance() == 0.0

@@ -1,0 +1,102 @@
+"""Tests for the 3-D mesh and chordal-ring topology extensions."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import ChordalRing, Mesh2D, Mesh3D, Ring, build_topology
+
+
+def bfs_hops(topo, src, dst):
+    from collections import deque
+
+    dist = {src: 0}
+    q = deque([src])
+    while q:
+        u = q.popleft()
+        if u == dst:
+            return dist[u]
+        for v in topo.neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                q.append(v)
+    raise AssertionError("disconnected")
+
+
+class TestMesh3D:
+    def test_coords_roundtrip(self):
+        m = Mesh3D(2, 3, 4)
+        for p in range(m.n_procs):
+            assert m.proc_at(*m.coords(p)) == p
+
+    def test_manhattan_distance(self):
+        m = Mesh3D(3, 3, 3)
+        assert m.hops(m.proc_at(0, 0, 0), m.proc_at(2, 2, 2)) == 6
+
+    def test_routes_are_shortest(self):
+        m = Mesh3D(2, 2, 3)
+        for s in range(m.n_procs):
+            for d in range(m.n_procs):
+                path = m.route(s, d)
+                assert path[0] == s and path[-1] == d
+                for a, b in zip(path, path[1:]):
+                    assert m.has_link(a, b)
+                assert len(path) - 1 == bfs_hops(m, s, d)
+
+    def test_degenerate_is_like_2d(self):
+        flat = Mesh3D(1, 3, 4)
+        ref = Mesh2D(3, 4)
+        assert flat.diameter() == ref.diameter()
+        assert flat.n_links == ref.n_links
+
+    def test_corner_degree(self):
+        m = Mesh3D(3, 3, 3)
+        assert m.degree(m.proc_at(0, 0, 0)) == 3
+        assert m.degree(m.proc_at(1, 1, 1)) == 6
+
+    def test_bad_extents(self):
+        with pytest.raises(MachineError):
+            Mesh3D(0, 2, 2)
+
+    def test_out_of_grid(self):
+        with pytest.raises(MachineError):
+            Mesh3D(2, 2, 2).proc_at(2, 0, 0)
+
+    def test_builder(self):
+        assert build_topology("mesh3d", 27).n_procs == 27
+        with pytest.raises(MachineError):
+            build_topology("mesh3d", 10)
+
+
+class TestChordalRing:
+    def test_chords_shorten_diameter(self):
+        plain = Ring(12)
+        chordal = ChordalRing(12, 3)
+        assert chordal.diameter() < plain.diameter()
+
+    def test_routes_are_shortest(self):
+        c = ChordalRing(9, 2)
+        for s in range(9):
+            for d in range(9):
+                assert c.hops(s, d) == bfs_hops(c, s, d)
+
+    def test_parameter_validation(self):
+        with pytest.raises(MachineError):
+            ChordalRing(2, 2)
+        with pytest.raises(MachineError):
+            ChordalRing(8, 1)
+        with pytest.raises(MachineError):
+            ChordalRing(8, 8)
+
+    def test_builder_default_chord(self):
+        topo = build_topology("chordal", 12)
+        assert topo.family == "chordal"
+        topo.validate()
+
+    def test_schedulable(self):
+        from repro.graph.generators import butterfly
+        from repro.machine import MachineParams, TargetMachine
+        from repro.sched import check_schedule, get_scheduler
+
+        machine = TargetMachine(ChordalRing(8, 3), MachineParams(msg_startup=1.0))
+        schedule = get_scheduler("mh").schedule(butterfly(8), machine)
+        check_schedule(schedule)

@@ -1,0 +1,104 @@
+"""Tests for the annealing scheduler and schedule serialization."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.generators import fork_join, gaussian_elimination, random_layered
+from repro.machine import MachineParams, make_machine, single_processor
+from repro.sched import (
+    AnnealingScheduler,
+    RandomScheduler,
+    check_schedule,
+    get_scheduler,
+    schedule_from_json,
+    schedule_to_json,
+)
+
+PARAMS = MachineParams(msg_startup=1.0, transmission_rate=2.0)
+
+
+class TestAnnealing:
+    def test_feasible(self):
+        tg = gaussian_elimination(5)
+        machine = make_machine("hypercube", 4, PARAMS)
+        schedule = AnnealingScheduler(iterations=100).schedule(tg, machine)
+        check_schedule(schedule)
+        assert schedule.is_complete()
+
+    def test_never_worse_than_inner(self):
+        tg = random_layered(20, 4, seed=3)
+        machine = make_machine("hypercube", 4, PARAMS)
+        inner = get_scheduler("mh")
+        base = inner.schedule(tg, machine).makespan()
+        refined = AnnealingScheduler(inner=inner, iterations=150).schedule(tg, machine)
+        assert refined.makespan() <= base + 1e-9
+
+    def test_improves_a_random_start(self):
+        tg = fork_join(8, work=10, comm=0.5)
+        machine = make_machine("full", 8, MachineParams(msg_startup=0.1))
+        bad_start = RandomScheduler(seed=7)
+        base = bad_start.schedule(tg, machine).makespan()
+        refined = AnnealingScheduler(inner=bad_start, iterations=300, seed=1).schedule(
+            tg, machine
+        )
+        assert refined.makespan() < base
+
+    def test_deterministic_per_seed(self):
+        tg = random_layered(15, 4, seed=2)
+        machine = make_machine("mesh", 4, PARAMS)
+        a = AnnealingScheduler(iterations=80, seed=9).schedule(tg, machine)
+        b = AnnealingScheduler(iterations=80, seed=9).schedule(tg, machine)
+        assert a.assignment() == b.assignment()
+        assert a.makespan() == b.makespan()
+
+    def test_single_proc_passthrough(self):
+        tg = fork_join(3)
+        schedule = AnnealingScheduler(iterations=10).schedule(tg, single_processor(PARAMS))
+        check_schedule(schedule)
+
+    def test_registered(self):
+        assert type(get_scheduler("anneal")) is AnnealingScheduler
+
+    def test_refines_duplicated_inner(self):
+        tg = fork_join(4, work=20, comm=50)
+        machine = make_machine("full", 4, MachineParams(msg_startup=10))
+        dsh = get_scheduler("dsh")
+        refined = AnnealingScheduler(inner=dsh, iterations=50).schedule(tg, machine)
+        check_schedule(refined)
+        assert not refined.has_duplication()  # annealing works on assignments
+
+
+class TestScheduleSerialization:
+    def test_roundtrip(self):
+        tg = gaussian_elimination(5)
+        machine = make_machine("hypercube", 4, PARAMS)
+        schedule = get_scheduler("mh").schedule(tg, machine)
+        back = schedule_from_json(schedule_to_json(schedule))
+        assert back.scheduler == "mh"
+        assert back.makespan() == pytest.approx(schedule.makespan())
+        assert back.assignment() == schedule.assignment()
+        assert len(back.messages) == len(schedule.messages)
+        check_schedule(back)
+
+    def test_reloaded_schedule_is_fully_functional(self):
+        from repro.sim import simulate
+        from repro.viz import render_gantt
+
+        tg = gaussian_elimination(4)
+        machine = make_machine("mesh", 4, PARAMS)
+        schedule = get_scheduler("etf").schedule(tg, machine)
+        back = schedule_from_json(schedule_to_json(schedule))
+        assert simulate(back).makespan() <= back.makespan() + 1e-6
+        assert "Gantt chart" in render_gantt(back)
+
+    def test_duplicated_roundtrip(self):
+        tg = fork_join(4, work=20, comm=50)
+        machine = make_machine("full", 4, MachineParams(msg_startup=10))
+        schedule = get_scheduler("dsh").schedule(tg, machine)
+        back = schedule_from_json(schedule_to_json(schedule))
+        assert back.has_duplication()
+        check_schedule(back)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ScheduleError, match="not a schedule"):
+            schedule_from_json('{"type": "gantt"}')

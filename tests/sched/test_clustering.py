@@ -1,0 +1,113 @@
+"""Tests for linear clustering and fixed-assignment timing."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph import TaskGraph
+from repro.graph.generators import chain, fork_join, gaussian_elimination
+from repro.machine import MachineParams, make_machine
+from repro.sched import (
+    LinearClusteringScheduler,
+    assignment_to_schedule,
+    check_schedule,
+    linear_clusters,
+    map_clusters_lpt,
+)
+
+PARAMS = MachineParams(msg_startup=2.0, transmission_rate=1.0)
+
+
+class TestLinearClusters:
+    def test_chain_is_one_cluster(self):
+        tg = chain(5, work=2, comm=3)
+        machine = make_machine("full", 2, PARAMS)
+        clusters = linear_clusters(tg, machine)
+        assert len(clusters) == 1
+        assert clusters[0] == [f"t{i}" for i in range(5)]
+
+    def test_fork_join_clusters(self):
+        tg = fork_join(3, work=2, comm=1)
+        machine = make_machine("full", 4, PARAMS)
+        clusters = linear_clusters(tg, machine)
+        # first cluster is the critical path fork -> w -> join; the two
+        # remaining workers form singleton clusters
+        assert len(clusters) == 3
+        assert len(clusters[0]) == 3
+        total = sorted(t for c in clusters for t in c)
+        assert total == sorted(tg.task_names)
+
+    def test_clusters_partition_tasks(self):
+        tg = gaussian_elimination(5)
+        machine = make_machine("hypercube", 4, PARAMS)
+        clusters = linear_clusters(tg, machine)
+        tasks = [t for c in clusters for t in c]
+        assert sorted(tasks) == sorted(tg.task_names)
+        assert len(tasks) == len(set(tasks))
+
+    def test_each_cluster_is_a_path(self):
+        tg = gaussian_elimination(5)
+        machine = make_machine("hypercube", 4, PARAMS)
+        for cluster in linear_clusters(tg, machine):
+            for u, v in zip(cluster, cluster[1:]):
+                assert v in tg.successors(u)
+
+
+class TestMapClustersLPT:
+    def test_fewer_clusters_than_procs(self):
+        tg = fork_join(2, work=1, comm=1)
+        machine = make_machine("full", 8, PARAMS)
+        clusters = linear_clusters(tg, machine)
+        assignment = map_clusters_lpt(clusters, tg, machine)
+        assert set(assignment) == set(tg.task_names)
+        # distinct clusters land on distinct processors when room allows
+        assert len(set(assignment.values())) == len(clusters)
+
+    def test_more_clusters_than_procs_balances(self):
+        tg = fork_join(10, work=5, comm=0.1)
+        machine = make_machine("full", 2, PARAMS)
+        clusters = linear_clusters(tg, machine)
+        assignment = map_clusters_lpt(clusters, tg, machine)
+        loads = {0: 0.0, 1: 0.0}
+        for t, p in assignment.items():
+            loads[p] += tg.work(t)
+        assert abs(loads[0] - loads[1]) <= 10.0  # within one worker's weight
+
+
+class TestAssignmentToSchedule:
+    def test_feasible_for_any_assignment(self):
+        tg = gaussian_elimination(4)
+        machine = make_machine("mesh", 4, PARAMS)
+        assignment = {t: i % 4 for i, t in enumerate(tg.task_names)}
+        schedule = assignment_to_schedule(tg, machine, assignment)
+        check_schedule(schedule)
+        assert schedule.assignment() == assignment
+
+    def test_missing_task_rejected(self):
+        tg = chain(3)
+        machine = make_machine("full", 2, PARAMS)
+        with pytest.raises(ScheduleError, match="misses"):
+            assignment_to_schedule(tg, machine, {"t0": 0})
+
+    def test_insertion_allowed(self):
+        tg = gaussian_elimination(4)
+        machine = make_machine("full", 2, PARAMS)
+        assignment = {t: i % 2 for i, t in enumerate(tg.task_names)}
+        schedule = assignment_to_schedule(tg, machine, assignment, insertion=True)
+        check_schedule(schedule)
+
+
+class TestLinearClusteringScheduler:
+    def test_feasible_end_to_end(self):
+        tg = gaussian_elimination(6)
+        machine = make_machine("hypercube", 8, PARAMS)
+        schedule = LinearClusteringScheduler().schedule(tg, machine)
+        check_schedule(schedule)
+        assert schedule.is_complete()
+
+    def test_chain_never_split(self):
+        """Clustering a chain must place it on one processor (no comm)."""
+        tg = chain(8, work=1, comm=10)
+        machine = make_machine("hypercube", 4, PARAMS)
+        schedule = LinearClusteringScheduler().schedule(tg, machine)
+        assert len(set(schedule.assignment().values())) == 1
+        assert schedule.makespan() == pytest.approx(8 * machine.exec_time(1))

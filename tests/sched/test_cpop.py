@@ -1,0 +1,48 @@
+"""Tests for the CPOP scheduler."""
+
+import pytest
+
+from repro.graph.generators import chain, fork_join, gaussian_elimination, random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import CPOPScheduler, check_schedule, get_scheduler
+
+PARAMS = MachineParams(msg_startup=1.0, transmission_rate=2.0)
+
+
+class TestCPOP:
+    def test_feasible(self):
+        schedule = CPOPScheduler().schedule(
+            gaussian_elimination(6), make_machine("hypercube", 4, PARAMS)
+        )
+        check_schedule(schedule)
+        assert schedule.is_complete()
+
+    def test_registered(self):
+        assert type(get_scheduler("cpop")) is CPOPScheduler
+
+    def test_chain_stays_on_cp_processor(self):
+        """A pure chain IS the critical path; CPOP must keep it together."""
+        schedule = CPOPScheduler().schedule(
+            chain(6, work=2, comm=5), make_machine("hypercube", 4, PARAMS)
+        )
+        assert set(schedule.assignment().values()) == {0}
+
+    def test_wide_graph_uses_many_procs(self):
+        schedule = CPOPScheduler().schedule(
+            fork_join(8, work=10, comm=0.1),
+            make_machine("full", 8, MachineParams(msg_startup=0.01)),
+        )
+        assert len(schedule.procs_used()) > 4
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs(self, seed):
+        tg = random_layered(25, 5, seed=seed)
+        schedule = CPOPScheduler().schedule(tg, make_machine("mesh", 9, PARAMS))
+        check_schedule(schedule)
+
+    def test_competitive_with_hlfet(self):
+        tg = gaussian_elimination(7)
+        machine = make_machine("hypercube", 8, PARAMS)
+        cpop = CPOPScheduler().schedule(tg, machine).makespan()
+        hlfet = get_scheduler("hlfet").schedule(tg, machine).makespan()
+        assert cpop <= hlfet * 1.3 + 1e-9

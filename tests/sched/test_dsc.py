@@ -1,0 +1,125 @@
+"""Tests for DSC and Sarkar clustering schedulers."""
+
+import pytest
+
+from repro.graph import TaskGraph
+from repro.graph.generators import chain, fork_join, gaussian_elimination, random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import (
+    DSCScheduler,
+    SarkarScheduler,
+    check_schedule,
+    cluster_makespan,
+    dsc_clusters,
+    sarkar_clusters,
+)
+
+CHEAP = MachineParams(msg_startup=0.1, transmission_rate=50.0)
+DEAR = MachineParams(msg_startup=20.0, transmission_rate=0.5)
+
+
+class TestClusterMakespan:
+    def test_single_cluster_is_serial(self):
+        tg = fork_join(4, work=2, comm=5)
+        machine = make_machine("full", 4, DEAR)
+        owner = {t: 0 for t in tg.task_names}
+        assert cluster_makespan(tg, machine, owner) == pytest.approx(
+            sum(machine.exec_time(t.work) for t in tg.tasks)
+        )
+
+    def test_all_separate_includes_comm(self):
+        tg = chain(3, work=1, comm=2)
+        machine = make_machine("full", 3, MachineParams(msg_startup=1.0))
+        owner = {t: i for i, t in enumerate(tg.task_names)}
+        # 1 + (1+2) + 1 + (1+2) + 1 = 9
+        assert cluster_makespan(tg, machine, owner) == pytest.approx(9.0)
+
+    def test_zeroing_an_edge_helps_chains(self):
+        tg = chain(3, work=1, comm=2)
+        machine = make_machine("full", 3, MachineParams(msg_startup=1.0))
+        merged = {"t0": 0, "t1": 0, "t2": 0}
+        split = {"t0": 0, "t1": 1, "t2": 2}
+        assert cluster_makespan(tg, machine, merged) < cluster_makespan(
+            tg, machine, split
+        )
+
+
+class TestDSCClusters:
+    def test_chain_collapses(self):
+        tg = chain(6, work=1, comm=10)
+        machine = make_machine("full", 4, DEAR)
+        clusters = dsc_clusters(tg, machine)
+        assert len(clusters) == 1
+
+    def test_cheap_comm_keeps_width(self):
+        tg = fork_join(6, work=10, comm=0.1)
+        machine = make_machine("full", 8, CHEAP)
+        clusters = dsc_clusters(tg, machine)
+        assert len(clusters) >= 6  # workers stay separate
+
+    def test_partition(self):
+        tg = gaussian_elimination(6)
+        machine = make_machine("hypercube", 8, DEAR)
+        clusters = dsc_clusters(tg, machine)
+        tasks = [t for c in clusters for t in c]
+        assert sorted(tasks) == sorted(tg.task_names)
+        assert len(tasks) == len(set(tasks))
+
+
+class TestSarkarClusters:
+    def test_chain_collapses(self):
+        tg = chain(5, work=1, comm=10)
+        machine = make_machine("full", 4, DEAR)
+        assert len(sarkar_clusters(tg, machine)) == 1
+
+    def test_merging_never_hurts_estimate(self):
+        tg = random_layered(25, 5, seed=3)
+        machine = make_machine("hypercube", 8, DEAR)
+        clusters = sarkar_clusters(tg, machine)
+        owner = {}
+        for idx, cluster in enumerate(clusters):
+            for t in cluster:
+                owner[t] = idx
+        baseline = {t: i for i, t in enumerate(tg.task_names)}
+        assert cluster_makespan(tg, machine, owner) <= cluster_makespan(
+            tg, machine, baseline
+        ) + 1e-9
+
+    def test_partition(self):
+        tg = gaussian_elimination(5)
+        machine = make_machine("mesh", 4, DEAR)
+        clusters = sarkar_clusters(tg, machine)
+        tasks = [t for c in clusters for t in c]
+        assert sorted(tasks) == sorted(tg.task_names)
+
+
+@pytest.mark.parametrize("scheduler_cls", [DSCScheduler, SarkarScheduler])
+class TestEndToEnd:
+    def test_feasible(self, scheduler_cls):
+        tg = gaussian_elimination(6)
+        machine = make_machine("hypercube", 8, DEAR)
+        schedule = scheduler_cls().schedule(tg, machine)
+        check_schedule(schedule)
+        assert schedule.is_complete()
+
+    def test_registered(self, scheduler_cls):
+        from repro.sched import get_scheduler
+
+        name = scheduler_cls.name
+        assert type(get_scheduler(name)) is scheduler_cls
+
+    def test_beats_random_spread_when_comm_dear(self, scheduler_cls):
+        from repro.sched import RoundRobinScheduler
+
+        tg = chain(8, work=1, comm=10)
+        machine = make_machine("hypercube", 4, DEAR)
+        clustered = scheduler_cls().schedule(tg, machine)
+        naive = RoundRobinScheduler().schedule(tg, machine)
+        assert clustered.makespan() < naive.makespan()
+
+    def test_random_graphs_feasible(self, scheduler_cls):
+        for seed in (0, 5, 9):
+            tg = random_layered(30, 6, seed=seed)
+            machine = make_machine("mesh", 9, CHEAP)
+            schedule = scheduler_cls().schedule(tg, machine)
+            check_schedule(schedule)

@@ -1,0 +1,118 @@
+"""Tests for what-if schedule editing and the hill-climb post-pass."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph.generators import fork_join, gaussian_elimination
+from repro.machine import MachineParams, make_machine
+from repro.sched import check_schedule, get_scheduler
+from repro.sched.edit import (
+    best_single_move,
+    hill_climb,
+    move_cluster,
+    move_task,
+    primary_assignment,
+    swap_tasks,
+)
+
+PARAMS = MachineParams(msg_startup=1.0, transmission_rate=2.0)
+
+
+@pytest.fixture
+def schedule():
+    tg = gaussian_elimination(5)
+    machine = make_machine("hypercube", 4, PARAMS)
+    return get_scheduler("hlfet").schedule(tg, machine)
+
+
+class TestMoveTask:
+    def test_result_is_feasible(self, schedule):
+        task = schedule.graph.task_names[0]
+        result = move_task(schedule, task, 3)
+        check_schedule(result.schedule)
+        assert result.schedule.proc_of(task) == 3
+        assert result.makespan_before == schedule.makespan()
+
+    def test_original_untouched(self, schedule):
+        before = schedule.makespan()
+        task = schedule.graph.task_names[0]
+        move_task(schedule, task, 2)
+        assert schedule.makespan() == before
+
+    def test_unknown_task(self, schedule):
+        with pytest.raises(ScheduleError, match="unknown task"):
+            move_task(schedule, "nope", 0)
+
+    def test_bad_proc(self, schedule):
+        with pytest.raises(ScheduleError, match="out of range"):
+            move_task(schedule, schedule.graph.task_names[0], 99)
+
+    def test_render_mentions_direction(self, schedule):
+        result = move_task(schedule, schedule.graph.task_names[0], 3)
+        assert any(word in result.render() for word in ("worse", "better", "same"))
+
+    def test_duplicated_schedule_rejected(self):
+        tg = fork_join(4, work=20, comm=50)
+        machine = make_machine("full", 4, MachineParams(msg_startup=10))
+        dup = get_scheduler("dsh").schedule(tg, machine)
+        assert dup.has_duplication()
+        with pytest.raises(ScheduleError, match="duplicated"):
+            move_task(dup, "fork", 1)
+
+
+class TestSwapAndCluster:
+    def test_swap(self, schedule):
+        a, b = schedule.graph.task_names[:2]
+        pa, pb = schedule.proc_of(a), schedule.proc_of(b)
+        result = swap_tasks(schedule, a, b)
+        check_schedule(result.schedule)
+        assert result.schedule.proc_of(a) == pb
+        assert result.schedule.proc_of(b) == pa
+
+    def test_move_cluster(self, schedule):
+        tasks = schedule.graph.task_names[:3]
+        result = move_cluster(schedule, tasks, 1)
+        check_schedule(result.schedule)
+        assert all(result.schedule.proc_of(t) == 1 for t in tasks)
+
+    def test_move_all_to_one_proc_is_serial(self, schedule):
+        tasks = schedule.graph.task_names
+        result = move_cluster(schedule, tasks, 0)
+        from repro.sched import serial_time
+
+        assert result.makespan_after == pytest.approx(serial_time(schedule))
+
+
+class TestPrimaryAssignment:
+    def test_collapses_duplicates(self):
+        tg = fork_join(4, work=20, comm=50)
+        machine = make_machine("full", 4, MachineParams(msg_startup=10))
+        dup = get_scheduler("dsh").schedule(tg, machine)
+        flat = primary_assignment(dup)
+        assert not flat.has_duplication()
+        check_schedule(flat)
+
+
+class TestHillClimb:
+    def test_never_worse(self, schedule):
+        improved = hill_climb(schedule, max_moves=10)
+        check_schedule(improved)
+        assert improved.makespan() <= schedule.makespan() + 1e-9
+
+    def test_improves_a_bad_schedule(self):
+        """One overloaded processor: a single move fixes it, so the
+        hill-climb must find strictly better makespan."""
+        from repro.sched import assignment_to_schedule
+
+        tg = fork_join(4, work=10, comm=0.5)
+        machine = make_machine("full", 8, MachineParams(msg_startup=0.1))
+        assignment = {"fork": 0, "w0": 1, "w1": 2, "w2": 3, "w3": 3, "join": 0}
+        bad = assignment_to_schedule(tg, machine, assignment, "handmade")
+        improved = hill_climb(bad, max_moves=30)
+        assert improved.makespan() < bad.makespan()
+
+    def test_local_optimum_returns_none(self):
+        tg = fork_join(4, work=5, comm=0.1)
+        machine = make_machine("full", 4, MachineParams(msg_startup=0.01))
+        good = hill_climb(get_scheduler("mh").schedule(tg, machine))
+        assert best_single_move(good) is None

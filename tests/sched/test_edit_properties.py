@@ -1,0 +1,62 @@
+"""Property-based tests for what-if editing invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph.generators import random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import get_scheduler, move_task, schedule_problems, swap_tasks
+
+graph_st = st.tuples(
+    st.integers(2, 15),
+    st.integers(1, 4),
+    st.floats(0.1, 0.7),
+    st.integers(0, 500),
+).map(lambda a: random_layered(a[0], min(a[1], a[0]), edge_prob=a[2], seed=a[3]))
+
+params_st = st.builds(
+    MachineParams,
+    msg_startup=st.floats(0.0, 5.0),
+    transmission_rate=st.floats(0.5, 5.0),
+)
+
+
+@given(graph_st, params_st, st.integers(0, 3), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_any_move_stays_feasible(graph, params, proc, pick):
+    machine = make_machine("full", 4, params)
+    schedule = get_scheduler("hlfet").schedule(graph, machine)
+    task = graph.task_names[pick % len(graph)]
+    result = move_task(schedule, task, proc)
+    assert schedule_problems(result.schedule) == []
+    assert result.schedule.proc_of(task) == proc
+    assert result.makespan_after == result.schedule.makespan()
+
+
+@given(graph_st, params_st, st.integers(0, 100), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_swap_is_involutive_on_assignment(graph, params, i, j):
+    machine = make_machine("full", 4, params)
+    schedule = get_scheduler("etf").schedule(graph, machine)
+    a = graph.task_names[i % len(graph)]
+    b = graph.task_names[j % len(graph)]
+    if a == b:
+        return
+    once = swap_tasks(schedule, a, b).schedule
+    twice = swap_tasks(once, a, b).schedule
+    assert twice.assignment() == schedule.assignment()
+    assert schedule_problems(twice) == []
+
+
+@given(graph_st, params_st)
+@settings(max_examples=30, deadline=None)
+def test_moving_to_same_proc_keeps_assignment(graph, params):
+    """A no-op move keeps the assignment; the re-timing pass may reorder
+    tasks within processors (its release order differs from the original
+    heuristic's), so only feasibility — not the makespan — is invariant."""
+    machine = make_machine("full", 4, params)
+    schedule = get_scheduler("hlfet").schedule(graph, machine)
+    task = graph.task_names[0]
+    result = move_task(schedule, task, schedule.proc_of(task))
+    assert result.schedule.assignment() == schedule.assignment()
+    assert schedule_problems(result.schedule) == []

@@ -1,0 +1,98 @@
+"""Tests for schedule explanations (the binding-constraint narrative)."""
+
+import pytest
+
+from repro.graph import TaskGraph
+from repro.graph.generators import gaussian_elimination
+from repro.machine import MachineParams, make_machine
+from repro.sched import (
+    Schedule,
+    explain_placement,
+    explain_schedule,
+    get_scheduler,
+    render_explanations,
+)
+
+PARAMS = MachineParams(msg_startup=2.0, transmission_rate=1.0)
+
+
+@pytest.fixture
+def handmade():
+    """a on P0; b waits for a's message on P1; c queues behind b on P1."""
+    tg = TaskGraph()
+    tg.add_task("a", work=2)
+    tg.add_task("b", work=3)
+    tg.add_task("c", work=1)
+    tg.add_edge("a", "b", var="x", size=4)
+    machine = make_machine("full", 2, PARAMS)
+    s = Schedule(tg, machine)
+    s.add("a", 0, 0.0, 2.0)
+    s.add("b", 1, 8.0, 11.0)   # x arrives at 2 + (2 + 4) = 8: data-bound
+    s.add("c", 1, 11.0, 12.0)  # entry task, but queued behind b: proc-bound
+    return s
+
+
+class TestBindingConstraints:
+    def test_entry_task(self, handmade):
+        ex = explain_placement(handmade, "a")
+        assert ex.binding == "entry"
+        assert "immediately" in ex.detail
+
+    def test_data_bound(self, handmade):
+        ex = explain_placement(handmade, "b")
+        assert ex.binding == "data"
+        assert "'x'" in ex.detail
+        assert "'a'" in ex.detail
+        assert "arriving at 8" in ex.detail
+
+    def test_processor_bound(self, handmade):
+        ex = explain_placement(handmade, "c")
+        assert ex.binding == "processor"
+        assert "'b'" in ex.detail
+        assert "until 11" in ex.detail
+
+    def test_slack_detected(self):
+        tg = TaskGraph()
+        tg.add_task("a", work=1)
+        machine = make_machine("full", 1, PARAMS)
+        s = Schedule(tg, machine)
+        s.add("a", 0, 5.0, 6.0)  # pointless delay
+        ex = explain_placement(s, "a")
+        assert ex.binding == "entry"
+        assert "slack" in ex.detail
+
+    def test_local_data_described_as_local(self):
+        tg = TaskGraph()
+        tg.add_task("a", work=2)
+        tg.add_task("b", work=1)
+        tg.add_edge("a", "b", var="v", size=1)
+        machine = make_machine("full", 2, PARAMS)
+        s = Schedule(tg, machine)
+        s.add("a", 0, 0.0, 2.0)
+        s.add("b", 0, 2.0, 3.0)
+        ex = explain_placement(s, "b")
+        assert ex.binding == "data"
+        assert "locally" in ex.detail
+
+
+class TestWholeSchedule:
+    def test_every_task_explained_in_start_order(self):
+        tg = gaussian_elimination(5)
+        machine = make_machine("hypercube", 4, PARAMS)
+        schedule = get_scheduler("mh").schedule(tg, machine)
+        explanations = explain_schedule(schedule)
+        assert len(explanations) == len(tg)
+        starts = [e.start for e in explanations]
+        assert starts == sorted(starts)
+        assert all(e.binding in ("entry", "data", "processor", "slack")
+                   for e in explanations)
+
+    def test_render(self, handmade):
+        text = render_explanations(handmade)
+        assert "why the schedule" in text
+        assert "b @ P1" in text
+
+    def test_render_only_waiting(self, handmade):
+        text = render_explanations(handmade, only_waiting=True)
+        assert "a @ P0" not in text
+        assert "b @ P1" in text

@@ -1,0 +1,121 @@
+"""Tests for grain packing (Kruatrachue & Lewis) and schedule expansion."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph import TaskGraph
+from repro.graph.generators import chain, fork_join, lu_taskgraph
+from repro.machine import MachineParams, make_machine
+from repro.sched import (
+    GrainPackedScheduler,
+    MHScheduler,
+    check_schedule,
+    pack_by_ratio,
+    pack_linear_chains,
+)
+
+CHEAP_COMM = MachineParams(msg_startup=0.1, transmission_rate=100.0)
+DEAR_COMM = MachineParams(msg_startup=20.0, transmission_rate=0.5)
+
+
+class TestPackLinearChains:
+    def test_chain_collapses_to_one_grain(self):
+        tg = chain(6, work=2)
+        packing = pack_linear_chains(tg)
+        assert len(packing.packed) == 1
+        (grain,) = packing.packed.task_names
+        assert packing.members[grain] == [f"t{i}" for i in range(6)]
+        assert packing.packed.work(grain) == 12.0
+
+    def test_fork_join_keeps_parallel_workers(self):
+        tg = fork_join(4, work=1)
+        packing = pack_linear_chains(tg)
+        # fork and join cannot merge with any single worker; workers have
+        # single pred/succ but those endpoints fan out/in
+        assert len(packing.packed) == len(tg)
+
+    def test_mixed_graph(self):
+        tg = TaskGraph()
+        for n in "abcde":
+            tg.add_task(n)
+        tg.add_edge("a", "b")
+        tg.add_edge("b", "c")  # a-b-c is a chain
+        tg.add_edge("c", "d")
+        tg.add_edge("c", "e")  # c fans out, so chain stops at c
+        packing = pack_linear_chains(tg)
+        assert sorted(len(m) for m in packing.members.values()) == [1, 1, 3]
+
+    def test_grain_of(self):
+        tg = chain(3)
+        packing = pack_linear_chains(tg)
+        grain = packing.packed.task_names[0]
+        assert packing.grain_of("t1") == grain
+        with pytest.raises(ScheduleError):
+            packing.grain_of("nope")
+
+
+class TestPackByRatio:
+    def test_cheap_comm_packs_nothing(self):
+        tg = fork_join(4, work=10, comm=0.1)
+        machine = make_machine("full", 4, CHEAP_COMM)
+        packing = pack_by_ratio(tg, machine)
+        assert len(packing.packed) == len(tg)
+
+    def test_dear_comm_packs_aggressively(self):
+        tg = fork_join(4, work=1, comm=10)
+        machine = make_machine("full", 4, DEAR_COMM)
+        packing = pack_by_ratio(tg, machine)
+        assert len(packing.packed) < len(tg)
+
+    def test_packed_graph_is_acyclic(self):
+        tg = lu_taskgraph(6)
+        machine = make_machine("hypercube", 4, DEAR_COMM)
+        packing = pack_by_ratio(tg, machine)
+        assert packing.packed.is_acyclic()
+
+    def test_max_grain_tasks_respected(self):
+        tg = chain(20, work=0.1, comm=10)
+        machine = make_machine("full", 2, DEAR_COMM)
+        packing = pack_by_ratio(tg, machine, max_grain_tasks=4)
+        assert all(len(m) <= 4 for m in packing.members.values())
+
+    def test_every_task_in_exactly_one_grain(self):
+        tg = lu_taskgraph(5)
+        machine = make_machine("hypercube", 4, DEAR_COMM)
+        packing = pack_by_ratio(tg, machine)
+        seen = [t for members in packing.members.values() for t in members]
+        assert sorted(seen) == sorted(tg.task_names)
+
+
+class TestGrainPackedScheduler:
+    @pytest.mark.parametrize("packer", ["chains", "ratio"])
+    def test_expanded_schedule_is_feasible(self, packer):
+        tg = lu_taskgraph(6)
+        machine = make_machine("hypercube", 4, DEAR_COMM)
+        scheduler = GrainPackedScheduler(MHScheduler(), packer=packer)
+        schedule = scheduler.schedule(tg, machine)
+        check_schedule(schedule)
+        assert schedule.is_complete()
+        assert schedule.scheduler == scheduler.name
+
+    def test_expansion_with_process_startup(self):
+        """Grain weights must absorb the extra per-task startups."""
+        tg = chain(4, work=2, comm=5)
+        machine = make_machine("full", 2, MachineParams(process_startup=0.5, msg_startup=5))
+        schedule = GrainPackedScheduler(MHScheduler(), packer="chains").schedule(tg, machine)
+        check_schedule(schedule)  # exact durations, including startups
+
+    def test_packing_beats_naive_on_fine_grains(self):
+        """The headline grain-packing claim: fine-grain + dear comm =>
+        packing wins over communication-oblivious spreading."""
+        tg = chain(10, work=0.5, comm=20)
+        machine = make_machine("hypercube", 4, DEAR_COMM)
+        packed = GrainPackedScheduler(MHScheduler(), packer="ratio").schedule(tg, machine)
+        from repro.sched import RoundRobinScheduler
+
+        naive = RoundRobinScheduler().schedule(tg, machine)
+        assert packed.makespan() < naive.makespan()
+
+    def test_unknown_packer_rejected(self):
+        with pytest.raises(ScheduleError):
+            GrainPackedScheduler(MHScheduler(), packer="magic")

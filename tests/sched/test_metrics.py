@@ -1,0 +1,134 @@
+"""Tests for schedule metrics (speedup, efficiency, SLR, message stats)."""
+
+import pytest
+
+from repro.graph import TaskGraph
+from repro.graph.generators import fork_join
+from repro.machine import IDEAL, MachineParams, make_machine, single_processor
+from repro.sched import (
+    Schedule,
+    SerialScheduler,
+    average_utilization,
+    comm_time_total,
+    efficiency,
+    load_imbalance,
+    message_stats,
+    report,
+    schedule_length_ratio,
+    serial_time,
+    speedup,
+    utilization,
+)
+
+
+@pytest.fixture
+def two_proc():
+    tg = TaskGraph("m")
+    tg.add_task("a", work=4)
+    tg.add_task("b", work=4)
+    tg.add_task("c", work=2)
+    tg.add_edge("a", "c", var="x", size=2)
+    tg.add_edge("b", "c", var="y", size=2)
+    machine = make_machine("full", 2, MachineParams(msg_startup=1.0, transmission_rate=2.0))
+    s = Schedule(tg, machine, scheduler="manual")
+    s.add("a", 0, 0.0, 4.0)
+    s.add("b", 1, 0.0, 4.0)
+    # y arrives at 4 + (1 + 2/2) = 6
+    s.add("c", 0, 6.0, 8.0)
+    return s
+
+
+class TestBasics:
+    def test_serial_time(self, two_proc):
+        assert serial_time(two_proc) == 10.0
+
+    def test_speedup(self, two_proc):
+        assert speedup(two_proc) == pytest.approx(10.0 / 8.0)
+
+    def test_efficiency(self, two_proc):
+        assert efficiency(two_proc) == pytest.approx(10.0 / 8.0 / 2)
+
+    def test_speedup_of_empty_schedule_is_zero(self):
+        tg = TaskGraph()
+        tg.add_task("a", work=0)
+        machine = single_processor()
+        s = Schedule(tg, machine)
+        s.add("a", 0, 0.0, 0.0)
+        assert speedup(s) == 0.0
+
+
+class TestUtilization:
+    def test_per_proc(self, two_proc):
+        util = utilization(two_proc)
+        assert util[0] == pytest.approx(6.0 / 8.0)
+        assert util[1] == pytest.approx(4.0 / 8.0)
+
+    def test_average(self, two_proc):
+        assert average_utilization(two_proc) == pytest.approx((0.75 + 0.5) / 2)
+
+    def test_load_imbalance(self, two_proc):
+        assert load_imbalance(two_proc) == pytest.approx(6.0 / 5.0)
+
+    def test_perfect_balance(self):
+        tg = TaskGraph()
+        tg.add_task("a", work=2)
+        tg.add_task("b", work=2)
+        machine = make_machine("full", 2, IDEAL)
+        s = Schedule(tg, machine)
+        s.add("a", 0, 0.0, 2.0)
+        s.add("b", 1, 0.0, 2.0)
+        assert load_imbalance(s) == pytest.approx(1.0)
+
+
+class TestSLR:
+    def test_serial_slr(self):
+        tg = fork_join(4, work=1, comm=1)
+        machine = single_processor()
+        s = SerialScheduler().schedule(tg, machine)
+        # serial = 6 units, critical path = 3 units
+        assert schedule_length_ratio(s) == pytest.approx(2.0)
+
+    def test_slr_at_least_one(self, two_proc):
+        assert schedule_length_ratio(two_proc) >= 1.0
+
+
+class TestMessageStats:
+    def test_counts_cross_proc_edges(self, two_proc):
+        count, volume = message_stats(two_proc)
+        assert count == 1  # only b -> c crosses
+        assert volume == 2.0
+
+    def test_comm_time_total(self, two_proc):
+        # a->c local (0), b->c: 1 + 2/2 = 2
+        assert comm_time_total(two_proc) == pytest.approx(2.0)
+
+    def test_duplication_absorbs_messages(self):
+        tg = TaskGraph("d")
+        tg.add_task("a", work=2)
+        tg.add_task("b", work=1)
+        tg.add_edge("a", "b", var="x", size=3)
+        machine = make_machine("full", 2, MachineParams(msg_startup=1.0))
+        s = Schedule(tg, machine)
+        s.add("a", 0, 0.0, 2.0)
+        s.add("a", 1, 0.0, 2.0)  # duplicate on b's processor
+        s.add("b", 1, 2.0, 3.0)
+        count, volume = message_stats(s)
+        assert (count, volume) == (0, 0.0)
+
+
+class TestReport:
+    def test_report_row_fields(self, two_proc):
+        r = report(two_proc)
+        assert r.scheduler == "manual"
+        assert r.n_procs == 2
+        assert r.makespan == 8.0
+        assert r.messages == 1
+        assert not r.duplicated
+        row = r.as_row()
+        assert "manual" in row
+        assert "8.000" in row
+
+    def test_header_aligns(self):
+        from repro.sched import ScheduleReport
+
+        assert "makespan" in ScheduleReport.header()

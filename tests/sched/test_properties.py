@@ -1,0 +1,96 @@
+"""Property-based tests: scheduler feasibility and bounds on random graphs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph import critical_path_length
+from repro.graph.generators import random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import get_scheduler, schedule_problems, serial_time
+
+FAST_SCHEDULERS = ["hlfet", "ish", "etf", "dls", "mcp", "mh", "dsh", "lc", "roundrobin"]
+
+graph_st = st.tuples(
+    st.integers(2, 25),
+    st.integers(1, 5),
+    st.floats(0.0, 0.8),
+    st.integers(0, 9999),
+).map(
+    lambda a: random_layered(a[0], min(a[1], a[0]), edge_prob=a[2], seed=a[3])
+)
+
+params_st = st.builds(
+    MachineParams,
+    processor_speed=st.floats(0.5, 4.0),
+    process_startup=st.floats(0.0, 1.0),
+    msg_startup=st.floats(0.0, 10.0),
+    transmission_rate=st.floats(0.1, 10.0),
+)
+
+machine_st = st.tuples(
+    st.sampled_from(["hypercube", "mesh", "star", "ring", "full"]),
+    params_st,
+).map(
+    lambda fp: make_machine(
+        fp[0], {"hypercube": 4, "mesh": 4, "star": 5, "ring": 4, "full": 4}[fp[0]], fp[1]
+    )
+)
+
+
+@given(graph_st, machine_st, st.sampled_from(FAST_SCHEDULERS))
+@settings(max_examples=60, deadline=None)
+def test_every_schedule_is_feasible(graph, machine, name):
+    schedule = get_scheduler(name).schedule(graph, machine)
+    assert schedule_problems(schedule) == []
+    assert schedule.is_complete()
+
+
+@given(graph_st, machine_st, st.sampled_from(FAST_SCHEDULERS))
+@settings(max_examples=40, deadline=None)
+def test_makespan_bounds(graph, machine, name):
+    schedule = get_scheduler(name).schedule(graph, machine)
+    ms = schedule.makespan()
+    cp = critical_path_length(
+        graph,
+        exec_time=lambda t: machine.exec_time(graph.work(t)),
+        comm_cost=lambda e: 0.0,
+    )
+    assert ms >= cp - 1e-6
+    # a universal upper bound: run everything serially after paying the
+    # worst-case (diameter-length) cost for every message in the graph
+    diameter = machine.topology.diameter()
+    worst_comm = sum(
+        machine.params.comm_time(e.size, diameter) for e in graph.edges
+    )
+    assert ms <= serial_time(schedule) + worst_comm + 1e-6
+
+
+@given(graph_st, machine_st)
+@settings(max_examples=40, deadline=None)
+def test_dsh_never_loses_to_hlfet_badly(graph, machine):
+    """Duplication may tie but should not catastrophically regress."""
+    dsh = get_scheduler("dsh").schedule(graph, machine)
+    hlfet = get_scheduler("hlfet").schedule(graph, machine)
+    assert dsh.makespan() <= hlfet.makespan() * 1.25 + 1e-6
+
+
+cheap_params_st = st.builds(
+    MachineParams,
+    processor_speed=st.floats(0.5, 4.0),
+    process_startup=st.floats(0.0, 1.0),
+    msg_startup=st.floats(0.0, 1.0),
+    transmission_rate=st.floats(2.0, 10.0),
+)
+
+
+@given(graph_st, cheap_params_st)
+@settings(max_examples=30, deadline=None)
+def test_more_processors_never_hurt_catastrophically(graph, params):
+    """Greedy list scheduling is famously non-monotone in machine size
+    (larger hypercubes have longer routes) — with *expensive* links the
+    anomaly is unbounded, so this invariant is only asserted in the
+    cheap-communication regime, where an 8-cube schedule should stay within
+    50% of the 2-cube one."""
+    small = get_scheduler("hlfet").schedule(graph, make_machine("hypercube", 2, params))
+    big = get_scheduler("hlfet").schedule(graph, make_machine("hypercube", 8, params))
+    assert big.makespan() <= small.makespan() * 1.5 + 1e-6

@@ -1,0 +1,72 @@
+"""Tests for speedup prediction sweeps (the Figure 3 analysis)."""
+
+import pytest
+
+from repro.graph.generators import fork_join, lu_taskgraph
+from repro.machine import MachineParams
+from repro.sched import HLFETScheduler, predict_speedup, schedules_for_sizes
+from repro.sched.validate import check_schedule
+
+CHEAP = MachineParams(msg_startup=0.1, transmission_rate=10.0)
+DEAR = MachineParams(msg_startup=50.0, transmission_rate=0.2)
+
+
+class TestPredictSpeedup:
+    def test_one_proc_speedup_is_exactly_one(self):
+        rep = predict_speedup(lu_taskgraph(4), (1, 2, 4), params=CHEAP)
+        assert rep.points[0].n_procs == 1
+        assert rep.points[0].speedup == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_procs(self):
+        rep = predict_speedup(fork_join(8, work=5, comm=0.1), (1, 2, 4, 8), params=CHEAP)
+        for p in rep.points:
+            assert p.speedup <= p.n_procs + 1e-9
+            assert 0 < p.efficiency <= 1.0 + 1e-9
+
+    def test_wide_graph_speeds_up_with_cheap_comm(self):
+        rep = predict_speedup(fork_join(16, work=10, comm=0.1), (1, 2, 4, 8), params=CHEAP)
+        speedups = [p.speedup for p in rep.points]
+        assert speedups[-1] > 3.0
+        # monotone non-decreasing up to saturation for this friendly graph
+        assert speedups == sorted(speedups)
+
+    def test_dear_comm_collapses_speedup(self):
+        """Principle-2 sanity: when messages dominate, adding processors
+        stops helping — the curve flattens near 1."""
+        rep = predict_speedup(fork_join(8, work=1, comm=50), (1, 2, 4, 8), params=DEAR)
+        assert rep.best().speedup <= 1.5
+
+    def test_best_point(self):
+        rep = predict_speedup(fork_join(8, work=5, comm=0.1), (1, 4), params=CHEAP)
+        assert rep.best().n_procs == 4
+
+    def test_table_renders(self):
+        rep = predict_speedup(lu_taskgraph(4), (1, 2), params=CHEAP)
+        table = rep.table()
+        assert "speedup prediction" in table
+        assert "procs" in table
+        assert len(table.splitlines()) == 3 + 2
+
+    def test_custom_scheduler_and_family(self):
+        rep = predict_speedup(
+            lu_taskgraph(4), (1, 4), scheduler=HLFETScheduler(), family="mesh", params=CHEAP
+        )
+        assert rep.scheduler == "hlfet"
+        assert rep.family == "mesh"
+
+    def test_parallelism_bound_reported(self):
+        rep = predict_speedup(fork_join(8, work=1, comm=0), (1, 2), params=CHEAP)
+        assert rep.max_parallelism == pytest.approx(10 / 3)
+
+
+class TestSchedulesForSizes:
+    def test_one_schedule_per_size(self):
+        scheds = schedules_for_sizes(lu_taskgraph(4), (2, 4, 8), params=CHEAP)
+        assert sorted(scheds) == [2, 4, 8]
+        for n, s in scheds.items():
+            assert s.n_procs == n
+            check_schedule(s)
+
+    def test_single_proc_entry(self):
+        scheds = schedules_for_sizes(lu_taskgraph(4), (1,), params=CHEAP)
+        assert scheds[1].n_procs == 1

@@ -1,0 +1,93 @@
+"""Tests for the independent schedule checker."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph import TaskGraph
+from repro.machine import MachineParams, make_machine
+from repro.sched import Schedule, check_schedule, schedule_problems
+
+PARAMS = MachineParams(msg_startup=2.0, transmission_rate=1.0)
+
+
+@pytest.fixture
+def graph():
+    tg = TaskGraph("g")
+    tg.add_task("a", work=2)
+    tg.add_task("b", work=3)
+    tg.add_edge("a", "b", var="x", size=4)
+    return tg
+
+
+@pytest.fixture
+def machine():
+    return make_machine("full", 2, PARAMS)
+
+
+def test_valid_local_schedule(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("a", 0, 0.0, 2.0)
+    s.add("b", 0, 2.0, 5.0)  # same proc: no comm needed
+    check_schedule(s)
+
+
+def test_valid_remote_schedule(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("a", 0, 0.0, 2.0)
+    # comm cost = 2 + 4/1 = 6, so b may start at 8 on proc 1
+    s.add("b", 1, 8.0, 11.0)
+    check_schedule(s)
+
+
+def test_missing_task_detected(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("a", 0, 0.0, 2.0)
+    problems = schedule_problems(s)
+    assert any("never scheduled" in p for p in problems)
+    with pytest.raises(ScheduleError):
+        check_schedule(s)
+
+
+def test_comm_violation_detected(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("a", 0, 0.0, 2.0)
+    s.add("b", 1, 3.0, 6.0)  # too early: data arrives at 8
+    problems = schedule_problems(s)
+    assert any("only ready at" in p for p in problems)
+
+
+def test_precedence_violation_same_proc(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("b", 0, 0.0, 3.0)
+    s.add("a", 0, 3.0, 5.0)
+    assert any("ready" in p for p in schedule_problems(s))
+
+
+def test_duration_mismatch_detected(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("a", 0, 0.0, 9.0)  # exec_time should be 2
+    s.add("b", 0, 9.0, 12.0)
+    problems = schedule_problems(s)
+    assert any("duration" in p for p in problems)
+
+
+def test_duration_check_skippable(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("a", 0, 0.0, 9.0)
+    s.add("b", 0, 9.0, 12.0)
+    assert schedule_problems(s, check_durations=False) == []
+
+
+def test_duplication_makes_early_start_legal(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("a", 0, 0.0, 2.0)
+    s.add("a", 1, 0.0, 2.0)  # duplicate feeds b locally
+    s.add("b", 1, 2.0, 5.0)
+    check_schedule(s)
+
+
+def test_dependence_on_unscheduled_pred(graph, machine):
+    s = Schedule(graph, machine)
+    s.add("b", 1, 0.0, 3.0)
+    problems = schedule_problems(s)
+    assert any("unscheduled" in p for p in problems)

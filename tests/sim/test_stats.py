@@ -1,0 +1,73 @@
+"""Tests for trace statistics (wait decomposition, link utilisation)."""
+
+import pytest
+
+from repro.graph import TaskGraph
+from repro.graph.generators import fork_join, gaussian_elimination
+from repro.machine import MachineParams, make_machine, single_processor
+from repro.sched import Schedule, get_scheduler
+from repro.sim import simulate, trace_statistics
+
+PARAMS = MachineParams(msg_startup=2.0, transmission_rate=1.0)
+
+
+class TestTaskTiming:
+    def test_wait_measures_comm_delay(self):
+        tg = TaskGraph()
+        tg.add_task("a", work=2)
+        tg.add_task("b", work=3)
+        tg.add_edge("a", "b", var="x", size=4)
+        machine = make_machine("full", 2, PARAMS)
+        s = Schedule(tg, machine)
+        s.add("a", 0, 0.0, 2.0)
+        s.add("b", 1, 8.0, 11.0)  # data arrives at 2 + (2 + 4) = 8
+        stats = trace_statistics(simulate(s), tg)
+        assert stats.timings["a"].wait == 0.0
+        assert stats.timings["b"].wait == pytest.approx(6.0)
+        assert stats.total_wait == pytest.approx(6.0)
+        assert stats.total_busy == pytest.approx(5.0)
+
+    def test_chain_has_no_wait(self):
+        """Back-to-back dependent tasks on one processor never stall."""
+        from repro.graph.generators import chain
+
+        tg = chain(6, work=2, comm=1)
+        machine = single_processor(PARAMS)
+        trace = simulate(get_scheduler("serial").schedule(tg, machine))
+        stats = trace_statistics(trace, tg)
+        assert stats.total_wait == pytest.approx(0.0)
+        assert stats.wait_fraction == 0.0
+
+    def test_serial_wide_graph_shows_queueing(self):
+        """Independent siblings serialised on one processor queue — the
+        wait metric counts that (it is queueing, not communication)."""
+        tg = gaussian_elimination(4)
+        machine = single_processor(PARAMS)
+        trace = simulate(get_scheduler("serial").schedule(tg, machine))
+        stats = trace_statistics(trace, tg)
+        assert stats.total_wait > 0.0
+
+    def test_link_utilisation_present_when_spread(self):
+        tg = fork_join(4, work=2, comm=5)
+        machine = make_machine("ring", 4, PARAMS)
+        trace = simulate(get_scheduler("roundrobin").schedule(tg, machine),
+                         contention=True)
+        stats = trace_statistics(trace, tg)
+        assert stats.link_utilisation
+        assert all(0 <= u <= 1.0 + 1e-9 for u in stats.link_utilisation.values())
+
+    def test_slowest_waits_ordering(self):
+        tg = fork_join(4, work=2, comm=8)
+        machine = make_machine("star", 4, PARAMS)
+        trace = simulate(get_scheduler("roundrobin").schedule(tg, machine))
+        stats = trace_statistics(trace, tg)
+        waits = [t.wait for t in stats.slowest_waits(10)]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_render(self):
+        tg = fork_join(3, work=2, comm=5)
+        machine = make_machine("full", 3, PARAMS)
+        trace = simulate(get_scheduler("roundrobin").schedule(tg, machine))
+        text = trace_statistics(trace, tg).render()
+        assert "trace statistics" in text
+        assert "makespan" in text

@@ -1,0 +1,163 @@
+"""Tests for the comm plan and the real threaded executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimError
+from repro.graph import DataflowGraph, TaskGraph, flatten
+from repro.machine import MachineParams, make_machine, single_processor
+from repro.sched import Schedule, get_scheduler
+from repro.sim import build_comm_plan, run_dataflow, run_parallel
+
+PARAMS = MachineParams(msg_startup=1.0, transmission_rate=2.0)
+
+
+def scheduled_design(n_procs=4, scheduler="mh"):
+    """A diamond of PITS tasks, scheduled onto a small machine."""
+    g = DataflowGraph("diamondcalc")
+    g.add_storage("x", initial=8.0)
+    g.add_task("split", program="input x\noutput a, b\na := x / 2\nb := x * 2", work=2)
+    g.add_storage("a")
+    g.add_storage("b")
+    g.add_task("inc", program="input a\noutput p\np := a + 1", work=1)
+    g.add_task("dec", program="input b\noutput q\nq := b - 1", work=1)
+    g.add_storage("p")
+    g.add_storage("q")
+    g.add_task("join", program="input p, q\noutput y\ny := p * q", work=2)
+    g.add_storage("y")
+    g.connect("x", "split")
+    g.connect("split", "a")
+    g.connect("split", "b")
+    g.connect("a", "inc")
+    g.connect("b", "dec")
+    g.connect("inc", "p")
+    g.connect("dec", "q")
+    g.connect("p", "join")
+    g.connect("q", "join")
+    g.connect("join", "y")
+    tg = flatten(g)
+    machine = (
+        single_processor(PARAMS) if n_procs == 1 else make_machine("full", n_procs, PARAMS)
+    )
+    return tg, get_scheduler(scheduler).schedule(tg, machine)
+
+
+class TestCommPlan:
+    def test_steps_cover_all_tasks(self):
+        tg, schedule = scheduled_design()
+        plan = build_comm_plan(schedule)
+        tasks = [s.task for s in plan.all_steps()]
+        assert sorted(tasks) == sorted(tg.task_names)
+
+    def test_sends_match_recvs(self):
+        _, schedule = scheduled_design(scheduler="roundrobin")
+        plan = build_comm_plan(schedule)
+        sends = {
+            (s.src_task, s.dst_task, s.var, s.dst_proc)
+            for step in plan.all_steps()
+            for s in step.sends
+        }
+        recvs = {
+            (r.src_task, step.task, r.var, step.proc)
+            for step in plan.all_steps()
+            for r in step.recvs
+        }
+        assert sends == recvs
+
+    def test_local_wins_over_message(self):
+        _, schedule = scheduled_design(n_procs=1)
+        plan = build_comm_plan(schedule)
+        assert plan.channel_count() == 0
+        assert all(not s.recvs for s in plan.all_steps())
+
+    def test_graph_inputs_attached(self):
+        _, schedule = scheduled_design()
+        plan = build_comm_plan(schedule)
+        split = next(s for s in plan.all_steps() if s.task == "split")
+        assert split.graph_inputs == ["x"]
+
+    def test_output_sources(self):
+        _, schedule = scheduled_design()
+        plan = build_comm_plan(schedule)
+        assert "y" in plan.output_sources
+        task, proc = plan.output_sources["y"]
+        assert task == "join"
+
+    def test_incomplete_schedule_rejected(self):
+        tg = TaskGraph()
+        tg.add_task("a")
+        machine = make_machine("full", 2, PARAMS)
+        with pytest.raises(SimError, match="incomplete"):
+            build_comm_plan(Schedule(tg, machine))
+
+
+class TestThreadedExecution:
+    @pytest.mark.parametrize("n_procs", [1, 2, 4])
+    def test_matches_sequential_reference(self, n_procs):
+        tg, schedule = scheduled_design(n_procs=n_procs)
+        seq = run_dataflow(tg)
+        par = run_parallel(schedule)
+        assert par.outputs == seq.outputs
+
+    @pytest.mark.parametrize("scheduler", ["mh", "hlfet", "roundrobin", "dsh", "etf"])
+    def test_every_scheduler_runs_correctly(self, scheduler):
+        tg, schedule = scheduled_design(n_procs=3, scheduler=scheduler)
+        par = run_parallel(schedule)
+        assert par.outputs == {"y": 75.0}
+
+    def test_inputs_override(self):
+        _, schedule = scheduled_design()
+        par = run_parallel(schedule, {"x": 2.0})
+        # (1+1) * (4-1) = 6
+        assert par.outputs == {"y": 6.0}
+
+    def test_message_count_positive_when_spread(self):
+        _, schedule = scheduled_design(n_procs=4, scheduler="roundrobin")
+        par = run_parallel(schedule)
+        assert par.messages_sent == build_comm_plan(schedule).channel_count()
+        assert par.messages_sent > 0
+
+    def test_arrays_travel_through_queues(self):
+        g = DataflowGraph("vecpar")
+        g.add_storage("v", initial=np.arange(6, dtype=float), size=6)
+        g.add_task("scale", program="input v\noutput w\nw := v * 3", work=6)
+        g.add_storage("w", size=6)
+        g.add_task("total", program="input w\noutput t\nt := sum(w)", work=6)
+        g.add_storage("t")
+        g.connect("v", "scale")
+        g.connect("scale", "w")
+        g.connect("w", "total")
+        g.connect("total", "t")
+        tg = flatten(g)
+        machine = make_machine("full", 2, PARAMS)
+        schedule = get_scheduler("roundrobin").schedule(tg, machine)
+        par = run_parallel(schedule)
+        assert par.outputs["t"] == 45.0
+
+    def test_duplication_execution(self):
+        """A duplicated producer runs twice; results stay correct."""
+        tg = TaskGraph()
+        tg.add_task("src", work=1, program="output x\nx := 7")
+        tg.add_task("use", work=1, program="input x\noutput y\ny := x + 1")
+        tg.add_edge("src", "use", var="x", size=100)
+        tg.graph_outputs = {"y": "use"}
+        machine = make_machine("full", 2, MachineParams(msg_startup=10.0))
+        s = Schedule(tg, machine)
+        s.add("src", 0, 0.0, 1.0)
+        s.add("src", 1, 0.0, 1.0)
+        s.add("use", 1, 1.0, 2.0)
+        par = run_parallel(s)
+        assert par.outputs == {"y": 8.0}
+        assert par.messages_sent == 0  # local duplicate feeds the consumer
+
+    def test_failure_in_task_propagates(self):
+        tg = TaskGraph()
+        tg.add_task("boom", work=1, program="output x\nx := 1 / 0")
+        tg.graph_outputs = {"x": "boom"}
+        machine = single_processor(PARAMS)
+        s = Schedule(tg, machine)
+        s.add("boom", 0, 0.0, 1.0)
+        from repro.errors import CalcRuntimeError
+
+        with pytest.raises(CalcRuntimeError, match="division by zero"):
+            run_parallel(s)

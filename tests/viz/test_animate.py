@@ -1,0 +1,72 @@
+"""Tests for the ASCII machine animation."""
+
+import pytest
+
+from repro.graph.generators import fork_join
+from repro.machine import MachineParams, make_machine
+from repro.sched import get_scheduler
+from repro.sim import simulate
+from repro.viz import animation_frames, machine_state_at, render_animation, render_frame
+
+
+@pytest.fixture
+def trace():
+    tg = fork_join(3, work=4, comm=2)
+    machine = make_machine("full", 3, MachineParams(msg_startup=1.0, transmission_rate=1.0))
+    schedule = get_scheduler("roundrobin").schedule(tg, machine)
+    return simulate(schedule)
+
+
+class TestState:
+    def test_start_state(self, trace):
+        state = machine_state_at(trace, 0.0)
+        assert "fork" in state["running"].values()
+        assert state["done"] == []
+
+    def test_end_state(self, trace):
+        state = machine_state_at(trace, trace.makespan() + 1)
+        assert state["running"] == {}
+        assert len(state["done"]) == 5
+
+    def test_messages_in_flight(self, trace):
+        hop = trace.hops[0]
+        mid = (hop.start + hop.finish) / 2
+        state = machine_state_at(trace, mid)
+        assert any(link == hop.link for link, *_ in state["in_flight"])
+
+
+class TestFrames:
+    def test_frame_contents(self, trace):
+        text = render_frame(trace, 1.0)
+        assert "t = 1" in text
+        assert "P0:" in text
+        assert "[fork]" in text or "idle" in text
+
+    def test_frame_count(self, trace):
+        frames = animation_frames(trace, 5)
+        assert len(frames) == 5
+
+    def test_frames_progress(self, trace):
+        frames = animation_frames(trace, 6)
+        # the first frame has work running; the story ends with more done
+        assert "idle" in frames[-1] or "finished" in frames[-1]
+        firsts = frames[0].splitlines()[0]
+        lasts = frames[-1].splitlines()[0]
+        n_done_first = int(firsts.split("(")[1].split()[0])
+        n_done_last = int(lasts.split("(")[1].split()[0])
+        assert n_done_last >= n_done_first
+
+    def test_animation_text(self, trace):
+        text = render_animation(trace, 4)
+        assert "animation:" in text
+        assert text.count("t = ") == 4
+
+    def test_bad_frame_count(self, trace):
+        with pytest.raises(ValueError):
+            animation_frames(trace, 0)
+
+    def test_empty_trace(self):
+        from repro.sim import Trace
+
+        frames = animation_frames(Trace(), 3)
+        assert len(frames) == 1

@@ -1,0 +1,74 @@
+"""Tests for Chrome-trace and CSV exports."""
+
+import json
+
+import pytest
+
+from repro.graph.generators import gaussian_elimination
+from repro.machine import MachineParams, make_machine
+from repro.sched import get_scheduler, predict_speedup, report
+from repro.sim import simulate
+from repro.viz.export import (
+    reports_to_csv,
+    schedule_to_chrome_trace,
+    schedule_to_csv,
+    speedup_to_csv,
+    trace_to_chrome_trace,
+)
+
+PARAMS = MachineParams(msg_startup=1.0, transmission_rate=2.0)
+
+
+@pytest.fixture
+def schedule():
+    return get_scheduler("mh").schedule(
+        gaussian_elimination(5), make_machine("hypercube", 4, PARAMS)
+    )
+
+
+class TestChromeTrace:
+    def test_schedule_export_is_valid_json(self, schedule):
+        doc = json.loads(schedule_to_chrome_trace(schedule))
+        events = doc["traceEvents"]
+        tasks = [e for e in events if e.get("cat") == "task"]
+        assert len(tasks) == len(schedule.graph)
+        assert all(e["ph"] == "X" and e["dur"] >= 0 for e in tasks)
+        messages = [e for e in events if e.get("cat") == "message"]
+        assert len(messages) == len(schedule.messages)
+
+    def test_trace_export_includes_links(self, schedule):
+        trace = simulate(schedule)
+        doc = json.loads(trace_to_chrome_trace(trace))
+        events = doc["traceEvents"]
+        assert any(e.get("cat") == "task" for e in events)
+        link_events = [e for e in events if e.get("cat") == "link"]
+        assert len(link_events) == len(trace.hops)
+        names = [e["args"]["name"] for e in events
+                 if e.get("name") == "thread_name" and e["pid"] == 1]
+        assert all(name.startswith("link ") for name in names)
+
+    def test_timestamps_scale(self, schedule):
+        doc = json.loads(schedule_to_chrome_trace(schedule))
+        first = schedule.primary(schedule.graph.topological_order()[0])
+        tasks = [e for e in doc["traceEvents"] if e.get("cat") == "task"]
+        starts = {e["name"]: e["ts"] for e in tasks}
+        assert starts[first.task] == pytest.approx(first.start * 1000.0)
+
+
+class TestCSV:
+    def test_schedule_csv_rows(self, schedule):
+        text = schedule_to_csv(schedule)
+        lines = text.strip().splitlines()
+        assert lines[0] == "task,proc,start,finish,duration"
+        assert len(lines) == 1 + len(schedule.graph)
+
+    def test_reports_csv(self, schedule):
+        text = reports_to_csv([report(schedule)])
+        assert "mh," in text
+        assert text.count("\n") == 2
+
+    def test_speedup_csv(self):
+        rep = predict_speedup(gaussian_elimination(4), (1, 2), params=PARAMS)
+        text = speedup_to_csv(rep)
+        assert text.startswith("n_procs,")
+        assert len(text.strip().splitlines()) == 3

@@ -1,0 +1,61 @@
+"""Tests for the link-utilisation Gantt and the speedup comparison table."""
+
+import pytest
+
+from repro.graph.generators import butterfly, fork_join
+from repro.machine import MachineParams, make_machine, single_processor
+from repro.sched import get_scheduler, predict_speedup
+from repro.sim import simulate
+from repro.viz import render_link_gantt, render_speedup_comparison
+
+PARAMS = MachineParams(msg_startup=1.0, transmission_rate=1.0)
+
+
+class TestLinkGantt:
+    def test_rows_per_link(self):
+        tg = butterfly(4, work=2, comm=3)
+        machine = make_machine("ring", 4, PARAMS)
+        trace = simulate(get_scheduler("roundrobin").schedule(tg, machine),
+                         contention=True)
+        text = render_link_gantt(trace)
+        used_links = {h.link for h in trace.hops}
+        assert f"{len(used_links)} link(s)" in text
+        for link in used_links:
+            assert f"{link[0]}-{link[1]}" in text
+        assert "#" in text
+        assert "%" in text  # utilisation column
+
+    def test_no_traffic_message(self):
+        tg = fork_join(2, work=1, comm=1)
+        trace = simulate(get_scheduler("serial").schedule(tg, single_processor(PARAMS)))
+        assert "no link traffic" in render_link_gantt(trace)
+
+
+class TestSpeedupComparison:
+    def test_columns_and_rows(self):
+        tg = fork_join(8, work=5, comm=0.1)
+        cheap = MachineParams(msg_startup=0.1, transmission_rate=10.0)
+        dear = MachineParams(msg_startup=20.0, transmission_rate=0.5)
+        reports = {
+            "cheap": predict_speedup(tg, (1, 2, 4), params=cheap),
+            "dear": predict_speedup(tg, (1, 2, 4), params=dear),
+        }
+        text = render_speedup_comparison(reports)
+        assert "cheap" in text and "dear" in text
+        assert len(text.splitlines()) == 1 + 1 + 3  # title + head + 3 proc rows
+        # the cheap column dominates the dear one at p=4
+        last = text.splitlines()[-1].split()
+        assert float(last[1].rstrip("x")) >= float(last[2].rstrip("x"))
+
+    def test_mismatched_proc_sets(self):
+        tg = fork_join(4, work=5, comm=0.1)
+        p = MachineParams()
+        reports = {
+            "a": predict_speedup(tg, (1, 2), params=p),
+            "b": predict_speedup(tg, (1, 4), params=p),
+        }
+        text = render_speedup_comparison(reports)
+        assert "-" in text  # missing cells rendered as dashes
+
+    def test_empty(self):
+        assert "no sweeps" in render_speedup_comparison({})

@@ -1,0 +1,172 @@
+"""Tests for the text renderers (one per paper figure)."""
+
+import pytest
+
+from repro.apps import lu3_design, lu3_taskgraph
+from repro.calc import CalculatorPanel
+from repro.graph.generators import fork_join
+from repro.machine import Hypercube, Mesh2D, NCUBE_LIKE, Ring, Star, make_machine
+from repro.sched import get_scheduler, predict_speedup, schedules_for_sizes
+from repro.sim import simulate
+from repro.viz import (
+    dataflow_to_dot,
+    render_dataflow,
+    render_gantt,
+    render_gantt_series,
+    render_panel,
+    render_speedup_chart,
+    render_taskgraph,
+    render_topology,
+    render_topology_gallery,
+    render_trace_gantt,
+    taskgraph_to_dot,
+)
+
+
+@pytest.fixture
+def schedule():
+    tg = lu3_taskgraph()
+    machine = make_machine("hypercube", 4, NCUBE_LIKE)
+    return get_scheduler("mh").schedule(tg, machine)
+
+
+class TestGantt:
+    def test_header_and_rows(self, schedule):
+        text = render_gantt(schedule)
+        assert "Gantt chart: lu3 on hypercube(4)" in text
+        assert f"makespan {schedule.makespan():.3f}" in text
+        for p in range(4):
+            assert f"P{p}" in text
+
+    def test_bars_scale_with_width(self, schedule):
+        narrow = render_gantt(schedule, width=40)
+        wide = render_gantt(schedule, width=100)
+        assert max(len(l) for l in narrow.splitlines()) < max(
+            len(l) for l in wide.splitlines()
+        )
+
+    def test_messages_listed(self):
+        tg = fork_join(3, work=2, comm=2)
+        machine = make_machine("full", 3, NCUBE_LIKE)
+        s = get_scheduler("roundrobin").schedule(tg, machine)
+        text = render_gantt(s, show_messages=True)
+        assert "messages:" in text
+        assert "->" in text
+
+    def test_highlight_critical_path(self, schedule):
+        text = render_gantt(schedule, highlight_critical=True)
+        assert "critical path" in text
+        assert "#" in text
+        plain = render_gantt(schedule, highlight_critical=False)
+        assert "critical path" not in plain
+
+    def test_series_stacks_charts(self):
+        schedules = schedules_for_sizes(lu3_taskgraph(), (2, 4), params=NCUBE_LIKE)
+        text = render_gantt_series(schedules)
+        assert text.count("Gantt chart") == 2
+
+    def test_trace_gantt(self, schedule):
+        trace = simulate(schedule)
+        text = render_trace_gantt(trace, show_hops=True)
+        assert "Simulated Gantt" in text
+
+    def test_empty_schedule_renders(self):
+        from repro.graph import TaskGraph
+        from repro.sched import Schedule
+
+        tg = TaskGraph()
+        tg.add_task("t", work=0)
+        machine = make_machine("full", 2, NCUBE_LIKE)
+        s = Schedule(tg, machine)
+        s.add("t", 0, 0.0, 0.0)
+        assert "makespan 0.000" in render_gantt(s)
+
+
+class TestSpeedupChart:
+    def test_chart_contents(self):
+        report = predict_speedup(lu3_taskgraph(), (1, 2, 4))
+        text = render_speedup_chart(report)
+        assert "Speedup prediction" in text
+        assert "p=1" in text and "p=4" in text
+        assert "#" in text and "|" in text
+
+    def test_table(self):
+        from repro.viz import render_speedup_table
+
+        report = predict_speedup(lu3_taskgraph(), (1, 2))
+        assert "procs" in render_speedup_table(report)
+
+
+class TestTopology:
+    @pytest.mark.parametrize(
+        "topo", [Hypercube(3), Mesh2D(3, 3), Ring(5), Star(5)], ids=lambda t: t.name
+    )
+    def test_summary_lines(self, topo):
+        text = render_topology(topo)
+        assert topo.name in text
+        assert "diameter" in text
+        assert "adjacency:" in text
+        assert text.count("\n") >= topo.n_procs
+
+    def test_mesh_drawing(self):
+        text = render_topology(Mesh2D(2, 3))
+        assert "0 --  1 --  2" in text
+
+    def test_cube_drawing(self):
+        text = render_topology(Hypercube(3))
+        assert "6--------7" in text
+
+    def test_gallery(self):
+        text = render_topology_gallery([Hypercube(2), Ring(4)])
+        assert "hypercube(4)" in text and "ring(4)" in text
+
+
+class TestGraphRenderers:
+    def test_dataflow_outline_recurses(self):
+        text = render_dataflow(lu3_design())
+        assert "[composite] lud" in text
+        assert "[task] fan1" in text  # nested level rendered
+        assert "[storage] A" in text
+
+    def test_dataflow_dot_styles(self):
+        dot = dataflow_to_dot(lu3_design())
+        assert "digraph" in dot
+        assert "shape=box" in dot  # storage
+        assert "penwidth=3" in dot  # bold composite
+        assert 'label="A"' in dot
+
+    def test_taskgraph_dot(self):
+        dot = taskgraph_to_dot(lu3_taskgraph())
+        assert '"lud.fan1" -> "lud.fl21"' in dot
+        assert "w=" in dot
+
+    def test_taskgraph_ascii(self):
+        text = render_taskgraph(lu3_taskgraph())
+        assert "level 0" in text
+        assert "edges:" in text
+
+
+class TestPanelRenderer:
+    def test_figure4_layout(self):
+        panel = (
+            CalculatorPanel("SquareRoot")
+            .declare_input("a")
+            .declare_output("x")
+            .declare_local("g", "eps")
+        )
+        panel.type_line("x := a")
+        panel.press("1", "+", "2")
+        text = render_panel(panel)
+        assert "SquareRoot" in text
+        assert "local variables" in text
+        assert "input/output variables" in text
+        assert "buttons" in text
+        assert "program" in text
+        assert "x := a" in text
+        assert "> 1 + 2" in text
+
+    def test_register_shown(self):
+        panel = CalculatorPanel("t").declare_output("x")
+        panel.press("4", "*", "2")
+        panel.calculate()
+        assert "= 8.0" in render_panel(panel)
