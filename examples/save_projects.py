@@ -1,0 +1,52 @@
+"""Save every shipped application as a Banger project JSON file.
+
+The files land next to this script (``examples/*.json``) and are the corpus
+the CI self-check lints::
+
+    python examples/save_projects.py
+    python -m repro.cli lint examples/lu_decomposition.json --fail-on error
+
+Each project carries a design from :mod:`repro.apps` plus a 4-processor
+hypercube with the paper's iPSC-flavoured communication parameters, so the
+machine-fit rules (MF4xx) have something to look at too.
+"""
+
+import pathlib
+
+from repro.apps import (
+    heat_design,
+    lu3_design,
+    lun_design,
+    matmul_design,
+    montecarlo_design,
+    pipeline_design,
+)
+from repro.env.project import BangerProject
+from repro.machine import MachineParams
+
+HERE = pathlib.Path(__file__).parent
+
+DESIGNS = {
+    "lu_decomposition": lu3_design,
+    "lu_blocked": lambda: lun_design(4),
+    "heat_equation": heat_design,
+    "matrix_multiply": matmul_design,
+    "montecarlo_pi": montecarlo_design,
+    "signal_pipeline": pipeline_design,
+}
+
+
+def main() -> None:
+    params = MachineParams(msg_startup=0.2, transmission_rate=20.0)
+    for name, factory in sorted(DESIGNS.items()):
+        project = BangerProject(name).set_design(factory())
+        project.set_machine("hypercube", 4, params)
+        path = HERE / f"{name}.json"
+        project.save(str(path))
+        fb = project.feedback()
+        status = "ok" if fb.ok else f"{fb.error_count} error(s)"
+        print(f"saved {path.name}: {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@ Projects are the JSON documents written by
 :meth:`repro.env.project.BangerProject.save`.  Usage::
 
     python -m repro.cli feedback  project.json
+    python -m repro.cli lint      project.json --format sarif
     python -m repro.cli outline   project.json
     python -m repro.cli schedule  project.json --scheduler mh --gantt
     python -m repro.cli speedup   project.json --procs 1,2,4,8
@@ -20,6 +21,7 @@ actionable message — the command-line flavour of instant feedback.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.env.project import BangerProject
@@ -51,6 +53,24 @@ def cmd_feedback(args: argparse.Namespace) -> int:
     fb = project.feedback()
     print(fb.render())
     return 0 if fb.ok else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_project, render_json, render_sarif, render_text
+
+    project = _load(args.project)
+    suppress = [r.strip() for r in (args.suppress or "").split(",") if r.strip()]
+    report = lint_project(project, suppress=suppress)
+    if args.format == "json":
+        print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report, artifact=args.project))
+    else:
+        print(render_text(report))
+    failed = report.error_count > 0 or (
+        args.fail_on == "warning" and report.warning_count > 0
+    )
+    return 1 if failed else 0
 
 
 def cmd_outline(args: argparse.Namespace) -> int:
@@ -175,7 +195,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="banger", description="Banger parallel programming environment (CLI)"
+        prog="banger", description="Banger parallel programming environment (CLI)",
+        epilog="Diagnostics carry stable rule IDs (PITS0xx, DF1xx, SCH2xx, "
+               "XL3xx, MF4xx); see docs/diagnostics.md for the catalogue "
+               "with triggering examples and fix hints.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -188,6 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("feedback", help="validate everything; exit 1 on errors")
     add_project(p)
     p.set_defaults(fn=cmd_feedback)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis with stable rule IDs (text/json/sarif)",
+        epilog="Rule catalogue: docs/diagnostics.md",
+    )
+    add_project(p)
+    p.add_argument("--format", default="text", choices=("text", "json", "sarif"),
+                   help="output format (sarif is GitHub-annotatable)")
+    p.add_argument("--fail-on", default="error", choices=("error", "warning"),
+                   help="lowest severity that makes the exit status nonzero")
+    p.add_argument("--suppress", default="",
+                   help="comma-separated rule IDs to hide, e.g. XL303,MF401")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("outline", help="print the design outline")
     add_project(p)
@@ -262,6 +299,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: not a Banger project file (invalid JSON: {exc})",
+              file=sys.stderr)
         return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

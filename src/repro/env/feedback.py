@@ -1,57 +1,85 @@
 """Project-wide instant feedback: every problem, everywhere, right now.
 
 The paper's principle 3 says feedback should be "instant ... wherever
-possible".  :func:`project_feedback` aggregates the three validation layers
-— design structure, per-node PITS diagnostics, and machine/design fit —
-into one report the environment refreshes on every edit.
+possible".  :func:`project_feedback` runs the unified diagnostics engine
+(:mod:`repro.lint`) over everything the user has entered so far and wraps
+the resulting :class:`~repro.lint.Report` in the environment's historical
+:class:`Feedback` view (problem lists per layer, legacy render format).
+
+Severity semantics are uniform: ``ok`` means exactly "no ERROR
+diagnostics".  A task without a PITS program is an error (it blocks
+scheduling and code generation, rule ``DF109``); design *warnings* and
+machine advisories never block.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.calc.analyze import Diagnostic, Severity, analyze
+from repro.lint.diagnostics import Diagnostic, Report
+from repro.lint.engine import lint_design
 from repro.graph.dataflow import DataflowGraph
-from repro.graph.hierarchy import expand
-from repro.graph.node import TaskNode
 from repro.machine.machine import TargetMachine
+
+#: Categories rendered per-node (under ``[node]`` headings).
+_NODE_CATEGORIES = ("pits", "cross-layer")
 
 
 @dataclass
 class Feedback:
-    """One refresh of the environment's problem windows."""
+    """One refresh of the environment's problem windows.
 
-    design_problems: list[str] = field(default_factory=list)
-    node_diagnostics: dict[str, list[Diagnostic]] = field(default_factory=dict)
-    machine_notes: list[str] = field(default_factory=list)
-    missing_programs: list[str] = field(default_factory=list)
+    A thin view over a :class:`repro.lint.Report`: the historical list
+    attributes (``design_problems``, ``node_diagnostics``,
+    ``machine_notes``, ``missing_programs``) are derived from the report's
+    diagnostics by rule category.
+    """
+
+    report: Report = field(default_factory=Report)
+
+    # -------------------------------------------------------------- #
+    # legacy views
+    # -------------------------------------------------------------- #
+    @property
+    def design_problems(self) -> list[str]:
+        """Structural problems of the drawing (DF1xx except DF109)."""
+        return [
+            d.message
+            for d in self.report
+            if d.category == "design" and d.rule_id != "DF109"
+        ]
 
     @property
+    def node_diagnostics(self) -> dict[str, list[Diagnostic]]:
+        """Per-node program and interface diagnostics."""
+        out: dict[str, list[Diagnostic]] = {}
+        for d in self.report:
+            if d.category in _NODE_CATEGORIES and d.node:
+                out.setdefault(d.node, []).append(d)
+        return out
+
+    @property
+    def machine_notes(self) -> list[str]:
+        return [d.message for d in self.report if d.category == "machine"]
+
+    @property
+    def missing_programs(self) -> list[str]:
+        return [d.node for d in self.report if d.rule_id == "DF109"]
+
+    # -------------------------------------------------------------- #
+    @property
     def error_count(self) -> int:
-        return len(self.design_problems) + sum(
-            1
-            for diags in self.node_diagnostics.values()
-            for d in diags
-            if d.severity is Severity.ERROR
-        )
+        return self.report.error_count
 
     @property
     def warning_count(self) -> int:
-        return (
-            sum(
-                1
-                for diags in self.node_diagnostics.values()
-                for d in diags
-                if d.severity is Severity.WARNING
-            )
-            + len(self.machine_notes)
-            + len(self.missing_programs)
-        )
+        return self.report.warning_count
 
     @property
     def ok(self) -> bool:
-        """True when nothing blocks scheduling or code generation."""
-        return self.error_count == 0 and not self.missing_programs
+        """True when nothing blocks scheduling or code generation —
+        exactly "no ERROR diagnostics"."""
+        return self.report.ok
 
     def render(self) -> str:
         lines = [
@@ -61,9 +89,12 @@ class Feedback:
             lines.append(f"  [design] {p}")
         for node, diags in sorted(self.node_diagnostics.items()):
             for d in diags:
-                lines.append(f"  [{node}] {d}")
+                where = f"line {d.line}: " if d.line else ""
+                lines.append(
+                    f"  [{node}] {d.severity.value}: {where}{d.message} ({d.rule_id})"
+                )
         for node in self.missing_programs:
-            lines.append(f"  [{node}] warning: no PITS program yet")
+            lines.append(f"  [{node}] error: no PITS program yet (DF109)")
         for note in self.machine_notes:
             lines.append(f"  [machine] {note}")
         return "\n".join(lines)
@@ -74,43 +105,4 @@ def project_feedback(
     machine: TargetMachine | None = None,
 ) -> Feedback:
     """Validate everything the user has entered so far."""
-    fb = Feedback()
-    if design is None:
-        fb.design_problems.append("no design yet — draw the dataflow graph first")
-        return fb
-    fb.design_problems = design.problems()
-
-    try:
-        flat = expand(design)
-    except Exception:
-        flat = None  # structural problems already reported above
-    nodes = flat.tasks if flat is not None else [
-        n for n in design.tasks if not n.is_composite
-    ]
-    for node in nodes:
-        if not isinstance(node, TaskNode) or node.is_composite:
-            continue
-        if node.program is None:
-            fb.missing_programs.append(node.name)
-            continue
-        diags = analyze(node.program)
-        if diags:
-            fb.node_diagnostics[node.name] = diags
-
-    if machine is not None and flat is not None:
-        n_tasks = len(nodes)
-        if machine.n_procs > n_tasks:
-            fb.machine_notes.append(
-                f"machine has {machine.n_procs} processors but the design has "
-                f"only {n_tasks} tasks; some processors will idle"
-            )
-        if machine.params.msg_startup > 0 and n_tasks > 1:
-            mean_work = (
-                sum(n.work for n in nodes) / n_tasks if n_tasks else 0.0
-            )
-            if machine.params.msg_startup > 10 * max(mean_work, 1e-12):
-                fb.machine_notes.append(
-                    "message startup cost dwarfs mean task work; expect the "
-                    "scheduler to serialise the design (consider grain packing)"
-                )
-    return fb
+    return Feedback(lint_design(design, machine))

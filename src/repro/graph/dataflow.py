@@ -307,58 +307,12 @@ class DataflowGraph:
 
         This powers the environment's instant feedback: it never raises, it
         reports *all* issues at once, and each message names the culprit.
+        The checks themselves live in :mod:`repro.lint.design` (rules
+        ``DF101``–``DF110``); this method is the legacy string view.
         """
-        issues: list[str] = []
-        if not self._nodes:
-            issues.append(f"graph {self.name!r} is empty")
-        cyc = self.find_cycle()
-        if cyc:
-            issues.append(f"graph {self.name!r} has a cycle: {' -> '.join(cyc)}")
-        for node in self.storages:
-            if len(self._pred[node.name]) > 1:
-                writers = ", ".join(sorted(self.predecessors(node.name)))
-                issues.append(
-                    f"storage {node.name!r} has multiple writers ({writers}); "
-                    "each datum must have a single producer"
-                )
-        for arc in self._arcs:
-            s, d = self._nodes[arc.src], self._nodes[arc.dst]
-            if isinstance(s, StorageNode) and isinstance(d, StorageNode):
-                issues.append(
-                    f"arc {arc.src}->{arc.dst} connects two storage nodes; "
-                    "data must flow through a task"
-                )
-        for comp in self.composites:
-            sub = self._subgraphs[comp.name]
-            for var, target in sub.inputs.items():
-                targets = [target] if isinstance(target, str) else list(target)
-                for t in targets:
-                    if t not in sub:
-                        issues.append(
-                            f"composite {comp.name!r}: input port {var!r} names "
-                            f"unknown internal node {t!r}"
-                        )
-            for var, source in sub.outputs.items():
-                if source not in sub:
-                    issues.append(
-                        f"composite {comp.name!r}: output port {var!r} names "
-                        f"unknown internal node {source!r}"
-                    )
-            for arc in self._pred[comp.name]:
-                if arc.var and arc.var not in sub.inputs:
-                    issues.append(
-                        f"composite {comp.name!r}: incoming variable {arc.var!r} "
-                        "has no input port in its subgraph"
-                    )
-            for arc in self._succ[comp.name]:
-                if arc.var and arc.var not in sub.outputs:
-                    issues.append(
-                        f"composite {comp.name!r}: outgoing variable {arc.var!r} "
-                        "has no output port in its subgraph"
-                    )
-            if recurse:
-                issues.extend(f"{comp.name}/{p}" for p in sub.problems(recurse=True))
-        return issues
+        from repro.lint.design import design_diagnostics
+
+        return [d.message for d in design_diagnostics(self, recurse=recurse)]
 
     def validate(self, recurse: bool = True) -> None:
         """Raise :class:`ValidationError` listing all problems, if any."""

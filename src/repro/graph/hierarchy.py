@@ -137,11 +137,32 @@ def flatten(graph: DataflowGraph, validate: bool = True) -> TaskGraph:
     * ``P -> S`` with no consumer marks ``v`` as a **graph output** produced
       by ``P``;
     * direct ``P -> C`` arcs are kept as-is (control or data dependence).
+
+    A storage with several writers is legal when every writer pair is
+    ordered by a precedence path (otherwise rule DF110 flags the race and
+    validation fails): the *last* writer in precedence order wins, and
+    consumers read its value.  Earlier writes are superseded, matching
+    sequential overwrite semantics.
     """
     if validate:
         graph.validate()
     flat = expand(graph)
     tg = TaskGraph(graph.name)
+
+    topo_index: dict[str, int] = {}
+
+    def last_writer(producers: list[str]) -> str:
+        """The precedence-last of a storage's writers (last write wins)."""
+        unique = sorted(set(producers))
+        if len(unique) == 1:
+            return unique[0]
+        if not topo_index:
+            try:
+                order = flat.topological_order()
+            except Exception:  # cyclic and unvalidated: any stable order
+                order = flat.node_names
+            topo_index.update((n, i) for i, n in enumerate(order))
+        return max(unique, key=topo_index.__getitem__)
 
     for node in flat.tasks:
         tg.add_task(node.name, work=node.work, label=node.label, program=node.program, **node.meta)
@@ -160,7 +181,7 @@ def flatten(graph: DataflowGraph, validate: bool = True) -> TaskGraph:
         consumers = flat.successors(node.name)
         var = node.data
         if producers and consumers:
-            (producer,) = producers  # validated: single writer
+            producer = last_writer(producers)
             for consumer in consumers:
                 add_edge(producer, consumer, var, node.size)
         elif consumers:  # graph input
@@ -172,7 +193,7 @@ def flatten(graph: DataflowGraph, validate: bool = True) -> TaskGraph:
             if node.initial is not None:
                 tg.input_values[var] = node.initial
         elif producers:  # graph output
-            (producer,) = producers
+            producer = last_writer(producers)
             tg.graph_outputs[var] = producer
             tg.output_sizes[var] = node.size
         # an isolated storage node is legal but contributes nothing

@@ -1,0 +1,52 @@
+"""Unified static-analysis subsystem: one rule registry, one report model.
+
+The paper's Principle 3 — instant feedback wherever possible — used to be
+served by three disconnected checkers (PITS program analysis, design
+structure validation, schedule feasibility) with free-form string messages.
+This package gives them a shared vocabulary:
+
+* :class:`Rule` / :data:`RULES` — the registry of stable rule IDs
+  (``PITS0xx``, ``DF1xx``, ``SCH2xx``, ``XL3xx``, ``MF4xx``), each with a
+  severity, category, and fix hint;
+* :class:`Diagnostic` / :class:`Report` — the common finding record and
+  the aggregate every layer reports through;
+* :func:`lint_project` / :func:`lint_design` / :func:`lint_schedule` — the
+  entry points ``env/feedback.py`` and the CLI delegate to;
+* text / JSON / SARIF 2.1.0 renderers for terminals, tooling, and GitHub
+  annotation.
+
+See ``docs/diagnostics.md`` for the full rule catalogue with triggering
+examples.
+"""
+
+from repro.calc.analyze import Severity
+from repro.lint.diagnostics import Diagnostic, Report, make_diagnostic
+from repro.lint.engine import lint_design, lint_project, lint_schedule
+from repro.lint.render import (
+    render_json,
+    render_sarif,
+    render_text,
+    to_json,
+    to_sarif,
+)
+from repro.lint.rules import RULES, Rule, all_rules, get_rule, register
+
+__all__ = [
+    "Diagnostic",
+    "Report",
+    "Rule",
+    "RULES",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_design",
+    "lint_project",
+    "lint_schedule",
+    "make_diagnostic",
+    "register",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "to_json",
+    "to_sarif",
+]

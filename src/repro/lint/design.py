@@ -1,0 +1,240 @@
+"""Design-structure (DF1xx) and cross-layer (XL3xx) rules.
+
+The structural checks are the single implementation behind
+:meth:`repro.graph.dataflow.DataflowGraph.problems` — the legacy free-form
+message strings are preserved verbatim so that API keeps working, while the
+lint engine gets rule IDs, severities, and node locations on top.
+
+Two analyses go beyond the legacy checker:
+
+* :func:`race_diagnostics` — the storage-write race detector: two task
+  nodes writing the same storage node with no precedence path between them
+  make the stored result depend on execution order (DF110, witness pair
+  reported).  This *refines* the historical blanket "multiple writers"
+  rule: writers sequentialised by a precedence path are legal
+  (last-writer-wins, see :func:`repro.graph.hierarchy.flatten`);
+* :func:`crosslayer_diagnostics` — each node's PITS ``input``/``output``
+  window is matched against its in/out arc variable labels (XL301–XL304).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import TYPE_CHECKING
+
+from repro.calc.parser import parse
+from repro.errors import CalcSyntaxError
+from repro.graph.node import StorageNode, TaskNode
+from repro.lint.diagnostics import Diagnostic, make_diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.dataflow import DataflowGraph
+
+
+# ------------------------------------------------------------------ #
+# DF1xx — structure (the legacy DataflowGraph.problems() checks)
+# ------------------------------------------------------------------ #
+def design_diagnostics(
+    graph: "DataflowGraph", recurse: bool = True
+) -> list[Diagnostic]:
+    """Every structural problem of a design, with rule IDs.
+
+    Message strings match the historical ``DataflowGraph.problems()``
+    output (nested problems keep the ``composite/...`` prefix), except
+    that the blanket multiple-writers check is now the precedence-aware
+    race rule DF110: only *unordered* writer pairs are reported.
+    """
+    diags: list[Diagnostic] = []
+    if not len(graph):
+        diags.append(make_diagnostic("DF101", f"graph {graph.name!r} is empty"))
+    cyc = graph.find_cycle()
+    if cyc:
+        diags.append(
+            make_diagnostic(
+                "DF102",
+                f"graph {graph.name!r} has a cycle: {' -> '.join(cyc)}",
+                node=cyc[0],
+            )
+        )
+    diags.extend(race_diagnostics(graph))
+    for arc in graph.arcs:
+        s, d = graph.node(arc.src), graph.node(arc.dst)
+        if isinstance(s, StorageNode) and isinstance(d, StorageNode):
+            diags.append(
+                make_diagnostic(
+                    "DF104",
+                    f"arc {arc.src}->{arc.dst} connects two storage nodes; "
+                    "data must flow through a task",
+                    node=arc.dst,
+                )
+            )
+    for comp in graph.composites:
+        sub = graph.subgraph(comp.name)
+        for var, target in sub.inputs.items():
+            targets = [target] if isinstance(target, str) else list(target)
+            for t in targets:
+                if t not in sub:
+                    diags.append(
+                        make_diagnostic(
+                            "DF105",
+                            f"composite {comp.name!r}: input port {var!r} names "
+                            f"unknown internal node {t!r}",
+                            node=comp.name,
+                        )
+                    )
+        for var, source in sub.outputs.items():
+            if source not in sub:
+                diags.append(
+                    make_diagnostic(
+                        "DF106",
+                        f"composite {comp.name!r}: output port {var!r} names "
+                        f"unknown internal node {source!r}",
+                        node=comp.name,
+                    )
+                )
+        for arc in graph.in_arcs(comp.name):
+            if arc.var and arc.var not in sub.inputs:
+                diags.append(
+                    make_diagnostic(
+                        "DF107",
+                        f"composite {comp.name!r}: incoming variable {arc.var!r} "
+                        "has no input port in its subgraph",
+                        node=comp.name,
+                    )
+                )
+        for arc in graph.out_arcs(comp.name):
+            if arc.var and arc.var not in sub.outputs:
+                diags.append(
+                    make_diagnostic(
+                        "DF108",
+                        f"composite {comp.name!r}: outgoing variable {arc.var!r} "
+                        "has no output port in its subgraph",
+                        node=comp.name,
+                    )
+                )
+        if recurse:
+            for child in design_diagnostics(sub, recurse=True):
+                diags.append(
+                    Diagnostic(
+                        child.rule_id,
+                        child.severity,
+                        f"{comp.name}/{child.message}",
+                        node=f"{comp.name}.{child.node}" if child.node else comp.name,
+                        line=child.line,
+                    )
+                )
+    return diags
+
+
+# ------------------------------------------------------------------ #
+# DF110 — the storage-write race detector
+# ------------------------------------------------------------------ #
+def _reachable(graph: "DataflowGraph", start: str) -> set[str]:
+    seen: set[str] = set()
+    stack = [start]
+    while stack:
+        for nxt in graph.successors(stack.pop()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def race_diagnostics(graph: "DataflowGraph") -> list[Diagnostic]:
+    """Flag unordered writer pairs of each storage node (one graph level).
+
+    Two tasks writing one storage node are a nondeterministic-result race
+    unless a precedence path (through any mix of task and storage arcs)
+    orders them.  The witness pair is reported; sequentialising the writers
+    with a control arc clears the diagnostic — an *ordered* multi-writer
+    storage is legal and takes the last writer's value (see
+    :func:`repro.graph.hierarchy.flatten`).
+    """
+    diags: list[Diagnostic] = []
+    reach: dict[str, set[str]] = {}
+    for storage in graph.storages:
+        writers = sorted(
+            w
+            for w in set(graph.predecessors(storage.name))
+            if isinstance(graph.node(w), TaskNode)
+        )
+        if len(writers) < 2:
+            continue
+        for a, b in combinations(writers, 2):
+            if a not in reach:
+                reach[a] = _reachable(graph, a)
+            if b not in reach:
+                reach[b] = _reachable(graph, b)
+            if b not in reach[a] and a not in reach[b]:
+                diags.append(
+                    make_diagnostic(
+                        "DF110",
+                        f"storage {storage.name!r} has multiple writers with "
+                        f"no precedence path between {a!r} and {b!r}; "
+                        "the stored result is nondeterministic — "
+                        "sequentialise the writers or give the datum a "
+                        "single producer",
+                        node=storage.name,
+                    )
+                )
+    return diags
+
+
+# ------------------------------------------------------------------ #
+# XL3xx — program/graph interface checks
+# ------------------------------------------------------------------ #
+def crosslayer_diagnostics(flat: "DataflowGraph") -> list[Diagnostic]:
+    """Match each primitive node's PITS interface against its arcs.
+
+    Runs on the expanded design so composite port routing is already
+    resolved; nodes without a program are skipped (DF109 covers those),
+    as are unlabelled (pure-control) arcs.
+    """
+    diags: list[Diagnostic] = []
+    for node in flat.tasks:
+        if node.is_composite or node.program is None:
+            continue
+        try:
+            prog = parse(node.program)
+        except CalcSyntaxError:
+            continue  # PITS001 already reported by the program analyzer
+        in_vars = {a.var for a in flat.in_arcs(node.name) if a.var}
+        out_vars = {a.var for a in flat.out_arcs(node.name) if a.var}
+        prog_in, prog_out = set(prog.inputs), set(prog.outputs)
+        for var in sorted(in_vars - prog_in):
+            diags.append(
+                make_diagnostic(
+                    "XL301",
+                    f"incoming variable {var!r} is not declared as an input "
+                    f"of {node.name!r}'s program",
+                    node=node.name,
+                )
+            )
+        for var in sorted(prog_in - in_vars):
+            diags.append(
+                make_diagnostic(
+                    "XL304",
+                    f"program input {var!r} is never supplied by any "
+                    "incoming arc",
+                    node=node.name,
+                )
+            )
+        for var in sorted(out_vars - prog_out):
+            diags.append(
+                make_diagnostic(
+                    "XL302",
+                    f"outgoing arc carries {var!r}, which {node.name!r}'s "
+                    "program never produces",
+                    node=node.name,
+                )
+            )
+        for var in sorted(prog_out - out_vars):
+            diags.append(
+                make_diagnostic(
+                    "XL303",
+                    f"program output {var!r} has no consumer "
+                    "(no outgoing arc carries it)",
+                    node=node.name,
+                )
+            )
+    return diags

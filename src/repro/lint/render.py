@@ -1,0 +1,129 @@
+"""Report renderers: human text, JSON, and SARIF 2.1.0.
+
+The SARIF output follows the OASIS 2.1.0 schema closely enough for GitHub
+code-scanning upload: one run, one driver with the rule metadata of every
+fired rule, results with logical (node) and, when a source line is known,
+physical locations.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.calc.analyze import Severity
+from repro.lint.diagnostics import Report
+from repro.lint.rules import get_rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: lint severity -> SARIF result level
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_text(report: Report) -> str:
+    """One line per finding plus a summary headline."""
+    return report.render()
+
+
+def to_json(report: Report) -> dict:
+    """A stable dict form of the report (see ``render_json``)."""
+    return {
+        "name": report.name,
+        "ok": report.ok,
+        "summary": {
+            "errors": report.error_count,
+            "warnings": report.warning_count,
+            "notes": len(report.notes),
+        },
+        "suppressed": list(report.suppressed),
+        "diagnostics": [
+            {
+                "rule": d.rule_id,
+                "severity": d.severity.value,
+                "category": d.category,
+                "message": d.message,
+                "node": d.node,
+                "line": d.line,
+            }
+            for d in report.diagnostics
+        ],
+    }
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(to_json(report), indent=2)
+
+
+def to_sarif(report: Report, artifact: str | None = None) -> dict:
+    """SARIF 2.1.0 document for ``report``.
+
+    ``artifact`` is the analysed file (the project JSON); when given, every
+    result carries a physical location pointing at it so GitHub can anchor
+    annotations.
+    """
+    fired = sorted({d.rule_id for d in report.diagnostics})
+    rule_index = {rid: i for i, rid in enumerate(fired)}
+    rules = []
+    for rid in fired:
+        rule = get_rule(rid)
+        rules.append(
+            {
+                "id": rule.id,
+                "shortDescription": {"text": rule.summary},
+                "help": {"text": rule.hint or rule.summary},
+                "defaultConfiguration": {"level": _SARIF_LEVEL[rule.severity]},
+                "properties": {"category": rule.category},
+            }
+        )
+
+    results = []
+    for d in report.diagnostics:
+        result: dict = {
+            "ruleId": d.rule_id,
+            "ruleIndex": rule_index[d.rule_id],
+            "level": _SARIF_LEVEL[d.severity],
+            "message": {"text": d.message},
+        }
+        location: dict = {}
+        if d.node:
+            location["logicalLocations"] = [
+                {"name": d.node, "kind": "element"}
+            ]
+        if artifact:
+            physical: dict = {"artifactLocation": {"uri": artifact}}
+            if d.line > 0:
+                physical["region"] = {"startLine": d.line}
+            location["physicalLocation"] = physical
+        if location:
+            result["locations"] = [location]
+        results.append(result)
+
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "banger-lint",
+                "informationUri": "https://example.invalid/banger",
+                "rules": rules,
+            }
+        },
+        "results": results,
+    }
+    if artifact:
+        run["artifacts"] = [{"location": {"uri": artifact}}]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render_sarif(report: Report, artifact: str | None = None) -> str:
+    return json.dumps(to_sarif(report, artifact), indent=2)

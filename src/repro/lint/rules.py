@@ -1,0 +1,173 @@
+"""The rule registry: every diagnostic the environment can emit, by ID.
+
+Rule IDs are stable and namespaced by layer:
+
+* ``PITS0xx`` — PITS program analysis (:mod:`repro.calc.analyze`);
+* ``DF1xx``   — dataflow-design structure (:mod:`repro.lint.design`);
+* ``SCH2xx``  — schedule feasibility (:mod:`repro.lint.schedrules`);
+* ``XL3xx``   — cross-layer program/graph interface (:mod:`repro.lint.design`);
+* ``MF4xx``   — machine/design fit advisories (:mod:`repro.lint.machinefit`).
+
+Each rule carries a default severity, a category, a one-line summary, and a
+fix hint; :mod:`docs/diagnostics.md` catalogues them with triggering
+examples (a test keeps the catalogue in sync with this registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calc.analyze import Severity
+
+#: Rule categories, in report order.
+CATEGORIES = ("pits", "design", "cross-layer", "machine", "schedule")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One entry of the diagnostics catalogue."""
+
+    id: str
+    severity: Severity
+    category: str
+    summary: str
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"rule {self.id}: unknown category {self.category!r}")
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in RULES:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    RULES[rule.id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by ID."""
+    return [RULES[k] for k in sorted(RULES)]
+
+
+def _r(rule_id: str, severity: Severity, category: str, summary: str, hint: str) -> None:
+    register(Rule(rule_id, severity, category, summary, hint))
+
+
+# ------------------------------------------------------------------ #
+# PITS0xx — PITS program analysis
+# ------------------------------------------------------------------ #
+_r("PITS001", Severity.ERROR, "pits", "syntax error",
+   "fix the PITS source so it parses; the message names the offending line")
+_r("PITS002", Severity.ERROR, "pits", "variable is not declared",
+   "declare the variable in the input, output, or local window")
+_r("PITS003", Severity.ERROR, "pits", "input is read-only",
+   "copy the input into a local before modifying it")
+_r("PITS004", Severity.ERROR, "pits", "unknown function",
+   "use a calculator builtin (see docs/LANGUAGE.md for the catalogue)")
+_r("PITS005", Severity.ERROR, "pits", "wrong number of arguments",
+   "match the builtin's arity shown in the message")
+_r("PITS006", Severity.ERROR, "pits", "output is never assigned",
+   "assign the output somewhere, or remove it from the output window")
+_r("PITS007", Severity.WARNING, "pits", "input is never used",
+   "use the input or remove it (an unused input still costs a message)")
+_r("PITS008", Severity.WARNING, "pits", "local is never used",
+   "delete the unused local declaration")
+_r("PITS009", Severity.WARNING, "pits", "input shadows a constant",
+   "rename the input so PI/E keep their usual meaning")
+_r("PITS010", Severity.ERROR, "pits", "loop variable is an input",
+   "loop variables are written by the loop; use a different name")
+_r("PITS011", Severity.ERROR, "pits", "forall body assigns a scalar",
+   "forall iterations must be independent; write array elements indexed "
+   "by the loop variable")
+_r("PITS012", Severity.ERROR, "pits", "forall writes non-disjoint elements",
+   "make the first subscript of every write the forall loop variable")
+_r("PITS013", Severity.ERROR, "pits", "nested forall",
+   "make the inner loop a plain for; only one level can be split")
+_r("PITS014", Severity.WARNING, "pits", "display inside forall",
+   "move the display after the loop for deterministic output order")
+_r("PITS015", Severity.ERROR, "pits", "local read before assignment",
+   "assign the local on every path before reading it")
+_r("PITS016", Severity.ERROR, "pits", "scalar/array kind mismatch",
+   "initialise arrays with zeros()/ones() or a literal before subscripting; "
+   "never subscript a scalar")
+_r("PITS017", Severity.WARNING, "pits", "statement after outputs are final",
+   "delete trailing statements that cannot affect any output")
+
+# ------------------------------------------------------------------ #
+# DF1xx — design structure
+# ------------------------------------------------------------------ #
+_r("DF100", Severity.ERROR, "design", "no design yet",
+   "draw the dataflow graph first")
+_r("DF101", Severity.ERROR, "design", "graph is empty",
+   "add at least one task node")
+_r("DF102", Severity.ERROR, "design", "graph has a cycle",
+   "remove an arc of the reported cycle; dataflow designs must be acyclic")
+_r("DF104", Severity.ERROR, "design", "arc connects two storage nodes",
+   "route the data through a task node")
+_r("DF105", Severity.ERROR, "design", "composite input port names unknown node",
+   "point the port map at an existing node of the subgraph")
+_r("DF106", Severity.ERROR, "design", "composite output port names unknown node",
+   "point the port map at an existing node of the subgraph")
+_r("DF107", Severity.ERROR, "design", "incoming variable has no input port",
+   "add the variable to the composite subgraph's input port map")
+_r("DF108", Severity.ERROR, "design", "outgoing variable has no output port",
+   "add the variable to the composite subgraph's output port map")
+_r("DF109", Severity.ERROR, "design", "task has no PITS program",
+   "open the calculator panel on the node and write its routine")
+_r("DF110", Severity.ERROR, "design", "storage-write race",
+   "add a precedence arc between the two writers (or merge them) so the "
+   "stored result is deterministic")
+
+# ------------------------------------------------------------------ #
+# SCH2xx — schedule feasibility
+# ------------------------------------------------------------------ #
+_r("SCH201", Severity.ERROR, "schedule", "task was never scheduled",
+   "every task of the graph needs at least one placement")
+_r("SCH202", Severity.ERROR, "schedule", "placements overlap on a processor",
+   "shift one of the overlapping placements; a processor runs one task "
+   "at a time")
+_r("SCH203", Severity.ERROR, "schedule", "placement duration mismatch",
+   "set the placement's duration to machine.exec_time(task.work)")
+_r("SCH204", Severity.ERROR, "schedule", "task depends on unscheduled task",
+   "schedule the predecessor first")
+_r("SCH205", Severity.ERROR, "schedule", "task starts before its data is ready",
+   "delay the start past every predecessor's finish plus communication cost")
+
+# ------------------------------------------------------------------ #
+# XL3xx — cross-layer interface
+# ------------------------------------------------------------------ #
+_r("XL301", Severity.ERROR, "cross-layer", "incoming variable not a program input",
+   "declare the arc's variable in the node's input window, or relabel "
+   "the arc")
+_r("XL302", Severity.ERROR, "cross-layer", "outgoing variable never produced",
+   "the node's program must declare (and assign) the arc's variable as "
+   "an output")
+_r("XL303", Severity.WARNING, "cross-layer", "program output has no consumer",
+   "connect the output to a storage node or downstream task, or drop it")
+_r("XL304", Severity.ERROR, "cross-layer", "program input never supplied",
+   "draw an arc carrying the variable into the node")
+
+# ------------------------------------------------------------------ #
+# MF4xx — machine/design fit
+# ------------------------------------------------------------------ #
+_r("MF401", Severity.WARNING, "machine", "more processors than tasks",
+   "shrink the machine or split data-parallel nodes to add tasks")
+_r("MF402", Severity.WARNING, "machine", "message startup dwarfs task work",
+   "pack tasks into larger grains, or pick a machine with cheaper messages")
+_r("MF403", Severity.INFO, "machine", "forall width below processor count",
+   "a forall with fewer iterations than processors cannot use the whole "
+   "machine once split")
+_r("MF404", Severity.INFO, "machine", "high CCR on a high-diameter topology",
+   "communication-bound designs schedule better on denser topologies "
+   "(hypercube, full)")

@@ -1,0 +1,102 @@
+"""Schedule-feasibility rules (SCH2xx).
+
+This is the single implementation behind
+:func:`repro.sched.validate.schedule_problems` — feasibility is re-derived
+from first principles (completeness, processor occupancy, execution
+durations, and data readiness under the machine's communication cost
+model) without reusing any scheduler machinery.  Message strings are the
+historical ones; the lint layer adds rule IDs and locations.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Diagnostic, make_diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.schedule import Schedule
+
+#: Absolute tolerance for floating-point time comparisons.
+TOL = 1e-6
+
+
+def schedule_diagnostics(
+    schedule: "Schedule", check_durations: bool = True
+) -> list[Diagnostic]:
+    """Collect every feasibility violation (empty list == valid schedule).
+
+    Rules checked
+    -------------
+    * SCH201 completeness — every graph task has at least one placement;
+    * SCH202 occupancy — no two placements overlap on one processor;
+    * SCH203 durations — each placement lasts exactly
+      ``machine.exec_time(task.work)`` (skippable for imported schedules);
+    * SCH204/SCH205 data readiness — every placement of a task ``t`` starts
+      no earlier than, for each in-edge ``u -> t``, the finish of *some*
+      copy of ``u`` plus the communication cost between their processors.
+    """
+    diags: list[Diagnostic] = []
+    graph, machine = schedule.graph, schedule.machine
+
+    for t in graph.task_names:
+        if t not in schedule:
+            diags.append(
+                make_diagnostic("SCH201", f"task {t!r} was never scheduled", node=t)
+            )
+
+    for proc in machine.procs():
+        timeline = schedule.on_proc(proc)
+        for a, b in zip(timeline, timeline[1:]):
+            if a.finish > b.start + TOL:
+                diags.append(
+                    make_diagnostic(
+                        "SCH202",
+                        f"processor {proc}: {a.task!r} [{a.start:g},{a.finish:g}) "
+                        f"overlaps {b.task!r} [{b.start:g},{b.finish:g})",
+                        node=b.task,
+                    )
+                )
+
+    if check_durations:
+        for entry in schedule:
+            expected = machine.exec_time(graph.work(entry.task))
+            if abs(entry.duration - expected) > TOL:
+                diags.append(
+                    make_diagnostic(
+                        "SCH203",
+                        f"task {entry.task!r} on processor {entry.proc}: duration "
+                        f"{entry.duration:g} != exec_time {expected:g}",
+                        node=entry.task,
+                    )
+                )
+
+    for t in graph.task_names:
+        if t not in schedule:
+            continue
+        for entry in schedule.placements(t):
+            for edge in graph.in_edges(t):
+                if edge.src not in schedule:
+                    diags.append(
+                        make_diagnostic(
+                            "SCH204",
+                            f"task {t!r} depends on unscheduled {edge.src!r}",
+                            node=t,
+                        )
+                    )
+                    continue
+                ready = min(
+                    src.finish + machine.comm_cost(src.proc, entry.proc, edge.size)
+                    for src in schedule.placements(edge.src)
+                )
+                if entry.start + TOL < ready:
+                    diags.append(
+                        make_diagnostic(
+                            "SCH205",
+                            f"task {t!r} on processor {entry.proc} starts at "
+                            f"{entry.start:g} but edge {edge.src}->{t} "
+                            f"({edge.var!r}) is only ready at {ready:g}",
+                            node=t,
+                        )
+                    )
+    return diags

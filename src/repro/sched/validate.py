@@ -4,76 +4,31 @@ Every scheduler's output is validated in tests by :func:`check_schedule`,
 which re-derives feasibility from first principles (completeness, processor
 occupancy, execution durations, and data readiness under the machine's
 communication cost model) without reusing any scheduler machinery.
+
+The checks themselves live in :mod:`repro.lint.schedrules` (rules
+``SCH201``–``SCH205``); this module keeps the historical string-list and
+raise-on-failure APIs.
 """
 
 from __future__ import annotations
 
 from repro.errors import ScheduleError
+from repro.lint.schedrules import TOL, schedule_diagnostics
 from repro.sched.schedule import Schedule
 
-#: Absolute tolerance for floating-point time comparisons.
-TOL = 1e-6
+__all__ = ["TOL", "schedule_problems", "check_schedule"]
 
 
 def schedule_problems(schedule: Schedule, check_durations: bool = True) -> list[str]:
     """Collect every feasibility violation (empty list == valid schedule).
 
-    Rules checked
-    -------------
-    1. completeness — every graph task has at least one placement;
-    2. occupancy — no two placements overlap on one processor;
-    3. durations — each placement lasts exactly
-       ``machine.exec_time(task.work)`` (skippable for imported schedules);
-    4. data readiness — every placement of a task ``t`` starts no earlier
-       than, for each in-edge ``u -> t``, the finish of *some* copy of ``u``
-       plus the communication cost between their processors.
+    See :func:`repro.lint.schedrules.schedule_diagnostics` for the rules
+    checked (completeness, occupancy, durations, data readiness).
     """
-    problems: list[str] = []
-    graph, machine = schedule.graph, schedule.machine
-
-    for t in graph.task_names:
-        if t not in schedule:
-            problems.append(f"task {t!r} was never scheduled")
-
-    for proc in machine.procs():
-        timeline = schedule.on_proc(proc)
-        for a, b in zip(timeline, timeline[1:]):
-            if a.finish > b.start + TOL:
-                problems.append(
-                    f"processor {proc}: {a.task!r} [{a.start:g},{a.finish:g}) overlaps "
-                    f"{b.task!r} [{b.start:g},{b.finish:g})"
-                )
-
-    if check_durations:
-        for entry in schedule:
-            expected = machine.exec_time(graph.work(entry.task))
-            if abs(entry.duration - expected) > TOL:
-                problems.append(
-                    f"task {entry.task!r} on processor {entry.proc}: duration "
-                    f"{entry.duration:g} != exec_time {expected:g}"
-                )
-
-    for t in graph.task_names:
-        if t not in schedule:
-            continue
-        for entry in schedule.placements(t):
-            for edge in graph.in_edges(t):
-                if edge.src not in schedule:
-                    problems.append(
-                        f"task {t!r} depends on unscheduled {edge.src!r}"
-                    )
-                    continue
-                ready = min(
-                    src.finish + machine.comm_cost(src.proc, entry.proc, edge.size)
-                    for src in schedule.placements(edge.src)
-                )
-                if entry.start + TOL < ready:
-                    problems.append(
-                        f"task {t!r} on processor {entry.proc} starts at "
-                        f"{entry.start:g} but edge {edge.src}->{t} ({edge.var!r}) "
-                        f"is only ready at {ready:g}"
-                    )
-    return problems
+    return [
+        d.message
+        for d in schedule_diagnostics(schedule, check_durations=check_durations)
+    ]
 
 
 def check_schedule(schedule: Schedule, check_durations: bool = True) -> None:

@@ -1,0 +1,128 @@
+"""End-to-end `banger lint` CLI behaviour and the shipped example corpus."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.env.project import BangerProject
+from repro.graph.dataflow import DataflowGraph
+from repro.machine import MachineParams
+
+EXAMPLES = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+
+def save_project(tmp_path, design, name="proj"):
+    project = BangerProject(name).set_design(design)
+    project.set_machine("hypercube", 2,
+                        MachineParams(msg_startup=0.2, transmission_rate=20.0))
+    path = tmp_path / f"{name}.json"
+    project.save(str(path))
+    return str(path)
+
+
+@pytest.fixture
+def clean_project(tmp_path):
+    g = DataflowGraph("clean")
+    g.add_storage("a", data="a", initial=1.0)
+    g.add_task("t", program="input a\noutput r\nr := a")
+    g.add_task("u", program="input r\noutput s\ns := r")
+    g.add_storage("r", data="r")
+    g.add_storage("s", data="s")
+    g.connect("a", "t")
+    g.connect("t", "r")
+    g.connect("r", "u")
+    g.connect("u", "s")
+    return save_project(tmp_path, g, "clean")
+
+
+@pytest.fixture
+def racy_project(tmp_path):
+    g = DataflowGraph("racy")
+    g.add_task("w1", program="output r\nr := 1")
+    g.add_task("w2", program="output r\nr := 2")
+    g.add_storage("r", data="r")
+    g.connect("w1", "r")
+    g.connect("w2", "r")
+    return save_project(tmp_path, g, "racy")
+
+
+@pytest.fixture
+def warn_project(tmp_path):
+    g = DataflowGraph("warny")
+    g.add_storage("a", data="a")
+    g.add_task("t", program="input a\noutput r, s\nr := a\ns := a")
+    g.add_storage("r", data="r")
+    g.connect("a", "t")
+    g.connect("t", "r")  # program output s unconsumed -> XL303 warning
+    return save_project(tmp_path, g, "warny")
+
+
+def test_lint_clean_project_exits_zero(clean_project, capsys):
+    assert main(["lint", clean_project]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_racy_project_exits_one(racy_project, capsys):
+    assert main(["lint", racy_project]) == 1
+    out = capsys.readouterr().out
+    assert "DF110" in out
+    assert "'w1'" in out and "'w2'" in out
+
+
+def test_fail_on_warning(warn_project):
+    assert main(["lint", warn_project]) == 0
+    assert main(["lint", warn_project, "--fail-on", "warning"]) == 1
+
+
+def test_suppress_clears_the_failure(racy_project, capsys):
+    assert main(["lint", racy_project, "--suppress", "DF110"]) == 0
+    out = capsys.readouterr().out
+    assert "nondeterministic" not in out  # the diagnostic itself is gone...
+    assert "suppressed: DF110" in out  # ...but the omission stays visible
+
+
+def test_json_format(racy_project, capsys):
+    assert main(["lint", racy_project, "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+    assert any(d["rule"] == "DF110" for d in doc["diagnostics"])
+
+
+def test_sarif_format(racy_project, capsys):
+    assert main(["lint", racy_project, "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "banger-lint"
+    assert any(r["ruleId"] == "DF110" for r in run["results"])
+    # the artifact is the analysed project file
+    assert run["artifacts"][0]["location"]["uri"] == racy_project
+
+
+def test_feedback_and_lint_agree(racy_project, clean_project):
+    assert main(["feedback", racy_project]) == 1
+    assert main(["feedback", clean_project]) == 0
+
+
+def test_help_epilog_names_the_catalogue(capsys):
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    assert "docs/diagnostics.md" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "path", sorted(EXAMPLES.glob("*.json")), ids=lambda p: p.stem
+)
+def test_shipped_example_lints_clean(path, capsys):
+    """The CI self-check corpus: every saved example project has no errors."""
+    assert main(["lint", str(path), "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    assert all(r["level"] != "error" for r in doc["runs"][0]["results"])
+
+
+def test_example_corpus_exists():
+    assert len(sorted(EXAMPLES.glob("*.json"))) >= 6

@@ -1,0 +1,75 @@
+"""Property tests: the lint engine never raises, whatever it is fed."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.generators import as_dataflow, random_hierarchical, random_layered
+from repro.lint import Report, lint_design
+from repro.lint.diagnostics import Diagnostic
+
+graph_params = st.tuples(
+    st.integers(min_value=1, max_value=30),      # n_tasks
+    st.integers(min_value=1, max_value=6),       # n_layers
+    st.floats(min_value=0.0, max_value=1.0),     # edge_prob
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+#: PITS-ish soup: keywords, identifiers, operators, and raw garbage.
+pits_fragments = st.lists(
+    st.one_of(
+        st.sampled_from(
+            ["input", "output", "local", "if", "then", "else", "end",
+             "while", "do", "for", "forall", "repeat", "until", "to",
+             ":=", "+", "*", "(", ")", "[", "]", ",", "a", "b", "i",
+             "r", "x", "zeros", "sqrt", "1", "2.5", "\n", ";"]
+        ),
+        st.text(max_size=6),
+    ),
+    max_size=40,
+)
+
+
+def assert_wellformed(report: Report) -> None:
+    for d in report:
+        assert isinstance(d, Diagnostic)
+        assert d.rule_id
+        assert d.message
+    assert report.error_count == len(report.errors)
+    assert report.ok == (report.error_count == 0)
+
+
+@given(pits_fragments)
+@settings(max_examples=100, deadline=None)
+def test_lint_never_raises_on_fuzzed_pits_source(fragments):
+    g = DataflowGraph("fuzz")
+    g.add_task("t", program=" ".join(fragments))
+    assert_wellformed(lint_design(g))
+
+
+@given(graph_params)
+@settings(max_examples=50, deadline=None)
+def test_lint_never_raises_on_random_layered_designs(params):
+    n, layers, prob, seed = params
+    design = as_dataflow(random_layered(n, min(layers, n),
+                                        edge_prob=prob, seed=seed))
+    assert_wellformed(lint_design(design))
+
+
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_lint_never_raises_on_random_hierarchical_designs(depth, seed):
+    assert_wellformed(lint_design(random_hierarchical(depth=depth, seed=seed)))
+
+
+@given(graph_params)
+@settings(max_examples=25, deadline=None)
+def test_suppressing_everything_empties_the_report(params):
+    n, layers, prob, seed = params
+    design = as_dataflow(random_layered(n, min(layers, n),
+                                        edge_prob=prob, seed=seed))
+    report = lint_design(design)
+    silenced = report.suppress({d.rule_id for d in report})
+    assert not list(silenced)
+    assert silenced.ok

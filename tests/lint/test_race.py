@@ -1,0 +1,103 @@
+"""The storage-write race detector (DF110) and ordered-writer semantics.
+
+The acceptance scenario from the issue: a two-writers-one-storage design
+must trigger the race rule with a witness pair, while the sequentialised
+variant (a control arc ordering the writers) must lint clean — and flatten
+with last-writer-wins producer resolution.
+"""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.dataflow import DataflowGraph
+from repro.graph.hierarchy import flatten
+from repro.lint import lint_design
+from repro.lint.design import race_diagnostics
+
+
+def two_writer_design(sequentialised: bool) -> DataflowGraph:
+    g = DataflowGraph("race")
+    g.add_task("w1", work=1.0, program="output r\nr := 1")
+    g.add_task("w2", work=1.0, program="output r\nr := 2")
+    g.add_storage("r", data="r")
+    g.connect("w1", "r")
+    g.connect("w2", "r")
+    if sequentialised:
+        g.connect("w1", "w2")  # precedence orders the writers
+    return g
+
+
+def test_unordered_writers_trigger_df110():
+    report = lint_design(two_writer_design(False))
+    races = [d for d in report if d.rule_id == "DF110"]
+    assert len(races) == 1
+    d = races[0]
+    assert d.node == "r"
+    assert "'w1'" in d.message and "'w2'" in d.message  # witness pair
+    assert not report.ok
+
+
+def test_sequentialised_variant_is_clean():
+    report = lint_design(two_writer_design(True))
+    assert not [d for d in report if d.rule_id == "DF110"]
+    assert report.ok
+    assert not list(report)  # not just race-free: no diagnostics at all
+
+
+def test_legacy_problems_api_reports_the_race():
+    problems = two_writer_design(False).problems()
+    assert any("multiple writers" in p for p in problems)
+    assert two_writer_design(True).problems() == []
+
+
+def test_flatten_rejects_unordered_writers():
+    with pytest.raises(ValidationError, match="multiple writers"):
+        flatten(two_writer_design(False))
+
+
+def test_flatten_last_writer_wins():
+    tg = flatten(two_writer_design(True))
+    assert tg.graph_outputs["r"] == "w2"
+
+
+def test_transitive_precedence_clears_the_race():
+    """Ordering through an intermediate task counts as a precedence path."""
+    g = two_writer_design(False)
+    g.add_task("mid", work=1.0, program="input q\noutput p\np := q")
+    g.add_storage("q", data="q")
+    g.add_storage("p", data="p")
+    g.connect("w1", "q")
+    g.connect("q", "mid")
+    g.connect("mid", "p")
+    g.connect("p", "w2")
+    assert not [d for d in lint_design(g) if d.rule_id == "DF110"]
+
+
+def test_three_unordered_writers_report_every_pair():
+    g = DataflowGraph("race3")
+    for i in (1, 2, 3):
+        g.add_task(f"w{i}", program="output r\nr := 1")
+    g.add_storage("r", data="r")
+    for i in (1, 2, 3):
+        g.connect(f"w{i}", "r")
+    races = race_diagnostics(g)
+    assert len(races) == 3  # one diagnostic per unordered pair
+    witnesses = [d.message.split("between ")[1].split(";")[0] for d in races]
+    assert witnesses == ["'w1' and 'w2'", "'w1' and 'w3'", "'w2' and 'w3'"]
+
+
+def test_race_inside_a_composite_is_prefixed():
+    sub = DataflowGraph("sub")
+    sub.add_task("a", program="output r\nr := 1")
+    sub.add_task("b", program="output r\nr := 2")
+    sub.add_storage("r", data="r")
+    sub.connect("a", "r")
+    sub.connect("b", "r")
+    sub.inputs = {}
+    sub.outputs = {"r": "r"}
+    g = DataflowGraph("outer")
+    g.add_composite("c", sub)
+    races = [d for d in lint_design(g) if d.rule_id == "DF110"]
+    assert races, "nested race went undetected"
+    assert races[0].node == "c.r"
+    assert races[0].message.startswith("c/storage 'r' has multiple writers")

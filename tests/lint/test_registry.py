@@ -1,0 +1,95 @@
+"""Registry invariants: stable IDs, valid metadata, docs stay in sync."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.calc.analyze import Severity
+from repro.lint import RULES, Rule, all_rules, get_rule, register
+from repro.lint.rules import CATEGORIES
+
+DOCS = pathlib.Path(__file__).parent.parent.parent / "docs" / "diagnostics.md"
+
+#: ID prefix -> required category.
+PREFIX_CATEGORY = {
+    "PITS0": "pits",
+    "DF1": "design",
+    "SCH2": "schedule",
+    "XL3": "cross-layer",
+    "MF4": "machine",
+}
+
+
+def test_ids_follow_the_namespacing_scheme():
+    pattern = re.compile(r"^(PITS0\d\d|DF1\d\d|SCH2\d\d|XL3\d\d|MF4\d\d)$")
+    for rule in all_rules():
+        assert pattern.match(rule.id), rule.id
+
+
+def test_category_matches_id_prefix():
+    for rule in all_rules():
+        prefix = next(p for p in PREFIX_CATEGORY if rule.id.startswith(p))
+        assert rule.category == PREFIX_CATEGORY[prefix], rule.id
+
+
+def test_every_rule_has_summary_and_hint():
+    for rule in all_rules():
+        assert rule.summary.strip(), rule.id
+        assert rule.hint.strip(), rule.id
+        assert isinstance(rule.severity, Severity), rule.id
+
+
+def test_all_rules_sorted_and_unique():
+    ids = [r.id for r in all_rules()]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+
+
+def test_df103_is_retired():
+    """DF110 (precedence-aware race) subsumed DF103; the ID is not reused."""
+    assert "DF103" not in RULES
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError, match="duplicate"):
+        register(Rule("DF110", Severity.ERROR, "design", "dup", "dup"))
+
+
+def test_rule_rejects_unknown_category():
+    with pytest.raises(ValueError, match="category"):
+        Rule("ZZ999", Severity.ERROR, "nonsense", "bad", "bad")
+
+
+def test_get_rule_unknown_id():
+    with pytest.raises(KeyError, match="ZZ999"):
+        get_rule("ZZ999")
+
+
+def test_docs_catalogue_every_rule():
+    """docs/diagnostics.md has a heading per rule and no ghost rules."""
+    text = DOCS.read_text(encoding="utf-8")
+    documented = set(re.findall(r"^### (\w+)", text, flags=re.M))
+    registered = {r.id for r in all_rules()}
+    missing = registered - documented
+    assert not missing, f"rules missing from docs/diagnostics.md: {sorted(missing)}"
+    ghosts = {d for d in documented if re.match(r"^(PITS|DF|SCH|XL|MF)\d", d)}
+    ghosts -= registered
+    assert not ghosts, f"docs describe unregistered rules: {sorted(ghosts)}"
+
+
+def test_docs_mention_severity_for_every_rule():
+    text = DOCS.read_text(encoding="utf-8")
+    words = {
+        Severity.ERROR: "error",
+        Severity.WARNING: "warning",
+        Severity.INFO: "note",
+    }
+    for rule in all_rules():
+        heading = re.search(rf"^### {rule.id} — .*\((\w+)\)", text, flags=re.M)
+        assert heading, f"no severity annotation for {rule.id}"
+        assert heading.group(1) == words[rule.severity], rule.id
+
+
+def test_categories_are_exactly_the_five_layers():
+    assert set(CATEGORIES) == {r.category for r in all_rules()}

@@ -1,0 +1,232 @@
+"""Output formats: text, JSON, and SARIF 2.1.0 structural validity."""
+
+import json
+
+import pytest
+
+from repro.graph.dataflow import DataflowGraph
+from repro.lint import (
+    lint_design,
+    render_json,
+    render_sarif,
+    render_text,
+    to_json,
+    to_sarif,
+)
+
+jsonschema = pytest.importorskip("jsonschema")
+
+#: The slice of the OASIS SARIF 2.1.0 schema our output must satisfy.
+#: (The full schema is not vendored; this subset pins the shape GitHub
+#: code scanning requires: version, tool.driver.rules, results with
+#: ruleId/level/message and locations.)
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "required": ["name"],
+                                                },
+                                            },
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": ["artifactLocation"],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            }
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture
+def dirty_report():
+    """A report with an error (DF110), a warning (XL303), and a line-bearing
+    program diagnostic (PITS002)."""
+    g = DataflowGraph("demo")
+    g.add_task("w1", program="output r, extra\nr := 1\nextra := x")
+    g.add_task("w2", program="output r\nr := 2")
+    g.add_storage("r", data="r")
+    g.connect("w1", "r")
+    g.connect("w2", "r")
+    return lint_design(g)
+
+
+def test_text_has_headline_and_rule_ids(dirty_report):
+    text = render_text(dirty_report)
+    assert "DF110" in text
+    assert "error" in text
+
+
+def test_json_round_trips(dirty_report):
+    doc = json.loads(render_json(dirty_report))
+    assert doc == to_json(dirty_report)
+    assert doc["name"] == "demo"
+    assert doc["ok"] is False
+    assert doc["summary"]["errors"] == dirty_report.error_count
+    rules = {d["rule"] for d in doc["diagnostics"]}
+    assert "DF110" in rules and "PITS002" in rules
+    by_rule = {d["rule"]: d for d in doc["diagnostics"]}
+    assert by_rule["DF110"]["node"] == "r"
+    assert by_rule["PITS002"]["line"] == 3
+    assert by_rule["PITS002"]["category"] == "pits"
+
+
+def test_json_records_suppressions(dirty_report):
+    suppressed = dirty_report.suppress(["DF110"])
+    doc = to_json(suppressed)
+    assert doc["suppressed"] == ["DF110"]
+    assert "DF110" not in {d["rule"] for d in doc["diagnostics"]}
+
+
+def test_sarif_validates_against_schema_subset(dirty_report):
+    doc = to_sarif(dirty_report, artifact="demo.json")
+    jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+
+
+def test_sarif_driver_and_rules(dirty_report):
+    doc = to_sarif(dirty_report)
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "banger-lint"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    fired = {d.rule_id for d in dirty_report.diagnostics}
+    assert set(rule_ids) == fired
+
+
+def test_sarif_results_reference_rules(dirty_report):
+    doc = to_sarif(dirty_report, artifact="demo.json")
+    run = doc["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert run["artifacts"] == [{"location": {"uri": "demo.json"}}]
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        assert result["level"] in ("note", "warning", "error")
+        (location,) = result["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "demo.json"
+
+
+def test_sarif_line_becomes_region(dirty_report):
+    doc = to_sarif(dirty_report, artifact="demo.json")
+    pits = [r for r in doc["runs"][0]["results"] if r["ruleId"] == "PITS002"]
+    assert pits
+    region = pits[0]["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 3}
+
+
+def test_sarif_severity_levels_map(dirty_report):
+    doc = to_sarif(dirty_report)
+    levels = {r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]}
+    assert levels["DF110"] == "error"
+    assert levels["XL303"] == "warning"
+
+
+def test_clean_report_renders_everywhere():
+    g = DataflowGraph("clean")
+    g.add_storage("a", data="a")
+    g.add_task("t", program="input a\noutput r\nr := a")
+    g.add_storage("r", data="r")
+    g.connect("a", "t")
+    g.connect("t", "r")
+    report = lint_design(g)
+    assert report.ok
+    doc = to_sarif(report)
+    jsonschema.validate(doc, SARIF_SUBSET_SCHEMA)
+    assert doc["runs"][0]["results"] == []
+    assert json.loads(render_json(report))["ok"] is True
+    assert render_sarif(report)  # non-empty string
