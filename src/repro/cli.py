@@ -8,6 +8,7 @@ Projects are the JSON documents written by
     python -m repro.cli outline   project.json
     python -m repro.cli schedule  project.json --scheduler mh --gantt
     python -m repro.cli speedup   project.json --procs 1,2,4,8
+    python -m repro.cli sweep     project.json --scheduler mh,hlfet --jobs 4 --stats
     python -m repro.cli simulate  project.json --contention
     python -m repro.cli run       project.json [--parallel]
     python -m repro.cli codegen   project.json --language python -o prog.py
@@ -118,6 +119,64 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     from repro.viz import render_speedup_chart
 
     print(render_speedup_chart(report_))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sched import ScheduleRequest
+
+    project = _load(args.project)
+    procs = _parse_procs(args.procs)
+    schedulers = [s.strip() for s in args.scheduler.split(",") if s.strip()]
+    if not schedulers:
+        raise ReproError("no scheduler given; expected e.g. --scheduler mh,hlfet")
+    if args.jobs is not None and args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    reports = {}
+    for name in schedulers:
+        request = ScheduleRequest(
+            scheduler=name,
+            proc_counts=procs,
+            family=args.family,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
+        reports[name] = project.speedup(request)
+        print(reports[name].table())
+        if args.gantt:
+            print()
+            print(project.gantt_series(request))
+        print()
+    stats = project.service.stats()
+    if args.stats:
+        print(stats.render())
+    if args.json:
+        doc = {
+            "type": "banger-sweep",
+            "project": project.name,
+            "proc_counts": list(procs),
+            "schedulers": {
+                name: {
+                    "family": rep.family,
+                    "serial_time": rep.serial_time,
+                    "max_parallelism": rep.max_parallelism,
+                    "points": [
+                        {
+                            "n_procs": p.n_procs,
+                            "makespan": p.makespan,
+                            "speedup": p.speedup,
+                            "efficiency": p.efficiency,
+                        }
+                        for p in rep.points
+                    ],
+                }
+                for name, rep in reports.items()
+            },
+            "stats": stats.as_dict(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -249,8 +308,34 @@ def build_parser() -> argparse.ArgumentParser:
     add_project(p)
     add_scheduler(p)
     p.add_argument("--procs", default="1,2,4,8")
-    p.add_argument("--family", default="hypercube")
+    p.add_argument("--family", default=None,
+                   help="topology family (default: the project machine's family)")
     p.set_defaults(fn=cmd_speedup)
+
+    p = sub.add_parser(
+        "sweep",
+        help="cached, parallel scheduling sweeps across machine sizes",
+        epilog="Results are memoized by content (graph x machine x scheduler); "
+               "rerunning an unchanged sweep is served from cache.  Misses fan "
+               "out over worker processes when --jobs (or the graph size) "
+               "warrants it.",
+    )
+    add_project(p)
+    p.add_argument("--procs", default="1,2,4,8")
+    p.add_argument("--scheduler", default="mh",
+                   help="comma-separated heuristic names (see `banger schedule`)")
+    p.add_argument("--family", default=None,
+                   help="topology family (default: the project machine's family)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for cache misses (default: auto)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the schedule cache entirely")
+    p.add_argument("--stats", action="store_true",
+                   help="print cache hit/miss/eviction and sweep counters")
+    p.add_argument("--gantt", action="store_true",
+                   help="also print the stacked Gantt charts per size")
+    p.add_argument("--json", help="write the sweep results + stats as JSON")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("simulate", help="discrete-event replay of the schedule")
     add_project(p)

@@ -12,6 +12,7 @@ available at every point and trial runs of single nodes or the whole design.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Sequence
 
 from repro.calc.cost import measure_work
@@ -30,8 +31,13 @@ from repro.machine.machine import TargetMachine, make_machine
 from repro.machine.params import MachineParams
 from repro.sched.base import Scheduler
 from repro.sched.schedule import Schedule
-from repro.sched import get_scheduler
-from repro.sched.sweeps import SpeedupReport, predict_speedup, schedules_for_sizes
+from repro.sched.service import (
+    ScheduleRequest,
+    ScheduleService,
+    as_request,
+    default_family,
+)
+from repro.sched.sweeps import SpeedupReport
 from repro.sim.dataflow_exec import DataflowResult, run_dataflow
 from repro.sim.threaded import ParallelResult, run_parallel
 from repro.env.feedback import Feedback, project_feedback
@@ -43,45 +49,96 @@ from repro.viz.speedup import render_speedup_chart
 class BangerProject:
     """A complete Banger session: design + machine + programs + schedules.
 
+    Every scheduling query (``schedule``/``gantt``/``gantt_series``/
+    ``speedup``/``speedup_chart``) accepts either the classic positional
+    arguments or one :class:`~repro.sched.service.ScheduleRequest`, and is
+    served by a content-addressed :class:`ScheduleService`, so unchanged
+    questions are answered from cache and mutators evict exactly the
+    entries they invalidate.
+
     Parameters
     ----------
     name:
         Project (and default design) name.
+    service:
+        The scheduling service to use (default: a private one per project).
     """
 
-    def __init__(self, name: str = "untitled"):
+    def __init__(self, name: str = "untitled", service: ScheduleService | None = None):
         self.name = name
         self.design: DataflowGraph = DataflowGraph(name)
         self.machine: TargetMachine | None = None
+        self.service: ScheduleService = service if service is not None else ScheduleService()
         self._flat: TaskGraph | None = None
+        self._flat_hash: str | None = None
 
     # ------------------------------------------------------------------ #
     # step 1: the drawing
     # ------------------------------------------------------------------ #
     def set_design(self, design: DataflowGraph) -> "BangerProject":
         self.design = design
-        self._flat = None
+        self._invalidate()
         return self
 
-    def _invalidate(self) -> None:
-        self._flat = None
+    def _invalidate(self, *, design: bool = True,
+                    old_machine: TargetMachine | None = None) -> None:
+        """Evict cached schedules made stale by a mutation.
+
+        Content addressing keeps the cache *correct* regardless (a mutated
+        graph or machine hashes to fresh keys); eviction reclaims the
+        entries that can no longer be requested.
+        """
+        if design:
+            if self._flat_hash is not None:
+                self.service.invalidate(graph_hash=self._flat_hash)
+            self._flat = None
+            self._flat_hash = None
+        if old_machine is not None:
+            self.service.invalidate(machine_hash=old_machine.content_hash())
+
+    def _adopt_flat(self, flat: TaskGraph) -> None:
+        """Replace the scheduling view, evicting the old one's cache rows."""
+        self._invalidate()
+        self._flat = flat
+        self._flat_hash = flat.content_hash()
 
     # ------------------------------------------------------------------ #
     # step 2: the target machine
     # ------------------------------------------------------------------ #
     def set_machine(
         self,
-        family: str = "hypercube",
+        family: str | TargetMachine = "hypercube",
         n_procs: int = 4,
         params: MachineParams | None = None,
     ) -> "BangerProject":
-        """Describe the target machine by family + the four parameters."""
-        self.machine = make_machine(family, n_procs, params or MachineParams())
+        """Define the target machine.
+
+        Polymorphic: pass either ``family, n_procs, params`` (the paper's
+        four-characteristics description) or a ready-made
+        :class:`TargetMachine`.  Replacing the machine evicts the cached
+        schedules that depended on the old one.
+        """
+        if isinstance(family, TargetMachine):
+            if params is not None:
+                raise ReproError("pass either a TargetMachine or family+n_procs+params, not both")
+            machine = family
+        else:
+            machine = make_machine(family, n_procs, params or MachineParams())
+        old = self.machine
+        self.machine = machine
+        if old is not None:
+            self._invalidate(design=False, old_machine=old)
         return self
 
     def set_machine_object(self, machine: TargetMachine) -> "BangerProject":
-        self.machine = machine
-        return self
+        """Deprecated alias for :meth:`set_machine` with a machine object."""
+        warnings.warn(
+            "BangerProject.set_machine_object() is deprecated; "
+            "set_machine() now accepts a TargetMachine directly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.set_machine(machine)
 
     def _require_machine(self) -> TargetMachine:
         if self.machine is None:
@@ -166,16 +223,17 @@ class BangerProject:
         """The flattened scheduling IR (cached until the design changes)."""
         if self._flat is None:
             self._flat = flatten(self.design)
+            self._flat_hash = self._flat.content_hash()
         return self._flat
 
-    def calibrate(self, inputs: dict[str, Any] | None = None) -> TaskGraph:
+    def calibrate(self, inputs: dict[str, Any] | None = None) -> "BangerProject":
         """Trial-run the whole design and reweight tasks by measured ops."""
         from repro.sim.dataflow_exec import calibrate_works
 
-        self._flat = calibrate_works(self.flat(), inputs)
-        return self._flat
+        self._adopt_flat(calibrate_works(self.flat(), inputs))
+        return self
 
-    def split_node(self, node: str, ways: int) -> TaskGraph:
+    def split_node(self, node: str, ways: int) -> "BangerProject":
         """Shard a data-parallel (forall) node across ``ways`` shards.
 
         Operates on the flattened scheduling view; the drawn design stays
@@ -183,15 +241,15 @@ class BangerProject:
         """
         from repro.graph.transform import split_forall
 
-        self._flat = split_forall(self.flat(), node, ways)
-        return self._flat
+        self._adopt_flat(split_forall(self.flat(), node, ways))
+        return self
 
-    def split_all(self, ways: int) -> TaskGraph:
+    def split_all(self, ways: int) -> "BangerProject":
         """Shard every splittable node ``ways`` ways."""
         from repro.graph.transform import split_all
 
-        self._flat = split_all(self.flat(), ways)
-        return self._flat
+        self._adopt_flat(split_all(self.flat(), ways))
+        return self
 
     def advise(self) -> list:
         """Measured improvement suggestions (see :mod:`repro.env.advisor`)."""
@@ -202,45 +260,101 @@ class BangerProject:
     # ------------------------------------------------------------------ #
     # step 3.5: scheduling and prediction
     # ------------------------------------------------------------------ #
-    def schedule(self, scheduler: str | Scheduler = "mh") -> Schedule:
-        machine = self._require_machine()
-        if isinstance(scheduler, str):
-            scheduler = get_scheduler(scheduler)
-        return scheduler.schedule(self.flat(), machine)
+    def _sweep_request(
+        self,
+        request: Any,
+        default_procs: tuple[int, ...],
+        **overrides: Any,
+    ) -> ScheduleRequest:
+        """Normalize arguments into a fully resolved sweep request.
 
-    def gantt(self, scheduler: str | Scheduler = "mh", width: int = 72) -> str:
+        Unset fields default from the configured machine: its parameter set
+        and its topology family — a mesh project sweeps meshes, not the
+        hypercube the old API hardcoded.
+        """
+        req = as_request(request, **overrides)
+        machine = self._require_machine()
+        return ScheduleRequest(
+            scheduler=req.scheduler,
+            proc_counts=req.proc_counts or default_procs,
+            family=req.family or default_family(machine),
+            params=req.params or machine.params,
+            jobs=req.jobs,
+            use_cache=req.use_cache,
+        )
+
+    def schedule(
+        self, scheduler: str | Scheduler | ScheduleRequest = "mh"
+    ) -> Schedule:
+        """Map the flattened design onto the machine (cached by content)."""
+        req = as_request(scheduler)
+        machine = self._require_machine()
+        return self.service.schedule(
+            self.flat(), machine, req.scheduler, use_cache=req.use_cache
+        )
+
+    def gantt(
+        self, scheduler: str | Scheduler | ScheduleRequest = "mh", width: int = 72
+    ) -> str:
+        """Render the schedule's Gantt chart (reuses ``schedule()``'s cache)."""
         return render_gantt(self.schedule(scheduler), width=width)
 
     def gantt_series(
         self,
-        proc_counts: Sequence[int] = (2, 4, 8),
-        scheduler: str | Scheduler = "mh",
-        family: str = "hypercube",
+        request: ScheduleRequest | Sequence[int] | None = None,
+        scheduler: str | Scheduler | None = None,
+        family: str | None = None,
+        *,
+        proc_counts: Sequence[int] | None = None,
+        params: MachineParams | None = None,
+        jobs: int | None = None,
+        width: int = 72,
     ) -> str:
         """Figure 3's stack of Gantt charts across machine sizes."""
-        machine = self._require_machine()
-        sched = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
-        schedules = schedules_for_sizes(
-            self.flat(), proc_counts, scheduler=sched, family=family,
-            params=machine.params,
+        req = self._sweep_request(
+            request, (2, 4, 8), scheduler=scheduler, family=family,
+            proc_counts=tuple(proc_counts) if proc_counts is not None else None,
+            params=params, jobs=jobs,
         )
-        return render_gantt_series(schedules)
+        schedules = self.service.schedules_for_sizes(
+            self.flat(), req.proc_counts, scheduler=req.scheduler,
+            family=req.family, params=req.params, jobs=req.jobs,
+            use_cache=req.use_cache,
+        )
+        return render_gantt_series(schedules, width=width)
 
     def speedup(
         self,
-        proc_counts: Sequence[int] = (1, 2, 4, 8),
-        scheduler: str | Scheduler = "mh",
-        family: str = "hypercube",
+        request: ScheduleRequest | Sequence[int] | None = None,
+        scheduler: str | Scheduler | None = None,
+        family: str | None = None,
+        *,
+        proc_counts: Sequence[int] | None = None,
+        params: MachineParams | None = None,
+        jobs: int | None = None,
     ) -> SpeedupReport:
-        machine = self._require_machine()
-        sched = get_scheduler(scheduler) if isinstance(scheduler, str) else scheduler
-        return predict_speedup(
-            self.flat(), proc_counts, scheduler=sched, family=family,
-            params=machine.params,
+        """Predicted speedup across machine sizes (Figure 3's chart data)."""
+        req = self._sweep_request(
+            request, (1, 2, 4, 8), scheduler=scheduler, family=family,
+            proc_counts=tuple(proc_counts) if proc_counts is not None else None,
+            params=params, jobs=jobs,
+        )
+        return self.service.predict_speedup(
+            self.flat(), req.proc_counts, scheduler=req.scheduler,
+            family=req.family, params=req.params, jobs=req.jobs,
+            use_cache=req.use_cache,
         )
 
-    def speedup_chart(self, proc_counts: Sequence[int] = (1, 2, 4, 8)) -> str:
-        return render_speedup_chart(self.speedup(proc_counts))
+    def speedup_chart(
+        self,
+        request: ScheduleRequest | Sequence[int] | None = None,
+        scheduler: str | Scheduler | None = None,
+        family: str | None = None,
+    ) -> str:
+        """The rendered speedup prediction chart."""
+        return render_speedup_chart(
+            self.speedup(request, scheduler=scheduler, family=family)
+        )
 
     # ------------------------------------------------------------------ #
     # running

@@ -7,6 +7,7 @@ saved and reloaded like Banger documents.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -32,6 +33,47 @@ def _decode_value(value: Any) -> Any:
     if isinstance(value, dict) and "__ndarray__" in value:
         return np.array(value["__ndarray__"], dtype=value.get("dtype", "float64"))
     return value
+
+
+# --------------------------------------------------------------------- #
+# canonical form + fingerprints (content addressing)
+# --------------------------------------------------------------------- #
+def _canonical_default(value: Any) -> Any:
+    """JSON fallback for fingerprinting: encode numpy, repr the rest."""
+    encoded = _encode_value(value)
+    if encoded is value:
+        return repr(value)
+    return encoded
+
+
+def canonical_json(doc: Any) -> str:
+    """A deterministic JSON rendering of ``doc``: sorted mapping keys, no
+    whitespace, stable float repr.  Two structurally equal documents always
+    produce the same string, in any process, on any platform."""
+    return json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), default=_canonical_default
+    )
+
+
+def fingerprint(doc: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` — the cache key material
+    used by :class:`repro.sched.service.ScheduleService`."""
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def taskgraph_fingerprint(tg: TaskGraph) -> str:
+    """Stable content hash of a task graph.
+
+    Any semantic mutation — task set, insertion order (which schedulers'
+    tie-breaks observe), weights, programs, edges, sizes, graph-level
+    bindings — changes the hash; serialization round trips preserve it.
+    """
+    return fingerprint(taskgraph_to_dict(tg))
+
+
+def dataflow_fingerprint(graph: DataflowGraph) -> str:
+    """Stable content hash of a hierarchical design document."""
+    return fingerprint(dataflow_to_dict(graph))
 
 
 # --------------------------------------------------------------------- #

@@ -230,6 +230,19 @@ class TaskGraph:
         reach = self.transitive_closure()
         return b not in reach[a] and a not in reach[b]
 
+    def content_hash(self) -> str:
+        """Stable content-addressed fingerprint of this graph.
+
+        Equal graphs (same tasks in the same insertion order, same weights,
+        programs, edges, and graph-level bindings) hash identically across
+        process restarts; any semantic mutation yields a new hash.  This is
+        the graph half of the scheduling cache key used by
+        :class:`repro.sched.service.ScheduleService`.
+        """
+        from repro.graph.serialize import taskgraph_fingerprint
+
+        return taskgraph_fingerprint(self)
+
     def copy(self) -> "TaskGraph":
         import copy as _copy
 

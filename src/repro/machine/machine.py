@@ -105,6 +105,13 @@ class TargetMachine:
             },
         }
 
+    def content_hash(self) -> str:
+        """Stable fingerprint of params + topology — the machine half of the
+        scheduling cache key (see :mod:`repro.sched.service`)."""
+        from repro.graph.serialize import fingerprint
+
+        return fingerprint(self.to_dict())
+
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TargetMachine":
         if data.get("type") != "machine":
@@ -116,6 +123,9 @@ class TargetMachine:
             [tuple(l) for l in topo_doc.get("links", [])],
             name=topo_doc.get("name", ""),
         )
+        # Preserve the original family so loaded machines keep driving
+        # family-default sweeps (a reloaded mesh project still sweeps meshes).
+        topo.family = topo_doc.get("family", topo.family)
         return cls(topo, params, name=data.get("name", ""))
 
     def __repr__(self) -> str:

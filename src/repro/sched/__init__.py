@@ -82,6 +82,12 @@ from repro.sched.metrics import (
     utilization,
 )
 from repro.sched.mh import MHScheduler
+from repro.sched.registry import (
+    SCHEDULERS,
+    get_scheduler,
+    resolve_scheduler,
+    scheduler_cache_key,
+)
 from repro.sched.schedule import Message, Placement, Schedule
 from repro.sched.sweeps import (
     SpeedupPoint,
@@ -89,40 +95,15 @@ from repro.sched.sweeps import (
     predict_speedup,
     schedules_for_sizes,
 )
+from repro.sched.service import (
+    ScheduleRequest,
+    ScheduleService,
+    ServiceStats,
+    as_request,
+    default_family,
+    default_service,
+)
 from repro.sched.validate import check_schedule, schedule_problems
-
-#: Scheduler registry: name -> zero-argument factory.
-SCHEDULERS = {
-    "hlfet": HLFETScheduler,
-    "ish": ISHScheduler,
-    "etf": ETFScheduler,
-    "dls": DLSScheduler,
-    "mcp": MCPScheduler,
-    "cpop": CPOPScheduler,
-    "mh": MHScheduler,
-    "mh-nocontention": lambda: MHScheduler(contention=False),
-    "dsh": DSHScheduler,
-    "lc": LinearClusteringScheduler,
-    "dsc": DSCScheduler,
-    "sarkar": SarkarScheduler,
-    "exhaustive": ExhaustiveScheduler,
-    "anneal": AnnealingScheduler,
-    "grain": lambda: GrainPackedScheduler(MHScheduler()),
-    "serial": SerialScheduler,
-    "roundrobin": RoundRobinScheduler,
-    "random": RandomScheduler,
-}
-
-
-def get_scheduler(name: str) -> Scheduler:
-    """Instantiate a registered heuristic by name."""
-    try:
-        factory = SCHEDULERS[name]
-    except KeyError:
-        raise ScheduleError(
-            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
-        ) from None
-    return factory()
 
 
 __all__ = [
@@ -166,7 +147,15 @@ __all__ = [
     "SCHEDULERS",
     "Schedule",
     "ScheduleReport",
+    "ScheduleRequest",
+    "ScheduleService",
     "Scheduler",
+    "ServiceStats",
+    "as_request",
+    "default_family",
+    "default_service",
+    "resolve_scheduler",
+    "scheduler_cache_key",
     "SerialScheduler",
     "SpeedupPoint",
     "SpeedupReport",

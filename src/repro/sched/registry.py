@@ -1,0 +1,99 @@
+"""The scheduler registry and the single ``str | Scheduler`` resolver.
+
+Every surface that accepts "a scheduler" — :class:`BangerProject`, the CLI,
+the sweep service — funnels through :func:`resolve_scheduler`, so the
+dispatch rule (and its error message) exists exactly once.
+
+:func:`scheduler_cache_key` renders a scheduler *instance* into a stable
+string covering its class and its public configuration, which is what lets
+:class:`repro.sched.service.ScheduleService` memoize by content rather than
+by object identity: two separately constructed ``MHScheduler()`` instances
+share cache entries, while ``MHScheduler(contention=False)`` does not.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.sched.anneal import AnnealingScheduler
+from repro.sched.base import Scheduler
+from repro.sched.baselines import RandomScheduler, RoundRobinScheduler, SerialScheduler
+from repro.sched.clustering import LinearClusteringScheduler
+from repro.sched.cpop import CPOPScheduler
+from repro.sched.dsc import DSCScheduler, SarkarScheduler
+from repro.sched.dsh import DSHScheduler
+from repro.sched.grain import GrainPackedScheduler
+from repro.sched.listsched import (
+    DLSScheduler,
+    ETFScheduler,
+    HLFETScheduler,
+    ISHScheduler,
+    MCPScheduler,
+)
+from repro.sched.mh import MHScheduler
+from repro.sched.optimal import ExhaustiveScheduler
+
+#: Scheduler registry: name -> zero-argument factory.
+SCHEDULERS = {
+    "hlfet": HLFETScheduler,
+    "ish": ISHScheduler,
+    "etf": ETFScheduler,
+    "dls": DLSScheduler,
+    "mcp": MCPScheduler,
+    "cpop": CPOPScheduler,
+    "mh": MHScheduler,
+    "mh-nocontention": lambda: MHScheduler(contention=False),
+    "dsh": DSHScheduler,
+    "lc": LinearClusteringScheduler,
+    "dsc": DSCScheduler,
+    "sarkar": SarkarScheduler,
+    "exhaustive": ExhaustiveScheduler,
+    "anneal": AnnealingScheduler,
+    "grain": lambda: GrainPackedScheduler(MHScheduler()),
+    "serial": SerialScheduler,
+    "roundrobin": RoundRobinScheduler,
+    "random": RandomScheduler,
+}
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a registered heuristic by name."""
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ScheduleError(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        ) from None
+    return factory()
+
+
+def resolve_scheduler(
+    spec: "str | Scheduler | None", default: str = "mh"
+) -> Scheduler:
+    """Turn whatever the user handed us into a :class:`Scheduler`.
+
+    Accepts a registry name, an already-built scheduler instance, or ``None``
+    (meaning ``default``).  This is the one and only ``str | Scheduler``
+    dispatch in the codebase.
+    """
+    if spec is None:
+        spec = default
+    if isinstance(spec, str):
+        return get_scheduler(spec)
+    if isinstance(spec, Scheduler):
+        return spec
+    raise ScheduleError(
+        f"expected a scheduler name or Scheduler instance, got {type(spec).__name__}"
+    )
+
+
+def scheduler_cache_key(scheduler: Scheduler) -> str:
+    """Stable content key for a scheduler instance (class + public config)."""
+    parts = []
+    for attr, value in sorted(vars(scheduler).items()):
+        if attr.startswith("_"):
+            continue
+        if isinstance(value, Scheduler):
+            parts.append(f"{attr}=<{scheduler_cache_key(value)}>")
+        else:
+            parts.append(f"{attr}={value!r}")
+    return f"{type(scheduler).__name__}({','.join(parts)})"

@@ -1,0 +1,603 @@
+"""The scheduling service: content-addressed caching + parallel sweeps.
+
+The paper's promise is *instant feedback* — every edit should refresh the
+Gantt charts and the speedup-prediction chart immediately.  Recomputing a
+schedule from scratch on every query breaks that promise as designs and
+machine sweeps grow, so :class:`ScheduleService` sits between the
+interactive surface (:class:`~repro.env.project.BangerProject`, the CLI,
+the shell) and the heuristics in :mod:`repro.sched`:
+
+* **Content-addressed memoization.**  A schedule is keyed by the fingerprint
+  of its task graph (:meth:`TaskGraph.content_hash`), its target machine
+  (:meth:`TargetMachine.content_hash`), and its scheduler configuration
+  (:func:`~repro.sched.registry.scheduler_cache_key`).  Identical questions
+  get identical — cached — answers; any mutation produces a new key, so the
+  cache can never serve stale results.  An in-memory LRU is always on; an
+  on-disk cache (``BANGER_CACHE_DIR`` or ``~/.cache/banger``, versioned)
+  is optional and corruption-tolerant: a bad entry is evicted and
+  recomputed, never a traceback.
+
+* **Parallel sweeps.**  Figure-3 style sweeps (many machine sizes, many
+  schedulers) fan out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  with deterministic result ordering and a graceful serial fallback when the
+  scheduler cannot be pickled (or no extra CPUs exist).
+
+* **Observability.**  :meth:`ScheduleService.stats` reports hits, misses,
+  evictions, worker counts, and per-sweep wall time — surfaced by
+  ``banger sweep --stats``.
+
+Schedules returned by the service are shared objects; treat them as
+immutable (every editing helper in :mod:`repro.sched.edit` already returns
+a new schedule).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import ScheduleError
+from repro.graph.analysis import average_parallelism
+from repro.graph.serialize import fingerprint
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine, make_machine, single_processor
+from repro.machine.params import IDEAL, MachineParams
+from repro.sched.base import Scheduler
+from repro.sched.registry import resolve_scheduler, scheduler_cache_key
+from repro.sched.schedule import Schedule
+from repro.sched.serialize import schedule_from_dict, schedule_to_dict
+from repro.sched.sweeps import SpeedupPoint, SpeedupReport
+
+#: Bump when the on-disk entry format changes; old directories are ignored.
+CACHE_VERSION = 1
+
+#: Sweeps with at least this many tasks per scheduling problem are worth a
+#: process pool; below it, fork/pickle overhead dominates and auto mode
+#: stays serial.
+AUTO_PARALLEL_MIN_TASKS = 64
+
+
+# --------------------------------------------------------------------- #
+# the one options object every scheduling entry point consumes
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """Options for any scheduling query — single schedule or sweep.
+
+    Parameters
+    ----------
+    scheduler:
+        Registry name or :class:`Scheduler` instance.
+    proc_counts:
+        Machine sizes for sweeps (``None`` = the caller's default).
+    family:
+        Topology family for sweeps (``None`` = derive from the project's
+        configured machine).
+    params:
+        Machine parameters for sweeps (``None`` = the configured machine's).
+    jobs:
+        Sweep parallelism: ``None`` = auto, ``1`` = serial, ``n`` = up to
+        ``n`` worker processes.
+    use_cache:
+        Set ``False`` to bypass (neither read nor write) the cache.
+    """
+
+    scheduler: str | Scheduler = "mh"
+    proc_counts: tuple[int, ...] | None = None
+    family: str | None = None
+    params: MachineParams | None = None
+    jobs: int | None = None
+    use_cache: bool = True
+
+    def resolved_scheduler(self) -> Scheduler:
+        return resolve_scheduler(self.scheduler)
+
+
+def as_request(value: Any = None, **overrides: Any) -> ScheduleRequest:
+    """Coerce the polymorphic argument of the project API into a request.
+
+    Accepts an existing :class:`ScheduleRequest`, a scheduler name, a
+    :class:`Scheduler` instance, a sequence of processor counts, or ``None``.
+    Keyword overrides with value ``None`` are ignored, so call sites can pass
+    their optional parameters straight through.
+    """
+    if isinstance(value, ScheduleRequest):
+        base = value
+    elif value is None:
+        base = ScheduleRequest()
+    elif isinstance(value, (str, Scheduler)):
+        base = ScheduleRequest(scheduler=value)
+    elif isinstance(value, Sequence):
+        base = ScheduleRequest(proc_counts=tuple(int(n) for n in value))
+    else:
+        raise ScheduleError(
+            "expected a ScheduleRequest, scheduler name, Scheduler, or "
+            f"sequence of processor counts, got {type(value).__name__}"
+        )
+    updates = {k: v for k, v in overrides.items() if v is not None}
+    return replace(base, **updates) if updates else base
+
+
+def default_family(machine: TargetMachine, fallback: str = "hypercube") -> str:
+    """The sweep family implied by a configured machine.
+
+    Custom (hand-drawn or reloaded-without-family) topologies cannot be
+    rebuilt at other sizes, so they fall back to the paper's hypercube.
+    """
+    family = machine.topology.family
+    return fallback if family == "custom" else family
+
+
+# --------------------------------------------------------------------- #
+# observability
+# --------------------------------------------------------------------- #
+@dataclass
+class ServiceStats:
+    """Counters for cache behaviour and sweep execution."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    disk_evictions: int = 0
+    sweeps: int = 0
+    parallel_sweeps: int = 0
+    serial_fallbacks: int = 0
+    last_sweep_seconds: float = 0.0
+    last_sweep_jobs: int = 1
+    max_workers: int = 1
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        doc = dict(vars(self))
+        doc["hit_rate"] = round(self.hit_rate, 4)
+        return doc
+
+    def render(self) -> str:
+        return (
+            f"cache: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.evictions} eviction(s), {self.entries} entries "
+            f"(hit rate {self.hit_rate:.0%})\n"
+            f"disk:  {self.disk_hits} hit(s), {self.disk_writes} write(s), "
+            f"{self.disk_evictions} corrupt entr(ies) evicted\n"
+            f"sweep: {self.sweeps} run(s), {self.parallel_sweeps} parallel, "
+            f"{self.serial_fallbacks} serial fallback(s), last "
+            f"{self.last_sweep_seconds * 1000:.1f} ms on "
+            f"{self.last_sweep_jobs} job(s) (max workers {self.max_workers})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# process-pool worker (module level so it pickles)
+# --------------------------------------------------------------------- #
+def _schedule_worker(
+    scheduler: Scheduler, graph: TaskGraph, machine: TargetMachine
+) -> Schedule:
+    return scheduler.schedule(graph, machine)
+
+
+#: Exceptions that mean "this work could not be shipped to a worker process"
+#: (unpicklable scheduler/graph, dead pool, fork failure) — everything else
+#: is a genuine scheduling error and propagates.
+_POOL_ERRORS = (
+    pickle.PicklingError,
+    BrokenProcessPool,
+    AttributeError,
+    TypeError,
+    ImportError,
+    OSError,
+)
+
+
+class ScheduleService:
+    """Persistent, queryable scheduling behind the interactive surface.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity (schedules, across all graphs/machines).
+    disk_cache:
+        ``None`` (default): on-disk caching is enabled only when the
+        ``BANGER_CACHE_DIR`` environment variable is set.  ``True``: use
+        ``$BANGER_CACHE_DIR``, else ``$XDG_CACHE_HOME/banger``, else
+        ``~/.cache/banger``.  ``False``: memory only.  A path: use it.
+    max_workers:
+        Upper bound on sweep worker processes (default: CPU count).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 512,
+        disk_cache: bool | str | Path | None = None,
+        max_workers: int | None = None,
+    ):
+        if max_entries < 1:
+            raise ScheduleError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self._lru: "OrderedDict[tuple[str, str, str], Schedule]" = OrderedDict()
+        self._disk_dir = self._resolve_disk_dir(disk_cache)
+        self._stats = ServiceStats(max_workers=self.max_workers)
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_disk_dir(disk_cache: bool | str | Path | None) -> Path | None:
+        if disk_cache is False:
+            return None
+        if disk_cache is None:
+            env = os.environ.get("BANGER_CACHE_DIR")
+            if not env:
+                return None
+            root = Path(env)
+        elif disk_cache is True:
+            env = os.environ.get("BANGER_CACHE_DIR")
+            if env:
+                root = Path(env)
+            else:
+                xdg = os.environ.get("XDG_CACHE_HOME")
+                base = Path(xdg) if xdg else Path.home() / ".cache"
+                root = base / "banger"
+        else:
+            root = Path(disk_cache)
+        return root / f"v{CACHE_VERSION}"
+
+    @property
+    def disk_dir(self) -> Path | None:
+        """The versioned on-disk cache directory, or ``None`` if disabled."""
+        return self._disk_dir
+
+    # ------------------------------------------------------------------ #
+    # the memoized primitive
+    # ------------------------------------------------------------------ #
+    def _key(
+        self,
+        graph: TaskGraph,
+        machine: TargetMachine,
+        scheduler: Scheduler,
+        graph_fp: str | None = None,
+    ) -> tuple[str, str, str]:
+        return (
+            graph_fp or graph.content_hash(),
+            machine.content_hash(),
+            scheduler_cache_key(scheduler),
+        )
+
+    def schedule(
+        self,
+        graph: TaskGraph,
+        machine: TargetMachine,
+        scheduler: str | Scheduler = "mh",
+        use_cache: bool = True,
+    ) -> Schedule:
+        """Schedule ``graph`` on ``machine``, memoized by content."""
+        sched = resolve_scheduler(scheduler)
+        if not use_cache:
+            return sched.schedule(graph, machine)
+        key = self._key(graph, machine, sched)
+        cached = self._get(key)
+        if cached is not None:
+            return cached
+        result = sched.schedule(graph, machine)
+        self._put(key, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # sweeps
+    # ------------------------------------------------------------------ #
+    def schedules_for_sizes(
+        self,
+        graph: TaskGraph,
+        proc_counts: Sequence[int],
+        scheduler: str | Scheduler = "mh",
+        family: str = "hypercube",
+        params: MachineParams = IDEAL,
+        jobs: int | None = None,
+        use_cache: bool = True,
+    ) -> dict[int, Schedule]:
+        """One schedule per machine size, cache-aware and fanned out.
+
+        The result dict iterates in ``proc_counts`` order regardless of
+        which entries were cached or which worker finished first.
+        """
+        sched = resolve_scheduler(scheduler)
+        t0 = time.perf_counter()
+        sizes = list(dict.fromkeys(int(n) for n in proc_counts))
+        machines = {
+            n: single_processor(params) if n == 1 else make_machine(family, n, params)
+            for n in sizes
+        }
+        out, jobs_used = self._batch(
+            [(graph, machines[n], sched) for n in sizes], jobs, use_cache
+        )
+        self._note_sweep(t0, jobs_used)
+        return {n: s for n, s in zip(sizes, out)}
+
+    def predict_speedup(
+        self,
+        graph: TaskGraph,
+        proc_counts: Sequence[int] = (1, 2, 4, 8),
+        scheduler: str | Scheduler = "mh",
+        family: str = "hypercube",
+        params: MachineParams = IDEAL,
+        jobs: int | None = None,
+        use_cache: bool = True,
+    ) -> SpeedupReport:
+        """The Figure-3 speedup sweep, built on the cached schedule batch."""
+        sched = resolve_scheduler(scheduler)
+        schedules = self.schedules_for_sizes(
+            graph, proc_counts, scheduler=sched, family=family, params=params,
+            jobs=jobs, use_cache=use_cache,
+        )
+        serial = sum(params.exec_time(t.work) for t in graph.tasks)
+        points = []
+        for n in dict.fromkeys(int(c) for c in proc_counts):
+            ms = schedules[n].makespan()
+            sp = serial / ms if ms > 0 else 0.0
+            points.append(
+                SpeedupPoint(
+                    n_procs=n,
+                    makespan=ms,
+                    speedup=sp,
+                    efficiency=sp / n if n else 0.0,
+                )
+            )
+        return SpeedupReport(
+            graph=graph.name,
+            scheduler=sched.name,
+            family=family,
+            serial_time=serial,
+            points=tuple(points),
+            max_parallelism=average_parallelism(
+                graph, exec_time=lambda t: params.exec_time(graph.work(t))
+            ),
+        )
+
+    def compare_schedulers(
+        self,
+        graph: TaskGraph,
+        machine: TargetMachine,
+        schedulers: Sequence[str | Scheduler],
+        jobs: int | None = None,
+        use_cache: bool = True,
+    ) -> dict[str, Schedule]:
+        """One schedule per heuristic on a fixed machine (ablation sweeps)."""
+        t0 = time.perf_counter()
+        resolved = [resolve_scheduler(s) for s in schedulers]
+        out, jobs_used = self._batch(
+            [(graph, machine, s) for s in resolved], jobs, use_cache
+        )
+        self._note_sweep(t0, jobs_used)
+        return {s.name: schedule for s, schedule in zip(resolved, out)}
+
+    # ------------------------------------------------------------------ #
+    # batch execution
+    # ------------------------------------------------------------------ #
+    def _batch(
+        self,
+        items: list[tuple[TaskGraph, TargetMachine, Scheduler]],
+        jobs: int | None,
+        use_cache: bool,
+    ) -> tuple[list[Schedule], int]:
+        """Resolve a batch of scheduling problems, cache first, pool second.
+
+        Returns the schedules aligned with ``items`` plus the worker count
+        actually used for the misses.
+        """
+        graph_fps: dict[int, str] = {}
+        results: list[Schedule | None] = [None] * len(items)
+        missing: list[int] = []
+        for i, (graph, machine, sched) in enumerate(items):
+            if not use_cache:
+                missing.append(i)
+                continue
+            fp = graph_fps.setdefault(id(graph), graph.content_hash())
+            key = self._key(graph, machine, sched, graph_fp=fp)
+            cached = self._get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                missing.append(i)
+        jobs_used = self._effective_jobs(jobs, missing, items)
+        fresh = self._run_missing([items[i] for i in missing], jobs_used)
+        for i, schedule in zip(missing, fresh):
+            if use_cache:
+                graph, machine, sched = items[i]
+                fp = graph_fps.setdefault(id(graph), graph.content_hash())
+                self._put(self._key(graph, machine, sched, graph_fp=fp), schedule)
+            results[i] = schedule
+        return results, jobs_used  # type: ignore[return-value]
+
+    def _effective_jobs(
+        self,
+        jobs: int | None,
+        missing: list[int],
+        items: list[tuple[TaskGraph, TargetMachine, Scheduler]],
+    ) -> int:
+        if len(missing) < 2:
+            return 1
+        if jobs is not None:
+            return max(1, min(jobs, len(missing)))
+        # auto: a pool only pays off for graphs big enough to out-cost fork
+        biggest = max(len(items[i][0]) for i in missing)
+        if biggest < AUTO_PARALLEL_MIN_TASKS or self.max_workers < 2:
+            return 1
+        return min(self.max_workers, len(missing))
+
+    def _run_missing(
+        self,
+        work: list[tuple[TaskGraph, TargetMachine, Scheduler]],
+        jobs: int,
+    ) -> list[Schedule]:
+        if not work:
+            return []
+        if jobs <= 1:
+            return [s.schedule(g, m) for g, m, s in work]
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_schedule_worker, s, g, m) for g, m, s in work
+                ]
+                results = [f.result() for f in futures]
+            self._stats.parallel_sweeps += 1
+            return results
+        except _POOL_ERRORS:
+            # Unpicklable scheduler/graph or a broken pool: do the same work
+            # serially — identical results, just slower.  Real scheduling
+            # errors re-raise from the serial run.
+            self._stats.serial_fallbacks += 1
+            return [s.schedule(g, m) for g, m, s in work]
+
+    def _note_sweep(self, t0: float, jobs_used: int) -> None:
+        self._stats.sweeps += 1
+        self._stats.last_sweep_seconds = time.perf_counter() - t0
+        self._stats.last_sweep_jobs = jobs_used
+
+    # ------------------------------------------------------------------ #
+    # cache internals
+    # ------------------------------------------------------------------ #
+    def _get(self, key: tuple[str, str, str]) -> Schedule | None:
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self._stats.hits += 1
+            return self._lru[key]
+        disk = self._disk_get(key)
+        if disk is not None:
+            self._stats.hits += 1
+            self._stats.disk_hits += 1
+            self._insert(key, disk)
+            return disk
+        self._stats.misses += 1
+        return None
+
+    def _put(self, key: tuple[str, str, str], schedule: Schedule) -> None:
+        self._insert(key, schedule)
+        self._disk_put(key, schedule)
+
+    def _insert(self, key: tuple[str, str, str], schedule: Schedule) -> None:
+        self._lru[key] = schedule
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+            self._stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # disk cache (optional, corruption-tolerant)
+    # ------------------------------------------------------------------ #
+    def _disk_path(self, key: tuple[str, str, str]) -> Path:
+        assert self._disk_dir is not None
+        return self._disk_dir / (fingerprint(list(key)) + ".json")
+
+    def _disk_get(self, key: tuple[str, str, str]) -> Schedule | None:
+        if self._disk_dir is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            doc = json.loads(text)
+            if doc.get("cache_version") != CACHE_VERSION or doc.get("key") != list(key):
+                raise ValueError("cache entry does not match its key")
+            return schedule_from_dict(doc["schedule"])
+        except Exception:
+            # Corrupt or mismatched entry: evict it, never raise.
+            self._stats.disk_evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, key: tuple[str, str, str], schedule: Schedule) -> None:
+        if self._disk_dir is None:
+            return
+        try:
+            self._disk_dir.mkdir(parents=True, exist_ok=True)
+            path = self._disk_path(key)
+            doc = {
+                "cache_version": CACHE_VERSION,
+                "key": list(key),
+                "schedule": schedule_to_dict(schedule),
+            }
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            tmp.replace(path)
+            self._stats.disk_writes += 1
+        except OSError:
+            # A read-only or full cache directory must never break scheduling.
+            pass
+
+    # ------------------------------------------------------------------ #
+    # invalidation + observability
+    # ------------------------------------------------------------------ #
+    def invalidate(
+        self, graph_hash: str | None = None, machine_hash: str | None = None
+    ) -> int:
+        """Evict every in-memory entry touching the given fingerprints.
+
+        Content addressing already guarantees correctness (a mutated graph
+        or machine hashes to new keys); eviction reclaims the memory held by
+        entries that can no longer be asked for.  Returns the count evicted.
+        """
+        doomed = [
+            key
+            for key in self._lru
+            if (graph_hash is not None and key[0] == graph_hash)
+            or (machine_hash is not None and key[1] == machine_hash)
+        ]
+        for key in doomed:
+            del self._lru[key]
+        self._stats.evictions += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk cache is left alone)."""
+        self._stats.evictions += len(self._lru)
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the service counters."""
+        snap = replace(self._stats)
+        snap.entries = len(self._lru)
+        return snap
+
+    def __repr__(self) -> str:
+        disk = str(self._disk_dir) if self._disk_dir else "off"
+        return (
+            f"ScheduleService(entries={len(self._lru)}/{self.max_entries}, "
+            f"disk={disk}, max_workers={self.max_workers})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# module-default instance (used by the functional sweep API)
+# --------------------------------------------------------------------- #
+_default: ScheduleService | None = None
+
+
+def default_service() -> ScheduleService:
+    """The process-wide service behind :func:`repro.sched.sweeps.predict_speedup`."""
+    global _default
+    if _default is None:
+        _default = ScheduleService()
+    return _default

@@ -4,6 +4,11 @@ Banger shows "a speedup prediction graph obtained by mapping the PITL design
 onto 2, 4, and 8 hypercube processors".  :func:`predict_speedup` reproduces
 that analysis for any graph, scheduler, machine family, and processor-count
 sweep, returning one :class:`SpeedupPoint` per machine size.
+
+Both sweep functions are thin wrappers over the process-wide
+:class:`~repro.sched.service.ScheduleService`, so repeated sweeps over
+unchanged graphs are served from the content-addressed cache and large
+sweeps can fan out across worker processes (``jobs=``).
 """
 
 from __future__ import annotations
@@ -11,13 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.graph.analysis import average_parallelism
 from repro.graph.taskgraph import TaskGraph
-from repro.machine.machine import make_machine, single_processor
 from repro.machine.params import IDEAL, MachineParams
 from repro.sched.base import Scheduler
-from repro.sched.metrics import efficiency
-from repro.sched.mh import MHScheduler
 from repro.sched.schedule import Schedule
 
 
@@ -69,54 +70,40 @@ class SpeedupReport:
 def predict_speedup(
     graph: TaskGraph,
     proc_counts: Sequence[int] = (1, 2, 4, 8),
-    scheduler: Scheduler | None = None,
+    scheduler: Scheduler | str | None = None,
     family: str = "hypercube",
     params: MachineParams = IDEAL,
+    jobs: int | None = None,
+    service: "ScheduleService | None" = None,
 ) -> SpeedupReport:
     """Schedule ``graph`` on each machine size and report speedups.
 
     The serial baseline runs on a single processor with the same parameters,
     so the curve starts at exactly 1.0 for ``n_procs == 1``.
     """
-    scheduler = scheduler or MHScheduler()
-    serial = sum(params.exec_time(t.work) for t in graph.tasks)
-    points: list[SpeedupPoint] = []
-    for n in proc_counts:
-        machine = single_processor(params) if n == 1 else make_machine(family, n, params)
-        sched = scheduler.schedule(graph, machine)
-        ms = sched.makespan()
-        sp = serial / ms if ms > 0 else 0.0
-        points.append(
-            SpeedupPoint(
-                n_procs=n,
-                makespan=ms,
-                speedup=sp,
-                efficiency=sp / n if n else 0.0,
-            )
-        )
-    return SpeedupReport(
-        graph=graph.name,
-        scheduler=scheduler.name,
-        family=family,
-        serial_time=serial,
-        points=tuple(points),
-        max_parallelism=average_parallelism(
-            graph, exec_time=lambda t: params.exec_time(graph.work(t))
-        ),
+    from repro.sched.service import default_service
+
+    svc = service if service is not None else default_service()
+    return svc.predict_speedup(
+        graph, proc_counts, scheduler=scheduler, family=family, params=params,
+        jobs=jobs,
     )
 
 
 def schedules_for_sizes(
     graph: TaskGraph,
     proc_counts: Sequence[int],
-    scheduler: Scheduler | None = None,
+    scheduler: Scheduler | str | None = None,
     family: str = "hypercube",
     params: MachineParams = IDEAL,
+    jobs: int | None = None,
+    service: "ScheduleService | None" = None,
 ) -> dict[int, Schedule]:
     """The Gantt-chart side of Figure 3: one schedule per machine size."""
-    scheduler = scheduler or MHScheduler()
-    out: dict[int, Schedule] = {}
-    for n in proc_counts:
-        machine = single_processor(params) if n == 1 else make_machine(family, n, params)
-        out[n] = scheduler.schedule(graph, machine)
-    return out
+    from repro.sched.service import default_service
+
+    svc = service if service is not None else default_service()
+    return svc.schedules_for_sizes(
+        graph, proc_counts, scheduler=scheduler, family=family, params=params,
+        jobs=jobs,
+    )

@@ -109,6 +109,64 @@ class TestSweepSimRun:
         assert "x = " in out
 
 
+class TestSweep:
+    def test_single_scheduler_table(self, project_path, capsys):
+        assert main(["sweep", project_path, "--procs", "1,2,4", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup prediction" in out
+        assert "speedup" in out and "eff" in out
+
+    def test_multiple_schedulers(self, project_path, capsys):
+        assert main([
+            "sweep", project_path, "--procs", "1,2",
+            "--scheduler", "mh,hlfet", "--jobs", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("speedup prediction") == 2
+        assert "hlfet" in out
+
+    def test_stats_flag(self, project_path, capsys):
+        assert main([
+            "sweep", project_path, "--procs", "1,2", "--jobs", "1", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hit(s)" in out and "miss(es)" in out and "workers" in out
+
+    def test_json_artifact(self, project_path, tmp_path, capsys):
+        out_file = tmp_path / "sweep.json"
+        assert main([
+            "sweep", project_path, "--procs", "1,2,4",
+            "--scheduler", "mh,serial", "--jobs", "1",
+            "--json", str(out_file),
+        ]) == 0
+        doc = json.loads(out_file.read_text(encoding="utf-8"))
+        assert doc["type"] == "banger-sweep"
+        assert doc["proc_counts"] == [1, 2, 4]
+        assert sorted(doc["schedulers"]) == ["mh", "serial"]
+        points = doc["schedulers"]["mh"]["points"]
+        assert [p["n_procs"] for p in points] == [1, 2, 4]
+        assert doc["stats"]["misses"] > 0
+
+    def test_no_cache(self, project_path, capsys):
+        assert main([
+            "sweep", project_path, "--procs", "1,2",
+            "--jobs", "1", "--no-cache", "--stats",
+        ]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_gantt_flag(self, project_path, capsys):
+        assert main([
+            "sweep", project_path, "--procs", "2", "--jobs", "1", "--gantt",
+        ]) == 0
+        assert "Gantt chart" in capsys.readouterr().out
+
+    def test_bad_jobs(self, project_path, capsys):
+        assert main(["sweep", project_path, "--jobs", "0"]) == 1
+
+    def test_empty_scheduler_list(self, project_path, capsys):
+        assert main(["sweep", project_path, "--scheduler", ","]) == 1
+
+
 class TestCodegenTopologyDemo:
     def test_codegen_stdout(self, project_path, capsys):
         assert main(["codegen", project_path, "--language", "mpi"]) == 0

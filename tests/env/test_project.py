@@ -134,14 +134,159 @@ class TestSchedulingAndRunning:
     def test_calibrate_updates_weights(self, lu_project):
         lu_project.design.node("A").initial = A
         lu_project.design.node("b").initial = B
-        flat = lu_project.calibrate()
-        assert flat.work("solve.forward") > 1
+        assert lu_project.calibrate() is lu_project
+        assert lu_project.flat().work("solve.forward") > 1
 
     def test_scheduler_object_accepted(self, lu_project):
         from repro.sched import HLFETScheduler
 
         schedule = lu_project.schedule(HLFETScheduler())
         assert schedule.scheduler == "hlfet"
+
+
+class TestScheduleCaching:
+    """Every mutator must evict exactly the stale cache entries."""
+
+    def assert_cached(self, project):
+        assert project.schedule("mh") is project.schedule("mh")
+
+    def test_schedule_is_memoized(self, lu_project):
+        self.assert_cached(lu_project)
+        stats = lu_project.service.stats()
+        assert stats.hits >= 1
+
+    def test_attach_program_evicts(self, lu_project):
+        before = lu_project.schedule("mh")
+        lu_project.attach_program(
+            "lud.fan1",
+            "input A\noutput m21, m31\nm21 := A[2,1] / A[1,1]\nm31 := A[3,1] / A[1,1]",
+            update_work=True,
+            A=A,
+        )
+        assert lu_project.schedule("mh") is not before
+        self.assert_cached(lu_project)
+
+    def test_commit_panel_evicts(self, lu_project):
+        before = lu_project.schedule("mh")
+        panel = lu_project.open_calculator("lud.fan2")
+        lu_project.commit_panel("lud.fan2", panel)
+        assert lu_project.schedule("mh") is not before
+
+    @pytest.fixture
+    def forall_project(self):
+        g = DataflowGraph("dp")
+        g.add_storage("v", initial=np.arange(24, dtype=float), size=24)
+        g.add_task("f", work=24, program=(
+            "input v\noutput w\nlocal i, n\nn := len(v)\nw := zeros(n)\n"
+            "forall i := 1 to n do\nw[i] := v[i] * 2 + i\nend"
+        ))
+        g.add_storage("w", size=24)
+        g.connect("v", "f")
+        g.connect("f", "w")
+        return BangerProject("dp").set_design(g).set_machine("full", 4)
+
+    def test_split_node_evicts(self, forall_project):
+        before = forall_project.schedule("mh")
+        forall_project.split_node("f", 2)
+        assert forall_project.schedule("mh") is not before
+        self.assert_cached(forall_project)
+
+    def test_split_all_evicts(self, forall_project):
+        before = forall_project.schedule("mh")
+        forall_project.split_all(2)
+        assert forall_project.schedule("mh") is not before
+
+    def test_calibrate_evicts(self, lu_project):
+        lu_project.design.node("A").initial = A
+        lu_project.design.node("b").initial = B
+        before = lu_project.schedule("mh")
+        lu_project.calibrate()
+        assert lu_project.schedule("mh") is not before
+
+    def test_set_design_evicts(self, lu_project):
+        before = lu_project.schedule("mh")
+        lu_project.set_design(lu3_design())
+        assert lu_project.schedule("mh") is not before
+
+    def test_set_machine_evicts(self, lu_project):
+        before = lu_project.schedule("mh")
+        lu_project.set_machine("hypercube", 8, NCUBE_LIKE)
+        after = lu_project.schedule("mh")
+        assert after is not before
+        assert after.n_procs == 8
+
+    def test_mutators_chain(self):
+        project = (
+            BangerProject("chain")
+            .set_design(lu3_design())
+            .set_machine("hypercube", 4, NCUBE_LIKE)
+            .calibrate({"A": A, "b": B})
+        )
+        assert project.schedule("mh").n_procs == 4
+
+    def test_polymorphic_set_machine_rejects_params_with_object(self):
+        from repro.machine import make_machine
+
+        project = BangerProject().set_design(lu3_design())
+        with pytest.raises(ReproError, match="params"):
+            project.set_machine(make_machine("mesh", 4), params=NCUBE_LIKE)
+
+
+class TestScheduleRequests:
+    """The unified ScheduleRequest is accepted everywhere a scheduler is."""
+
+    def test_schedule_accepts_request(self, lu_project):
+        from repro.sched import ScheduleRequest
+
+        schedule = lu_project.schedule(ScheduleRequest(scheduler="hlfet"))
+        assert schedule.scheduler == "hlfet"
+
+    def test_gantt_accepts_request(self, lu_project):
+        from repro.sched import ScheduleRequest
+
+        text = lu_project.gantt(ScheduleRequest(scheduler="mh"))
+        assert "Gantt chart: lu3" in text
+
+    def test_gantt_reuses_schedule_cache(self, lu_project):
+        lu_project.schedule("mh")
+        misses = lu_project.service.stats().misses
+        lu_project.gantt("mh")
+        assert lu_project.service.stats().misses == misses
+
+    def test_gantt_series_accepts_request(self, lu_project):
+        from repro.sched import ScheduleRequest
+
+        text = lu_project.gantt_series(ScheduleRequest(proc_counts=(2, 4)))
+        assert text.count("Gantt chart") == 2
+
+    def test_speedup_accepts_request(self, lu_project):
+        from repro.sched import ScheduleRequest
+
+        report = lu_project.speedup(
+            ScheduleRequest(scheduler="hlfet", proc_counts=(1, 2))
+        )
+        assert report.scheduler == "hlfet"
+        assert [p.n_procs for p in report.points] == [1, 2]
+
+    def test_speedup_chart_accepts_request(self, lu_project):
+        from repro.sched import ScheduleRequest
+
+        assert "Speedup prediction" in lu_project.speedup_chart(
+            ScheduleRequest(proc_counts=(1, 2))
+        )
+
+    def test_family_defaults_to_machine(self):
+        project = (
+            BangerProject("mesh")
+            .set_design(lu3_design())
+            .set_machine("mesh", 4, NCUBE_LIKE)
+        )
+        report = project.speedup((1, 4))
+        assert report.family == "mesh"
+
+    def test_family_override_wins(self, lu_project):
+        report = lu_project.speedup((1, 4), family="ring")
+        assert report.family == "ring"
 
 
 class TestCodegenIntegration:

@@ -37,15 +37,25 @@ class TestMachineOddsAndEnds:
     def test_max_degree(self):
         assert Hypercube(3).max_degree() == 3
 
-    def test_set_machine_object(self):
+    def test_set_machine_accepts_machine_object(self):
         from repro.env import BangerProject
 
         g = DataflowGraph("d")
         g.add_task("t", program="output x\nx := 1")
         machine = TargetMachine(Hypercube(2), MachineParams())
-        project = BangerProject().set_design(g).set_machine_object(machine)
+        project = BangerProject().set_design(g).set_machine(machine)
         assert project.machine is machine
         assert project.schedule("serial").n_procs == 4
+
+    def test_set_machine_object_deprecated_alias(self):
+        from repro.env import BangerProject
+
+        g = DataflowGraph("d")
+        g.add_task("t", program="output x\nx := 1")
+        machine = TargetMachine(Hypercube(2), MachineParams())
+        with pytest.warns(DeprecationWarning, match="set_machine_object"):
+            project = BangerProject().set_design(g).set_machine_object(machine)
+        assert project.machine is machine
 
 
 class TestScheduleOddsAndEnds:
