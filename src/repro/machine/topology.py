@@ -44,8 +44,7 @@ class Topology:
         self._links: set[tuple[int, int]] = set()
         for a, b in links:
             self.add_link(a, b)
-        self._dist: list[list[int]] | None = None
-        self._next_hop: list[list[int]] | None = None
+        self._invalidate_caches()
 
     # ------------------------------------------------------------------ #
     # construction / structure
@@ -59,8 +58,16 @@ class Topology:
         self._links.add(key)
         self._adj[a].add(b)
         self._adj[b].add(a)
-        self._dist = None
-        self._next_hop = None
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
+        """Drop every derived table; called whenever the link set changes."""
+        self._dist: list[list[int]] | None = None
+        self._next_hop: list[list[int]] | None = None
+        self._sorted_adj: list[list[int]] | None = None
+        self._diameter: int | None = None
+        self._avg_distance: float | None = None
+        self._route_links_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
 
     def _check_proc(self, p: int) -> None:
         if not (0 <= p < self.n_procs):
@@ -76,9 +83,15 @@ class Topology:
     def n_links(self) -> int:
         return len(self._links)
 
+    def _sorted_neighbors(self) -> list[list[int]]:
+        """Adjacency lists sorted once per link-set revision."""
+        if self._sorted_adj is None:
+            self._sorted_adj = [sorted(self._adj[p]) for p in range(self.n_procs)]
+        return self._sorted_adj
+
     def neighbors(self, p: int) -> list[int]:
         self._check_proc(p)
-        return sorted(self._adj[p])
+        return list(self._sorted_neighbors()[p])
 
     def degree(self, p: int) -> int:
         self._check_proc(p)
@@ -102,13 +115,14 @@ class Topology:
         INF = n + 1
         dist = [[INF] * n for _ in range(n)]
         nxt = [[-1] * n for _ in range(n)]
+        adj = self._sorted_neighbors()
         for src in range(n):
             dist[src][src] = 0
             nxt[src][src] = src
             q: deque[int] = deque([src])
             while q:
                 u = q.popleft()
-                for v in sorted(self._adj[u]):
+                for v in adj[u]:
                     if dist[src][v] > dist[src][u] + 1:
                         dist[src][v] = dist[src][u] + 1
                         # first hop out of src towards v
@@ -147,35 +161,53 @@ class Topology:
 
     def route_links(self, src: int, dst: int) -> list[tuple[int, int]]:
         """The undirected links crossed by :meth:`route` (empty if src==dst)."""
-        path = self.route(src, dst)
-        return [(min(a, b), max(a, b)) for a, b in zip(path, path[1:])]
+        cached = self._route_links_cache.get((src, dst))
+        if cached is None:
+            path = self.route(src, dst)
+            cached = [(min(a, b), max(a, b)) for a, b in zip(path, path[1:])]
+            self._route_links_cache[(src, dst)] = cached
+        return list(cached)
 
     def diameter(self) -> int:
-        """Longest shortest path; raises if disconnected."""
+        """Longest shortest path; raises if disconnected.  Cached."""
+        if self._diameter is not None:
+            return self._diameter
         self._ensure_tables()
         best = 0
-        for src in range(self.n_procs):
-            for dst in range(self.n_procs):
-                d = self._dist[src][dst]  # type: ignore[index]
+        for row in self._dist:  # type: ignore[union-attr]
+            for d in row:
                 if d > self.n_procs:
                     raise RoutingError(f"{self.name} is disconnected")
-                best = max(best, d)
+                if d > best:
+                    best = d
+        self._diameter = best
         return best
 
     def average_distance(self) -> float:
-        """Mean hop count over ordered distinct pairs (0 for 1 processor)."""
+        """Mean hop count over ordered distinct pairs (0 for 1 processor).
+
+        Cached — the schedulers call this through
+        :meth:`~repro.machine.machine.TargetMachine.mean_comm_cost` once per
+        edge when computing priorities, which made the uncached O(n²) scan
+        the dominant cost of scheduling on large machines.
+        """
+        if self._avg_distance is not None:
+            return self._avg_distance
         if self.n_procs == 1:
+            self._avg_distance = 0.0
             return 0.0
         self._ensure_tables()
         total = 0
         for src in range(self.n_procs):
+            row = self._dist[src]  # type: ignore[index]
             for dst in range(self.n_procs):
                 if src != dst:
-                    d = self._dist[src][dst]  # type: ignore[index]
+                    d = row[dst]
                     if d > self.n_procs:
                         raise RoutingError(f"{self.name} is disconnected")
                     total += d
-        return total / (self.n_procs * (self.n_procs - 1))
+        self._avg_distance = total / (self.n_procs * (self.n_procs - 1))
+        return self._avg_distance
 
     def is_connected(self) -> bool:
         if self.n_procs == 1:

@@ -16,6 +16,14 @@ from repro.sched.base import (
     ready_tasks,
 )
 from repro.sched.baselines import RandomScheduler, RoundRobinScheduler, SerialScheduler
+from repro.sched.core import (
+    KernelState,
+    ReadyHeap,
+    ReadySet,
+    SchedKernel,
+    kernel_counters,
+    reset_kernel_counters,
+)
 from repro.sched.cpop import CPOPScheduler
 from repro.sched.clustering import (
     LinearClusteringScheduler,
@@ -136,6 +144,12 @@ __all__ = [
     "GrainPackedScheduler",
     "HLFETScheduler",
     "ISHScheduler",
+    "KernelState",
+    "ReadyHeap",
+    "ReadySet",
+    "SchedKernel",
+    "kernel_counters",
+    "reset_kernel_counters",
     "LinearClusteringScheduler",
     "MCPScheduler",
     "MHScheduler",

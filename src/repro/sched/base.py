@@ -67,20 +67,13 @@ def earliest_start(
     enough after the data-ready time is used.
     """
     ready = data_ready_time(schedule, task, proc)
-    duration = schedule.machine.exec_time(schedule.graph.work(task))
-    timeline = schedule.on_proc(proc)
+    timeline = schedule.timeline(proc)
     if not timeline:
         return ready
     if not insertion:
         return max(ready, timeline[-1].finish)
-    # scan gaps: before the first placement, between placements, after last
-    prev_end = 0.0
-    for entry in timeline:
-        start = max(ready, prev_end)
-        if start + duration <= entry.start + 1e-12:
-            return start
-        prev_end = max(prev_end, entry.finish)
-    return max(ready, prev_end)
+    duration = schedule.machine.exec_time(schedule.graph.work(task))
+    return schedule.insertion_slot(proc, ready, duration)
 
 
 def place(schedule: Schedule, task: str, proc: int, start: float) -> None:

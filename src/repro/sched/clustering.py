@@ -8,15 +8,16 @@ its internal edges, and recurses on the remaining tasks.
 
 The cluster→processor mapping is LPT (largest processing time first onto the
 least-loaded processor), and the final timing pass is a fixed-assignment
-list schedule, shared with the baselines via :func:`assignment_to_schedule`.
+list schedule, shared with the baselines via :func:`assignment_to_schedule`
+(which runs on the :mod:`repro.sched.core` kernel).
 """
 
 from __future__ import annotations
 
-from repro.graph.analysis import b_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine
-from repro.sched.base import Scheduler, earliest_start, place, ready_tasks
+from repro.sched.base import Scheduler
+from repro.sched.core import KernelState, ReadyHeap, SchedKernel
 from repro.sched.schedule import Schedule
 
 
@@ -38,22 +39,17 @@ def assignment_to_schedule(
         from repro.errors import ScheduleError
 
         raise ScheduleError(f"assignment misses tasks: {missing[:5]}")
-    sched = Schedule(graph, machine, scheduler=scheduler_name)
-    prio = b_levels(
-        graph,
-        exec_time=lambda t: machine.exec_time(graph.work(t)),
-        comm_cost=lambda e: machine.mean_comm_cost(e.size),
-    )
-    order = {t: i for i, t in enumerate(graph.task_names)}
-    done: set[str] = set()
-    while len(done) < len(graph):
-        ready = ready_tasks(graph, done)
-        task = max(ready, key=lambda t: (prio[t], -order[t]))
-        proc = assignment[task]
-        start = earliest_start(sched, task, proc, insertion=insertion)
-        place(sched, task, proc, start)
-        done.add(task)
-    return sched
+    kernel = SchedKernel(graph, machine)
+    state = KernelState(kernel, scheduler_name=scheduler_name)
+    prio = kernel.priority_array(kernel.b_levels_comm())
+    heap = ReadyHeap(kernel, key=lambda i: (-prio[i], i))
+    for _ in range(kernel.n):
+        ti = heap.pop()
+        proc = assignment[kernel.tasks[ti]]
+        start = state.earliest_start(ti, proc, insertion=insertion)
+        state.place(ti, proc, start)
+        heap.complete(ti)
+    return state.sched
 
 
 def linear_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]:
@@ -62,8 +58,16 @@ def linear_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]
     Returns clusters as task lists in topological order; every task belongs
     to exactly one cluster.
     """
-    exec_time = lambda t: machine.exec_time(graph.work(t))
-    comm = lambda e: machine.mean_comm_cost(e.size)
+    exec_of = {t: machine.exec_time(graph.work(t)) for t in graph.task_names}
+    comm_of_size: dict[float, float] = {}
+
+    def comm(e) -> float:
+        cost = comm_of_size.get(e.size)
+        if cost is None:
+            cost = machine.mean_comm_cost(e.size)
+            comm_of_size[e.size] = cost
+        return cost
+
     remaining = set(graph.task_names)
     clusters: list[list[str]] = []
     topo_pos = {t: i for i, t in enumerate(graph.topological_order())}
@@ -72,7 +76,7 @@ def linear_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]
         # b-levels restricted to the remaining subgraph
         bl: dict[str, float] = {}
         for t in sorted(remaining, key=topo_pos.__getitem__, reverse=True):
-            bl[t] = exec_time(t) + max(
+            bl[t] = exec_of[t] + max(
                 (
                     comm(e) + bl[e.dst]
                     for e in graph.out_edges(t)
@@ -104,17 +108,18 @@ def map_clusters_lpt(
     clusters: list[list[str]], graph: TaskGraph, machine: TargetMachine
 ) -> dict[str, int]:
     """Assign clusters to processors, heaviest first onto the least loaded."""
+    exec_of = {t: machine.exec_time(graph.work(t)) for t in graph.task_names}
     loads = {p: 0.0 for p in machine.procs()}
     assignment: dict[str, int] = {}
     weighted = sorted(
         clusters,
-        key=lambda c: -sum(machine.exec_time(graph.work(t)) for t in c),
+        key=lambda c: -sum(exec_of[t] for t in c),
     )
     for cluster in weighted:
         proc = min(loads, key=lambda p: (loads[p], p))
         for t in cluster:
             assignment[t] = proc
-        loads[proc] += sum(machine.exec_time(graph.work(t)) for t in cluster)
+        loads[proc] += sum(exec_of[t] for t in cluster)
     return assignment
 
 

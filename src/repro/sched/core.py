@@ -1,0 +1,432 @@
+"""The shared scheduling kernel: precomputed arrays, memoized costs, ready sets.
+
+Every list-family heuristic in :mod:`repro.sched` runs the same inner loop:
+pick the next ready task by a static priority, evaluate candidate processors
+under the machine's cost model, place the task, repeat.  Before this module
+existed each scheduler paid for that loop retail — a full
+``ready_tasks(graph, done)`` rescan per step, a fresh
+``machine.exec_time(graph.work(task))`` call per query, a BFS-table walk per
+route, and a copied timeline per earliest-start probe.  The kernel buys those
+wholesale, once per ``(graph, machine)`` pair:
+
+* :class:`SchedKernel` — interned task indices, a per-task execution-time
+  array, per-task in-edge/successor lists, and memo tables for
+  ``comm_cost``/``mean_comm_cost``/``route`` keyed by processor pair and
+  message size;
+* :class:`ReadyHeap` / :class:`ReadySet` — incremental ready tracking driven
+  by per-task pending-predecessor counters (each completion decrements its
+  successors; a task enters the structure exactly when its count hits zero),
+  replacing the O(V·(V+E)) rescans;
+* :class:`KernelState` — a :class:`~repro.sched.schedule.Schedule` under
+  construction plus O(1) processor tails and per-task placement mirrors, with
+  drop-in ``data_ready_time``/``earliest_start``/``best_processor``/``place``
+  that reproduce :mod:`repro.sched.base` **byte for byte** (same floats, same
+  tie-breaks, same message records).
+
+The kernel is an optimisation layer, not a new algorithm: the golden
+equivalence suite (``tests/sched/test_core_equivalence.py``) pins every
+registered scheduler to the frozen pre-kernel reference in
+:mod:`repro.sched._reference`, and ``benchmarks/bench_ext_sched_core.py``
+guards the speedup.
+
+Module-level counters (:func:`kernel_counters`) feed
+:class:`~repro.sched.service.ServiceStats` so ``banger sweep --stats``
+shows kernel builds and route-cache behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from bisect import insort
+from typing import Callable, Sequence
+
+from repro.errors import ScheduleError
+from repro.graph.analysis import b_levels, static_levels, t_levels
+from repro.graph.taskgraph import TaskEdge, TaskGraph
+from repro.machine.machine import TargetMachine
+from repro.sched.schedule import Message, Placement, Schedule
+
+# --------------------------------------------------------------------- #
+# observability
+# --------------------------------------------------------------------- #
+_ZERO_COUNTERS = {
+    "kernel_builds": 0,
+    "kernel_build_ms": 0.0,
+    "route_cache_hits": 0,
+    "route_cache_misses": 0,
+}
+_COUNTERS = dict(_ZERO_COUNTERS)
+
+
+def kernel_counters() -> dict[str, int | float]:
+    """A snapshot of the process-wide kernel counters.
+
+    ``kernel_builds``/``kernel_build_ms`` count :class:`SchedKernel`
+    constructions and their cumulative wall time; ``route_cache_hits``/
+    ``route_cache_misses`` count memoized-route lookups across all kernels.
+    """
+    return dict(_COUNTERS)
+
+
+def reset_kernel_counters() -> None:
+    """Zero the kernel counters (benchmarks and tests)."""
+    _COUNTERS.update(_ZERO_COUNTERS)
+
+
+# --------------------------------------------------------------------- #
+# the kernel proper
+# --------------------------------------------------------------------- #
+class SchedKernel:
+    """Precomputed, memoized scheduling context for one graph × machine.
+
+    Attributes
+    ----------
+    tasks / index:
+        Task names in graph insertion order and the name → index map.  The
+        insertion index doubles as the deterministic tie-breaker every seed
+        scheduler used via its ``order`` dict.
+    exec_time:
+        ``machine.exec_time(graph.work(t))`` per task, computed once.
+    in_edges / succ_idx:
+        Per-task in-edge lists (graph order, duplicates preserved) and
+        per-out-edge successor indices (for ready-set propagation).
+    """
+
+    def __init__(self, graph: TaskGraph, machine: TargetMachine):
+        t0 = time.perf_counter()
+        self.graph = graph
+        self.machine = machine
+        self.tasks: list[str] = list(graph.task_names)
+        self.n = len(self.tasks)
+        self.index: dict[str, int] = {t: i for i, t in enumerate(self.tasks)}
+        self.exec_time: list[float] = [
+            machine.exec_time(graph.work(t)) for t in self.tasks
+        ]
+        self.in_edges: list[list[TaskEdge]] = [graph.in_edges(t) for t in self.tasks]
+        idx = self.index
+        self.succ_idx: list[list[int]] = [
+            [idx[e.dst] for e in graph.out_edges(t)] for t in self.tasks
+        ]
+        self._params = machine.params
+        self._topology = machine.topology
+        self._hops: dict[tuple[int, int], int] = {}
+        self._comm: dict[tuple[int, float], float] = {}
+        self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
+        self._mean_comm: dict[float, float] = {}
+        self._levels: dict[str, dict[str, float]] = {}
+        _COUNTERS["kernel_builds"] += 1
+        _COUNTERS["kernel_build_ms"] += (time.perf_counter() - t0) * 1000.0
+
+    # ------------------------------------------------------------------ #
+    # memoized cost model (identical values to TargetMachine's methods)
+    # ------------------------------------------------------------------ #
+    def comm_cost(self, src_proc: int, dst_proc: int, size: float) -> float:
+        """Memoized ``machine.comm_cost`` (two levels: hops, then cost)."""
+        if src_proc == dst_proc:
+            return 0.0
+        pair = (src_proc, dst_proc)
+        hops = self._hops.get(pair)
+        if hops is None:
+            hops = self._topology.hops(src_proc, dst_proc)
+            self._hops[pair] = hops
+        key = (hops, size)
+        cost = self._comm.get(key)
+        if cost is None:
+            cost = self._params.comm_time(size, hops)
+            self._comm[key] = cost
+        return cost
+
+    def mean_comm_cost(self, size: float) -> float:
+        """Memoized ``machine.mean_comm_cost`` (one entry per message size)."""
+        cost = self._mean_comm.get(size)
+        if cost is None:
+            cost = self.machine.mean_comm_cost(size)
+            self._mean_comm[size] = cost
+        return cost
+
+    def route(self, src_proc: int, dst_proc: int) -> tuple[int, ...]:
+        """Memoized ``machine.route`` as a tuple (ready for message records)."""
+        pair = (src_proc, dst_proc)
+        path = self._routes.get(pair)
+        if path is None:
+            _COUNTERS["route_cache_misses"] += 1
+            path = tuple(self.machine.route(src_proc, dst_proc))
+            self._routes[pair] = path
+        else:
+            _COUNTERS["route_cache_hits"] += 1
+        return path
+
+    # ------------------------------------------------------------------ #
+    # memoized priority levels (same floats as the seed lambdas produced)
+    # ------------------------------------------------------------------ #
+    def _exec_of(self, task: str) -> float:
+        return self.exec_time[self.index[task]]
+
+    def b_levels_comm(self) -> dict[str, float]:
+        """b-levels with mean machine communication (MH/MCP/CPOP priority)."""
+        levels = self._levels.get("bl_comm")
+        if levels is None:
+            levels = b_levels(
+                self.graph,
+                exec_time=self._exec_of,
+                comm_cost=lambda e: self.mean_comm_cost(e.size),
+            )
+            self._levels["bl_comm"] = levels
+        return levels
+
+    def t_levels_comm(self) -> dict[str, float]:
+        levels = self._levels.get("tl_comm")
+        if levels is None:
+            levels = t_levels(
+                self.graph,
+                exec_time=self._exec_of,
+                comm_cost=lambda e: self.mean_comm_cost(e.size),
+            )
+            self._levels["tl_comm"] = levels
+        return levels
+
+    def static_levels(self) -> dict[str, float]:
+        levels = self._levels.get("sl")
+        if levels is None:
+            levels = static_levels(self.graph, exec_time=self._exec_of)
+            self._levels["sl"] = levels
+        return levels
+
+    def priority_array(self, levels: dict[str, float]) -> list[float]:
+        """A level dict reindexed by task index (for heap keys)."""
+        return [levels[t] for t in self.tasks]
+
+
+# --------------------------------------------------------------------- #
+# incremental ready tracking
+# --------------------------------------------------------------------- #
+class _ReadyBase:
+    """Pending-predecessor counters shared by the heap and set variants.
+
+    A task's counter starts at its in-edge count (duplicate edges count per
+    edge on both sides, so the arithmetic is self-consistent) and each
+    completed predecessor decrements it once per connecting edge; the task
+    becomes ready exactly when the counter reaches zero — precisely the
+    ``all(p in done ...)`` condition of the seed's ``ready_tasks`` rescan.
+    """
+
+    def __init__(self, kernel: SchedKernel):
+        self._succ = kernel.succ_idx
+        self._pending = [len(edges) for edges in kernel.in_edges]
+
+    def _initial_ready(self) -> list[int]:
+        return [i for i, count in enumerate(self._pending) if count == 0]
+
+    def _release(self, i: int) -> list[int]:
+        """Decrement ``i``'s successors; return the newly ready indices."""
+        fresh: list[int] = []
+        pending = self._pending
+        for j in self._succ[i]:
+            pending[j] -= 1
+            if pending[j] == 0:
+                fresh.append(j)
+        return fresh
+
+
+class ReadyHeap(_ReadyBase):
+    """Priority-ordered ready tasks for static-priority schedulers.
+
+    ``key(i)`` must be a total order whose minimum matches the seed
+    scheduler's selection — e.g. ``(-prio[i], i)`` reproduces
+    ``max(ready, key=lambda t: (prio[t], -order[t]))`` exactly, because the
+    insertion index ``i`` IS the seed's ``order[t]``.
+    """
+
+    def __init__(self, kernel: SchedKernel, key: Callable[[int], tuple]):
+        super().__init__(kernel)
+        self._key = key
+        self._heap = [(key(i), i) for i in self._initial_ready()]
+        heapq.heapify(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def pop(self) -> int:
+        """Remove and return the highest-priority ready task index."""
+        if not self._heap:
+            raise ScheduleError("no ready task (cyclic graph?)")
+        return heapq.heappop(self._heap)[1]
+
+    def complete(self, i: int) -> None:
+        """Mark ``i`` done (after :meth:`pop`), releasing its successors."""
+        for j in self._release(i):
+            heapq.heappush(self._heap, (self._key(j), j))
+
+
+class ReadySet(_ReadyBase):
+    """Iterable ready set for schedulers whose selection key is dynamic
+    (ETF, DLS evaluate every ready task × processor pair per step)."""
+
+    def __init__(self, kernel: SchedKernel):
+        super().__init__(kernel)
+        self._ready: set[int] = set(self._initial_ready())
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    def __iter__(self):
+        return iter(self._ready)
+
+    def complete(self, i: int) -> None:
+        """Remove ``i`` from the set and release its successors."""
+        self._ready.discard(i)
+        self._ready.update(self._release(i))
+
+
+# --------------------------------------------------------------------- #
+# schedule-under-construction with O(1) hot-path queries
+# --------------------------------------------------------------------- #
+class KernelState:
+    """A schedule being built, mirrored for fast queries.
+
+    Wraps the real :class:`~repro.sched.schedule.Schedule` (still the output
+    object and overlap validator) and maintains:
+
+    * ``tails`` — per-processor finish of the last-by-start placement, so
+      non-insertion earliest-start is O(1) instead of an ``on_proc`` copy;
+    * per-task placement lists pre-sorted by ``(finish, proc)``, so
+      ``placements``/``primary`` skip the per-call sort of the seed.
+
+    All query methods take task *indices* (see :attr:`SchedKernel.index`);
+    predecessor lookups inside take the task *names* carried by edges.
+    """
+
+    def __init__(self, kernel: SchedKernel, scheduler_name: str = ""):
+        self.kernel = kernel
+        self.sched = Schedule(kernel.graph, kernel.machine, scheduler=scheduler_name)
+        self.tails: list[float] = [0.0] * kernel.machine.n_procs
+        self._placed: dict[str, list[Placement]] = {}
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, task: str) -> bool:
+        return task in self._placed
+
+    def placements(self, task: str) -> list[Placement]:
+        """All copies of ``task``, sorted by ``(finish, proc)`` — live list."""
+        return self._placed[task]
+
+    def placements_or_none(self, task: str) -> list[Placement] | None:
+        return self._placed.get(task)
+
+    def primary(self, task: str) -> Placement:
+        """The earliest-finishing copy (same tie-break as ``Schedule.primary``)."""
+        return self._placed[task][0]
+
+    # ------------------------------------------------------------------ #
+    def add(self, task: str, proc: int, start: float, finish: float) -> Placement:
+        """Place a (copy of) ``task`` and update the mirrors."""
+        entry = self.sched.add(task, proc, start, finish)
+        self.tails[proc] = self.sched.proc_tail(proc)
+        lst = self._placed.setdefault(task, [])
+        insort(lst, entry, key=lambda e: (e.finish, e.proc))
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # the base.py primitives, kernel-accelerated and byte-identical
+    # ------------------------------------------------------------------ #
+    def data_ready_time(self, ti: int, proc: int) -> float:
+        kernel = self.kernel
+        comm = kernel.comm_cost
+        placed = self._placed
+        ready = 0.0
+        for edge in kernel.in_edges[ti]:
+            plist = placed.get(edge.src)
+            if plist is None:
+                raise ScheduleError(
+                    f"cannot compute EST of {kernel.tasks[ti]!r}: "
+                    f"predecessor {edge.src!r} unscheduled"
+                )
+            if len(plist) == 1:
+                src = plist[0]
+                arrival = src.finish + comm(src.proc, proc, edge.size)
+            else:
+                arrival = min(
+                    s.finish + comm(s.proc, proc, edge.size) for s in plist
+                )
+            if arrival > ready:
+                ready = arrival
+        return ready
+
+    def earliest_start(self, ti: int, proc: int, insertion: bool = False) -> float:
+        if not 0 <= proc < len(self.tails):
+            raise ScheduleError(
+                f"processor {proc} out of range for machine "
+                f"{self.kernel.machine.name!r}"
+            )
+        ready = self.data_ready_time(ti, proc)
+        if not insertion:
+            tail = self.tails[proc]
+            return ready if ready > tail else tail
+        return self.sched.insertion_slot(proc, ready, self.kernel.exec_time[ti])
+
+    def best_processor(self, ti: int, insertion: bool = False) -> tuple[int, float]:
+        duration = self.kernel.exec_time[ti]
+        best: tuple[float, int, float] | None = None
+        for proc in range(len(self.tails)):
+            start = self.earliest_start(ti, proc, insertion=insertion)
+            key = (start + duration, proc, start)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        return best[1], best[2]
+
+    def place(self, ti: int, proc: int, start: float) -> None:
+        """Place task ``ti`` and record its messages — mirrors ``base.place``."""
+        kernel = self.kernel
+        comm = kernel.comm_cost
+        task = kernel.tasks[ti]
+        self.add(task, proc, start, start + kernel.exec_time[ti])
+        for edge in kernel.in_edges[ti]:
+            plist = self._placed[edge.src]
+            if len(plist) == 1:
+                src = plist[0]
+            else:
+                src = min(
+                    plist, key=lambda s: s.finish + comm(s.proc, proc, edge.size)
+                )
+            if src.proc == proc:
+                continue
+            cost = comm(src.proc, proc, edge.size)
+            self.sched.add_message(
+                Message(
+                    src_task=edge.src,
+                    dst_task=task,
+                    var=edge.var,
+                    size=edge.size,
+                    src_proc=src.proc,
+                    dst_proc=proc,
+                    start=src.finish,
+                    finish=src.finish + cost,
+                    route=kernel.route(src.proc, proc),
+                )
+            )
+
+
+# --------------------------------------------------------------------- #
+# convenience driver for the common static-priority loop
+# --------------------------------------------------------------------- #
+def run_priority_list(
+    kernel: SchedKernel,
+    state: KernelState,
+    key: Callable[[int], tuple],
+    pick_processor: Callable[[int], tuple[int, float]],
+) -> Schedule:
+    """The canonical list-scheduling loop: heap-pop, place, release.
+
+    ``pick_processor(ti) -> (proc, start)`` is the only scheduler-specific
+    part; everything else (ready tracking, placement, message recording) is
+    shared.
+    """
+    heap = ReadyHeap(kernel, key)
+    for _ in range(kernel.n):
+        ti = heap.pop()
+        proc, start = pick_processor(ti)
+        state.place(ti, proc, start)
+        heap.complete(ti)
+    return state.sched

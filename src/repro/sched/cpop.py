@@ -5,14 +5,17 @@ pinned to one dedicated processor (so the longest chain never pays a
 message), and everything else is placed by earliest finish time with
 insertion.  Priorities are ``t-level + b-level`` — a task's best possible
 path length through it.
+
+Runs on the shared :mod:`repro.sched.core` kernel; byte-identical to the
+pre-kernel implementation.
 """
 
 from __future__ import annotations
 
-from repro.graph.analysis import b_levels, t_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine
-from repro.sched.base import Scheduler, best_processor, earliest_start, place, ready_tasks
+from repro.sched.base import Scheduler
+from repro.sched.core import KernelState, SchedKernel, run_priority_list
 from repro.sched.schedule import Schedule
 
 
@@ -22,46 +25,42 @@ class CPOPScheduler(Scheduler):
     name = "cpop"
 
     def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
-        sched = Schedule(graph, machine, scheduler=self.name)
-        exec_time = lambda t: machine.exec_time(graph.work(t))
-        comm = lambda e: machine.mean_comm_cost(e.size)
-        tl = t_levels(graph, exec_time=exec_time, comm_cost=comm)
-        bl = b_levels(graph, exec_time=exec_time, comm_cost=comm)
-        priority = {t: tl[t] + bl[t] for t in graph.task_names}
-        cp_value = max(priority.values(), default=0.0)
+        kernel = SchedKernel(graph, machine)
+        state = KernelState(kernel, scheduler_name=self.name)
+        tl = kernel.t_levels_comm()
+        bl = kernel.b_levels_comm()
+        priority = [tl[t] + bl[t] for t in kernel.tasks]
+        cp_value = max(priority, default=0.0)
 
         # walk the critical path from its entry task downwards
-        on_cp: set[str] = set()
+        index = kernel.index
+        on_cp: set[int] = set()
         cp_entries = [
-            t for t in graph.entry_tasks() if abs(priority[t] - cp_value) < 1e-9
+            t for t in graph.entry_tasks()
+            if abs(priority[index[t]] - cp_value) < 1e-9
         ]
         if cp_entries:
             cur = cp_entries[0]
-            on_cp.add(cur)
+            on_cp.add(index[cur])
             while True:
                 nxts = [
                     s for s in graph.successors(cur)
-                    if abs(priority[s] - cp_value) < 1e-9
+                    if abs(priority[index[s]] - cp_value) < 1e-9
                 ]
                 if not nxts:
                     break
                 cur = nxts[0]
-                on_cp.add(cur)
+                on_cp.add(index[cur])
 
         # the dedicated processor: the one the whole path runs fastest on —
         # homogeneous machines make this a tie, so processor 0 wins
         cp_proc = 0
 
-        order = {t: i for i, t in enumerate(graph.task_names)}
-        done: set[str] = set()
-        while len(done) < len(graph):
-            ready = ready_tasks(graph, done)
-            task = max(ready, key=lambda t: (priority[t], -order[t]))
-            if task in on_cp:
-                start = earliest_start(sched, task, cp_proc, insertion=True)
-                place(sched, task, cp_proc, start)
-            else:
-                proc, start = best_processor(sched, task, insertion=True)
-                place(sched, task, proc, start)
-            done.add(task)
-        return sched
+        def pick(ti: int) -> tuple[int, float]:
+            if ti in on_cp:
+                return cp_proc, state.earliest_start(ti, cp_proc, insertion=True)
+            return state.best_processor(ti, insertion=True)
+
+        return run_priority_list(
+            kernel, state, key=lambda i: (-priority[i], i), pick_processor=pick
+        )

@@ -11,16 +11,17 @@ Two more members of the clustering family PPSE drew on, complementing
   graph does not grow.
 
 Both produce cluster lists that are then mapped onto the real machine with
-the shared LPT + fixed-assignment timing pass.
+the shared LPT + fixed-assignment timing pass.  The cluster walks use the
+:mod:`repro.sched.core` kernel's incremental ready heap and memoized costs.
 """
 
 from __future__ import annotations
 
-from repro.graph.analysis import b_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine
 from repro.sched.base import Scheduler
 from repro.sched.clustering import assignment_to_schedule, map_clusters_lpt
+from repro.sched.core import ReadyHeap, SchedKernel
 from repro.sched.schedule import Schedule
 
 
@@ -33,25 +34,32 @@ def cluster_makespan(
     cluster are free; edges between clusters cost the machine's mean
     communication.  This is the objective Sarkar's merge test uses.
     """
-    exec_time = lambda t: machine.exec_time(graph.work(t))
+    exec_of = {t: machine.exec_time(graph.work(t)) for t in graph.task_names}
+    comm_of_size: dict[float, float] = {}
     finish: dict[str, float] = {}
     cluster_free: dict[int, float] = {}
     for task in graph.topological_order():
         ready = 0.0
         for e in graph.in_edges(task):
-            cost = 0.0 if owner[e.src] == owner[task] else machine.mean_comm_cost(e.size)
+            if owner[e.src] == owner[task]:
+                cost = 0.0
+            else:
+                cost = comm_of_size.get(e.size)
+                if cost is None:
+                    cost = machine.mean_comm_cost(e.size)
+                    comm_of_size[e.size] = cost
             ready = max(ready, finish[e.src] + cost)
         start = max(ready, cluster_free.get(owner[task], 0.0))
-        finish[task] = start + exec_time(task)
+        finish[task] = start + exec_of[task]
         cluster_free[owner[task]] = finish[task]
     return max(finish.values(), default=0.0)
 
 
 def dsc_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]:
     """DSC-style clustering; returns clusters as topologically ordered lists."""
-    comm = lambda e: machine.mean_comm_cost(e.size)
-    exec_time = lambda t: machine.exec_time(graph.work(t))
-    bl = b_levels(graph, exec_time=exec_time, comm_cost=comm)
+    kernel = SchedKernel(graph, machine)
+    comm = lambda e: kernel.mean_comm_cost(e.size)
+    bl = kernel.priority_array(kernel.b_levels_comm())
 
     owner: dict[str, int] = {}
     members: dict[int, list[str]] = {}
@@ -61,22 +69,19 @@ def dsc_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]:
 
     # priority = b-level, examined in a topological-compatible order: among
     # unexamined tasks with all predecessors examined, highest b-level first
-    done: set[str] = set()
-    order_index = {t: i for i, t in enumerate(graph.task_names)}
-    while len(done) < len(graph):
-        ready = [
-            t for t in graph.task_names
-            if t not in done and all(p in done for p in graph.predecessors(t))
-        ]
-        task = max(ready, key=lambda t: (bl[t], -order_index[t]))
-        duration = exec_time(task)
+    heap = ReadyHeap(kernel, key=lambda i: (-bl[i], i))
+    for _ in range(kernel.n):
+        ti = heap.pop()
+        task = kernel.tasks[ti]
+        duration = kernel.exec_time[ti]
+        in_edges = kernel.in_edges[ti]
 
         # candidate clusters: each predecessor's, or a fresh one
         best_cluster = None
         best_start = None
         for cand in {owner[p] for p in graph.predecessors(task)}:
             ready_time = 0.0
-            for e in graph.in_edges(task):
+            for e in in_edges:
                 cost = 0.0 if owner[e.src] == cand else comm(e)
                 ready_time = max(ready_time, finish[e.src] + cost)
             start = max(ready_time, cluster_finish.get(cand, 0.0))
@@ -84,7 +89,7 @@ def dsc_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]:
                 best_start = start
                 best_cluster = cand
         fresh_ready = max(
-            (finish[e.src] + comm(e) for e in graph.in_edges(task)), default=0.0
+            (finish[e.src] + comm(e) for e in in_edges), default=0.0
         )
         if best_start is None or fresh_ready < best_start - 1e-12:
             best_cluster = next_cluster
@@ -95,7 +100,7 @@ def dsc_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]:
         members.setdefault(best_cluster, []).append(task)
         finish[task] = best_start + duration
         cluster_finish[best_cluster] = finish[task]
-        done.add(task)
+        heap.complete(ti)
 
     return [members[c] for c in sorted(members)]
 
@@ -105,9 +110,18 @@ def sarkar_clusters(graph: TaskGraph, machine: TargetMachine) -> list[list[str]]
     owner = {t: i for i, t in enumerate(graph.task_names)}
     current = cluster_makespan(graph, machine, owner)
 
+    comm_of_size: dict[float, float] = {}
+
+    def mean_comm(size: float) -> float:
+        cost = comm_of_size.get(size)
+        if cost is None:
+            cost = machine.mean_comm_cost(size)
+            comm_of_size[size] = cost
+        return cost
+
     edges = sorted(
         graph.edges,
-        key=lambda e: (-machine.mean_comm_cost(e.size), e.src, e.dst),
+        key=lambda e: (-mean_comm(e.size), e.src, e.dst),
     )
     for e in edges:
         a, b = owner[e.src], owner[e.dst]

@@ -12,14 +12,18 @@ starts the task earlier, the copy is inserted into an idle slot.  Copies are
 planned tentatively per candidate processor and committed only for the
 winner, so the result is always feasible (the independent validator checks
 duplicated schedules too).
+
+Runs on the shared :mod:`repro.sched.core` kernel (incremental ready heap,
+precomputed execution times, memoized communication costs); byte-identical
+to the pre-kernel implementation.
 """
 
 from __future__ import annotations
 
-from repro.graph.analysis import static_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine
-from repro.sched.base import Scheduler, place, ready_tasks
+from repro.sched.base import Scheduler
+from repro.sched.core import KernelState, ReadyHeap, SchedKernel
 from repro.sched.schedule import Schedule
 
 _EPS = 1e-12
@@ -41,55 +45,58 @@ class DSHScheduler(Scheduler):
         self.max_dups_per_task = max_dups_per_task
 
     def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
-        sched = Schedule(graph, machine, scheduler=self.name)
-        sl = static_levels(graph, exec_time=lambda t: machine.exec_time(graph.work(t)))
-        order = {t: i for i, t in enumerate(graph.task_names)}
-        done: set[str] = set()
-        while len(done) < len(graph):
-            ready = ready_tasks(graph, done)
-            task = max(ready, key=lambda t: (sl[t], -order[t]))
+        kernel = SchedKernel(graph, machine)
+        state = KernelState(kernel, scheduler_name=self.name)
+        sl = kernel.priority_array(kernel.static_levels())
+        heap = ReadyHeap(kernel, key=lambda i: (-sl[i], i))
+        for _ in range(kernel.n):
+            ti = heap.pop()
             best: tuple[float, int, float, list[tuple[str, float, float]]] | None = None
-            duration = machine.exec_time(graph.work(task))
-            for proc in machine.procs():
-                est, dups = self._plan(sched, task, proc)
+            duration = kernel.exec_time[ti]
+            for proc in range(machine.n_procs):
+                est, dups = self._plan(state, ti, proc)
                 key = (est + duration, proc)
                 if best is None or key < (best[0], best[1]):
                     best = (est + duration, proc, est, dups)
             assert best is not None
             _, proc, est, dups = best
             for name, start, finish in dups:
-                sched.add(name, proc, start, finish)
-            place(sched, task, proc, est)
-            done.add(task)
-        return sched
+                state.add(name, proc, start, finish)
+            state.place(ti, proc, est)
+            heap.complete(ti)
+        return state.sched
 
     # ------------------------------------------------------------------ #
     def _plan(
-        self, sched: Schedule, task: str, proc: int
+        self, state: KernelState, ti: int, proc: int
     ) -> tuple[float, list[tuple[str, float, float]]]:
-        """Earliest start of ``task`` on ``proc`` with planned duplications.
+        """Earliest start of task ``ti`` on ``proc`` with planned duplications.
 
         Returns ``(est, copies)`` where ``copies`` is a list of
         ``(task_name, start, finish)`` duplications on ``proc`` that must be
         committed for ``est`` to hold.
         """
-        graph, machine = sched.graph, sched.machine
-        duration = machine.exec_time(graph.work(task))
+        kernel = state.kernel
+        comm = kernel.comm_cost
+        task = kernel.tasks[ti]
+        duration = kernel.exec_time[ti]
+        in_edges = kernel.in_edges[ti]
         added: list[tuple[str, float, float]] = []
 
         def finishes_of(u: str) -> list[tuple[float, int]]:
             """(finish, proc) of every available copy of u, planned included."""
-            out = [(e.finish, e.proc) for e in sched.placements(u)] if u in sched else []
+            placed = state.placements_or_none(u)
+            out = [(e.finish, e.proc) for e in placed] if placed else []
             out += [(f, proc) for (n, s, f) in added if n == u]
             return out
 
         def arrival(edge) -> float:
             return min(
-                f + machine.comm_cost(p, proc, edge.size) for f, p in finishes_of(edge.src)
+                f + comm(p, proc, edge.size) for f, p in finishes_of(edge.src)
             )
 
         def occupancy() -> list[tuple[float, float]]:
-            slots = [(e.start, e.finish) for e in sched.on_proc(proc)]
+            slots = [(e.start, e.finish) for e in state.sched.timeline(proc)]
             slots += [(s, f) for (_, s, f) in added]
             return sorted(slots)
 
@@ -103,12 +110,11 @@ class DSHScheduler(Scheduler):
             return max(ready, prev)
 
         def est_now() -> float:
-            ready = max((arrival(e) for e in graph.in_edges(task)), default=0.0)
+            ready = max((arrival(e) for e in in_edges), default=0.0)
             return earliest_slot(ready, duration)
 
         est = est_now()
         for _ in range(self.max_dups_per_task):
-            in_edges = graph.in_edges(task)
             if not in_edges:
                 break
             crit = max(in_edges, key=arrival)
@@ -120,20 +126,20 @@ class DSHScheduler(Scheduler):
             # data-ready time of a copy of u on this processor
             u_ready = 0.0
             feasible = True
-            for e in graph.in_edges(u):
-                if e.src not in sched:
+            for e in kernel.in_edges[kernel.index[u]]:
+                if e.src not in state:
                     feasible = False
                     break
                 u_ready = max(
                     u_ready,
                     min(
-                        f + machine.comm_cost(p, proc, e.size)
+                        f + comm(p, proc, e.size)
                         for f, p in finishes_of(e.src)
                     ),
                 )
             if not feasible:
                 break
-            u_dur = machine.exec_time(graph.work(u))
+            u_dur = kernel.exec_time[kernel.index[u]]
             u_start = earliest_slot(u_ready, u_dur)
             added.append((u, u_start, u_start + u_dur))
             new_est = est_now()

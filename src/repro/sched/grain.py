@@ -152,13 +152,23 @@ def pack_by_ratio(
             stack.extend(contracted.get(g, ()))
         return False
 
+    comm_of_size: dict[float, float] = {}
+
+    def mean_comm(size: float) -> float:
+        memo = comm_of_size.get(size)
+        if memo is None:
+            memo = machine.mean_comm_cost(size)
+            comm_of_size[size] = memo
+        return memo
+
+    exec_of = {t: machine.exec_time(graph.work(t)) for t in graph.task_names}
     candidates = sorted(
         graph.edges,
-        key=lambda e: -machine.mean_comm_cost(e.size),
+        key=lambda e: -mean_comm(e.size),
     )
     for e in candidates:
-        cost = machine.mean_comm_cost(e.size)
-        gain = min(machine.exec_time(graph.work(e.src)), machine.exec_time(graph.work(e.dst)))
+        cost = mean_comm(e.size)
+        gain = min(exec_of[e.src], exec_of[e.dst])
         if cost < threshold * gain:
             continue
         ga, gb = find(e.src), find(e.dst)

@@ -13,20 +13,18 @@ builds on:
   higher static level.
 * **DLS** (Dynamic Level Scheduling, Sih & Lee): maximise the *dynamic
   level* ``SL(t) - EST(t, p)`` over (task, processor) pairs.
+
+All four run on the shared :mod:`repro.sched.core` kernel (incremental
+ready tracking, precomputed execution times, memoized communication costs);
+their output is byte-identical to the pre-kernel implementations.
 """
 
 from __future__ import annotations
 
-from repro.graph.analysis import b_levels, static_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine
-from repro.sched.base import (
-    Scheduler,
-    best_processor,
-    earliest_start,
-    place,
-    ready_tasks,
-)
+from repro.sched.base import Scheduler
+from repro.sched.core import KernelState, ReadySet, SchedKernel, run_priority_list
 from repro.sched.schedule import Schedule
 
 
@@ -47,28 +45,21 @@ class HLFETScheduler(Scheduler):
         self.use_comm_levels = use_comm_levels
         self.insertion = False
 
-    def _priorities(self, graph: TaskGraph, machine: TargetMachine) -> dict[str, float]:
-        exec_time = lambda t: machine.exec_time(graph.work(t))
+    def _priorities(self, kernel: SchedKernel) -> dict[str, float]:
         if self.use_comm_levels:
-            return b_levels(
-                graph,
-                exec_time=exec_time,
-                comm_cost=lambda e: machine.mean_comm_cost(e.size),
-            )
-        return static_levels(graph, exec_time=exec_time)
+            return kernel.b_levels_comm()
+        return kernel.static_levels()
 
     def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
-        sched = Schedule(graph, machine, scheduler=self.name)
-        prio = self._priorities(graph, machine)
-        order = {t: i for i, t in enumerate(graph.task_names)}
-        done: set[str] = set()
-        while len(done) < len(graph):
-            ready = ready_tasks(graph, done)
-            task = max(ready, key=lambda t: (prio[t], -order[t]))
-            proc, start = best_processor(sched, task, insertion=self.insertion)
-            place(sched, task, proc, start)
-            done.add(task)
-        return sched
+        kernel = SchedKernel(graph, machine)
+        state = KernelState(kernel, scheduler_name=self.name)
+        prio = kernel.priority_array(self._priorities(kernel))
+        return run_priority_list(
+            kernel,
+            state,
+            key=lambda i: (-prio[i], i),
+            pick_processor=lambda ti: state.best_processor(ti, insertion=self.insertion),
+        )
 
 
 class ISHScheduler(HLFETScheduler):
@@ -90,22 +81,28 @@ class ETFScheduler(Scheduler):
         self.insertion = insertion
 
     def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
-        sched = Schedule(graph, machine, scheduler=self.name)
-        sl = static_levels(graph, exec_time=lambda t: machine.exec_time(graph.work(t)))
-        done: set[str] = set()
-        while len(done) < len(graph):
+        kernel = SchedKernel(graph, machine)
+        state = KernelState(kernel, scheduler_name=self.name)
+        sl = kernel.priority_array(kernel.static_levels())
+        ready = ReadySet(kernel)
+        n_procs = machine.n_procs
+        for _ in range(kernel.n):
             best: tuple[float, float, int, str, int] | None = None
-            for task in ready_tasks(graph, done):
-                for proc in machine.procs():
-                    start = earliest_start(sched, task, proc, insertion=self.insertion)
-                    key = (start, -sl[task], proc, task, proc)
+            best_ti = -1
+            for ti in ready:
+                task = kernel.tasks[ti]
+                neg_sl = -sl[ti]
+                for proc in range(n_procs):
+                    start = state.earliest_start(ti, proc, insertion=self.insertion)
+                    key = (start, neg_sl, proc, task, proc)
                     if best is None or key < best:
                         best = key
+                        best_ti = ti
             assert best is not None
-            start, _, _, task, proc = best
-            place(sched, task, proc, start)
-            done.add(task)
-        return sched
+            start, _, _, _, proc = best
+            state.place(best_ti, proc, start)
+            ready.complete(best_ti)
+        return state.sched
 
 
 class DLSScheduler(Scheduler):
@@ -117,25 +114,28 @@ class DLSScheduler(Scheduler):
         self.insertion = insertion
 
     def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
-        sched = Schedule(graph, machine, scheduler=self.name)
-        sl = static_levels(graph, exec_time=lambda t: machine.exec_time(graph.work(t)))
-        done: set[str] = set()
-        while len(done) < len(graph):
+        kernel = SchedKernel(graph, machine)
+        state = KernelState(kernel, scheduler_name=self.name)
+        sl = kernel.priority_array(kernel.static_levels())
+        ready = ReadySet(kernel)
+        n_procs = machine.n_procs
+        for _ in range(kernel.n):
             best: tuple[float, float, int, str] | None = None
-            chosen: tuple[str, int, float] | None = None
-            for task in ready_tasks(graph, done):
-                for proc in machine.procs():
-                    start = earliest_start(sched, task, proc, insertion=self.insertion)
-                    level = sl[task] - start
-                    key = (-level, start, proc, task)
+            chosen: tuple[int, int, float] | None = None
+            for ti in ready:
+                task = kernel.tasks[ti]
+                level_base = sl[ti]
+                for proc in range(n_procs):
+                    start = state.earliest_start(ti, proc, insertion=self.insertion)
+                    key = (-(level_base - start), start, proc, task)
                     if best is None or key < best:
                         best = key
-                        chosen = (task, proc, start)
+                        chosen = (ti, proc, start)
             assert chosen is not None
-            task, proc, start = chosen
-            place(sched, task, proc, start)
-            done.add(task)
-        return sched
+            ti, proc, start = chosen
+            state.place(ti, proc, start)
+            ready.complete(ti)
+        return state.sched
 
 
 class MCPScheduler(Scheduler):
@@ -150,18 +150,14 @@ class MCPScheduler(Scheduler):
     name = "mcp"
 
     def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
-        sched = Schedule(graph, machine, scheduler=self.name)
-        exec_time = lambda t: machine.exec_time(graph.work(t))
-        comm = lambda e: machine.mean_comm_cost(e.size)
-        bl = b_levels(graph, exec_time=exec_time, comm_cost=comm)
+        kernel = SchedKernel(graph, machine)
+        state = KernelState(kernel, scheduler_name=self.name)
+        bl = kernel.b_levels_comm()
         cp = max(bl.values(), default=0.0)
-        alap = {t: cp - bl[t] for t in graph.task_names}
-        done: set[str] = set()
-        order = {t: i for i, t in enumerate(graph.task_names)}
-        while len(done) < len(graph):
-            ready = ready_tasks(graph, done)
-            task = min(ready, key=lambda t: (alap[t], order[t]))
-            proc, start = best_processor(sched, task, insertion=True)
-            place(sched, task, proc, start)
-            done.add(task)
-        return sched
+        alap = [cp - bl[t] for t in kernel.tasks]
+        return run_priority_list(
+            kernel,
+            state,
+            key=lambda i: (alap[i], i),
+            pick_processor=lambda ti: state.best_processor(ti, insertion=True),
+        )

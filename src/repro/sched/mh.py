@@ -16,23 +16,39 @@ Algorithm per step:
 
 With ``contention=False`` links are infinitely wide and MH reduces to a
 routed-cost list scheduler (useful as an ablation).
+
+This implementation runs on the shared :mod:`repro.sched.core` kernel:
+ready tasks come from an incremental :class:`~repro.sched.core.ReadyHeap`,
+execution times and routes are precomputed/memoized, and the per-processor
+tentative pass prunes candidates whose *uncontended* finish lower bound
+already loses to the current best (contention only ever delays arrivals, so
+the bound is safe).  Results are byte-identical to the pre-kernel scheduler.
 """
 
 from __future__ import annotations
 
 import bisect
 
-from repro.graph.analysis import b_levels
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine
-from repro.sched.base import Scheduler, ready_tasks
+from repro.sched.base import Scheduler
+from repro.sched.core import KernelState, ReadyHeap, SchedKernel
 from repro.sched.schedule import Message, Schedule
 
 Link = tuple[int, int]
 
 
 class LinkTimeline:
-    """Busy intervals of one link, with earliest-fit reservation."""
+    """Busy intervals of one link, with earliest-fit reservation.
+
+    Intervals are kept in *canonical merged form*: sorted, non-overlapping,
+    and never touching (a reservation that abuts an existing interval is
+    coalesced into it).  Only the link's free-time set matters to
+    :meth:`earliest_fit`, and merging preserves it exactly — so results are
+    identical to an unmerged list while a saturated link collapses into a
+    handful of busy blocks.  A message injected at or after the link's last
+    busy moment (the common monotone case) is an O(1) append.
+    """
 
     def __init__(self) -> None:
         self._intervals: list[tuple[float, float]] = []
@@ -41,21 +57,45 @@ class LinkTimeline:
         """Earliest ``t >= not_before`` with the link free for ``duration``."""
         if duration <= 0:
             return not_before
+        intervals = self._intervals
+        if not intervals or not_before >= intervals[-1][1]:
+            return not_before
+        idx = bisect.bisect_left(intervals, (not_before, float("-inf")))
         t = not_before
-        while True:
-            idx = bisect.bisect_left(self._intervals, (t, float("-inf")))
-            if idx > 0 and self._intervals[idx - 1][1] > t:
-                t = self._intervals[idx - 1][1]
-                continue
-            if idx < len(self._intervals) and self._intervals[idx][0] < t + duration:
-                t = self._intervals[idx][1]
-                continue
-            return t
+        if idx > 0 and intervals[idx - 1][1] > t:
+            t = intervals[idx - 1][1]
+        for i in range(idx, len(intervals)):
+            start, end = intervals[i]
+            if start >= t + duration:
+                return t  # the gap before interval i fits
+            if end > t:
+                t = end
+        return t
 
     def reserve(self, start: float, duration: float) -> None:
         if duration <= 0:
             return
-        bisect.insort(self._intervals, (start, start + duration))
+        intervals = self._intervals
+        end = start + duration
+        if not intervals or start > intervals[-1][1]:
+            intervals.append((start, end))
+            return
+        if start == intervals[-1][1]:
+            intervals[-1] = (intervals[-1][0], end)
+            return
+        idx = bisect.bisect_left(intervals, (start, float("-inf")))
+        lo = idx
+        if lo > 0 and intervals[lo - 1][1] >= start:
+            lo -= 1
+            start = intervals[lo][0]
+            if intervals[lo][1] > end:
+                end = intervals[lo][1]
+        hi = idx
+        while hi < len(intervals) and intervals[hi][0] <= end:
+            if intervals[hi][1] > end:
+                end = intervals[hi][1]
+            hi += 1
+        intervals[lo:hi] = [(start, end)]
 
     def copy(self) -> "LinkTimeline":
         dup = LinkTimeline()
@@ -64,18 +104,35 @@ class LinkTimeline:
 
 
 class _Network:
-    """Per-link timelines for an entire machine."""
+    """Per-link timelines for an entire machine.
 
-    def __init__(self, machine: TargetMachine, shared: bool):
+    The link timelines a ``(src, dst)`` message crosses are resolved once
+    per processor pair (via the kernel's route memo) and cached, so the
+    per-transit cost is the hop walk itself, not routing.
+    """
+
+    def __init__(self, machine: TargetMachine, kernel: SchedKernel, shared: bool):
         self.machine = machine
+        self.kernel = kernel
         self.shared = shared  # bus: all links alias one timeline
         self._links: dict[Link, LinkTimeline] = {}
         self._bus = LinkTimeline()
+        self._pair: dict[tuple[int, int], list[LinkTimeline]] = {}
 
-    def _timeline(self, link: Link) -> LinkTimeline:
-        if self.shared:
-            return self._bus
-        return self._links.setdefault(link, LinkTimeline())
+    def _timelines(self, src: int, dst: int) -> list[LinkTimeline]:
+        pair = (src, dst)
+        timelines = self._pair.get(pair)
+        if timelines is None:
+            path = self.kernel.route(src, dst)
+            timelines = []
+            for a, b in zip(path, path[1:]):
+                if self.shared:
+                    timelines.append(self._bus)
+                else:
+                    link = (a, b) if a < b else (b, a)
+                    timelines.append(self._links.setdefault(link, LinkTimeline()))
+            self._pair[pair] = timelines
+        return timelines
 
     def transit(
         self,
@@ -84,34 +141,30 @@ class _Network:
         size: float,
         available: float,
         commit: bool,
-        hops_out: list[tuple[Link, float, float]] | None = None,
     ) -> float:
         """Arrival time of a message injected at ``available`` from src to dst.
 
         Hop-by-hop store-and-forward over the route's links, paying the
         message startup once at injection.  When ``commit`` is False the
-        link timelines are left untouched (tentative evaluation).  When
-        ``hops_out`` is given, each reserved hop ``(link, start, finish)``
-        is appended — the data behind contention-accurate message records.
+        link timelines are left untouched (tentative evaluation).
         """
         params = self.machine.params
         if src == dst:
             return available
         t = available + params.msg_startup
         hop_time = params.hop_latency + size / params.transmission_rate
-        reservations: list[tuple[LinkTimeline, float]] = []
-        path = self.machine.route(src, dst)
-        for a, b in zip(path, path[1:]):
-            link = (min(a, b), max(a, b))
-            timeline = self._timeline(link)
-            start = timeline.earliest_fit(t, hop_time)
-            reservations.append((timeline, start))
-            if hops_out is not None:
-                hops_out.append((link, start, start + hop_time))
-            t = start + hop_time
+        timelines = self._timelines(src, dst)
         if commit:
+            reservations: list[tuple[LinkTimeline, float]] = []
+            for timeline in timelines:
+                start = timeline.earliest_fit(t, hop_time)
+                reservations.append((timeline, start))
+                t = start + hop_time
             for timeline, start in reservations:
                 timeline.reserve(start, hop_time)
+        else:
+            for timeline in timelines:
+                t = timeline.earliest_fit(t, hop_time) + hop_time
         return t
 
 
@@ -133,81 +186,78 @@ class MHScheduler(Scheduler):
             self.name = "mh-nc"
 
     def schedule(self, graph: TaskGraph, machine: TargetMachine) -> Schedule:
-        sched = Schedule(graph, machine, scheduler=self.name)
+        kernel = SchedKernel(graph, machine)
+        state = KernelState(kernel, scheduler_name=self.name)
         shared = bool(getattr(machine.topology, "shared_medium", False))
-        network = _Network(machine, shared=shared) if self.contention else None
+        network = _Network(machine, kernel, shared=shared) if self.contention else None
 
-        exec_time = lambda t: machine.exec_time(graph.work(t))
-        prio = b_levels(
-            graph,
-            exec_time=exec_time,
-            comm_cost=lambda e: machine.mean_comm_cost(e.size),
-        )
-        order = {t: i for i, t in enumerate(graph.task_names)}
-        done: set[str] = set()
-
-        while len(done) < len(graph):
-            ready = ready_tasks(graph, done)
-            task = max(ready, key=lambda t: (prio[t], -order[t]))
-            proc = self._best_proc(sched, network, task)
-            self._commit(sched, network, task, proc)
-            done.add(task)
-        return sched
+        prio = kernel.priority_array(kernel.b_levels_comm())
+        heap = ReadyHeap(kernel, key=lambda i: (-prio[i], i))
+        for _ in range(kernel.n):
+            ti = heap.pop()
+            proc = self._best_proc(state, network, ti)
+            self._commit(state, network, ti, proc)
+            heap.complete(ti)
+        return state.sched
 
     # ------------------------------------------------------------------ #
-    def _arrivals(
-        self,
-        sched: Schedule,
-        network: _Network | None,
-        task: str,
-        proc: int,
-        commit: bool,
-    ) -> float:
-        """Data-ready time of ``task`` on ``proc`` under the network model."""
-        graph, machine = sched.graph, sched.machine
-        ready = 0.0
-        for edge in graph.in_edges(task):
-            src = sched.primary(edge.src)
-            if network is not None:
-                arrival = network.transit(src.proc, proc, edge.size, src.finish, commit)
-            else:
-                arrival = src.finish + machine.comm_cost(src.proc, proc, edge.size)
-            ready = max(ready, arrival)
-        return ready
-
-    def _est(self, sched: Schedule, network: _Network | None, task: str, proc: int) -> float:
-        ready = self._arrivals(sched, network, task, proc, commit=False)
-        timeline = sched.on_proc(proc)
-        return max(ready, timeline[-1].finish if timeline else 0.0)
-
-    def _best_proc(self, sched: Schedule, network: _Network | None, task: str) -> int:
-        duration = sched.machine.exec_time(sched.graph.work(task))
+    def _best_proc(self, state: KernelState, network: _Network | None, ti: int) -> int:
+        kernel = state.kernel
+        duration = kernel.exec_time[ti]
+        edges = kernel.in_edges[ti]
+        sources = [state.primary(e.src) for e in edges]
+        comm = kernel.comm_cost
+        tails = state.tails
         best: tuple[float, int] | None = None
-        for proc in sched.machine.procs():
-            finish = self._est(sched, network, task, proc) + duration
+        for proc in range(len(tails)):
+            # Uncontended lower bound on the finish time: contention can only
+            # delay arrivals, so if even this loses to the current best the
+            # tentative transit walk is skipped entirely.
+            ready_lb = 0.0
+            for edge, src in zip(edges, sources):
+                arrival = src.finish + comm(src.proc, proc, edge.size)
+                if arrival > ready_lb:
+                    ready_lb = arrival
+            tail = tails[proc]
+            finish_lb = (ready_lb if ready_lb > tail else tail) + duration
+            if network is None:
+                finish = finish_lb
+            else:
+                if best is not None and finish_lb > best[0] + 1e-9 * (1.0 + abs(best[0])):
+                    continue  # cannot win even without any queueing delay
+                ready = 0.0
+                for edge, src in zip(edges, sources):
+                    arrival = network.transit(
+                        src.proc, proc, edge.size, src.finish, commit=False
+                    )
+                    if arrival > ready:
+                        ready = arrival
+                finish = (ready if ready > tail else tail) + duration
             if best is None or (finish, proc) < best:
                 best = (finish, proc)
         assert best is not None
         return best[1]
 
     def _commit(
-        self, sched: Schedule, network: _Network | None, task: str, proc: int
+        self, state: KernelState, network: _Network | None, ti: int, proc: int
     ) -> None:
-        graph, machine = sched.graph, sched.machine
+        kernel = state.kernel
+        task = kernel.tasks[ti]
+        comm = kernel.comm_cost
         # recompute per-edge arrivals while committing link reservations, so
         # message records carry the *actual* (contention-delayed) times
         ready = 0.0
         messages: list[Message] = []
-        for edge in graph.in_edges(task):
-            src = sched.primary(edge.src)
+        for edge in kernel.in_edges[ti]:
+            src = state.primary(edge.src)
             if network is not None:
-                hops: list = []
                 arrival = network.transit(
-                    src.proc, proc, edge.size, src.finish, commit=True, hops_out=hops
+                    src.proc, proc, edge.size, src.finish, commit=True
                 )
             else:
-                arrival = src.finish + machine.comm_cost(src.proc, proc, edge.size)
-            ready = max(ready, arrival)
+                arrival = src.finish + comm(src.proc, proc, edge.size)
+            if arrival > ready:
+                ready = arrival
             if src.proc != proc:
                 messages.append(
                     Message(
@@ -219,12 +269,11 @@ class MHScheduler(Scheduler):
                         dst_proc=proc,
                         start=src.finish,
                         finish=arrival,
-                        route=tuple(machine.route(src.proc, proc)),
+                        route=kernel.route(src.proc, proc),
                     )
                 )
-        timeline = sched.on_proc(proc)
-        start = max(ready, timeline[-1].finish if timeline else 0.0)
-        finish = start + machine.exec_time(graph.work(task))
-        sched.add(task, proc, start, finish)
+        tail = state.tails[proc]
+        start = ready if ready > tail else tail
+        state.add(task, proc, start, start + kernel.exec_time[ti])
         for message in messages:
-            sched.add_message(message)
+            state.sched.add_message(message)

@@ -78,6 +78,11 @@ class Schedule:
         self.scheduler = scheduler
         self._by_proc: dict[int, list[Placement]] = {p: [] for p in machine.procs()}
         self._by_task: dict[str, list[Placement]] = {}
+        # Parallel per-processor arrays kept in lockstep with _by_proc:
+        # placement start times (for O(log n) insertion-point search) and
+        # prefix maxima of finish times (for O(log n) idle-gap search).
+        self._starts: dict[int, list[float]] = {p: [] for p in machine.procs()}
+        self._pmax: dict[int, list[float]] = {p: [] for p in machine.procs()}
         self.messages: list[Message] = []
 
     # ------------------------------------------------------------------ #
@@ -93,7 +98,8 @@ class Schedule:
             )
         entry = Placement(task, proc, start, finish)
         timeline = self._by_proc[proc]
-        idx = bisect.bisect_left([e.start for e in timeline], start)
+        starts = self._starts[proc]
+        idx = bisect.bisect_left(starts, start)
         if idx > 0 and timeline[idx - 1].finish > start + 1e-9:
             raise ScheduleError(
                 f"task {task!r} at [{start}, {finish}) overlaps "
@@ -108,6 +114,17 @@ class Schedule:
                for p in self._by_task.get(task, ())):
             raise ScheduleError(f"task {task!r} placed twice at the same slot")
         timeline.insert(idx, entry)
+        starts.insert(idx, start)
+        pmax = self._pmax[proc]
+        if idx == len(pmax):
+            pmax.append(finish if not pmax else max(pmax[-1], finish))
+        else:
+            pmax.insert(idx, 0.0)
+            running = pmax[idx - 1] if idx else 0.0
+            for j in range(idx, len(timeline)):
+                if timeline[j].finish > running:
+                    running = timeline[j].finish
+                pmax[j] = running
         self._by_task.setdefault(task, []).append(entry)
         return entry
 
@@ -148,6 +165,52 @@ class Schedule:
         if proc not in self._by_proc:
             raise ScheduleError(f"processor {proc} out of range")
         return list(self._by_proc[proc])
+
+    def timeline(self, proc: int) -> list[Placement]:
+        """The live start-ordered timeline of ``proc`` — do NOT mutate.
+
+        Unlike :meth:`on_proc` this does not copy, so the scheduler inner
+        loops can read timelines without per-call allocation.
+        """
+        if proc not in self._by_proc:
+            raise ScheduleError(f"processor {proc} out of range")
+        return self._by_proc[proc]
+
+    def proc_tail(self, proc: int) -> float:
+        """Finish time of the last-by-start placement on ``proc`` (0 if idle)."""
+        timeline = self._by_proc[proc]
+        return timeline[-1].finish if timeline else 0.0
+
+    def insertion_slot(self, proc: int, ready: float, duration: float) -> float:
+        """Earliest gap start for a ``duration`` task ready at ``ready``.
+
+        Identical semantics (including the 1e-12 fit tolerance) to scanning
+        the whole timeline for the first idle gap, but skips straight to the
+        first placement whose start a gap could possibly precede, using the
+        parallel start array and the prefix-max finish array — O(log n)
+        plus the short scan over actually-plausible gaps.
+        """
+        timeline = self._by_proc[proc]
+        if not timeline:
+            return ready
+        starts = self._starts[proc]
+        pmax = self._pmax[proc]
+        # A gap ending at starts[k] can only fit if
+        # max(ready, prev_end) + duration <= starts[k] + 1e-12, and since
+        # max(ready, prev_end) >= ready, every k with
+        # ready + duration > starts[k] + 1e-12 is certainly rejected.
+        k = bisect.bisect_left(starts, ready + duration - 1e-12)
+        while k > 0 and not (ready + duration > starts[k - 1] + 1e-12):
+            k -= 1  # float-boundary guard: only skip provably rejected gaps
+        prev_end = pmax[k - 1] if k else 0.0
+        for j in range(k, len(timeline)):
+            start = ready if ready > prev_end else prev_end
+            if start + duration <= starts[j] + 1e-12:
+                return start
+            finish = timeline[j].finish
+            if finish > prev_end:
+                prev_end = finish
+        return ready if ready > prev_end else prev_end
 
     # ------------------------------------------------------------------ #
     # aggregate measures

@@ -51,6 +51,7 @@ from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine, make_machine, single_processor
 from repro.machine.params import IDEAL, MachineParams
 from repro.sched.base import Scheduler
+from repro.sched.core import kernel_counters
 from repro.sched.registry import resolve_scheduler, scheduler_cache_key
 from repro.sched.schedule import Schedule
 from repro.sched.serialize import schedule_from_dict, schedule_to_dict
@@ -156,6 +157,10 @@ class ServiceStats:
     last_sweep_jobs: int = 1
     max_workers: int = 1
     entries: int = 0
+    kernel_builds: int = 0
+    kernel_build_ms: float = 0.0
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -177,7 +182,10 @@ class ServiceStats:
             f"sweep: {self.sweeps} run(s), {self.parallel_sweeps} parallel, "
             f"{self.serial_fallbacks} serial fallback(s), last "
             f"{self.last_sweep_seconds * 1000:.1f} ms on "
-            f"{self.last_sweep_jobs} job(s) (max workers {self.max_workers})"
+            f"{self.last_sweep_jobs} job(s) (max workers {self.max_workers})\n"
+            f"kernel: {self.kernel_builds} build(s) in "
+            f"{self.kernel_build_ms:.1f} ms, routes {self.route_cache_hits} "
+            f"hit(s) / {self.route_cache_misses} miss(es)"
         )
 
 
@@ -232,6 +240,9 @@ class ScheduleService:
         self._lru: "OrderedDict[tuple[str, str, str], Schedule]" = OrderedDict()
         self._disk_dir = self._resolve_disk_dir(disk_cache)
         self._stats = ServiceStats(max_workers=self.max_workers)
+        # Kernel counters are process-wide; remember where they stood at
+        # construction so stats() reports only this service's share.
+        self._kernel_base = kernel_counters()
 
     # ------------------------------------------------------------------ #
     # configuration
@@ -579,6 +590,16 @@ class ScheduleService:
         """A snapshot of the service counters."""
         snap = replace(self._stats)
         snap.entries = len(self._lru)
+        counters = kernel_counters()
+        base = self._kernel_base
+        snap.kernel_builds = int(counters["kernel_builds"] - base["kernel_builds"])
+        snap.kernel_build_ms = counters["kernel_build_ms"] - base["kernel_build_ms"]
+        snap.route_cache_hits = int(
+            counters["route_cache_hits"] - base["route_cache_hits"]
+        )
+        snap.route_cache_misses = int(
+            counters["route_cache_misses"] - base["route_cache_misses"]
+        )
         return snap
 
     def __repr__(self) -> str:

@@ -1,0 +1,55 @@
+"""docs/performance.md stays in sync with the kernel it describes."""
+
+import dataclasses
+import pathlib
+import re
+
+from repro.sched import ServiceStats
+from repro.sched.core import kernel_counters
+
+ROOT = pathlib.Path(__file__).parent.parent.parent
+DOCS = ROOT / "docs" / "performance.md"
+TEXT = DOCS.read_text(encoding="utf-8")
+
+
+def test_every_kernel_counter_is_documented():
+    counters = kernel_counters()
+    for name in counters:
+        assert f"`{name}`" in TEXT, f"counter {name} missing from docs/performance.md"
+    # and the service really forwards each one in its stats snapshot
+    stats_fields = {f.name for f in dataclasses.fields(ServiceStats)}
+    assert set(counters) <= stats_fields
+
+
+def test_documented_kernel_names_exist():
+    """Every kernel API name the doc leans on is importable."""
+    import repro.sched.core as core
+    from repro.sched.mh import LinkTimeline  # noqa: F401 — named in the doc
+    from repro.sched.schedule import Schedule
+
+    for name in ("SchedKernel", "ReadyHeap", "ReadySet", "KernelState"):
+        assert f"`{name}`" in TEXT
+        assert hasattr(core, name)
+    assert "`LinkTimeline`" in TEXT or "LinkTimeline" in TEXT
+    assert "insertion_slot" in TEXT and hasattr(Schedule, "insertion_slot")
+
+
+def test_referenced_files_exist():
+    for rel in re.findall(r"`((?:benchmarks|tests|docs)/[a-z_./]+\.(?:py|md|json))`", TEXT):
+        if rel.endswith(".json"):
+            continue  # artifacts are produced by benchmark runs, not committed
+        assert (ROOT / rel).exists(), f"docs/performance.md references missing {rel}"
+    assert (ROOT / "src" / "repro" / "sched" / "_reference.py").exists()
+
+
+def test_documented_thresholds_match_benchmark():
+    """The >=5x / >=1.5x bars in the doc match bench_ext_sched_core.CONFIG."""
+    bench = (ROOT / "benchmarks" / "bench_ext_sched_core.py").read_text(encoding="utf-8")
+    assert ">= 5x" in TEXT and "5.0" in bench
+    assert ">= 1.5x" in TEXT and "1.5" in bench
+    assert "BENCH_sched_core.json" in TEXT and "BENCH_sched_core.json" in bench
+
+
+def test_equivalence_suite_is_where_the_doc_says():
+    assert "tests/sched/test_core_equivalence.py" in TEXT
+    assert (ROOT / "tests" / "sched" / "test_core_equivalence.py").exists()
