@@ -1,0 +1,66 @@
+"""The one floating-point tolerance used for cross-layer time comparisons.
+
+Schedulers, the schedule checker (``SCH202``-``SCH205``), the simulator's
+static-vs-trace comparison, and the conformance oracles all compare event
+times that were produced by *different* arithmetic orders over the same
+cost model.  Each layer re-associates the same sums (start + duration,
+ready + hop + hop, ...) so results agree only up to accumulated rounding.
+
+``TOL`` is an **absolute** tolerance of ``1e-6`` time units.  Task times in
+this codebase are O(1)-O(1e4) (work / processor_speed with the shipped
+presets), so 1e-6 is ~1e-10 relative — far above float64 rounding noise for
+any realistic chain of additions, far below any genuine off-by-one in a
+cost term (the smallest nonzero cost parameters are O(1e-2)).  Every layer
+must import the helpers below instead of inlining its own epsilon; drifting
+tolerances between the scheduler and the simulator is exactly the class of
+bug the conformance suite exists to catch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+#: Absolute tolerance for floating-point time comparisons (see module doc).
+TOL = 1e-6
+
+__all__ = ["TOL", "approx_eq", "approx_le", "approx_ge", "values_close"]
+
+
+def approx_eq(a: float, b: float, tol: float = TOL) -> bool:
+    """``a == b`` up to the shared absolute tolerance."""
+    return abs(a - b) <= tol
+
+
+def approx_le(a: float, b: float, tol: float = TOL) -> bool:
+    """``a <= b`` up to the shared absolute tolerance."""
+    return a <= b + tol
+
+
+def approx_ge(a: float, b: float, tol: float = TOL) -> bool:
+    """``a >= b`` up to the shared absolute tolerance."""
+    return a >= b - tol
+
+
+def values_close(a: Any, b: Any) -> bool:
+    """Exact, NaN-aware equality for PITS values (floats, bools, strings,
+    numpy arrays).
+
+    Used by the interpreter-vs-generated-code oracles: because both
+    executions share one runtime (:mod:`repro.codegen.runtime`), they must
+    agree *bit for bit* — no tolerance — but ``NaN == NaN`` must hold so a
+    routine that legitimately produces NaN on both sides still conforms.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return a.shape == b.shape and bool(np.array_equal(a, b, equal_nan=True))
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if math.isnan(a) or math.isnan(b):
+            return math.isnan(a) and math.isnan(b)
+        return float(a) == float(b)
+    return a == b

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 from repro.env.project import BangerProject
@@ -221,6 +222,49 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_conform(args: argparse.Namespace) -> int:
+    from repro.conformance import corpus_paths, load_entry, replay_entry, run
+
+    oracles = [o.strip() for o in (args.oracle or "").split(",") if o.strip()]
+
+    if args.replay:
+        if not pathlib.Path(args.replay).is_dir():
+            print(f"error: no such corpus directory: {args.replay}", file=sys.stderr)
+            return 2
+        failures: list[str] = []
+        paths = corpus_paths(args.replay)
+        for path in paths:
+            for oracle, problem in replay_entry(load_entry(path)):
+                failures.append(f"{path.name}: [{oracle}] {problem}")
+        if args.format == "json":
+            print(json.dumps({
+                "type": "banger-conform-replay",
+                "corpus": str(args.replay),
+                "cases": len(paths),
+                "ok": not failures,
+                "failures": failures,
+            }, indent=2))
+        else:
+            print(f"replayed {len(paths)} corpus case(s) from {args.replay}")
+            for line in failures:
+                print(f"FAIL {line}")
+            print("ok" if not failures else f"FAILED ({len(failures)} problem(s))")
+        return 1 if failures else 0
+
+    report = run(
+        seed=args.seed,
+        runs=args.runs,
+        oracles=oracles or None,
+        corpus_dir=args.corpus,
+        time_budget=args.budget,
+    )
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     topo = build_topology(args.family, args.procs)
     print(render_topology(topo))
@@ -357,6 +401,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--language", default="python", choices=("python", "mpi", "c"))
     p.add_argument("-o", "--output", help="write to a file instead of stdout")
     p.set_defaults(fn=cmd_codegen)
+
+    p = sub.add_parser(
+        "conform",
+        help="differential fuzzing: cross-layer oracles on seeded cases",
+        epilog="Runs are deterministic per (seed, runs, oracles): the printed "
+               "digest must be identical across repeats.  Failures are shrunk "
+               "to minimal witnesses and, with --corpus, written as replayable "
+               "JSON cases.  Oracle catalogue: docs/conformance.md",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fuzzer seed (default 0)")
+    p.add_argument("--runs", type=int, default=100,
+                   help="number of generated cases (default 100)")
+    p.add_argument("--oracle", default="",
+                   help="comma-separated oracle names (default: all registered)")
+    p.add_argument("--corpus", default=None,
+                   help="directory to write shrunk failing cases into")
+    p.add_argument("--budget", type=float, default=None,
+                   help="wall-clock cap in seconds (truncation is reported)")
+    p.add_argument("--replay", default=None, metavar="CORPUS_DIR",
+                   help="replay a stored corpus instead of fuzzing")
+    p.add_argument("--format", default="text", choices=("text", "json"))
+    p.set_defaults(fn=cmd_conform)
 
     p = sub.add_parser("topology", help="draw a topology family")
     p.add_argument("--family", default="hypercube")

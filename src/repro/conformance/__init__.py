@@ -1,0 +1,80 @@
+"""Conformance engine: differential oracles + seeded fuzzing across layers.
+
+The paper's promise is *instant, trustworthy feedback*: Banger's predicted
+schedules, simulated replays, interpreted trial runs, and generated
+programs must all tell the scientist the same story.  This package makes
+that cross-layer consistency a continuously-fuzzed subsystem:
+
+* :mod:`~repro.conformance.oracles` — the registry of cross-layer
+  invariants (predicted vs. simulated makespans, interpreter vs. generated
+  code, serialization round trips, flatten identity, lint-clean ⇒
+  simulatable, determinism);
+* :mod:`~repro.conformance.generators` — seeded deterministic case
+  generators over graph families × machine topologies × schedulers and
+  PITS programs;
+* :mod:`~repro.conformance.shrink` — greedy minimization of failing cases;
+* :mod:`~repro.conformance.corpus` — the replayable failure corpus under
+  ``tests/conformance/corpus/``;
+* :mod:`~repro.conformance.runner` — the fuzz loop behind
+  ``banger conform``, with ``ServiceStats``-style counters and a
+  deterministic run digest.
+
+See ``docs/conformance.md`` for the oracle catalogue and the triage
+workflow for a shrunk failure.
+"""
+
+from repro.conformance.cases import Case, graph_case, pits_case
+from repro.conformance.corpus import (
+    DEFAULT_CORPUS,
+    CorpusEntry,
+    corpus_paths,
+    load_entry,
+    replay_entry,
+    write_entry,
+)
+from repro.conformance.generators import (
+    FUZZ_SCHEDULERS,
+    MACHINE_FAMILIES,
+    CaseGenerator,
+)
+from repro.conformance.oracles import (
+    ORACLES,
+    CaseContext,
+    Oracle,
+    register,
+    resolve_oracles,
+)
+from repro.conformance.runner import (
+    ConformanceReport,
+    ConformanceStats,
+    Failure,
+    check_case,
+    run,
+)
+from repro.conformance.shrink import shrink
+
+__all__ = [
+    "Case",
+    "CaseContext",
+    "CaseGenerator",
+    "ConformanceReport",
+    "ConformanceStats",
+    "CorpusEntry",
+    "DEFAULT_CORPUS",
+    "FUZZ_SCHEDULERS",
+    "Failure",
+    "MACHINE_FAMILIES",
+    "ORACLES",
+    "Oracle",
+    "check_case",
+    "corpus_paths",
+    "graph_case",
+    "load_entry",
+    "pits_case",
+    "register",
+    "replay_entry",
+    "resolve_oracles",
+    "run",
+    "shrink",
+    "write_entry",
+]

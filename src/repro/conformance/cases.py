@@ -1,0 +1,132 @@
+"""The conformance *case*: one self-contained, replayable test input.
+
+A case is a plain JSON document (canonical form via
+:func:`repro.graph.serialize.canonical_json`) so that a failure found by
+the fuzzer on one machine replays bit-for-bit on any other.  Two kinds
+exist:
+
+* ``graph`` — a task graph + target machine + scheduler name, exercised by
+  the scheduling/simulation/serialization oracles;
+* ``pits`` — a PITS routine source + input bindings, exercised by the
+  interpreter-vs-generated-code oracle.
+
+``case_id`` is the first 12 hex digits of the canonical-JSON fingerprint,
+which is also the corpus file stem — the id *is* the content address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+from repro.graph.serialize import (
+    _decode_value,
+    _encode_value,
+    canonical_json,
+    fingerprint,
+    taskgraph_from_dict,
+    taskgraph_to_dict,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.machine.machine import TargetMachine
+
+FORMAT_VERSION = 1
+
+GRAPH = "graph"
+PITS = "pits"
+KINDS = (GRAPH, PITS)
+
+
+@dataclass(frozen=True)
+class Case:
+    """One conformance input (immutable; all content lives in ``payload``)."""
+
+    kind: str
+    payload: dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ReproError(f"unknown case kind {self.kind!r}; expected {KINDS}")
+
+    # ------------------------------------------------------------------ #
+    # content addressing + (de)serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT_VERSION,
+            "type": "conformance-case",
+            "kind": self.kind,
+            "payload": self.payload,
+        }
+
+    def canonical(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @property
+    def case_id(self) -> str:
+        return fingerprint(self.to_dict())[:12]
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Case":
+        if data.get("type") != "conformance-case":
+            raise ReproError(
+                f"not a conformance case document (type={data.get('type')!r})"
+            )
+        return cls(kind=data["kind"], payload=data["payload"])
+
+    # ------------------------------------------------------------------ #
+    # materialization (graph cases)
+    # ------------------------------------------------------------------ #
+    def taskgraph(self) -> TaskGraph:
+        if self.kind != GRAPH:
+            raise ReproError(f"case {self.case_id} is not a graph case")
+        return taskgraph_from_dict(self.payload["graph"])
+
+    def machine(self) -> TargetMachine:
+        if self.kind != GRAPH:
+            raise ReproError(f"case {self.case_id} is not a graph case")
+        return TargetMachine.from_dict(self.payload["machine"])
+
+    @property
+    def scheduler(self) -> str:
+        if self.kind != GRAPH:
+            raise ReproError(f"case {self.case_id} is not a graph case")
+        return self.payload["scheduler"]
+
+    # ------------------------------------------------------------------ #
+    # materialization (pits cases)
+    # ------------------------------------------------------------------ #
+    @property
+    def source(self) -> str:
+        if self.kind != PITS:
+            raise ReproError(f"case {self.case_id} is not a pits case")
+        return self.payload["source"]
+
+    def inputs(self) -> dict[str, Any]:
+        if self.kind != PITS:
+            raise ReproError(f"case {self.case_id} is not a pits case")
+        return {k: _decode_value(v) for k, v in self.payload["inputs"].items()}
+
+
+def graph_case(tg: TaskGraph, machine: TargetMachine, scheduler: str) -> Case:
+    """Package a task graph + machine + scheduler name as a graph case."""
+    return Case(
+        kind=GRAPH,
+        payload={
+            "graph": taskgraph_to_dict(tg),
+            "machine": machine.to_dict(),
+            "scheduler": scheduler,
+        },
+    )
+
+
+def pits_case(source: str, inputs: dict[str, Any]) -> Case:
+    """Package a PITS routine + input bindings as a pits case."""
+    return Case(
+        kind=PITS,
+        payload={
+            "source": source,
+            "inputs": {k: _encode_value(v) for k, v in sorted(inputs.items())},
+        },
+    )

@@ -1,0 +1,105 @@
+"""The replayable failure corpus: ``tests/conformance/corpus/*.json``.
+
+Every failure the fuzzer finds is shrunk and written here as one canonical
+JSON document per case, named ``<kind>-<oracle>-<case_id>.json`` — the file
+stem doubles as the pytest id in ``tests/conformance/test_corpus.py``, so a
+red CI run names the exact case to replay:
+
+    PYTHONPATH=src python -m repro.cli conform --replay tests/conformance/corpus
+
+Entries are *regression* cases (they failed once, were fixed, and must pass
+every applicable oracle forever after) or *pinned sentinels* — hand-picked
+shapes guarding historically delicate contracts (duplication replay, bus
+contention, domain-error agreement); the ``origin`` field says which.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.conformance.cases import Case
+from repro.errors import ReproError
+from repro.graph.serialize import canonical_json
+
+FORMAT_VERSION = 1
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = pathlib.Path("tests") / "conformance" / "corpus"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One stored failure: the shrunk case plus its provenance."""
+
+    case: Case
+    oracle: str
+    detail: str
+    origin: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT_VERSION,
+            "type": "conformance-corpus-entry",
+            "case": self.case.to_dict(),
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "origin": self.origin,
+        }
+
+    @property
+    def stem(self) -> str:
+        return f"{self.case.kind}-{self.oracle}-{self.case.case_id}"
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CorpusEntry":
+        if data.get("type") != "conformance-corpus-entry":
+            raise ReproError(
+                f"not a corpus entry document (type={data.get('type')!r})"
+            )
+        return cls(
+            case=Case.from_dict(data["case"]),
+            oracle=data.get("oracle", ""),
+            detail=data.get("detail", ""),
+            origin=data.get("origin", ""),
+        )
+
+
+def write_entry(corpus_dir: str | pathlib.Path, entry: CorpusEntry) -> pathlib.Path:
+    """Write ``entry`` in canonical JSON; returns the path (content-named,
+    so rewriting the same shrunk case is idempotent)."""
+    directory = pathlib.Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.stem}.json"
+    path.write_text(canonical_json(entry.to_dict()) + "\n", encoding="utf-8")
+    return path
+
+
+def load_entry(path: str | pathlib.Path) -> CorpusEntry:
+    return CorpusEntry.from_dict(json.loads(pathlib.Path(path).read_text(encoding="utf-8")))
+
+
+def corpus_paths(corpus_dir: str | pathlib.Path) -> list[pathlib.Path]:
+    """Every corpus file, sorted by name for deterministic replay order."""
+    directory = pathlib.Path(corpus_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def replay_entry(entry: CorpusEntry) -> list[tuple[str, str]]:
+    """Run every applicable oracle on a stored case.
+
+    Returns ``(oracle name, problem)`` pairs — empty means the regression
+    stays fixed.
+    """
+    from repro.conformance.oracles import CaseContext, ORACLES
+
+    ctx = CaseContext(entry.case)
+    failures: list[tuple[str, str]] = []
+    for oracle in ORACLES.values():
+        for problem in oracle.check(ctx):
+            failures.append((oracle.name, problem))
+    return failures

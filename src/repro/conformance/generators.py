@@ -1,0 +1,218 @@
+"""Seeded deterministic case generators for the conformance fuzzer.
+
+Everything is driven by one ``random.Random(seed)`` stream: the same seed
+always yields the same case sequence, in any process, on any platform —
+that is what makes ``banger conform --seed 0`` a reproducible CI gate and
+lets two runs be compared digest-for-digest.
+
+Graph cases are layered on :mod:`repro.graph.generators` (the stock
+scheduling-literature families plus seeded random layered DAGs); machines
+cover every topology family at its legal small sizes; PITS cases mix the
+stock :mod:`repro.calc.library` routines (randomized inputs, including the
+domain edges: negative square roots, zero denominators, degenerate fits)
+with random guarded straight-line arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.calc.library import LIBRARY
+from repro.conformance.cases import Case, graph_case, pits_case
+from repro.graph import generators as gg
+from repro.graph.taskgraph import TaskGraph
+from repro.machine import MachineParams, TargetMachine, build_topology
+
+#: (family, legal small processor counts) — every topology family the
+#: machine layer ships, at sizes that keep a fuzz run fast.
+MACHINE_FAMILIES: tuple[tuple[str, tuple[int, ...]], ...] = (
+    ("full", (2, 3, 4, 6, 8)),
+    ("ring", (3, 4, 5, 8)),
+    ("star", (3, 4, 8)),
+    ("linear", (2, 3, 4, 8)),
+    ("bus", (2, 4, 8)),
+    ("hypercube", (2, 4, 8)),
+    ("mesh", (4, 9)),
+    ("torus", (4, 9)),
+    ("tree", (3, 7)),
+    ("chordal", (5, 8)),
+)
+
+#: Deterministic, fast schedulers only: ``exhaustive`` (exponential) and
+#: ``anneal``/``random`` (stochastic) stay out of the fuzz rotation.
+FUZZ_SCHEDULERS: tuple[str, ...] = (
+    "mh",
+    "mh-nocontention",
+    "hlfet",
+    "ish",
+    "etf",
+    "dls",
+    "mcp",
+    "cpop",
+    "dsh",
+    "lc",
+    "dsc",
+    "sarkar",
+    "grain",
+    "serial",
+    "roundrobin",
+)
+
+#: Binary operators for random straight-line PITS expressions.  Division is
+#: emitted in a guarded form so generated programs are total.
+_OPS = ("+", "-", "*", "/", "min", "max")
+
+
+class CaseGenerator:
+    """Deterministic case stream: ``CaseGenerator(seed).next_case()``."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._count = 0
+
+    # ------------------------------------------------------------------ #
+    # top level
+    # ------------------------------------------------------------------ #
+    def next_case(self) -> Case:
+        """Roughly three graph cases for every pits case."""
+        self._count += 1
+        if self.rng.random() < 0.25:
+            return self.next_pits_case()
+        return self.next_graph_case()
+
+    # ------------------------------------------------------------------ #
+    # graph cases
+    # ------------------------------------------------------------------ #
+    def next_graph_case(self) -> Case:
+        tg = self._random_graph()
+        machine = self._random_machine()
+        scheduler = self.rng.choice(FUZZ_SCHEDULERS)
+        return graph_case(tg, machine, scheduler)
+
+    def _random_graph(self) -> TaskGraph:
+        rng = self.rng
+        work = round(rng.uniform(0.5, 8.0), 3)
+        comm = round(rng.uniform(0.1, 12.0), 3)
+        builders = (
+            lambda: gg.chain(rng.randint(2, 10), work=work, comm=comm),
+            lambda: gg.fork_join(rng.randint(2, 8), work=work, comm=comm),
+            lambda: gg.diamond(rng.randint(2, 4), work=work, comm=comm),
+            lambda: gg.out_tree(rng.randint(2, 3), rng.randint(2, 3),
+                                work=work, comm=comm),
+            lambda: gg.in_tree(rng.randint(2, 3), rng.randint(2, 3),
+                               work=work, comm=comm),
+            lambda: gg.butterfly(rng.choice((2, 4)), work=work, comm=comm),
+            lambda: gg.gaussian_elimination(rng.randint(2, 4), work=work, comm=comm),
+            lambda: gg.lu_taskgraph(rng.randint(2, 4), work=work, comm=comm),
+            lambda: gg.map_reduce(rng.randint(2, 6), work=work, comm=comm),
+            lambda: gg.stencil(rng.randint(2, 4), rng.randint(2, 4),
+                               work=work, comm=comm),
+            lambda: self._random_layered(),
+        )
+        return rng.choice(builders)()
+
+    def _random_layered(self) -> TaskGraph:
+        rng = self.rng
+        n_tasks = rng.randint(4, 24)
+        return gg.random_layered(
+            n_tasks,
+            rng.randint(2, min(5, n_tasks)),
+            edge_prob=rng.uniform(0.2, 0.7),
+            seed=rng.randrange(1_000_000),
+        )
+
+    def _random_machine(self) -> TargetMachine:
+        rng = self.rng
+        family, sizes = rng.choice(MACHINE_FAMILIES)
+        n = rng.choice(sizes)
+        params = MachineParams(
+            processor_speed=round(rng.uniform(0.5, 4.0), 3),
+            process_startup=round(rng.choice((0.0, rng.uniform(0.0, 0.5))), 3),
+            msg_startup=round(rng.uniform(0.0, 1.0), 3),
+            transmission_rate=round(rng.uniform(1.0, 50.0), 3),
+            hop_latency=round(rng.uniform(0.0, 0.5), 3),
+        )
+        return TargetMachine(build_topology(family, n), params)
+
+    # ------------------------------------------------------------------ #
+    # pits cases
+    # ------------------------------------------------------------------ #
+    def next_pits_case(self) -> Case:
+        if self.rng.random() < 0.5:
+            name = self.rng.choice(sorted(LIBRARY))
+            return pits_case(LIBRARY[name], self._library_inputs(name))
+        return self._random_straightline_case()
+
+    def _library_inputs(self, name: str) -> dict[str, Any]:
+        """Randomized-but-valid inputs per stock routine, edge cases included."""
+        rng = self.rng
+        f = lambda lo, hi: round(rng.uniform(lo, hi), 4)  # noqa: E731
+        vec = lambda n: [f(-10, 10) for _ in range(n)]  # noqa: E731
+        n = rng.randint(2, 5)
+        if name == "square_root":
+            # negative input exercises the Figure 4 display branch
+            return {"a": rng.choice((f(-9, -0.1), 0.0, f(0.0, 100.0)))}
+        if name == "polynomial":
+            return {"c": vec(n), "x": f(-3, 3)}
+        if name == "trapezoid_sin":
+            return {"a": f(-3, 0), "b": f(0.1, 3), "n": float(rng.randint(1, 12))}
+        if name == "stats":
+            return {"v": vec(n)}
+        if name == "quadratic":
+            # a == 0 exercises the division-by-zero path on both sides
+            return {"a": rng.choice((0.0, f(0.1, 4))), "b": f(-5, 5), "c": f(-5, 5)}
+        if name == "matvec":
+            m = rng.randint(2, 4)
+            return {"A": [vec(m) for _ in range(n)], "x": vec(m)}
+        if name == "axpy":
+            return {"a": f(-4, 4), "x": vec(n), "yin": vec(n)}
+        if name == "gcd":
+            return {"a": float(rng.randint(-60, 60)), "b": float(rng.randint(-60, 60))}
+        if name == "bisect_cos":
+            return {"lo": 0.0, "hi": f(1.0, 2.0), "tol": 1e-6}
+        if name == "simpson_exp":
+            return {"a": f(-2, 0), "b": f(0.1, 2), "n": float(2 * rng.randint(1, 6))}
+        if name == "linreg":
+            # a constant x vector makes the slope denominator exactly zero
+            if rng.random() < 0.2:
+                return {"x": [1.0] * n, "y": vec(n)}
+            return {"x": [float(i) for i in range(1, n + 1)], "y": vec(n)}
+        if name == "compound":
+            return {"principal": f(1, 1000), "rate": f(-0.5, 0.5),
+                    "n": float(rng.randint(1, 8))}
+        raise AssertionError(f"no input recipe for stock routine {name!r}")
+
+    def _random_straightline_case(self) -> Case:
+        rng = self.rng
+        names = ("a", "b", "t1", "t2")
+
+        def expr(depth: int) -> str:
+            if depth == 0 or rng.random() < 0.3:
+                if rng.random() < 0.5:
+                    return f"{rng.uniform(-5, 5):.4g}"
+                return rng.choice(names)
+            op = rng.choice(_OPS)
+            l, r = expr(depth - 1), expr(depth - 1)
+            if op == "/":
+                return f"({l} / (abs({r}) + 1))"
+            if op in ("min", "max"):
+                return f"{op}({l}, {r})"
+            return f"({l} {op} {r})"
+
+        source = (
+            "task Fuzz\n"
+            "input a, b\n"
+            "output x, y\n"
+            "local t1, t2\n"
+            "t1 := a\n"
+            "t2 := b\n"
+            f"t1 := {expr(3)}\n"
+            f"t2 := {expr(3)}\n"
+            f"x := {expr(3)}\n"
+            f"y := {expr(3)}\n"
+        )
+        inputs = {"a": round(rng.uniform(-100, 100), 4),
+                  "b": round(rng.uniform(-100, 100), 4)}
+        return pits_case(source, inputs)

@@ -1,0 +1,323 @@
+"""The oracle registry: cross-layer invariants the repo must always satisfy.
+
+Each oracle checks one *relationship between two independent layers* — a
+prediction against a replay, a document against its round trip, two
+execution engines against each other.  An oracle takes a
+:class:`CaseContext` (which materializes and caches the expensive shared
+artifacts: the schedule, the contention-free trace) and returns a list of
+problem strings; an empty list means the case conforms.
+
+Registered oracles
+------------------
+===============  ======  ====================================================
+name             kind    invariant
+===============  ======  ====================================================
+``feasible``     graph   scheduler output passes the independent checker
+                         (rules SCH201-SCH205)
+``makespan``     graph   event-driven replay never finishes a task *later*
+                         than the static schedule promised, and the simulated
+                         makespan never exceeds the predicted makespan
+``contention``   graph   one-message-at-a-time links can only slow the
+                         replay down, never speed it up
+``roundtrip``    graph   graph / machine / schedule serialize -> deserialize
+                         preserves content hashes, placements, and makespan
+``flatten``      graph   lifting a task graph to a PITL drawing and
+                         flattening it back is semantically identity: same
+                         tasks, works, edges — and the same predicted
+                         makespan when scheduled
+``determinism``  graph   scheduling twice and simulating twice produce
+                         byte-identical documents
+``lint_sim``     graph   a design that lints clean (DF109 "no program yet"
+                         suppressed — fuzz graphs are weight-only) must
+                         flatten, schedule, and simulate without error
+``pits_codegen`` pits    a PITS routine computes bit-identical outputs (and
+                         display lines) through the tree-walking interpreter
+                         and the generated-Python path; domain errors must
+                         be raised by both sides or neither
+===============  ======  ====================================================
+
+All time comparisons go through :mod:`repro.approx` — the one shared
+tolerance — so the oracle suite cannot drift apart from the checkers it
+guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.approx import approx_eq, approx_ge, approx_le, values_close
+from repro.conformance.cases import GRAPH, PITS, Case
+from repro.errors import CalcError, ReproError
+from repro.graph.generators import as_dataflow
+from repro.graph.hierarchy import flatten
+from repro.graph.serialize import taskgraph_from_dict, taskgraph_to_dict
+from repro.machine.machine import TargetMachine
+from repro.sched import get_scheduler
+from repro.sched.serialize import schedule_from_dict, schedule_to_dict
+from repro.sched.validate import schedule_problems
+from repro.sim.executor import compare_with_static, simulate
+
+
+class CaseContext:
+    """Lazily materializes (and caches) the artifacts oracles share.
+
+    Scheduling and the contention-free replay are each computed at most
+    once per case no matter how many oracles inspect them.
+    """
+
+    def __init__(self, case: Case):
+        self.case = case
+        self._cache: dict[str, object] = {}
+
+    def _get(self, key: str, build: Callable[[], object]) -> object:
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    @property
+    def graph(self):
+        return self._get("graph", self.case.taskgraph)
+
+    @property
+    def machine(self) -> TargetMachine:
+        return self._get("machine", self.case.machine)
+
+    @property
+    def schedule(self):
+        return self._get(
+            "schedule",
+            lambda: get_scheduler(self.case.scheduler).schedule(
+                self.graph, self.machine
+            ),
+        )
+
+    @property
+    def trace(self):
+        """The contention-free replay of :attr:`schedule`."""
+        return self._get("trace", lambda: simulate(self.schedule, contention=False))
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One registered invariant."""
+
+    name: str
+    kind: str
+    description: str
+    fn: Callable[[CaseContext], list[str]]
+
+    def check(self, ctx: CaseContext) -> list[str]:
+        """Problems found on this case (crashes become problems, not raises)."""
+        if ctx.case.kind != self.kind:
+            return []
+        try:
+            return self.fn(ctx)
+        except Exception as exc:  # noqa: BLE001 - a crash *is* a finding
+            return [f"{type(exc).__name__}: {exc}"]
+
+
+#: name -> Oracle, in registration order (which the runner preserves).
+ORACLES: dict[str, Oracle] = {}
+
+
+def register(name: str, kind: str, description: str):
+    def deco(fn: Callable[[CaseContext], list[str]]) -> Callable:
+        if name in ORACLES:
+            raise ReproError(f"oracle {name!r} registered twice")
+        ORACLES[name] = Oracle(name, kind, description, fn)
+        return fn
+
+    return deco
+
+
+def resolve_oracles(names: list[str] | None = None) -> list[Oracle]:
+    """Oracles to run: all of them, or the named subset (order preserved)."""
+    if not names:
+        return list(ORACLES.values())
+    missing = [n for n in names if n not in ORACLES]
+    if missing:
+        raise ReproError(
+            f"unknown oracle(s) {missing}; registered: {sorted(ORACLES)}"
+        )
+    return [ORACLES[n] for n in ORACLES if n in names]
+
+
+# --------------------------------------------------------------------- #
+# graph oracles
+# --------------------------------------------------------------------- #
+@register("feasible", GRAPH, "scheduler output passes the independent checker")
+def _feasible(ctx: CaseContext) -> list[str]:
+    return schedule_problems(ctx.schedule)
+
+
+@register("makespan", GRAPH,
+          "simulated trace never finishes later than the static schedule")
+def _makespan(ctx: CaseContext) -> list[str]:
+    problems = compare_with_static(ctx.schedule, ctx.trace)
+    static, replayed = ctx.schedule.makespan(), ctx.trace.makespan()
+    if not approx_le(replayed, static):
+        problems.append(
+            f"simulated makespan {replayed:g} exceeds predicted {static:g}"
+        )
+    return problems
+
+
+@register("contention", GRAPH,
+          "link contention can only increase the simulated makespan")
+def _contention(ctx: CaseContext) -> list[str]:
+    contended = simulate(ctx.schedule, contention=True)
+    if not approx_ge(contended.makespan(), ctx.trace.makespan()):
+        return [
+            f"contended makespan {contended.makespan():g} below "
+            f"contention-free {ctx.trace.makespan():g}"
+        ]
+    return []
+
+
+@register("roundtrip", GRAPH,
+          "graph/machine/schedule serialization round-trips preserve content")
+def _roundtrip(ctx: CaseContext) -> list[str]:
+    problems: list[str] = []
+    tg = ctx.graph
+    tg2 = taskgraph_from_dict(taskgraph_to_dict(tg))
+    if tg2.content_hash() != tg.content_hash():
+        problems.append("taskgraph content hash changed across round trip")
+    machine2 = TargetMachine.from_dict(ctx.machine.to_dict())
+    if machine2.content_hash() != ctx.machine.content_hash():
+        problems.append("machine content hash changed across round trip")
+    doc = schedule_to_dict(ctx.schedule)
+    reloaded = schedule_from_dict(doc)
+    if schedule_to_dict(reloaded) != doc:
+        problems.append("schedule document changed across round trip")
+    if reloaded.makespan() != ctx.schedule.makespan():
+        problems.append(
+            f"reloaded makespan {reloaded.makespan():g} != "
+            f"original {ctx.schedule.makespan():g}"
+        )
+    return problems
+
+
+@register("flatten", GRAPH,
+          "lift to a PITL drawing + flatten is identity, incl. the makespan")
+def _flatten(ctx: CaseContext) -> list[str]:
+    tg = ctx.graph
+    flat = flatten(as_dataflow(tg))
+    problems: list[str] = []
+    if set(flat.task_names) != set(tg.task_names):
+        problems.append("flatten(as_dataflow(tg)) changed the task set")
+        return problems
+    for name in tg.task_names:
+        if flat.work(name) != tg.work(name):
+            problems.append(f"task {name!r} work changed across flatten")
+    edges = lambda g: sorted((e.src, e.dst, e.var, e.size) for e in g.edges)  # noqa: E731
+    if edges(flat) != edges(tg):
+        problems.append("edge set changed across flatten")
+    if problems:
+        return problems
+    resched = get_scheduler(ctx.case.scheduler).schedule(flat, ctx.machine)
+    if not approx_eq(resched.makespan(), ctx.schedule.makespan()):
+        problems.append(
+            f"flattened graph schedules to makespan {resched.makespan():g}, "
+            f"original to {ctx.schedule.makespan():g}"
+        )
+    return problems
+
+
+@register("determinism", GRAPH,
+          "scheduling and simulating twice produce byte-identical documents")
+def _determinism(ctx: CaseContext) -> list[str]:
+    problems: list[str] = []
+    again = get_scheduler(ctx.case.scheduler).schedule(ctx.graph, ctx.machine)
+    if schedule_to_dict(again) != schedule_to_dict(ctx.schedule):
+        problems.append("scheduling the same case twice differed")
+    trace2 = simulate(ctx.schedule, contention=False)
+    if trace2.runs != ctx.trace.runs or trace2.hops != ctx.trace.hops:
+        problems.append("simulating the same schedule twice differed")
+    return problems
+
+
+@register("lint_sim", GRAPH,
+          "a lint-clean design must flatten, schedule, and simulate")
+def _lint_sim(ctx: CaseContext) -> list[str]:
+    from repro.lint import lint_design
+
+    design = as_dataflow(ctx.graph)
+    report = lint_design(design, ctx.machine, suppress=("DF109",))
+    if report.error_count:
+        return []  # not lint-clean: the implication holds vacuously
+    try:
+        flat = flatten(design)
+        schedule = get_scheduler(ctx.case.scheduler).schedule(flat, ctx.machine)
+        simulate(schedule, contention=False)
+    except Exception as exc:  # noqa: BLE001
+        return [f"lint-clean design failed downstream: {type(exc).__name__}: {exc}"]
+    return []
+
+
+# --------------------------------------------------------------------- #
+# pits oracles
+# --------------------------------------------------------------------- #
+@register("pits_codegen", PITS,
+          "interpreter and generated Python compute bit-identical results")
+def _pits_codegen(ctx: CaseContext) -> list[str]:
+    from repro.calc.interp import _coerce_input, run_program
+    from repro.calc.parser import parse
+    from repro.codegen import runtime as _rt
+    from repro.codegen.pits2py import function_name, gen_task_function
+
+    source = ctx.case.source
+    # Both engines must see the same values: real pipelines always hand the
+    # generated function an env of already-coerced values (numpy arrays,
+    # floats), exactly what the interpreter's input coercion produces.
+    inputs = {k: _coerce_input(v) for k, v in ctx.case.inputs().items()}
+    program = parse(source)
+
+    interp_exc: BaseException | None = None
+    expected = None
+    displayed: list[str] = []
+    try:
+        expected = run_program(source, **inputs)
+        displayed = expected.displayed
+    except CalcError as exc:
+        interp_exc = exc
+
+    code = gen_task_function("case", source)
+    namespace = {"_rt": _rt, "_np": np}
+    exec(compile(code, "<conformance>", "exec"), namespace)  # noqa: S102
+    shown: list[str] = []
+    gen_exc: BaseException | None = None
+    got = None
+    try:
+        got = namespace[function_name("case")](dict(inputs), shown.append)
+    except CalcError as exc:
+        gen_exc = exc
+
+    if (interp_exc is None) != (gen_exc is None):
+        return [
+            "interpreter and generated code disagree on raising: "
+            f"interp={interp_exc!r}, generated={gen_exc!r}"
+        ]
+    if interp_exc is not None:
+        if type(interp_exc) is not type(gen_exc):
+            return [
+                f"error types diverge: interpreter {type(interp_exc).__name__}, "
+                f"generated {type(gen_exc).__name__}"
+            ]
+        return []
+
+    problems: list[str] = []
+    assert expected is not None and got is not None
+    for name in program.outputs:
+        if not values_close(got.get(name), expected.outputs[name]):
+            problems.append(
+                f"output {name!r} diverges: interpreter "
+                f"{expected.outputs[name]!r}, generated {got.get(name)!r}"
+            )
+    if shown != displayed:
+        problems.append(
+            f"display lines diverge: interpreter {displayed!r}, generated {shown!r}"
+        )
+    return problems

@@ -1,0 +1,233 @@
+"""The fuzz loop: generate cases, run oracles, shrink and store failures.
+
+:func:`run` is what ``banger conform`` and the CI job call.  It is fully
+deterministic for a given ``(seed, runs, oracles)`` triple: the report
+carries a ``digest`` — a fingerprint over every (case id, oracle, verdict,
+problem text) tuple — and two runs with the same inputs must produce the
+same digest (checked in CI by literally running it twice).  Wall-clock
+numbers live only in :class:`ConformanceStats`, which stays *out* of the
+digest.
+
+A ``time_budget`` (seconds) caps the loop for CI; hitting it sets
+``stats.truncated`` and is reported, never silent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.conformance.cases import GRAPH, PITS, Case
+from repro.conformance.corpus import CorpusEntry, write_entry
+from repro.conformance.generators import CaseGenerator
+from repro.conformance.oracles import CaseContext, Oracle, resolve_oracles
+from repro.conformance.shrink import DEFAULT_MAX_CHECKS, shrink
+from repro.graph.serialize import fingerprint
+
+
+@dataclass
+class ConformanceStats:
+    """``ServiceStats``-style observability counters for one run."""
+
+    cases: int = 0
+    graph_cases: int = 0
+    pits_cases: int = 0
+    oracle_checks: int = 0
+    failures: int = 0
+    shrink_checks: int = 0
+    corpus_writes: int = 0
+    elapsed_seconds: float = 0.0
+    truncated: bool = False
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(vars(self))
+
+    def render(self) -> str:
+        return (
+            f"cases: {self.cases} ({self.graph_cases} graph, "
+            f"{self.pits_cases} pits), {self.oracle_checks} oracle check(s), "
+            f"{self.failures} failure(s)\n"
+            f"shrink: {self.shrink_checks} evaluation(s), "
+            f"{self.corpus_writes} corpus write(s)\n"
+            f"time: {self.elapsed_seconds:.2f} s"
+            + (" [budget hit — run truncated]" if self.truncated else "")
+        )
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One oracle violation, with its shrunk witness."""
+
+    case_id: str
+    oracle: str
+    detail: str
+    shrunk: Case
+    corpus_path: str = ""
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one fuzz run produced."""
+
+    seed: int
+    runs_requested: int
+    oracle_names: list[str]
+    outcomes: list[tuple[str, str, bool, str]] = field(default_factory=list)
+    failures: list[Failure] = field(default_factory=list)
+    stats: ConformanceStats = field(default_factory=ConformanceStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def per_oracle(self) -> dict[str, tuple[int, int]]:
+        """oracle name -> (passes, failures), in registration order."""
+        tally: dict[str, list[int]] = {n: [0, 0] for n in self.oracle_names}
+        for _case_id, oracle, ok, _detail in self.outcomes:
+            tally[oracle][0 if ok else 1] += 1
+        return {n: (p, f) for n, (p, f) in tally.items()}
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the run (excludes wall-clock)."""
+        return fingerprint(
+            {
+                "seed": self.seed,
+                "runs": self.runs_requested,
+                "oracles": self.oracle_names,
+                "outcomes": [list(o) for o in self.outcomes],
+            }
+        )[:16]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "banger-conform",
+            "seed": self.seed,
+            "runs": self.runs_requested,
+            "ok": self.ok,
+            "digest": self.digest(),
+            "oracles": {
+                name: {"pass": p, "fail": f}
+                for name, (p, f) in self.per_oracle().items()
+            },
+            "failures": [
+                {
+                    "case_id": f.case_id,
+                    "oracle": f.oracle,
+                    "detail": f.detail,
+                    "shrunk_case": f.shrunk.to_dict(),
+                    "corpus_path": f.corpus_path,
+                }
+                for f in self.failures
+            ],
+            "stats": self.stats.as_dict(),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"conformance: seed {self.seed}, {self.stats.cases}/"
+            f"{self.runs_requested} case(s), {len(self.oracle_names)} oracle(s)"
+        ]
+        for name, (passes, fails) in self.per_oracle().items():
+            lines.append(f"  {name:<14} {passes:5d} pass {fails:5d} fail")
+        for f in self.failures:
+            lines.append(
+                f"FAIL [{f.oracle}] case {f.case_id}: {f.detail}"
+                + (f" (corpus: {f.corpus_path})" if f.corpus_path else "")
+            )
+        lines.append(f"digest {self.digest()}")
+        lines.append(self.stats.render())
+        lines.append("ok" if self.ok else f"FAILED ({len(self.failures)} case(s))")
+        return "\n".join(lines)
+
+
+def check_case(case: Case, oracles: list[Oracle]) -> list[tuple[Oracle, str]]:
+    """Run the applicable oracles on one case; returns (oracle, detail) fails."""
+    ctx = CaseContext(case)
+    found: list[tuple[Oracle, str]] = []
+    for oracle in oracles:
+        problems = oracle.check(ctx)
+        if problems:
+            found.append((oracle, "; ".join(problems[:3])))
+    return found
+
+
+def run(
+    seed: int = 0,
+    runs: int = 100,
+    oracles: list[str] | None = None,
+    corpus_dir: str | None = None,
+    time_budget: float | None = None,
+    shrink_max_checks: int = DEFAULT_MAX_CHECKS,
+) -> ConformanceReport:
+    """Fuzz ``runs`` seeded cases through the selected oracles.
+
+    Failures are greedily shrunk and, when ``corpus_dir`` is given, written
+    there as replayable canonical-JSON corpus entries.
+    """
+    started = time.monotonic()
+    selected = resolve_oracles(oracles)
+    report = ConformanceReport(
+        seed=seed,
+        runs_requested=runs,
+        oracle_names=[o.name for o in selected],
+    )
+    stats = report.stats
+    gen = CaseGenerator(seed)
+
+    for index in range(runs):
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            stats.truncated = True
+            break
+        case = gen.next_case()
+        stats.cases += 1
+        if case.kind == GRAPH:
+            stats.graph_cases += 1
+        elif case.kind == PITS:
+            stats.pits_cases += 1
+
+        ctx = CaseContext(case)
+        failed_here: list[tuple[Oracle, str]] = []
+        for oracle in selected:
+            if oracle.kind != case.kind:
+                continue
+            problems = oracle.check(ctx)
+            stats.oracle_checks += 1
+            ok = not problems
+            report.outcomes.append(
+                (case.case_id, oracle.name, ok, "; ".join(problems[:3]))
+            )
+            if not ok:
+                failed_here.append((oracle, "; ".join(problems[:3])))
+
+        for oracle, detail in failed_here:
+            stats.failures += 1
+            small, spent = shrink(
+                case,
+                lambda c, o=oracle: bool(o.check(CaseContext(c))),
+                max_checks=shrink_max_checks,
+            )
+            stats.shrink_checks += spent
+            small_detail = "; ".join(oracle.check(CaseContext(small))[:3])
+            corpus_path = ""
+            if corpus_dir:
+                entry = CorpusEntry(
+                    case=small,
+                    oracle=oracle.name,
+                    detail=small_detail,
+                    origin=f"fuzz seed={seed} run={index}",
+                )
+                corpus_path = str(write_entry(corpus_dir, entry))
+                stats.corpus_writes += 1
+            report.failures.append(
+                Failure(
+                    case_id=case.case_id,
+                    oracle=oracle.name,
+                    detail=detail,
+                    shrunk=small,
+                    corpus_path=corpus_path,
+                )
+            )
+
+    stats.elapsed_seconds = time.monotonic() - started
+    return report

@@ -12,13 +12,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.approx import TOL, approx_eq, approx_ge, approx_le
 from repro.lint.diagnostics import Diagnostic, make_diagnostic
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sched.schedule import Schedule
-
-#: Absolute tolerance for floating-point time comparisons.
-TOL = 1e-6
 
 
 def schedule_diagnostics(
@@ -48,7 +46,7 @@ def schedule_diagnostics(
     for proc in machine.procs():
         timeline = schedule.on_proc(proc)
         for a, b in zip(timeline, timeline[1:]):
-            if a.finish > b.start + TOL:
+            if not approx_le(a.finish, b.start):
                 diags.append(
                     make_diagnostic(
                         "SCH202",
@@ -61,7 +59,7 @@ def schedule_diagnostics(
     if check_durations:
         for entry in schedule:
             expected = machine.exec_time(graph.work(entry.task))
-            if abs(entry.duration - expected) > TOL:
+            if not approx_eq(entry.duration, expected):
                 diags.append(
                     make_diagnostic(
                         "SCH203",
@@ -89,7 +87,7 @@ def schedule_diagnostics(
                     src.finish + machine.comm_cost(src.proc, entry.proc, edge.size)
                     for src in schedule.placements(edge.src)
                 )
-                if entry.start + TOL < ready:
+                if not approx_ge(entry.start, ready):
                     diags.append(
                         make_diagnostic(
                             "SCH205",

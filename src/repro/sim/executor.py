@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.approx import TOL, approx_le
 from repro.errors import SimError
 from repro.sched.schedule import Placement, Schedule
 from repro.sim.engine import EventEngine
@@ -165,11 +166,13 @@ def simulate(schedule: Schedule, contention: bool = False) -> Trace:
     return trace
 
 
-def compare_with_static(schedule: Schedule, trace: Trace, tol: float = 1e-6) -> list[str]:
+def compare_with_static(schedule: Schedule, trace: Trace, tol: float = TOL) -> list[str]:
     """Differences between static schedule times and a simulated trace.
 
-    Used in tests: with ``contention=False`` the list must only contain
-    entries where the simulation was *earlier* (slack removal), never later.
+    Used in tests and by the ``makespan`` conformance oracle: with
+    ``contention=False`` the list must only contain entries where the
+    simulation was *earlier* (slack removal), never later.  The tolerance
+    is the shared :data:`repro.approx.TOL`.
     """
     problems: list[str] = []
     finish_by_task: dict[str, float] = {}
@@ -180,7 +183,7 @@ def compare_with_static(schedule: Schedule, trace: Trace, tol: float = 1e-6) -> 
     for task in schedule.graph.task_names:
         static_finish = schedule.primary(task).finish
         sim_finish = finish_by_task[task]
-        if sim_finish > static_finish + tol:
+        if not approx_le(sim_finish, static_finish, tol):
             problems.append(
                 f"task {task!r}: simulated finish {sim_finish:g} after "
                 f"static {static_finish:g}"

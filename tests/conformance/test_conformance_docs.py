@@ -1,0 +1,66 @@
+"""docs/conformance.md stays in sync with the engine it describes."""
+
+import dataclasses
+import pathlib
+import re
+
+from repro.approx import TOL
+from repro.conformance import ORACLES
+from repro.conformance.generators import FUZZ_SCHEDULERS, MACHINE_FAMILIES
+from repro.conformance.runner import ConformanceStats
+
+ROOT = pathlib.Path(__file__).parent.parent.parent
+DOCS = ROOT / "docs" / "conformance.md"
+TEXT = DOCS.read_text(encoding="utf-8")
+
+
+def test_every_oracle_is_documented():
+    for name in ORACLES:
+        assert f"`{name}`" in TEXT, f"oracle {name} missing from docs/conformance.md"
+
+
+def test_every_stats_counter_is_documented():
+    for field in dataclasses.fields(ConformanceStats):
+        assert f"`{field.name}`" in TEXT, (
+            f"counter {field.name} missing from docs/conformance.md"
+        )
+
+
+def test_referenced_files_exist():
+    for rel in re.findall(
+        r"`((?:src|tests|docs|\.github)/[A-Za-z0-9_./-]+\.(?:py|md|yml|json))`", TEXT
+    ):
+        assert (ROOT / rel).exists(), f"docs/conformance.md references missing {rel}"
+    assert "tests/conformance/corpus" in TEXT
+    assert (ROOT / "tests" / "conformance" / "corpus").is_dir()
+
+
+def test_documented_numbers_match_the_code():
+    # the shared tolerance and the generator pool sizes the doc quotes
+    assert "`1e-6`" in TEXT and TOL == 1e-6
+    n = len(FUZZ_SCHEDULERS)
+    words = {15: "fifteen"}
+    assert words.get(n, str(n)) in TEXT.lower(), (
+        f"doc no longer matches {n} fuzz schedulers"
+    )
+    assert str(len(MACHINE_FAMILIES)) in TEXT or "ten" in TEXT.lower()
+
+
+def test_documented_cli_flags_exist():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for flag in ("--seed", "--runs", "--oracle", "--budget", "--corpus", "--replay"):
+        assert flag in TEXT
+    # the subcommand itself parses every documented flag
+    args = parser.parse_args(
+        ["conform", "--seed", "1", "--runs", "5", "--oracle", "makespan",
+         "--budget", "2", "--format", "json"]
+    )
+    assert args.fn is not None
+
+
+def test_excluded_stochastic_schedulers_stay_excluded():
+    for name in ("random", "anneal", "exhaustive"):
+        assert f"`{name}`" in TEXT
+        assert name not in FUZZ_SCHEDULERS

@@ -1,0 +1,31 @@
+"""Replay every stored corpus case — one pytest id per JSON file.
+
+Each file under ``tests/conformance/corpus/`` is a shrunk fuzzer failure
+(now fixed) or a pinned sentinel; replaying it runs *every* applicable
+oracle, so a regression names the exact file to reproduce with::
+
+    PYTHONPATH=src python -m repro conform --replay tests/conformance/corpus
+"""
+
+import pathlib
+
+import pytest
+
+from repro.conformance import corpus_paths, load_entry, replay_entry
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+PATHS = corpus_paths(CORPUS)
+
+
+def test_corpus_is_not_empty():
+    assert PATHS, f"no corpus entries under {CORPUS}"
+
+
+@pytest.mark.parametrize("path", PATHS, ids=[p.stem for p in PATHS])
+def test_corpus_case_stays_fixed(path):
+    entry = load_entry(path)
+    # the filename is content-addressed; a hand-edited case would lie about
+    # its identity, so check the stem before trusting the replay
+    assert path.stem == entry.stem, "corpus filename does not match its content"
+    failures = replay_entry(entry)
+    assert failures == [], f"{path.name}: {failures}"

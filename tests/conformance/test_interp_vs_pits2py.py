@@ -1,0 +1,86 @@
+"""Differential coverage: ``calc.interp`` vs. ``codegen.pits2py`` across the
+whole stock library, driven through the ``pits_codegen`` oracle.
+
+Every routine in :data:`repro.calc.library.LIBRARY` is run through both
+engines on fixed, representative inputs; the oracle demands identical
+outputs (NaN-aware, exact), identical display lines, and identical
+error behaviour (both raise the same :class:`~repro.errors.CalcError`
+subclass, or neither raises).  The edge cases the paper cares about are
+pinned explicitly: SquareRoot on a negative input (Figure 4's display
+branch), Quadratic with ``a = 0`` (division by zero), and a degenerate
+linear regression (constant ``x``).
+"""
+
+import pytest
+
+from repro.calc import run_program
+from repro.calc.library import LIBRARY
+from repro.conformance import check_case, pits_case, resolve_oracles
+from repro.errors import CalcError
+
+#: One fixed, valid input set per stock routine (vectors sized to agree).
+STOCK_INPUTS = {
+    "square_root": {"a": 2.0},
+    "polynomial": {"c": [1.0, -2.0, 0.5], "x": 1.5},
+    "trapezoid_sin": {"a": 0.0, "b": 3.0, "n": 8.0},
+    "stats": {"v": [4.0, -1.0, 2.5, 0.0]},
+    "quadratic": {"a": 1.0, "b": -3.0, "c": 2.0},
+    "matvec": {"A": [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]], "x": [1.0, -1.0]},
+    "axpy": {"a": 2.0, "x": [1.0, 2.0, 3.0], "yin": [0.5, 0.5, 0.5]},
+    "gcd": {"a": 48.0, "b": 18.0},
+    "bisect_cos": {"lo": 0.0, "hi": 2.0, "tol": 1e-6},
+    "simpson_exp": {"a": 0.0, "b": 1.0, "n": 4.0},
+    "linreg": {"x": [1.0, 2.0, 3.0, 4.0], "y": [2.1, 3.9, 6.2, 8.0]},
+    "compound": {"principal": 100.0, "rate": 0.05, "n": 3.0},
+}
+
+ORACLE = resolve_oracles(["pits_codegen"])
+
+
+def test_fixed_inputs_cover_the_whole_library():
+    assert set(STOCK_INPUTS) == set(LIBRARY)
+
+
+@pytest.mark.parametrize("name", sorted(LIBRARY))
+def test_interp_matches_codegen_on_stock_routine(name):
+    case = pits_case(LIBRARY[name], STOCK_INPUTS[name])
+    assert check_case(case, ORACLE) == [], name
+
+
+@pytest.mark.parametrize("a", [-4.0, -0.25, 0.0, 9.0, 1e6])
+def test_square_root_figure4_branches_agree(a):
+    # Figure 4's routine displays a message instead of computing on a < 0
+    case = pits_case(LIBRARY["square_root"], {"a": a})
+    assert check_case(case, ORACLE) == []
+
+
+def test_square_root_negative_displays_not_raises():
+    result = run_program(LIBRARY["square_root"], a=-4.0)
+    assert result.displayed == ["sqrt of a negative number"]
+    assert result.outputs["x"] == 0.0
+
+
+def test_quadratic_division_by_zero_agrees():
+    # a == 0 divides by zero in both engines; they must raise the same error
+    case = pits_case(LIBRARY["quadratic"], {"a": 0.0, "b": 2.0, "c": -1.0})
+    assert check_case(case, ORACLE) == []
+    with pytest.raises(CalcError):
+        run_program(LIBRARY["quadratic"], a=0.0, b=2.0, c=-1.0)
+
+
+def test_quadratic_negative_discriminant_agrees():
+    # complex roots: the routine's domain-error path, pinned NaN-aware
+    case = pits_case(LIBRARY["quadratic"], {"a": 1.0, "b": 0.0, "c": 4.0})
+    assert check_case(case, ORACLE) == []
+
+
+def test_linreg_constant_x_agrees():
+    # zero variance in x makes the slope denominator exactly zero
+    case = pits_case(LIBRARY["linreg"], {"x": [2.0, 2.0, 2.0], "y": [1.0, 5.0, 9.0]})
+    assert check_case(case, ORACLE) == []
+
+
+def test_gcd_edge_inputs_agree():
+    for a, b in [(0.0, 0.0), (-48.0, 18.0), (7.0, 0.0)]:
+        case = pits_case(LIBRARY["gcd"], {"a": a, "b": b})
+        assert check_case(case, ORACLE) == [], (a, b)

@@ -1,0 +1,87 @@
+"""Mutation check: an intentionally broken scheduler must be caught + shrunk.
+
+This is the acceptance test for the whole engine: inject a scheduler with a
+classic off-by-one (it drops the communication waits, packing every
+processor's placements back to back from time zero), and verify that the
+``makespan`` oracle catches the lie, that the greedy shrinker reduces the
+witness to a small case (<= 12 tasks), and that the shrunk case round-trips
+through the corpus format.
+"""
+
+import pytest
+
+from repro.conformance import (
+    ORACLES,
+    CaseContext,
+    CorpusEntry,
+    graph_case,
+    load_entry,
+    shrink,
+    write_entry,
+)
+from repro.graph.generators import random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import SCHEDULERS
+from repro.sched.mh import MHScheduler
+from repro.sched.schedule import Schedule
+
+MUTANT = "mh-offby1-mutant"
+
+
+class OffByOneScheduler:
+    """MH with its communication waits dropped: every processor's placements
+    are packed back to back, so the static times lie optimistically."""
+
+    def schedule(self, graph, machine) -> Schedule:
+        real = MHScheduler().schedule(graph, machine)
+        mutant = Schedule(graph, machine, scheduler=MUTANT)
+        for proc in machine.procs():
+            t = 0.0
+            for p in real.on_proc(proc):
+                mutant.add(p.task, proc, t, t + p.duration)
+                t += p.duration
+        return mutant
+
+
+@pytest.fixture
+def mutant_case(monkeypatch):
+    monkeypatch.setitem(SCHEDULERS, MUTANT, OffByOneScheduler)
+    tg = random_layered(20, 4, seed=3)
+    machine = make_machine(
+        "hypercube", 4, MachineParams(msg_startup=0.5, transmission_rate=5.0)
+    )
+    return graph_case(tg, machine, MUTANT)
+
+
+def _fails(case) -> bool:
+    return bool(ORACLES["makespan"].check(CaseContext(case)))
+
+
+def test_makespan_oracle_catches_the_mutant(mutant_case):
+    problems = ORACLES["makespan"].check(CaseContext(mutant_case))
+    assert problems
+    assert any("simulated" in p for p in problems)
+
+
+def test_mutant_shrinks_to_at_most_12_tasks(mutant_case, tmp_path):
+    assert _fails(mutant_case)
+    small, spent = shrink(mutant_case, _fails)
+    tasks = small.payload["graph"]["tasks"]
+    assert len(tasks) <= 12, f"shrunk witness still has {len(tasks)} tasks"
+    assert spent <= 400
+    assert _fails(small), "shrinker must return a still-failing case"
+
+    # the shrunk witness survives the corpus round trip bit-for-bit
+    entry = CorpusEntry(case=small, oracle="makespan",
+                        detail="mutation check", origin="test")
+    path = write_entry(tmp_path, entry)
+    assert path.name == f"graph-makespan-{small.case_id}.json"
+    reloaded = load_entry(path)
+    assert reloaded.case.case_id == small.case_id
+    assert _fails(reloaded.case)
+
+
+def test_feasibility_oracle_also_rejects_the_mutant(mutant_case):
+    # data-readiness (SCH205) is the static-side view of the same lie
+    problems = ORACLES["feasible"].check(CaseContext(mutant_case))
+    assert problems

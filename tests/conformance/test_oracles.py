@@ -1,0 +1,85 @@
+"""The oracle registry: coverage, pass behaviour, and failure detection."""
+
+import pytest
+
+from repro.approx import TOL, approx_eq, approx_ge, approx_le, values_close
+from repro.conformance import (
+    ORACLES,
+    CaseContext,
+    check_case,
+    graph_case,
+    pits_case,
+    resolve_oracles,
+)
+from repro.calc.library import LIBRARY
+from repro.errors import ReproError
+from repro.graph.generators import fork_join, lu_taskgraph, random_layered
+from repro.machine import MachineParams, make_machine
+
+
+def test_at_least_five_oracles_registered():
+    assert len(ORACLES) >= 5
+    kinds = {o.kind for o in ORACLES.values()}
+    assert kinds == {"graph", "pits"}
+
+
+def test_resolve_oracles_all_and_subset_and_unknown():
+    assert [o.name for o in resolve_oracles()] == list(ORACLES)
+    subset = resolve_oracles(["makespan", "feasible"])
+    # registration order is preserved regardless of request order
+    assert [o.name for o in subset] == ["feasible", "makespan"]
+    with pytest.raises(ReproError, match="unknown oracle"):
+        resolve_oracles(["no-such-oracle"])
+
+
+@pytest.mark.parametrize("scheduler", ["mh", "dsh", "etf", "serial"])
+def test_graph_oracles_pass_on_stock_case(scheduler):
+    case = graph_case(
+        lu_taskgraph(3),
+        make_machine("hypercube", 4, MachineParams(msg_startup=0.2)),
+        scheduler,
+    )
+    assert check_case(case, resolve_oracles()) == []
+
+
+def test_pits_oracle_passes_on_library_routine():
+    case = pits_case(LIBRARY["square_root"], {"a": 9.0})
+    assert check_case(case, resolve_oracles()) == []
+
+
+def test_oracles_skip_foreign_kind():
+    case = pits_case(LIBRARY["gcd"], {"a": 12.0, "b": 8.0})
+    assert ORACLES["makespan"].check(CaseContext(case)) == []
+
+
+def test_oracle_crash_becomes_problem_not_raise():
+    # an unknown scheduler makes materialization raise; the oracle reports it
+    case = graph_case(fork_join(3), make_machine("full", 2), "no-such-heuristic")
+    problems = ORACLES["feasible"].check(CaseContext(case))
+    assert problems and "no-such-heuristic" in problems[0]
+
+
+def test_case_context_caches_schedule():
+    case = graph_case(random_layered(10, 3, seed=1), make_machine("ring", 4), "mh")
+    ctx = CaseContext(case)
+    assert ctx.schedule is ctx.schedule
+    assert ctx.trace is ctx.trace
+
+
+def test_shared_tolerance_helpers():
+    assert approx_eq(1.0, 1.0 + TOL / 2)
+    assert not approx_eq(1.0, 1.0 + 10 * TOL)
+    assert approx_le(1.0 + TOL / 2, 1.0)
+    assert approx_ge(1.0 - TOL / 2, 1.0)
+    assert values_close(float("nan"), float("nan"))
+    assert not values_close(1.0, True)
+
+
+def test_shared_tolerance_is_the_validators_tolerance():
+    # the schedule checker and the simulator comparison must share repro.approx
+    from repro.approx import TOL as shared
+    from repro.lint.schedrules import TOL as lint_tol
+    from repro.sched.validate import TOL as validate_tol
+
+    assert lint_tol is shared or lint_tol == shared
+    assert validate_tol == shared
