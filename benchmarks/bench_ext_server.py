@@ -1,0 +1,225 @@
+"""EXT-D — the banger daemon: latency, throughput, coalescing, resilience.
+
+The daemon's job is to keep the paper's instant-feedback promise under
+concurrent load: a warm answer must be a hash lookup, identical in-flight
+questions must cost one computation, and one bad request must never take
+the service (or anyone else's request) down with it.  This benchmark boots
+a real ``banger serve`` subprocess and measures those claims over real
+sockets, writing the numbers to ``benchmarks/out/BENCH_server.json``:
+
+* **warm latency** — repeated ``/schedule`` of an unchanged project:
+  p50 must stay under 25 ms (it is served from the response cache).
+* **throughput** — 8 concurrent clients hammering the warm endpoint:
+  must sustain >= 200 requests/second.
+* **coalescing** — a 50-way burst of identical cold requests: >= 0.9 of
+  the burst must coalesce onto the one real scheduler run.
+* **resilience** — an injected worker crash fails only its own request;
+  SIGTERM drains the in-flight request and exits 0.
+
+``BENCH_SMOKE=1`` shrinks the request counts (and relaxes the coalesce
+ratio, which is timing-sensitive on loaded CI machines) for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from conftest import OUT_DIR, write_artifact
+from repro.apps.lun import lun_design
+from repro.client import BangerClient, ServerError, wait_until_ready
+from repro.env.project import BangerProject
+from repro.machine import MachineParams
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+CPUS = os.cpu_count() or 1
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+PARAMS = MachineParams(msg_startup=0.5, transmission_rate=5.0)
+
+RESULTS: dict = {
+    "type": "BENCH_server",
+    "smoke": SMOKE,
+    "cpus": CPUS,
+    "python": sys.version.split()[0],
+}
+
+
+def _flush() -> None:
+    write_artifact("BENCH_server.json", json.dumps(RESULTS, indent=2) + "\n")
+
+
+def _project_doc(n: int) -> dict:
+    project = BangerProject(f"bench-lu{n}").set_design(lun_design(n))
+    project.set_machine("hypercube", 8, PARAMS)
+    return project.to_dict()
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One real `banger serve` subprocess for the whole module."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "2", "--debug", "--no-access-log",
+         "--queue-limit", "256"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True,
+    )
+    ready = json.loads(proc.stdout.readline())
+    assert ready["event"] == "ready"
+    wait_until_ready(port=ready["port"], timeout=30)
+    yield {"proc": proc, "port": ready["port"]}
+    if proc.poll() is None:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+def test_ext_server_warm_latency(daemon, artifact_dir):
+    """Warm /schedule p50 < 25 ms: the answer is a cache lookup."""
+    client = BangerClient(port=daemon["port"])
+    doc = _project_doc(10)
+    client.schedule(doc, scheduler="mh")  # populate the cache
+
+    n = 100 if SMOKE else 300
+    samples = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        client.schedule(doc, scheduler="mh")
+        samples.append((time.perf_counter() - t0) * 1000.0)
+    samples.sort()
+    p50 = samples[len(samples) // 2]
+    p95 = samples[int(len(samples) * 0.95)]
+
+    metrics = client.metrics()["server"]
+    RESULTS["warm_latency"] = {
+        "requests": n,
+        "p50_ms": round(p50, 3),
+        "p95_ms": round(p95, 3),
+        "server_p50_ms": metrics["latency_ms"]["/schedule"]["p50"],
+        "cache_hits": metrics["cache_hits"],
+    }
+    _flush()
+    assert metrics["cache_hits"] >= n  # they really were cache hits
+    assert p50 < 25.0, f"warm /schedule p50 {p50:.2f} ms, budget is 25 ms"
+
+
+def test_ext_server_throughput(daemon, artifact_dir):
+    """>= 200 req/s sustained from 8 concurrent warm clients."""
+    doc = _project_doc(10)
+    BangerClient(port=daemon["port"]).schedule(doc, scheduler="mh")
+    threads = 8
+    per_thread = 50 if SMOKE else 250
+
+    def hammer(_: int) -> int:
+        client = BangerClient(port=daemon["port"])
+        for _ in range(per_thread):
+            client.schedule(doc, scheduler="mh")
+        return per_thread
+
+    t0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        done = sum(pool.map(hammer, range(threads)))
+    wall = time.perf_counter() - t0
+    rps = done / wall
+
+    RESULTS["throughput"] = {
+        "clients": threads,
+        "requests": done,
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(rps, 1),
+    }
+    _flush()
+    assert rps >= 200, f"sustained only {rps:.0f} req/s, floor is 200"
+
+
+def test_ext_server_coalesce_burst(daemon, artifact_dir):
+    """A 50-way identical cold burst coalesces onto one scheduler run."""
+    client = BangerClient(port=daemon["port"])
+    before = client.metrics()["server"]
+    doc = _project_doc(24 if SMOKE else 30)  # slow enough to pile up behind
+    n = 50
+    barrier = threading.Barrier(n)
+
+    def one_request(_: int) -> float:
+        burst_client = BangerClient(port=daemon["port"], timeout=120)
+        barrier.wait()
+        t0 = time.perf_counter()
+        burst_client.schedule(doc, scheduler="mh")
+        return time.perf_counter() - t0
+
+    with ThreadPoolExecutor(max_workers=n) as pool:
+        list(pool.map(one_request, range(n)))
+
+    after = client.metrics()["server"]
+    sched_runs = after["work"]["sched_runs"] - before["work"].get("sched_runs", 0)
+    coalesced = after["coalesce_hits"] - before["coalesce_hits"]
+    ratio = coalesced / (n - 1)
+
+    RESULTS["coalesce_burst"] = {
+        "burst": n,
+        "sched_runs": sched_runs,
+        "coalesce_hits": coalesced,
+        "coalesce_ratio": round(ratio, 3),
+    }
+    _flush()
+    assert sched_runs == 1, f"burst of {n} cost {sched_runs} scheduler runs"
+    floor = 0.5 if SMOKE else 0.9
+    assert ratio >= floor, f"coalesce ratio {ratio:.2f}, floor is {floor}"
+
+
+def test_ext_server_crash_isolation_and_drain(daemon, artifact_dir):
+    """A worker crash fails one request; SIGTERM drains and exits 0."""
+    port = daemon["port"]
+    client = BangerClient(port=port)
+    doc = _project_doc(10)
+
+    with pytest.raises(ServerError) as err:
+        client.post("/debug/crash", {})
+    assert err.value.status == 500
+    survived = client.schedule(doc, scheduler="mh")
+    assert survived["makespan"] > 0
+    health = client.healthz()
+    assert health["workers"]["alive"] == 2
+
+    # drain: one slow request in flight when SIGTERM lands
+    results: list[dict] = []
+    t = threading.Thread(
+        target=lambda: results.append(
+            BangerClient(port=port, timeout=60).post(
+                "/debug/sleep", {"seconds": 1.0}
+            )
+        )
+    )
+    t.start()
+    time.sleep(0.4)
+    proc = daemon["proc"]
+    proc.send_signal(signal.SIGTERM)
+    t.join(timeout=60)
+    exit_code = proc.wait(timeout=60)
+
+    RESULTS["resilience"] = {
+        "crash_status": err.value.status,
+        "crashes": health["workers"]["crashes"],
+        "restarts": health["workers"]["restarts"],
+        "drained_responses": len(results),
+        "exit_code": exit_code,
+    }
+    _flush()
+    assert len(results) == 1 and results[0]["type"] == "banger-sleep"
+    assert exit_code == 0
+
+
+def test_ext_server_artifact(artifact_dir):
+    doc = json.loads((OUT_DIR / "BENCH_server.json").read_text(encoding="utf-8"))
+    assert doc["type"] == "BENCH_server"
+    for section in ("warm_latency", "throughput", "coalesce_burst", "resilience"):
+        assert section in doc, section

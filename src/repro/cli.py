@@ -15,8 +15,16 @@ Projects are the JSON documents written by
     python -m repro.cli topology  --family hypercube --procs 8
     python -m repro.cli demo
 
-Every command returns a nonzero exit status on error and prints a single
-actionable message — the command-line flavour of instant feedback.
+Exit codes are uniform across every subcommand:
+
+* ``0`` — success;
+* ``1`` — the command ran but found problems (lint errors, failed
+  feedback, conformance failures, a scheduling error);
+* ``2`` — usage or missing input (bad flag values, nonexistent or
+  non-project files, malformed JSON).
+
+Every failure prints a single actionable message — the command-line
+flavour of instant feedback.
 """
 
 from __future__ import annotations
@@ -26,8 +34,9 @@ import json
 import pathlib
 import sys
 
+from repro import __version__
 from repro.env.project import BangerProject
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
 from repro.machine.topologies import build_topology
 from repro.sched import SCHEDULERS, report
 from repro.sched.metrics import ScheduleReport
@@ -36,15 +45,28 @@ from repro.viz import render_gantt, render_trace_gantt, render_topology
 from repro.viz.export import schedule_to_chrome_trace, schedule_to_csv
 
 
+#: Uniform exit codes (see the module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+
+class UsageError(ReproError):
+    """Bad flag values or unusable input files — exits with status 2."""
+
+
 def _load(path: str) -> BangerProject:
-    return BangerProject.load(path)
+    try:
+        return BangerProject.load(path)
+    except ValidationError as exc:
+        raise UsageError(f"not a Banger project file: {exc}") from None
 
 
 def _parse_procs(text: str) -> tuple[int, ...]:
     try:
         return tuple(int(p) for p in text.split(","))
     except ValueError:
-        raise ReproError(f"bad processor list {text!r}; expected e.g. 1,2,4,8") from None
+        raise UsageError(f"bad processor list {text!r}; expected e.g. 1,2,4,8") from None
 
 
 # --------------------------------------------------------------------- #
@@ -130,9 +152,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     procs = _parse_procs(args.procs)
     schedulers = [s.strip() for s in args.scheduler.split(",") if s.strip()]
     if not schedulers:
-        raise ReproError("no scheduler given; expected e.g. --scheduler mh,hlfet")
+        raise UsageError("no scheduler given; expected e.g. --scheduler mh,hlfet")
     if args.jobs is not None and args.jobs < 1:
-        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+        raise UsageError(f"--jobs must be >= 1, got {args.jobs}")
     reports = {}
     for name in schedulers:
         request = ScheduleRequest(
@@ -265,6 +287,53 @@ def cmd_conform(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import BangerDaemon, run_daemon
+
+    if args.workers is not None and args.workers < 0:
+        raise UsageError(f"--workers must be >= 0, got {args.workers}")
+    if args.queue_limit < 1:
+        raise UsageError(f"--queue-limit must be >= 1, got {args.queue_limit}")
+    if args.timeout <= 0:
+        raise UsageError(f"--timeout must be > 0, got {args.timeout}")
+
+    access_log = None
+    if not args.no_access_log:
+        if args.access_log:
+            log_fh = open(args.access_log, "a", encoding="utf-8")
+
+            def access_log(record):  # noqa: F811 - the chosen sink
+                print(json.dumps(record, sort_keys=True), file=log_fh, flush=True)
+        else:
+            from repro.server.app import _default_access_log as access_log
+
+    daemon = BangerDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        request_timeout=args.timeout,
+        cache_entries=args.cache_entries,
+        debug=args.debug,
+        access_log=access_log,
+    )
+
+    def ready(d: BangerDaemon) -> None:
+        # One machine-readable line so wrappers can discover --port 0.
+        print(json.dumps({
+            "event": "ready",
+            "host": d.host,
+            "port": d.port,
+            "workers": d.workers,
+            "pid": __import__("os").getpid(),
+        }, sort_keys=True), flush=True)
+
+    asyncio.run(run_daemon(daemon, ready=ready))
+    return 0
+
+
 def cmd_topology(args: argparse.Namespace) -> int:
     topo = build_topology(args.family, args.procs)
     print(render_topology(topo))
@@ -303,6 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
                "XL3xx, MF4xx); see docs/diagnostics.md for the catalogue "
                "with triggering examples and fix hints.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"banger {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_project(p: argparse.ArgumentParser) -> None:
@@ -424,6 +495,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", default="text", choices=("text", "json"))
     p.set_defaults(fn=cmd_conform)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the Banger pipeline as a JSON-over-HTTP daemon",
+        epilog="Endpoints: POST /lint /schedule /sweep /simulate /speedup "
+               "/conform, GET /healthz /metrics.  Identical in-flight "
+               "requests are coalesced onto one computation; see "
+               "docs/server.md for schemas and failure semantics.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8045,
+                   help="TCP port (0 picks a free one; read the ready line)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: min(4, cpus); "
+                        "0 runs ops inline on threads)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="max in-flight compute requests before 503 (default 64)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request compute budget in seconds (default 30)")
+    p.add_argument("--cache-entries", type=int, default=512,
+                   help="response LRU size (default 512)")
+    p.add_argument("--debug", action="store_true",
+                   help="expose /debug/* fault-injection endpoints")
+    p.add_argument("--access-log", default=None, metavar="PATH",
+                   help="append JSON access-log lines here (default: stderr)")
+    p.add_argument("--no-access-log", action="store_true",
+                   help="disable the access log entirely")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("topology", help="draw a topology family")
     p.add_argument("--family", default="hypercube")
     p.add_argument("--procs", type=int, default=8)
@@ -450,14 +549,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     except json.JSONDecodeError as exc:
         print(f"error: not a Banger project file (invalid JSON: {exc})",
               file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -399,23 +399,47 @@ class BangerProject:
         return doc
 
     @classmethod
-    def from_dict(cls, doc: dict[str, Any]) -> "BangerProject":
+    def from_dict(
+        cls, doc: dict[str, Any], service: ScheduleService | None = None
+    ) -> "BangerProject":
+        """Rebuild a project from its saved document.
+
+        ``service`` lets long-lived hosts (the banger daemon, its worker
+        processes) share one content-addressed :class:`ScheduleService`
+        across every deserialized project, so identical requests hit the
+        same cache no matter which request they arrived in.
+        """
         if doc.get("type") != "banger-project":
             raise ValidationError(f"not a project document (type={doc.get('type')!r})")
-        project = cls(doc.get("name", "untitled"))
+        project = cls(doc.get("name", "untitled"), service=service)
         project.design = dataflow_from_dict(doc["design"])
         if "machine" in doc:
             project.machine = TargetMachine.from_dict(doc["machine"])
         return project
+
+    def fingerprints(self) -> dict[str, str | None]:
+        """Content hashes of the scheduling inputs this project implies.
+
+        ``graph`` is the flattened task graph's hash, ``machine`` the
+        configured machine's (``None`` until one is set).  Two projects with
+        equal fingerprints ask identical scheduling questions — the daemon
+        keys request coalescing and response caching on exactly these.
+        """
+        return {
+            "graph": self.flat().content_hash(),
+            "machine": self.machine.content_hash() if self.machine else None,
+        }
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_dict(), fh, indent=2)
 
     @classmethod
-    def load(cls, path: str) -> "BangerProject":
+    def load(
+        cls, path: str, service: ScheduleService | None = None
+    ) -> "BangerProject":
         with open(path, encoding="utf-8") as fh:
-            return cls.from_dict(json.load(fh))
+            return cls.from_dict(json.load(fh), service=service)
 
     def __repr__(self) -> str:
         machine = self.machine.name if self.machine else "unset"

@@ -37,6 +37,7 @@ shows kernel builds and route-cache behaviour.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from bisect import insort
 from typing import Callable, Sequence
@@ -58,20 +59,31 @@ _ZERO_COUNTERS = {
 }
 _COUNTERS = dict(_ZERO_COUNTERS)
 
+#: Counter increments are read-modify-write; concurrent server traffic
+#: (threaded inline mode, the stats stress test) must not drop counts.
+_COUNTER_LOCK = threading.Lock()
+
+
+def _bump(name: str, delta: int | float = 1) -> None:
+    with _COUNTER_LOCK:
+        _COUNTERS[name] += delta
+
 
 def kernel_counters() -> dict[str, int | float]:
-    """A snapshot of the process-wide kernel counters.
+    """A snapshot of the process-wide kernel counters (thread-safe).
 
     ``kernel_builds``/``kernel_build_ms`` count :class:`SchedKernel`
     constructions and their cumulative wall time; ``route_cache_hits``/
     ``route_cache_misses`` count memoized-route lookups across all kernels.
     """
-    return dict(_COUNTERS)
+    with _COUNTER_LOCK:
+        return dict(_COUNTERS)
 
 
 def reset_kernel_counters() -> None:
     """Zero the kernel counters (benchmarks and tests)."""
-    _COUNTERS.update(_ZERO_COUNTERS)
+    with _COUNTER_LOCK:
+        _COUNTERS.update(_ZERO_COUNTERS)
 
 
 # --------------------------------------------------------------------- #
@@ -115,8 +127,9 @@ class SchedKernel:
         self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
         self._mean_comm: dict[float, float] = {}
         self._levels: dict[str, dict[str, float]] = {}
-        _COUNTERS["kernel_builds"] += 1
-        _COUNTERS["kernel_build_ms"] += (time.perf_counter() - t0) * 1000.0
+        with _COUNTER_LOCK:
+            _COUNTERS["kernel_builds"] += 1
+            _COUNTERS["kernel_build_ms"] += (time.perf_counter() - t0) * 1000.0
 
     # ------------------------------------------------------------------ #
     # memoized cost model (identical values to TargetMachine's methods)
@@ -150,11 +163,11 @@ class SchedKernel:
         pair = (src_proc, dst_proc)
         path = self._routes.get(pair)
         if path is None:
-            _COUNTERS["route_cache_misses"] += 1
+            _bump("route_cache_misses")
             path = tuple(self.machine.route(src_proc, dst_proc))
             self._routes[pair] = path
         else:
-            _COUNTERS["route_cache_hits"] += 1
+            _bump("route_cache_hits")
         return path
 
     # ------------------------------------------------------------------ #

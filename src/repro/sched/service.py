@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -240,6 +241,11 @@ class ScheduleService:
         self._lru: "OrderedDict[tuple[str, str, str], Schedule]" = OrderedDict()
         self._disk_dir = self._resolve_disk_dir(disk_cache)
         self._stats = ServiceStats(max_workers=self.max_workers)
+        # One service may be shared by many threads (the banger daemon's
+        # inline mode, threaded test drivers): every LRU mutation and stats
+        # increment happens under this lock so concurrent traffic cannot
+        # drop counts or corrupt the OrderedDict.
+        self._lock = threading.RLock()
         # Kernel counters are process-wide; remember where they stood at
         # construction so stats() reports only this service's share.
         self._kernel_base = kernel_counters()
@@ -465,47 +471,54 @@ class ScheduleService:
                     pool.submit(_schedule_worker, s, g, m) for g, m, s in work
                 ]
                 results = [f.result() for f in futures]
-            self._stats.parallel_sweeps += 1
+            with self._lock:
+                self._stats.parallel_sweeps += 1
             return results
         except _POOL_ERRORS:
             # Unpicklable scheduler/graph or a broken pool: do the same work
             # serially — identical results, just slower.  Real scheduling
             # errors re-raise from the serial run.
-            self._stats.serial_fallbacks += 1
+            with self._lock:
+                self._stats.serial_fallbacks += 1
             return [s.schedule(g, m) for g, m, s in work]
 
     def _note_sweep(self, t0: float, jobs_used: int) -> None:
-        self._stats.sweeps += 1
-        self._stats.last_sweep_seconds = time.perf_counter() - t0
-        self._stats.last_sweep_jobs = jobs_used
+        with self._lock:
+            self._stats.sweeps += 1
+            self._stats.last_sweep_seconds = time.perf_counter() - t0
+            self._stats.last_sweep_jobs = jobs_used
 
     # ------------------------------------------------------------------ #
     # cache internals
     # ------------------------------------------------------------------ #
     def _get(self, key: tuple[str, str, str]) -> Schedule | None:
-        if key in self._lru:
-            self._lru.move_to_end(key)
-            self._stats.hits += 1
-            return self._lru[key]
+        with self._lock:
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                self._stats.hits += 1
+                return self._lru[key]
         disk = self._disk_get(key)
-        if disk is not None:
-            self._stats.hits += 1
-            self._stats.disk_hits += 1
-            self._insert(key, disk)
-            return disk
-        self._stats.misses += 1
-        return None
+        with self._lock:
+            if disk is not None:
+                self._stats.hits += 1
+                self._stats.disk_hits += 1
+                self._insert(key, disk)
+                return disk
+            self._stats.misses += 1
+            return None
 
     def _put(self, key: tuple[str, str, str], schedule: Schedule) -> None:
-        self._insert(key, schedule)
+        with self._lock:
+            self._insert(key, schedule)
         self._disk_put(key, schedule)
 
     def _insert(self, key: tuple[str, str, str], schedule: Schedule) -> None:
-        self._lru[key] = schedule
-        self._lru.move_to_end(key)
-        while len(self._lru) > self.max_entries:
-            self._lru.popitem(last=False)
-            self._stats.evictions += 1
+        with self._lock:
+            self._lru[key] = schedule
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.max_entries:
+                self._lru.popitem(last=False)
+                self._stats.evictions += 1
 
     # ------------------------------------------------------------------ #
     # disk cache (optional, corruption-tolerant)
@@ -529,7 +542,8 @@ class ScheduleService:
             return schedule_from_dict(doc["schedule"])
         except Exception:
             # Corrupt or mismatched entry: evict it, never raise.
-            self._stats.disk_evictions += 1
+            with self._lock:
+                self._stats.disk_evictions += 1
             try:
                 path.unlink()
             except OSError:
@@ -550,7 +564,8 @@ class ScheduleService:
             tmp = path.with_suffix(".tmp")
             tmp.write_text(json.dumps(doc), encoding="utf-8")
             tmp.replace(path)
-            self._stats.disk_writes += 1
+            with self._lock:
+                self._stats.disk_writes += 1
         except OSError:
             # A read-only or full cache directory must never break scheduling.
             pass
@@ -567,29 +582,33 @@ class ScheduleService:
         or machine hashes to new keys); eviction reclaims the memory held by
         entries that can no longer be asked for.  Returns the count evicted.
         """
-        doomed = [
-            key
-            for key in self._lru
-            if (graph_hash is not None and key[0] == graph_hash)
-            or (machine_hash is not None and key[1] == machine_hash)
-        ]
-        for key in doomed:
-            del self._lru[key]
-        self._stats.evictions += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key
+                for key in self._lru
+                if (graph_hash is not None and key[0] == graph_hash)
+                or (machine_hash is not None and key[1] == machine_hash)
+            ]
+            for key in doomed:
+                del self._lru[key]
+            self._stats.evictions += len(doomed)
+            return len(doomed)
 
     def clear(self) -> None:
         """Drop every in-memory entry (the disk cache is left alone)."""
-        self._stats.evictions += len(self._lru)
-        self._lru.clear()
+        with self._lock:
+            self._stats.evictions += len(self._lru)
+            self._lru.clear()
 
     def __len__(self) -> int:
-        return len(self._lru)
+        with self._lock:
+            return len(self._lru)
 
     def stats(self) -> ServiceStats:
-        """A snapshot of the service counters."""
-        snap = replace(self._stats)
-        snap.entries = len(self._lru)
+        """A snapshot of the service counters (thread-safe)."""
+        with self._lock:
+            snap = replace(self._stats)
+            snap.entries = len(self._lru)
         counters = kernel_counters()
         base = self._kernel_base
         snap.kernel_builds = int(counters["kernel_builds"] - base["kernel_builds"])

@@ -1,0 +1,617 @@
+"""The banger daemon: coalescing, caching, backpressure, draining.
+
+One asyncio event loop owns every connection; CPU-bound work never runs
+on it.  A request travels::
+
+    socket -> parse -> [backpressure?] -> body-hash -> coalesce key
+           -> response cache?  -> in-flight duplicate?  -> worker pool
+           -> response bytes  -> cache + every coalesced waiter
+
+The coalesce key is content-addressed — ``(graph content_hash, machine
+content_hash, scheduler cache key, options)`` via
+:func:`repro.server.ops.coalesce_key` — so N concurrent identical
+requests cost one scheduler run and share byte-identical responses, and
+a warm repeat is a hash lookup.  Identical *bytes* short-circuit even the
+key computation through a body-hash memo.
+
+Failure semantics (documented in ``docs/server.md``, asserted by
+``tests/server/``): payload problems are 400; backpressure is 503 with
+``Retry-After``; a request that outlives ``--timeout`` is 504 and its
+worker is recycled; a worker crash is 500 *for that request only*; a
+client disconnect cancels its computation (kills the worker) unless other
+waiters are coalesced onto it.  SIGTERM/SIGINT stop accepting new
+connections, drain every in-flight request, then exit cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import signal
+import sys
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import __version__
+from repro.errors import ReproError
+from repro.server import ops as ops_mod
+from repro.server.metrics import ServerMetrics
+from repro.server.ops import DEBUG_OPS, coalesce_key, execute, shared_service
+from repro.server.protocol import (
+    BufferedConn,
+    ProtocolError,
+    Request,
+    encode_response,
+    error_body,
+    json_body,
+    read_request,
+)
+from repro.server.workers import WorkerCrash, WorkerPool, WorkerTimeout
+
+#: URL path -> op name.  Debug routes exist only under ``--debug``.
+ROUTES = {
+    "/lint": "lint",
+    "/schedule": "schedule",
+    "/sweep": "sweep",
+    "/simulate": "simulate",
+    "/speedup": "speedup",
+    "/conform": "conform",
+}
+DEBUG_ROUTES = {
+    "/debug/crash": "crash",
+    "/debug/sleep": "sleep",
+    "/debug/boom": "boom",
+}
+
+DEFAULT_PORT = 8045
+
+
+class _ClientGone(Exception):
+    """The client disconnected while its response was being computed."""
+
+
+@dataclass
+class _Inflight:
+    """One in-progress computation every identical request shares."""
+
+    future: asyncio.Future
+    task: asyncio.Task | None = None
+    waiters: int = 0
+
+
+@dataclass
+class _Outcome:
+    status: int
+    body: bytes
+    kind: str  # computed | timeout | crashed | error
+    counters: dict[str, Any] = field(default_factory=dict)
+
+
+def _default_access_log(record: dict[str, Any]) -> None:
+    print(json.dumps(record, sort_keys=True), file=sys.stderr, flush=True)
+
+
+class BangerDaemon:
+    """The long-lived service behind ``banger serve``.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    workers:
+        ``>= 1``: that many restartable worker *processes*.  ``0``: run
+        ops inline on a thread pool (no crash isolation, no hard
+        cancellation — meant for tests and tiny deployments).  ``None``:
+        ``min(4, cpu_count)``.
+    queue_limit:
+        Max admitted-but-unfinished compute requests; beyond it new work
+        is answered 503 immediately (coalesced waiters ride along free).
+    request_timeout:
+        Per-request compute budget in seconds; exceeding it answers 504
+        and recycles the worker.
+    cache_entries:
+        Bound of the response LRU (successful responses only).
+    debug:
+        Expose ``/debug/*`` fault-injection routes.
+    access_log:
+        Callable given one dict per finished request; ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int | None = None,
+        queue_limit: int = 64,
+        request_timeout: float = 30.0,
+        cache_entries: int = 512,
+        debug: bool = False,
+        access_log: Callable[[dict[str, Any]], None] | None = _default_access_log,
+    ):
+        import os
+
+        self.host = host
+        self.port = port
+        self.workers = min(4, os.cpu_count() or 1) if workers is None else workers
+        if self.workers < 0:
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        self.queue_limit = queue_limit
+        self.request_timeout = request_timeout
+        self.cache_entries = cache_entries
+        self.debug = debug
+        self.access_log = access_log
+
+        self.metrics = ServerMetrics()
+        self.pool: WorkerPool | None = None
+        self._inline: ThreadPoolExecutor | None = None
+        self._keys: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._started = time.monotonic()
+
+        self._cache: "OrderedDict[str, bytes]" = OrderedDict()
+        self._key_cache: "OrderedDict[str, str]" = OrderedDict()
+        self._key_futures: dict[str, asyncio.Future] = {}
+        self._inflight: dict[str, _Inflight] = {}
+        self._active_ops = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._compute_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._drain_event: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the socket and spin up the workers."""
+        self._drain_event = asyncio.Event()
+        self._stopped = asyncio.Event()
+        if self.workers >= 1:
+            self.pool = WorkerPool(self.workers)
+        else:
+            self._inline = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="banger-inline"
+            )
+        self._keys = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="banger-keys"
+        )
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self, drain_timeout: float = 30.0) -> None:
+        """Graceful stop: refuse new connections, drain, then exit."""
+        if self._draining:
+            return
+        self._draining = True
+        assert self._drain_event is not None and self._stopped is not None
+        self._drain_event.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = asyncio.get_running_loop().time() + drain_timeout
+        while self._conn_tasks:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                for task in self._conn_tasks:
+                    task.cancel()
+                break
+            await asyncio.wait(set(self._conn_tasks), timeout=remaining)
+        if self.pool is not None:
+            await self.pool.close()
+        if self._inline is not None:
+            self._inline.shutdown(wait=False, cancel_futures=True)
+        if self._keys is not None:
+            self._keys.shutdown(wait=False, cancel_futures=True)
+        self._stopped.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except (_ClientGone, ConnectionResetError, BrokenPipeError):
+            self.metrics.note_disconnect()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = BufferedConn(reader)
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) else str(peer)
+        assert self._drain_event is not None
+        while True:
+            read_task = asyncio.ensure_future(read_request(conn))
+            drain_task = asyncio.ensure_future(self._drain_event.wait())
+            try:
+                done, _ = await asyncio.wait(
+                    {read_task, drain_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if read_task not in done:
+                    # Idle connection during drain: close it; nothing is lost.
+                    read_task.cancel()
+                    return
+            finally:
+                drain_task.cancel()
+
+            try:
+                request = read_task.result()
+            except ProtocolError as exc:
+                body = error_body("bad-request", str(exc))
+                writer.write(encode_response(400, body, keep_alive=False))
+                await writer.drain()
+                return
+            if request is None:
+                return
+
+            t0 = time.perf_counter()
+            try:
+                status, body, disposition = await self._dispatch(conn, request)
+            except _ClientGone:
+                self._log(request, client, 499, t0, "disconnect")
+                raise
+            ms = (time.perf_counter() - t0) * 1000.0
+            keep = request.keep_alive and not self._draining
+            extra = {"Retry-After": "1"} if status == 503 else None
+            # Record before writing: once the bytes are flushed the client
+            # may act on them immediately, and observers (tests, scrapers)
+            # must already see this request counted.
+            self.metrics.observe(request.path, status, ms, disposition)
+            self._log(request, client, status, t0, disposition)
+            writer.write(
+                encode_response(status, body, keep_alive=keep, extra_headers=extra)
+            )
+            await writer.drain()
+            if not keep:
+                return
+
+    def _log(self, request: Request, client: str, status: int, t0: float,
+             disposition: str) -> None:
+        if self.access_log is None:
+            return
+        self.access_log({
+            "ts": round(time.time(), 3),
+            "client": client,
+            "method": request.method,
+            "path": request.path,
+            "status": status,
+            "ms": round((time.perf_counter() - t0) * 1000.0, 3),
+            "disposition": disposition,
+            "bytes_in": len(request.body),
+        })
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(
+        self, conn: BufferedConn, request: Request
+    ) -> tuple[int, bytes, str]:
+        path = request.path
+        if path == "/healthz":
+            return 200, json_body(self._healthz_doc()), "internal"
+        if path == "/metrics":
+            return 200, json_body(self._metrics_doc()), "internal"
+
+        op = ROUTES.get(path)
+        if op is None and self.debug:
+            op = DEBUG_ROUTES.get(path)
+        if op is None:
+            return 404, error_body(
+                "not-found", f"no such endpoint: {path}",
+                endpoints=sorted(ROUTES) + (["/healthz", "/metrics"]),
+            ), "error"
+        if request.method != "POST":
+            return 405, error_body(
+                "method-not-allowed", f"{path} requires POST"
+            ), "error"
+        if op == "crash" and self.pool is None:
+            return 400, error_body(
+                "bad-request",
+                "/debug/crash needs process workers (start with --workers >= 1)",
+            ), "error"
+
+        try:
+            payload = request.json()
+        except ProtocolError as exc:
+            return 400, error_body("bad-request", str(exc)), "error"
+        if not isinstance(payload, dict):
+            return 400, error_body(
+                "bad-request", "request body must be a JSON object"
+            ), "error"
+
+        if op in DEBUG_OPS:
+            # Fault injection must hit the pool every time: no key, no
+            # coalescing, no cache.
+            return await self._lead_and_wait(conn, op, payload, key=None)
+
+        # Backpressure: admission control before any CPU is spent.
+        if self._active_ops >= self.queue_limit:
+            return 503, error_body(
+                "overloaded",
+                f"daemon is at its queue limit ({self.queue_limit} in flight); "
+                "retry shortly",
+            ), "rejected"
+
+        try:
+            key = await self._coalesce_key(op, request.body, payload)
+        except ReproError as exc:
+            return 400, error_body("bad-request", str(exc)), "error"
+
+        cached = self._cache_get(key)
+        if cached is not None:
+            return 200, cached, "cache"
+
+        entry = self._inflight.get(key)
+        if entry is not None:
+            outcome = await self._wait_for_outcome(conn, entry)
+            return outcome.status, outcome.body, "coalesced"
+        return await self._lead_and_wait(conn, op, payload, key=key)
+
+    async def _lead_and_wait(
+        self, conn: BufferedConn, op: str, payload: dict[str, Any],
+        key: str | None,
+    ) -> tuple[int, bytes, str]:
+        if self._active_ops >= self.queue_limit:
+            return 503, error_body(
+                "overloaded",
+                f"daemon is at its queue limit ({self.queue_limit} in flight); "
+                "retry shortly",
+            ), "rejected"
+        loop = asyncio.get_running_loop()
+        entry = _Inflight(future=loop.create_future())
+        if key is not None:
+            self._inflight[key] = entry
+        entry.task = asyncio.ensure_future(self._compute(op, payload, key, entry))
+        self._compute_tasks.add(entry.task)
+        entry.task.add_done_callback(self._compute_tasks.discard)
+        outcome = await self._wait_for_outcome(conn, entry)
+        return outcome.status, outcome.body, outcome.kind
+
+    async def _wait_for_outcome(
+        self, conn: BufferedConn, entry: _Inflight
+    ) -> _Outcome:
+        """Await the shared outcome, watching the socket for disconnects."""
+        entry.waiters += 1
+        watcher = asyncio.ensure_future(conn.peek())
+        try:
+            while True:
+                done, _ = await asyncio.wait(
+                    {entry.future, watcher},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if entry.future in done:
+                    return entry.future.result()
+                data = watcher.result()
+                if not data:
+                    raise _ClientGone()
+                # An eager client sent more bytes (already pushed back);
+                # stop watching and just wait for the outcome.
+                return await asyncio.shield(entry.future)
+        finally:
+            entry.waiters -= 1
+            watcher.cancel()
+            if (
+                entry.waiters <= 0
+                and not entry.future.done()
+                and entry.task is not None
+            ):
+                # Nobody is listening any more: stop paying for the answer.
+                entry.task.cancel()
+
+    # ------------------------------------------------------------------ #
+    # computation
+    # ------------------------------------------------------------------ #
+    async def _compute(
+        self, op: str, payload: dict[str, Any], key: str | None, entry: _Inflight
+    ) -> None:
+        self._active_ops += 1
+        self.metrics.enter(self._active_ops)
+        outcome: _Outcome
+        try:
+            outcome = await self._run_op(op, payload)
+        except asyncio.CancelledError:
+            if not entry.future.done():
+                entry.future.cancel()
+            raise
+        except Exception as exc:  # noqa: BLE001 - the response *is* the report
+            outcome = _Outcome(
+                500, error_body("internal", f"unexpected daemon error: {exc!r}"),
+                "error",
+            )
+        finally:
+            self._active_ops -= 1
+            self.metrics.exit(self._active_ops)
+            if key is not None:
+                self._inflight.pop(key, None)
+        if outcome.counters:
+            self.metrics.fold_work(outcome.counters)
+        if key is not None and outcome.status == 200:
+            self._cache_put(key, outcome.body)
+        if not entry.future.done():
+            entry.future.set_result(outcome)
+
+    async def _run_op(self, op: str, payload: dict[str, Any]) -> _Outcome:
+        if self.pool is not None:
+            try:
+                reply = await self.pool.run(op, payload, self.request_timeout)
+            except WorkerTimeout as exc:
+                return _Outcome(504, error_body("timeout", str(exc)), "timeout")
+            except WorkerCrash as exc:
+                return _Outcome(
+                    500, error_body("worker-crash", str(exc)), "crashed"
+                )
+        else:
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(self._inline, execute, op, payload)
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), self.request_timeout
+                )
+                reply = ("ok", result)
+            except asyncio.TimeoutError:
+                future.add_done_callback(lambda f: f.cancelled() or f.exception())
+                return _Outcome(
+                    504,
+                    error_body(
+                        "timeout",
+                        f"{op!r} exceeded its {self.request_timeout:g}s budget",
+                    ),
+                    "timeout",
+                )
+            except ReproError as exc:
+                reply = ("user_error", type(exc).__name__, str(exc))
+            except Exception as exc:  # noqa: BLE001
+                reply = ("error", type(exc).__name__, str(exc))
+
+        if reply[0] == "ok":
+            doc = reply[1]
+            return _Outcome(
+                200, json_body(doc["result"]), "computed",
+                counters=doc.get("counters", {}),
+            )
+        if reply[0] == "user_error":
+            _, kind, message = reply
+            return _Outcome(
+                400, error_body("bad-request", message, detail=kind), "error"
+            )
+        _, kind, message = reply
+        return _Outcome(
+            500,
+            error_body("internal", message.splitlines()[0] if message else kind,
+                       detail=kind),
+            "error",
+        )
+
+    # ------------------------------------------------------------------ #
+    # coalesce keys + response cache
+    # ------------------------------------------------------------------ #
+    async def _coalesce_key(
+        self, op: str, body: bytes, payload: dict[str, Any]
+    ) -> str:
+        """The request's content key, memoized by body bytes.
+
+        Identical bodies skip even the project parse; the parse for a new
+        body runs off-loop and concurrent identical bodies share it.
+        """
+        body_sha = hashlib.sha256(op.encode() + b"\0" + body).hexdigest()
+        key = self._key_cache.get(body_sha)
+        if key is not None:
+            self._key_cache.move_to_end(body_sha)
+            return key
+        pending = self._key_futures.get(body_sha)
+        if pending is None:
+            loop = asyncio.get_running_loop()
+            pending = loop.run_in_executor(self._keys, coalesce_key, op, payload)
+            self._key_futures[body_sha] = pending
+            try:
+                key = await asyncio.shield(pending)
+            finally:
+                self._key_futures.pop(body_sha, None)
+        else:
+            key = await asyncio.shield(pending)
+        self._key_cache[body_sha] = key
+        self._key_cache.move_to_end(body_sha)
+        while len(self._key_cache) > 4096:
+            self._key_cache.popitem(last=False)
+        return key
+
+    def _cache_get(self, key: str) -> bytes | None:
+        body = self._cache.get(key)
+        if body is not None:
+            self._cache.move_to_end(key)
+        return body
+
+    def _cache_put(self, key: str, body: bytes) -> None:
+        self._cache[key] = body
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_entries:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # introspection documents
+    # ------------------------------------------------------------------ #
+    def _worker_doc(self) -> dict[str, Any]:
+        if self.pool is not None:
+            doc = self.pool.stats()
+            doc["mode"] = "process"
+            return doc
+        return {"mode": "inline", "size": 0, "alive": 0, "restarts": 0,
+                "crashes": 0, "timeouts": 0}
+
+    def _healthz_doc(self) -> dict[str, Any]:
+        return {
+            "type": "banger-healthz",
+            "ok": True,
+            "status": "draining" if self._draining else "serving",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "workers": self._worker_doc(),
+        }
+
+    def _metrics_doc(self) -> dict[str, Any]:
+        return {
+            "type": "banger-metrics",
+            "version": __version__,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "server": self.metrics.as_dict(),
+            "workers": self._worker_doc(),
+            "response_cache": {
+                "entries": len(self._cache),
+                "max_entries": self.cache_entries,
+            },
+            "service": shared_service().stats().as_dict(),
+        }
+
+
+# --------------------------------------------------------------------- #
+# entry point used by `banger serve`
+# --------------------------------------------------------------------- #
+async def run_daemon(
+    daemon: BangerDaemon,
+    install_signals: bool = True,
+    ready: Callable[[BangerDaemon], None] | None = None,
+) -> None:
+    """Start ``daemon``, wire SIGTERM/SIGINT to graceful drain, serve."""
+    await daemon.start()
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(daemon.shutdown())
+                )
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+    if ready is not None:
+        ready(daemon)
+    await daemon.serve_forever()

@@ -1,0 +1,330 @@
+"""The daemon's operations: one pure function per compute endpoint.
+
+Each op maps a JSON payload to a JSON-able result document.  The same
+functions run in three places — the daemon's worker processes, its inline
+thread executor (``--workers 0``), and unit tests calling them directly —
+so they hold no server state: every op gets its project from the payload
+and its caching from the process-local :func:`shared_service`.
+
+:func:`execute` wraps an op with counter accounting (kernel +
+:class:`~repro.sched.service.ServiceStats` deltas) so the daemon can
+aggregate *work* observability across processes, and
+:func:`coalesce_key` derives the content-addressed identity the daemon
+coalesces and caches on: ``(graph content_hash, machine content_hash,
+scheduler cache key, remaining options)``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict
+from typing import Any, Callable
+
+from repro.env.project import BangerProject
+from repro.errors import ReproError, ValidationError
+from repro.graph.serialize import fingerprint
+from repro.lint import lint_project, to_json
+from repro.sched.core import kernel_counters
+from repro.sched.registry import resolve_scheduler, scheduler_cache_key
+from repro.sched.serialize import schedule_to_dict
+from repro.sched.service import ScheduleRequest, ScheduleService
+from repro.sim import simulate
+from repro.viz.gantt import render_gantt
+
+
+class OpError(ReproError):
+    """A request payload the ops cannot serve — answered 400, never 500."""
+
+
+# --------------------------------------------------------------------- #
+# the process-local service (one per daemon worker / inline host)
+# --------------------------------------------------------------------- #
+_SERVICE: ScheduleService | None = None
+
+
+def shared_service() -> ScheduleService:
+    """The process-local :class:`ScheduleService` every op schedules through.
+
+    Worker processes each hold one, so repeated misses that land on the
+    same worker still reuse its kernel/schedule caches; the daemon's inline
+    mode shares one across its whole thread pool (it is thread-safe).
+    """
+    global _SERVICE
+    if _SERVICE is None:
+        _SERVICE = ScheduleService()
+    return _SERVICE
+
+
+def reset_shared_service() -> None:
+    """Drop the process-local service (tests)."""
+    global _SERVICE
+    _SERVICE = None
+
+
+# --------------------------------------------------------------------- #
+# payload helpers
+# --------------------------------------------------------------------- #
+def _project_from_payload(payload: dict[str, Any]) -> BangerProject:
+    doc = payload.get("project")
+    if not isinstance(doc, dict):
+        raise OpError("payload must carry a 'project' object (a saved project "
+                      "document, as produced by BangerProject.save)")
+    try:
+        return BangerProject.from_dict(doc, service=shared_service())
+    except ValidationError as exc:
+        raise OpError(str(exc)) from None
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise OpError(f"malformed project document: {exc!r}") from None
+
+
+def _proc_counts(payload: dict[str, Any]) -> tuple[int, ...] | None:
+    raw = payload.get("proc_counts")
+    if raw is None:
+        return None
+    try:
+        counts = tuple(int(n) for n in raw)
+    except (TypeError, ValueError):
+        raise OpError(f"proc_counts must be a list of integers, got {raw!r}") from None
+    if not counts or any(n < 1 for n in counts):
+        raise OpError(f"proc_counts must be positive integers, got {raw!r}")
+    return counts
+
+
+def _scheduler_name(payload: dict[str, Any], key: str = "scheduler") -> str:
+    name = payload.get(key, "mh")
+    if not isinstance(name, str):
+        raise OpError(f"{key} must be a scheduler name string, got {name!r}")
+    return name
+
+
+def _request(payload: dict[str, Any]) -> ScheduleRequest:
+    return ScheduleRequest(
+        scheduler=_scheduler_name(payload),
+        proc_counts=_proc_counts(payload),
+        family=payload.get("family"),
+        # Server-side sweeps default to serial workers: the daemon already
+        # fans requests out across its own pool, and nesting process pools
+        # inside worker processes multiplies memory for little gain.
+        jobs=int(payload.get("jobs", 1)),
+        use_cache=bool(payload.get("use_cache", True)),
+    )
+
+
+# --------------------------------------------------------------------- #
+# the ops
+# --------------------------------------------------------------------- #
+def op_lint(payload: dict[str, Any]) -> dict[str, Any]:
+    project = _project_from_payload(payload)
+    suppress = payload.get("suppress") or []
+    if not isinstance(suppress, list):
+        raise OpError(f"suppress must be a list of rule IDs, got {suppress!r}")
+    fail_on = payload.get("fail_on", "error")
+    if fail_on not in ("error", "warning"):
+        raise OpError(f"fail_on must be 'error' or 'warning', got {fail_on!r}")
+    report = lint_project(project, suppress=[str(r) for r in suppress])
+    failed = report.error_count > 0 or (
+        fail_on == "warning" and report.warning_count > 0
+    )
+    doc = to_json(report)
+    doc["type"] = "banger-lint"
+    doc["ok"] = not failed
+    return doc
+
+
+def op_schedule(payload: dict[str, Any]) -> dict[str, Any]:
+    from repro.sched.metrics import report as schedule_report
+
+    project = _project_from_payload(payload)
+    req = _request(payload)
+    schedule = project.schedule(
+        ScheduleRequest(scheduler=req.scheduler, use_cache=req.use_cache)
+    )
+    doc: dict[str, Any] = {
+        "type": "banger-schedule",
+        "project": project.name,
+        "scheduler": schedule.scheduler,
+        "n_procs": schedule.machine.n_procs,
+        "makespan": schedule.makespan(),
+        "report": asdict(schedule_report(schedule)),
+        "schedule": schedule_to_dict(schedule),
+    }
+    if payload.get("gantt"):
+        doc["gantt"] = render_gantt(schedule)
+    return doc
+
+
+def op_speedup(payload: dict[str, Any]) -> dict[str, Any]:
+    project = _project_from_payload(payload)
+    report = project.speedup(_request(payload))
+    doc = asdict(report)
+    doc["type"] = "banger-speedup"
+    doc["points"] = [asdict(p) for p in report.points]
+    return doc
+
+
+def op_sweep(payload: dict[str, Any]) -> dict[str, Any]:
+    project = _project_from_payload(payload)
+    raw = payload.get("schedulers", ["mh"])
+    if not isinstance(raw, list) or not raw:
+        raise OpError(f"schedulers must be a non-empty list of names, got {raw!r}")
+    reports = {}
+    for name in raw:
+        req = _request({**payload, "scheduler": name})
+        rep = project.speedup(req)
+        reports[str(name)] = {
+            "family": rep.family,
+            "serial_time": rep.serial_time,
+            "max_parallelism": rep.max_parallelism,
+            "points": [asdict(p) for p in rep.points],
+        }
+    return {
+        "type": "banger-sweep",
+        "project": project.name,
+        "schedulers": reports,
+    }
+
+
+def op_simulate(payload: dict[str, Any]) -> dict[str, Any]:
+    project = _project_from_payload(payload)
+    req = _request(payload)
+    contention = bool(payload.get("contention", False))
+    schedule = project.schedule(
+        ScheduleRequest(scheduler=req.scheduler, use_cache=req.use_cache)
+    )
+    trace = simulate(schedule, contention=contention)
+    return {
+        "type": "banger-simulate",
+        "project": project.name,
+        "scheduler": schedule.scheduler,
+        "contention": contention,
+        "static_makespan": schedule.makespan(),
+        "simulated_makespan": trace.makespan(),
+    }
+
+
+def op_conform(payload: dict[str, Any]) -> dict[str, Any]:
+    from repro.conformance import run
+
+    oracles = payload.get("oracles") or None
+    if oracles is not None and not isinstance(oracles, list):
+        raise OpError(f"oracles must be a list of oracle names, got {oracles!r}")
+    try:
+        seed = int(payload.get("seed", 0))
+        runs = int(payload.get("runs", 50))
+    except (TypeError, ValueError) as exc:
+        raise OpError(f"seed/runs must be integers: {exc}") from None
+    budget = payload.get("budget")
+    report = run(
+        seed=seed,
+        runs=runs,
+        oracles=[str(o) for o in oracles] if oracles else None,
+        time_budget=float(budget) if budget is not None else None,
+    )
+    doc = report.as_dict()
+    doc["type"] = "banger-conform"
+    return doc
+
+
+# --------------------------------------------------------------------- #
+# debug ops (refused unless the daemon runs with --debug)
+# --------------------------------------------------------------------- #
+def op_crash(payload: dict[str, Any]) -> dict[str, Any]:
+    """Kill the hosting process mid-request (crash-isolation testing)."""
+    os._exit(13)
+
+
+def op_sleep(payload: dict[str, Any]) -> dict[str, Any]:
+    """Hold a worker busy (timeout / drain / backpressure testing)."""
+    seconds = float(payload.get("seconds", 1.0))
+    time.sleep(min(seconds, 60.0))
+    return {"type": "banger-sleep", "slept": seconds}
+
+
+def op_boom(payload: dict[str, Any]) -> dict[str, Any]:
+    """Raise an unexpected exception (500-path testing)."""
+    raise RuntimeError("boom requested")
+
+
+OPS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+    "lint": op_lint,
+    "schedule": op_schedule,
+    "speedup": op_speedup,
+    "sweep": op_sweep,
+    "simulate": op_simulate,
+    "conform": op_conform,
+    "crash": op_crash,
+    "sleep": op_sleep,
+    "boom": op_boom,
+}
+
+#: Ops only reachable when the daemon was started with ``--debug``.
+DEBUG_OPS = frozenset({"crash", "sleep", "boom"})
+
+#: Ops whose payload carries a project document (keyed by content hashes).
+PROJECT_OPS = frozenset({"lint", "schedule", "speedup", "sweep", "simulate"})
+
+#: Payload fields consumed by each project op beyond the project itself —
+#: everything that changes the answer must be part of the coalesce key.
+_OPTION_FIELDS: dict[str, tuple[str, ...]] = {
+    "lint": ("suppress", "fail_on"),
+    "schedule": ("use_cache", "gantt"),
+    "speedup": ("proc_counts", "family", "use_cache"),
+    "sweep": ("schedulers", "proc_counts", "family", "use_cache"),
+    "simulate": ("contention", "use_cache"),
+}
+
+
+def coalesce_key(op: str, payload: dict[str, Any]) -> str:
+    """The content-addressed identity of one request.
+
+    Two requests with equal keys are guaranteed the same answer, so the
+    daemon runs one and shares the bytes.  Project ops are keyed by the
+    flattened graph's content hash, the machine's content hash, the
+    resolved scheduler's cache key, and the op's remaining options — a
+    reordered-but-identical JSON body maps to the same key.
+    """
+    if op not in OPS:
+        raise OpError(f"unknown operation {op!r}")
+    if op in PROJECT_OPS:
+        project = _project_from_payload(payload)
+        fps = project.fingerprints()
+        if op in ("schedule", "speedup", "simulate"):
+            sched_key = scheduler_cache_key(
+                resolve_scheduler(_scheduler_name(payload))
+            )
+        else:
+            sched_key = ""
+        options = {f: payload.get(f) for f in _OPTION_FIELDS[op]}
+        return fingerprint([op, fps["graph"], fps["machine"], sched_key, options])
+    return fingerprint([op, payload])
+
+
+def execute(op: str, payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one op with counter accounting.
+
+    Returns ``{"result": <response doc>, "counters": <work deltas>}`` —
+    the daemon sends ``result`` to the client and folds ``counters`` into
+    ``/metrics`` so scheduler runs are observable no matter which process
+    performed them.
+    """
+    fn = OPS.get(op)
+    if fn is None:
+        raise OpError(f"unknown operation {op!r}")
+    service = shared_service()
+    k0, s0 = kernel_counters(), service.stats()
+    result = fn(payload)
+    k1, s1 = kernel_counters(), service.stats()
+    return {
+        "result": result,
+        "counters": {
+            "sched_runs": s1.misses - s0.misses,
+            "service_hits": s1.hits - s0.hits,
+            "kernel_builds": int(k1["kernel_builds"] - k0["kernel_builds"]),
+            "kernel_build_ms": k1["kernel_build_ms"] - k0["kernel_build_ms"],
+            "route_cache_hits": int(k1["route_cache_hits"] - k0["route_cache_hits"]),
+            "route_cache_misses": int(
+                k1["route_cache_misses"] - k0["route_cache_misses"]
+            ),
+        },
+    }

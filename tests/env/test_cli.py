@@ -90,7 +90,7 @@ class TestSweepSimRun:
         assert "p=4" in out
 
     def test_bad_procs_list(self, project_path, capsys):
-        assert main(["speedup", project_path, "--procs", "a,b"]) == 1
+        assert main(["speedup", project_path, "--procs", "a,b"]) == 2
 
     def test_simulate(self, project_path, capsys):
         assert main(["simulate", project_path, "--contention"]) == 0
@@ -161,10 +161,10 @@ class TestSweep:
         assert "Gantt chart" in capsys.readouterr().out
 
     def test_bad_jobs(self, project_path, capsys):
-        assert main(["sweep", project_path, "--jobs", "0"]) == 1
+        assert main(["sweep", project_path, "--jobs", "0"]) == 2
 
     def test_empty_scheduler_list(self, project_path, capsys):
-        assert main(["sweep", project_path, "--scheduler", ","]) == 1
+        assert main(["sweep", project_path, "--scheduler", ","]) == 2
 
 
 class TestCodegenTopologyDemo:

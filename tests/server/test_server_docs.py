@@ -1,0 +1,96 @@
+"""docs/server.md stays in sync with the daemon it describes."""
+
+import pathlib
+import re
+
+from repro.server.app import DEBUG_ROUTES, ROUTES
+from repro.server.metrics import DISPOSITIONS, LATENCY_WINDOW, ServerMetrics
+
+ROOT = pathlib.Path(__file__).parent.parent.parent
+DOCS = ROOT / "docs" / "server.md"
+TEXT = DOCS.read_text(encoding="utf-8")
+
+
+def test_every_endpoint_is_documented():
+    for path in ROUTES:
+        assert f"POST {path}" in TEXT, f"{path} missing from docs/server.md"
+    for path in DEBUG_ROUTES:
+        assert f"POST {path}" in TEXT, f"{path} missing from docs/server.md"
+    for path in ("/healthz", "/metrics"):
+        assert f"GET {path}" in TEXT
+
+
+def test_every_disposition_is_documented():
+    for name in DISPOSITIONS:
+        assert f"`{name}`" in TEXT, f"disposition {name} missing from docs"
+
+
+def test_every_metrics_counter_is_documented():
+    metrics = ServerMetrics().as_dict()
+    for key in metrics:
+        assert f"`{key}`" in TEXT, f"metrics field {key} missing from docs"
+    # the work counters folded in from workers
+    from repro.server.ops import execute
+
+    work = execute("sleep", {"seconds": 0})["counters"]
+    for key in work:
+        assert f"`{key}`" in TEXT, f"work counter {key} missing from docs"
+
+
+def test_documented_status_codes_are_the_emitted_ones():
+    from repro.server.protocol import REASONS
+
+    documented = set(re.findall(r"`(\d{3})`", TEXT))
+    for code in (200, 400, 404, 405, 500, 503, 504):
+        assert str(code) in documented, f"status {code} missing from docs"
+        assert code in REASONS
+
+
+def test_documented_error_kinds_are_emitted_by_the_code():
+    source = "".join(
+        (ROOT / "src" / "repro" / "server" / f).read_text(encoding="utf-8")
+        for f in ("app.py", "ops.py")
+    )
+    for kind in ("bad-request", "not-found", "method-not-allowed",
+                 "worker-crash", "internal", "overloaded", "timeout"):
+        assert f"`{kind}`" in TEXT, f"error kind {kind} missing from docs"
+        assert f'"{kind}"' in source, f"docs document unemitted kind {kind}"
+
+
+def test_documented_cli_flags_exist():
+    from repro.cli import build_parser
+
+    for flag in ("--port", "--workers", "--queue-limit", "--timeout",
+                 "--cache-entries", "--debug", "--access-log",
+                 "--no-access-log"):
+        assert flag in TEXT, f"{flag} missing from docs/server.md"
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--workers", "2", "--queue-limit", "8",
+         "--timeout", "5", "--cache-entries", "16", "--debug",
+         "--no-access-log"]
+    )
+    assert args.fn is not None
+
+
+def test_documented_numbers_match_the_code():
+    assert str(LATENCY_WINDOW) in TEXT
+    from repro.server.app import BangerDaemon
+
+    daemon = BangerDaemon.__init__.__defaults__
+    assert "min(4, cpus)" in TEXT  # the documented default worker count
+
+
+def test_referenced_files_exist():
+    for rel in re.findall(
+        r"`((?:src|tests|docs|benchmarks|\.github)/[A-Za-z0-9_./-]+"
+        r"\.(?:py|md|yml|json))`",
+        TEXT,
+    ):
+        assert (ROOT / rel).exists(), f"docs/server.md references missing {rel}"
+
+
+def test_access_log_fields_are_documented():
+    # the fields the daemon actually writes per request
+    for field in ("ts", "client", "method", "path", "status", "ms",
+                  "disposition", "bytes_in"):
+        assert f"`{field}`" in TEXT, f"access-log field {field} missing"
