@@ -1,0 +1,191 @@
+"""EXT-E — incremental static analysis: warm ``POST /lint`` vs cold.
+
+The analyzer's cost model is the paper's instant-feedback promise applied
+to deep analysis: the first lint of a project pays for abstract
+interpretation of every program; every re-lint of an *unchanged* program
+must be a fingerprint lookup in the analysis cache.  This benchmark boots
+a real ``banger serve`` subprocess (one worker, so cold and warm land in
+the same process-local cache) and measures:
+
+* **cold vs warm** — linting a many-task, loop-heavy project once cold,
+  then again warm with a different ``fail_on`` (which defeats the daemon's
+  *response* cache but leaves the per-program *analysis* cache hot): the
+  warm request must be >= 5x faster.
+* **single-edit invalidation** — changing one program out of N re-lints
+  in time closer to the warm floor than to a full cold run.
+
+Numbers land in ``benchmarks/out/BENCH_analysis.json``.  ``BENCH_SMOKE=1``
+shrinks the project.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import statistics
+import subprocess
+import sys
+import time
+
+import pytest
+
+from conftest import OUT_DIR, write_artifact
+from repro.client import BangerClient, wait_until_ready
+from repro.env.project import BangerProject
+from repro.graph.dataflow import DataflowGraph
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+N_TASKS = 12 if SMOKE else 40
+
+RESULTS: dict = {
+    "type": "BENCH_analysis",
+    "smoke": SMOKE,
+    "tasks": N_TASKS,
+    "python": sys.version.split()[0],
+}
+
+
+def _flush() -> None:
+    write_artifact("BENCH_analysis.json", json.dumps(RESULTS, indent=2) + "\n")
+
+
+def _heavy_program(i: int) -> str:
+    """A loop-heavy routine whose abstract interpretation is nontrivial:
+    nested fixpoints with widening, branch joins, and builtin transfers."""
+    return (
+        f"input x\noutput y\nlocal i, j, acc, t\n"
+        f"acc := {i} + 0\n"
+        "i := 1\n"
+        "while i < 40 do\n"
+        "  j := 1\n"
+        "  repeat\n"
+        "    t := abs(acc) + j\n"
+        "    if t > 100 then\n"
+        "      acc := sqrt(t) + i\n"
+        "    else\n"
+        "      acc := acc + t / (abs(t) + 1)\n"
+        "    end\n"
+        "    j := j + 1\n"
+        "  until j >= 12\n"
+        "  i := i + 1\n"
+        "end\n"
+        "y := acc + x\n"
+    )
+
+
+def _project_doc(n_tasks: int = N_TASKS, edit: int | None = None,
+                 base: int = 0) -> dict:
+    g = DataflowGraph(f"bench-analysis-{base}-{n_tasks}")
+    g.add_storage("x", initial=1.0)
+    for i in range(n_tasks):
+        src = _heavy_program(base + i)
+        if edit == i:
+            src += "# edited\n"
+        g.add_task(f"t{i}", program=src, work=1.0)
+        g.add_storage(f"y{i}", data="y")
+        g.connect("x", f"t{i}")
+        g.connect(f"t{i}", f"y{i}")
+    project = BangerProject(g.name).set_design(g)
+    return project.to_dict()
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One `banger serve` subprocess with a single worker, so every /lint
+    request shares one process-local analysis cache."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "1", "--debug", "--no-access-log"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True,
+    )
+    ready = json.loads(proc.stdout.readline())
+    assert ready["event"] == "ready"
+    wait_until_ready(port=ready["port"], timeout=30)
+    yield {"proc": proc, "port": ready["port"]}
+    if proc.poll() is None:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+def _time_lint(client: BangerClient, doc: dict, **options) -> tuple[float, dict]:
+    t0 = time.perf_counter()
+    response = client.lint(doc, **options)
+    return time.perf_counter() - t0, response
+
+
+def test_ext_analysis_warm_vs_cold(daemon, artifact_dir):
+    """Warm /lint (analysis cache hot, response cache defeated) >= 5x cold."""
+    client = BangerClient(port=daemon["port"], timeout=300)
+    doc = _project_doc()
+
+    cold_s, cold_resp = _time_lint(client, doc)
+    assert cold_resp["summary"]["errors"] == 0
+
+    # each warm request uses distinct options => a fresh response-cache
+    # key every time, so only the per-program analysis cache can help it
+    warm = []
+    variants = [
+        {"fail_on": "warning"},
+        {"suppress": ["MF401"]},
+        {"suppress": ["MF402"]},
+        {"suppress": ["MF403"]},
+        {"suppress": ["MF404"]},
+    ]
+    for options in variants:
+        warm_s, warm_resp = _time_lint(client, doc, **options)
+        warm.append(warm_s)
+        assert warm_resp["summary"] == cold_resp["summary"]
+    warm_s = statistics.median(warm)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    RESULTS["warm_vs_cold"] = {
+        "cold_ms": round(cold_s * 1000.0, 3),
+        "warm_ms_median": round(warm_s * 1000.0, 3),
+        "warm_ms_all": [round(w * 1000.0, 3) for w in warm],
+        "speedup": round(speedup, 1),
+    }
+    _flush()
+    assert speedup >= 5.0, (
+        f"warm /lint only {speedup:.1f}x faster than cold "
+        f"({warm_s * 1000:.1f} ms vs {cold_s * 1000:.1f} ms)"
+    )
+
+
+def test_ext_analysis_single_edit(daemon, artifact_dir):
+    """Editing one program of N re-analyzes one program, not N."""
+    client = BangerClient(port=daemon["port"], timeout=300)
+    # base=1000: programs the first test has NOT already pushed into the
+    # worker's analysis cache, so the first lint here is genuinely cold
+    base = _project_doc(base=1000)
+    cold_s, _ = _time_lint(client, base)
+    warm_s, _ = _time_lint(client, base, fail_on="warning")
+
+    edited = _project_doc(base=1000, edit=0)
+    edit_s, _ = _time_lint(client, edited)
+
+    RESULTS["single_edit"] = {
+        "cold_ms": round(cold_s * 1000.0, 3),
+        "warm_ms": round(warm_s * 1000.0, 3),
+        "one_edit_ms": round(edit_s * 1000.0, 3),
+    }
+    _flush()
+    # one edited program out of N must cost much less than a full cold run
+    assert edit_s <= cold_s * 0.5, (
+        f"single-program edit cost {edit_s * 1000:.1f} ms, "
+        f"full cold lint {cold_s * 1000:.1f} ms"
+    )
+
+
+def test_ext_analysis_artifact(artifact_dir):
+    doc = json.loads(
+        (OUT_DIR / "BENCH_analysis.json").read_text(encoding="utf-8")
+    )
+    assert doc["type"] == "BENCH_analysis"
+    for section in ("warm_vs_cold", "single_edit"):
+        assert section in doc, section
+    assert doc["warm_vs_cold"]["speedup"] >= 5.0

@@ -1,0 +1,238 @@
+"""Abstract domains for the PITS abstract interpreter.
+
+Two small lattices, chosen for predictability over precision:
+
+* :class:`Interval` — classic closed intervals over the extended reals,
+  with widening to guarantee loop termination.  ``BOTTOM`` (the empty
+  interval) means "no value reaches here"; ``TOP`` is ``[-inf, +inf]``.
+* :class:`Kind` — scalar / array / either, so the interpreter never
+  confuses an array summary with a numeric range.
+
+Every operation is *total*: dividing by an interval containing zero, or
+applying a transfer function outside its domain, yields a sound
+over-approximation (usually ``TOP``) rather than raising.  The analyzer's
+"never raises, always terminates" property test leans on this.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+_INF = math.inf
+
+
+class Kind(enum.Enum):
+    SCALAR = "scalar"
+    ARRAY = "array"
+    ANY = "any"
+
+    def join(self, other: "Kind") -> "Kind":
+        return self if self is other else Kind.ANY
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the extended reals.
+
+    The empty interval (bottom) is canonically ``Interval(inf, -inf)``;
+    use :data:`BOTTOM`.  NaN bounds are normalized away at construction.
+    """
+
+    lo: float
+    hi: float
+
+    # ------------------------------------------------------------- #
+    # constructors / predicates
+    # ------------------------------------------------------------- #
+    @staticmethod
+    def const(x: float) -> "Interval":
+        if math.isnan(x):
+            return TOP
+        return Interval(x, x)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.lo > self.hi
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi and math.isfinite(self.lo)
+
+    def contains(self, x: float) -> bool:
+        return self.lo <= x <= self.hi
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_bottom:
+            return "⊥"
+        return f"[{self.lo}, {self.hi}]"
+
+    # ------------------------------------------------------------- #
+    # lattice
+    # ------------------------------------------------------------- #
+    def join(self, other: "Interval") -> "Interval":
+        if self.is_bottom:
+            return other
+        if other.is_bottom:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: bounds that grew jump to infinity."""
+        if self.is_bottom:
+            return newer
+        if newer.is_bottom:
+            return self
+        lo = self.lo if newer.lo >= self.lo else -_INF
+        hi = self.hi if newer.hi <= self.hi else _INF
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------- #
+    # arithmetic (all total; bottom propagates)
+    # ------------------------------------------------------------- #
+    def _binary_guard(self, other: "Interval") -> "Interval | None":
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        return None
+
+    def add(self, other: "Interval") -> "Interval":
+        if (b := self._binary_guard(other)) is not None:
+            return b
+        return _mk(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        if (b := self._binary_guard(other)) is not None:
+            return b
+        return _mk(self.lo - other.hi, self.hi - other.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        if (b := self._binary_guard(other)) is not None:
+            return b
+        prods = [_safe_mul(a, c) for a in (self.lo, self.hi) for c in (other.lo, other.hi)]
+        return _mk(min(prods), max(prods))
+
+    def div(self, other: "Interval") -> "Interval":
+        """Interval division; a divisor straddling zero gives ``TOP``."""
+        if (b := self._binary_guard(other)) is not None:
+            return b
+        if other.contains(0.0):
+            return TOP
+        quots = [_safe_div(a, c) for a in (self.lo, self.hi) for c in (other.lo, other.hi)]
+        return _mk(min(quots), max(quots))
+
+    def neg(self) -> "Interval":
+        if self.is_bottom:
+            return BOTTOM
+        return Interval(-self.hi, -self.lo)
+
+    def abs(self) -> "Interval":
+        if self.is_bottom:
+            return BOTTOM
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def min_(self, other: "Interval") -> "Interval":
+        if (b := self._binary_guard(other)) is not None:
+            return b
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def max_(self, other: "Interval") -> "Interval":
+        if (b := self._binary_guard(other)) is not None:
+            return b
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    # ------------------------------------------------------------- #
+    # tri-state comparisons: True / False / None (unknown)
+    # ------------------------------------------------------------- #
+    def lt(self, other: "Interval") -> bool | None:
+        if self.is_bottom or other.is_bottom:
+            return None
+        if self.hi < other.lo:
+            return True
+        if self.lo >= other.hi:
+            return False
+        return None
+
+    def le(self, other: "Interval") -> bool | None:
+        if self.is_bottom or other.is_bottom:
+            return None
+        if self.hi <= other.lo:
+            return True
+        if self.lo > other.hi:
+            return False
+        return None
+
+    def eq(self, other: "Interval") -> bool | None:
+        if self.is_bottom or other.is_bottom:
+            return None
+        if self.is_const and other.is_const and self.lo == other.lo:
+            return True
+        if self.hi < other.lo or other.hi < self.lo:
+            return False
+        return None
+
+
+def _mk(lo: float, hi: float) -> Interval:
+    if math.isnan(lo):
+        lo = -_INF
+    if math.isnan(hi):
+        hi = _INF
+    return Interval(lo, hi)
+
+
+def _safe_mul(a: float, b: float) -> float:
+    # inf * 0 is nan in IEEE; for intervals the sound result is 0
+    if a == 0.0 or b == 0.0:
+        return 0.0
+    return a * b
+
+
+def _safe_div(a: float, b: float) -> float:
+    if math.isinf(a) and math.isinf(b):
+        return math.copysign(1.0, a) * math.copysign(1.0, b)
+    try:
+        return a / b
+    except ZeroDivisionError:  # pragma: no cover - callers exclude 0
+        return math.copysign(_INF, a) * math.copysign(1.0, b)
+
+
+TOP = Interval(-_INF, _INF)
+BOTTOM = Interval(_INF, -_INF)
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """One abstract value: a kind plus (for scalars) a numeric range.
+
+    Arrays are summarized as a single interval covering every element —
+    enough to prove e.g. ``zeros(n)`` elements are 0 without shape
+    tracking.
+    """
+
+    kind: Kind = Kind.ANY
+    ival: Interval = TOP
+
+    @staticmethod
+    def scalar(ival: Interval) -> "AbsValue":
+        return AbsValue(Kind.SCALAR, ival)
+
+    @staticmethod
+    def array(ival: Interval = TOP) -> "AbsValue":
+        return AbsValue(Kind.ARRAY, ival)
+
+    @staticmethod
+    def const(x: float) -> "AbsValue":
+        return AbsValue(Kind.SCALAR, Interval.const(x))
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        return AbsValue(self.kind.join(other.kind), self.ival.join(other.ival))
+
+    def widen(self, newer: "AbsValue") -> "AbsValue":
+        return AbsValue(self.kind.join(newer.kind), self.ival.widen(newer.ival))
+
+
+UNKNOWN = AbsValue(Kind.ANY, TOP)

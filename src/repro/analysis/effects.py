@@ -1,0 +1,66 @@
+"""Per-statement effect summaries inferred by the abstract interpreter.
+
+An :class:`StmtEffect` records, for one *top-level* statement of a PITS
+program, everything the code generators need to decide whether statements
+can be elided or reordered without changing observable behavior:
+
+* ``reads`` / ``writes`` — the variables touched (including everything in
+  nested blocks);
+* ``displays`` — whether any ``display(...)`` runs inside (an observable
+  side effect that must never be dropped or reordered);
+* ``may_raise`` — whether any expression inside can raise a runtime error
+  (division by zero, a domain error from ``sqrt``/``ln``/..., an array
+  subscript).  Refined by interval analysis: ``x / d`` with ``d`` proven
+  away from zero is total.
+
+A statement that is pure (no display) and total (cannot raise) and whose
+writes are all dead is safe to elide; two statements commute when neither
+displays, neither may raise, and their read/write sets do not interfere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StmtEffect:
+    """Observable-effect summary for one top-level statement."""
+
+    line: int = 0
+    reads: frozenset[str] = field(default_factory=frozenset)
+    writes: frozenset[str] = field(default_factory=frozenset)
+    displays: bool = False
+    may_raise: bool = False
+
+    @property
+    def pure(self) -> bool:
+        """No observable side effect beyond its variable writes."""
+        return not self.displays
+
+    @property
+    def total(self) -> bool:
+        """Provably cannot raise a runtime error."""
+        return not self.may_raise
+
+    def interferes(self, other: "StmtEffect") -> bool:
+        """True when swapping ``self`` and ``other`` could change behavior."""
+        if self.displays and other.displays:
+            return True
+        if self.may_raise and other.may_raise:
+            return True  # exception order is observable
+        return bool(
+            (self.writes & other.writes)
+            or (self.writes & other.reads)
+            or (self.reads & other.writes)
+        )
+
+    def merge(self, other: "StmtEffect") -> "StmtEffect":
+        """Union of two effects (used to fold nested blocks upward)."""
+        return StmtEffect(
+            line=self.line or other.line,
+            reads=self.reads | other.reads,
+            writes=self.writes | other.writes,
+            displays=self.displays or other.displays,
+            may_raise=self.may_raise or other.may_raise,
+        )

@@ -19,7 +19,7 @@ stable (``"error: line 3: ..."``); rule IDs surface through the
 
 from __future__ import annotations
 
-import enum
+import re
 from dataclasses import dataclass
 
 from repro.calc import ast
@@ -27,14 +27,11 @@ from repro.calc.builtins import CONSTANTS, lookup
 from repro.calc.parser import parse
 from repro.errors import CalcSyntaxError
 
+# Compatibility alias: the canonical definition moved to repro.severity so
+# the lint layer no longer reaches into the calculator for a shared enum.
+from repro.severity import Severity
 
-class Severity(enum.Enum):
-    ERROR = "error"
-    WARNING = "warning"
-    INFO = "info"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
+__all__ = ["Severity", "Diagnostic", "analyze", "errors", "is_clean"]
 
 
 @dataclass(frozen=True)
@@ -61,9 +58,15 @@ def analyze(program: ast.Program | str) -> list[Diagnostic]:
     """Return every diagnostic for a PITS program (empty list = clean).
 
     Accepts source text (syntax errors become a single ERROR diagnostic)
-    or an already parsed program.
+    or an already parsed program.  When source text is given, inline
+    suppression comments are honored: ``# lint: disable=PITS016`` silences
+    the named rule(s) on that line (or, on a comment-only line, on the
+    following line), and ``# lint: disable-file=PITS007`` silences them for
+    the whole program.
     """
+    source: str | None = None
     if isinstance(program, str):
+        source = program
         try:
             program = parse(program)
         except CalcSyntaxError as exc:
@@ -220,6 +223,15 @@ def analyze(program: ast.Program | str) -> list[Diagnostic]:
     diags.extend(_check_kinds(program, loop_vars))
     diags.extend(_check_dead_statements(program))
 
+    # value-flow analysis (PITS1xx) — only meaningful once the program is
+    # scope/kind clean, so it runs behind the error gate
+    if not any(d.severity is Severity.ERROR for d in diags):
+        from repro.analysis.absint import interpret
+
+        diags.extend(interpret(program).diagnostics)
+
+    if source is not None:
+        diags = _apply_suppressions(source, diags)
     return diags
 
 
@@ -449,6 +461,40 @@ def _check_dead_statements(program: ast.Program) -> list[Diagnostic]:
             rule="PITS017",
         )
         for s in program.body[last_live + 1:]
+    ]
+
+
+#: ``# lint: disable=RULE1,RULE2`` / ``# lint: disable-file=RULE``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+def _apply_suppressions(
+    source: str, diags: list[Diagnostic]
+) -> list[Diagnostic]:
+    """Drop diagnostics silenced by inline ``# lint: disable=`` comments."""
+    per_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), 1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        rules = {r.strip().upper() for r in m.group(2).split(",") if r.strip()}
+        if m.group(1) == "disable-file":
+            whole_file |= rules
+        else:
+            per_line.setdefault(lineno, set()).update(rules)
+            if not text[: text.index("#")].strip():
+                # a comment-only directive governs the line below it
+                per_line.setdefault(lineno + 1, set()).update(rules)
+    if not per_line and not whole_file:
+        return diags
+    return [
+        d
+        for d in diags
+        if d.rule not in whole_file
+        and not (d.line and d.rule in per_line.get(d.line, ()))
     ]
 
 

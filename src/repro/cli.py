@@ -84,7 +84,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     project = _load(args.project)
     suppress = [r.strip() for r in (args.suppress or "").split(",") if r.strip()]
-    report = lint_project(project, suppress=suppress)
+    report = lint_project(
+        project,
+        suppress=suppress,
+        concurrency=getattr(args, "concurrency", False),
+        scheduler=getattr(args, "scheduler", "mh"),
+    )
+    if getattr(args, "baseline", None):
+        from repro.lint import apply_baseline, load_baseline
+
+        report = apply_baseline(report, load_baseline(args.baseline))
     if args.format == "json":
         print(render_json(report))
     elif args.format == "sarif":
@@ -398,6 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lowest severity that makes the exit status nonzero")
     p.add_argument("--suppress", default="",
                    help="comma-separated rule IDs to hide, e.g. XL303,MF401")
+    p.add_argument("--baseline", default=None, metavar="REPORT.SARIF",
+                   help="suppress findings recorded in a previous SARIF "
+                        "report; fail only on new ones")
+    p.add_argument("--concurrency", action="store_true",
+                   help="also schedule the project and verify the generated "
+                        "communication plan (CG5xx rules)")
+    p.add_argument("--scheduler", default="mh",
+                   help="scheduler used for --concurrency (default: mh)")
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("outline", help="print the design outline")

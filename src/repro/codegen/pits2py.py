@@ -165,11 +165,42 @@ def function_name(task: str) -> str:
     return f"task_{safe}"
 
 
+def _elidable_statements(program: ast.Program) -> set[int]:
+    """Indices of top-level statements safe to drop from generated code.
+
+    A trailing statement (after the last one that writes an output or
+    displays) can be elided when the effect summary proves it pure (no
+    display) and total (cannot raise) and no kept later statement reads
+    what it writes — eliding it is then unobservable: same outputs, same
+    display lines, same exceptions.
+    """
+    from repro.analysis.absint import interpret
+
+    effects = interpret(program).effects
+    outputs = frozenset(program.outputs)
+    last_live = -1
+    for i, eff in enumerate(effects):
+        if (eff.writes & outputs) or eff.displays:
+            last_live = i
+    elide: set[int] = set()
+    needed: set[str] = set()
+    for i in range(len(program.body) - 1, last_live, -1):
+        eff = effects[i]
+        if eff.pure and eff.total and not (eff.writes & needed):
+            elide.add(i)
+        else:
+            needed |= eff.reads
+    return elide
+
+
 def gen_task_function(task: str, source: str) -> str:
     """Full ``def`` text for one task's PITS routine.
 
     Raises :class:`CodegenError` if the routine has static errors — Banger
     refuses to generate code for a design that fails instant feedback.
+    Top-level statements the effect analysis proves dead, pure, and total
+    are not emitted (the static-reordering gate: only statements with no
+    observable effect may move or vanish).
     """
     problems = static_errors(source)
     if problems:
@@ -178,13 +209,15 @@ def gen_task_function(task: str, source: str) -> str:
             + "; ".join(str(p) for p in problems[:5])
         )
     program = parse(source)
+    elide = _elidable_statements(program)
+    body = tuple(s for i, s in enumerate(program.body) if i not in elide)
     translator = _Translator(_declared_names(program))
     lines = [f"def {function_name(task)}(env, _display):"]
     doc = f"PITS routine {program.name or task!r}"
     lines.append(f'{_INDENT}"""{doc}."""')
     for name in program.inputs:
         lines.append(f"{_INDENT}{mangle(name)} = env[{name!r}]")
-    lines += translator.block(program.body, 1)
+    lines += translator.block(body, 1)
     returns = ", ".join(f"{name!r}: {mangle(name)}" for name in program.outputs)
     lines.append(f"{_INDENT}return {{{returns}}}")
     return "\n".join(lines)

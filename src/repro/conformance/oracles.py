@@ -30,6 +30,10 @@ name             kind    invariant
 ``lint_sim``     graph   a design that lints clean (DF109 "no program yet"
                          suppressed — fuzz graphs are weight-only) must
                          flatten, schedule, and simulate without error
+``codegen_deadlock``
+                 graph   the CG5xx concurrency analyzer finds no errors on
+                         real plans, and plans it passes actually run to
+                         completion on live threads and queues
 ``pits_codegen`` pits    a PITS routine computes bit-identical outputs (and
                          display lines) through the tree-walking interpreter
                          and the generated-Python path; domain errors must
@@ -98,6 +102,13 @@ class CaseContext:
     def trace(self):
         """The contention-free replay of :attr:`schedule`."""
         return self._get("trace", lambda: simulate(self.schedule, contention=False))
+
+    @property
+    def plan(self):
+        """The communication plan lowered from :attr:`schedule`."""
+        from repro.sim.plan import build_comm_plan
+
+        return self._get("plan", lambda: build_comm_plan(self.schedule))
 
 
 @dataclass(frozen=True)
@@ -254,6 +265,25 @@ def _lint_sim(ctx: CaseContext) -> list[str]:
         simulate(schedule, contention=False)
     except Exception as exc:  # noqa: BLE001
         return [f"lint-clean design failed downstream: {type(exc).__name__}: {exc}"]
+    return []
+
+
+@register("codegen_deadlock", GRAPH,
+          "the concurrency analyzer is sound: clean plans really complete")
+def _codegen_deadlock(ctx: CaseContext) -> list[str]:
+    from repro.analysis.concurrency import analyze_plan, execute_plan_protocol
+    from repro.severity import Severity
+
+    diags = analyze_plan(ctx.plan)
+    errors = [d for d in diags if d.severity is Severity.ERROR]
+    if errors:
+        # Real plans from real schedulers must never trip the analyzer.
+        return [f"{d.rule_id}: {d.message}" for d in errors]
+    if not execute_plan_protocol(ctx.plan, timeout=5.0):
+        return [
+            "analyzer passed the plan but its channel protocol did not run "
+            "to completion on live threads"
+        ]
     return []
 
 

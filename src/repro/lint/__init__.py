@@ -19,9 +19,15 @@ See ``docs/diagnostics.md`` for the full rule catalogue with triggering
 examples.
 """
 
-from repro.calc.analyze import Severity
+from repro.severity import Severity
+from repro.lint.baseline import apply_baseline, load_baseline
 from repro.lint.diagnostics import Diagnostic, Report, make_diagnostic
-from repro.lint.engine import lint_design, lint_project, lint_schedule
+from repro.lint.engine import (
+    lint_comm_plan,
+    lint_design,
+    lint_project,
+    lint_schedule,
+)
 from repro.lint.render import (
     render_json,
     render_sarif,
@@ -38,10 +44,13 @@ __all__ = [
     "RULES",
     "Severity",
     "all_rules",
+    "apply_baseline",
     "get_rule",
+    "lint_comm_plan",
     "lint_design",
     "lint_project",
     "lint_schedule",
+    "load_baseline",
     "make_diagnostic",
     "register",
     "render_json",

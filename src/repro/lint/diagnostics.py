@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
-from repro.calc.analyze import Severity
+from repro.severity import Severity
 from repro.lint.rules import Rule, get_rule
 
 

@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.dataflow import DataflowGraph
     from repro.machine.machine import TargetMachine
     from repro.sched.schedule import Schedule
+    from repro.sim.plan import CommPlan
 
 
 def lint_design(
@@ -49,13 +50,22 @@ def lint_design(
         if isinstance(n, TaskNode) and not n.is_composite
     ]
 
+    # per-program analysis is content-addressed: unchanged programs are
+    # answered from the incremental cache (repro.analysis.cache)
+    from repro.analysis.cache import cached_program_diagnostics
+
     for node in nodes:
         if node.program is None:
             diags.append(
                 make_diagnostic("DF109", "no PITS program yet", node=node.name)
             )
             continue
-        for d in analyze(node.program):
+        program_diags = (
+            cached_program_diagnostics(node.program)
+            if isinstance(node.program, str)
+            else analyze(node.program)
+        )
+        for d in program_diags:
             diags.append(
                 Diagnostic(d.rule or "PITS001", d.severity, d.message,
                            node=node.name, line=d.line)
@@ -70,12 +80,41 @@ def lint_design(
     return Report(tuple(diags), name or design.name).suppress(suppress)
 
 
-def lint_project(project: "BangerProject", suppress: Iterable[str] = ()) -> Report:
-    """Lint a whole Banger project: design + programs + machine fit."""
+def lint_project(
+    project: "BangerProject",
+    suppress: Iterable[str] = (),
+    concurrency: bool = False,
+    scheduler: str = "mh",
+) -> Report:
+    """Lint a whole Banger project: design + programs + machine fit.
+
+    With ``concurrency=True`` the project is additionally scheduled (with
+    ``scheduler``), lowered to its communication plan, and the plan is
+    verified deadlock-free (the ``CG5xx`` family) — the same static gate
+    the code generators rely on.
+    """
     design = project.design if len(project.design) else None
-    return lint_design(
+    report = lint_design(
         design, project.machine, name=project.name, suppress=suppress
     )
+    if concurrency and design is not None and not report.error_count:
+        from repro.sim.plan import build_comm_plan
+
+        plan = build_comm_plan(project.schedule(scheduler))
+        extra = lint_comm_plan(plan, name=project.name).diagnostics
+        report = Report(report.diagnostics + extra, report.name).suppress(suppress)
+    return report
+
+
+def lint_comm_plan(plan: "CommPlan", name: str = "") -> Report:
+    """Verify one communication plan's channel protocol (CG5xx).
+
+    Results are memoized on the plan's channel-op signature, so repeated
+    lints of an unchanged schedule are answered from the analysis cache.
+    """
+    from repro.analysis.cache import cached_plan_diagnostics
+
+    return Report(tuple(cached_plan_diagnostics(plan)), name)
 
 
 def lint_schedule(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 
-from repro.calc.analyze import Severity
+from repro.severity import Severity
 from repro.lint.diagnostics import Report
 from repro.lint.rules import get_rule
 

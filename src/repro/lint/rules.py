@@ -3,10 +3,12 @@
 Rule IDs are stable and namespaced by layer:
 
 * ``PITS0xx`` — PITS program analysis (:mod:`repro.calc.analyze`);
+* ``PITS1xx`` — PITS value-flow analysis (:mod:`repro.analysis.absint`);
 * ``DF1xx``   — dataflow-design structure (:mod:`repro.lint.design`);
 * ``SCH2xx``  — schedule feasibility (:mod:`repro.lint.schedrules`);
 * ``XL3xx``   — cross-layer program/graph interface (:mod:`repro.lint.design`);
-* ``MF4xx``   — machine/design fit advisories (:mod:`repro.lint.machinefit`).
+* ``MF4xx``   — machine/design fit advisories (:mod:`repro.lint.machinefit`);
+* ``CG5xx``   — generated-code concurrency (:mod:`repro.analysis.concurrency`).
 
 Each rule carries a default severity, a category, a one-line summary, and a
 fix hint; :mod:`docs/diagnostics.md` catalogues them with triggering
@@ -17,10 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.calc.analyze import Severity
+from repro.severity import Severity
 
 #: Rule categories, in report order.
-CATEGORIES = ("pits", "design", "cross-layer", "machine", "schedule")
+CATEGORIES = ("pits", "design", "cross-layer", "machine", "schedule", "codegen")
 
 
 @dataclass(frozen=True)
@@ -105,6 +107,25 @@ _r("PITS017", Severity.WARNING, "pits", "statement after outputs are final",
    "delete trailing statements that cannot affect any output")
 
 # ------------------------------------------------------------------ #
+# PITS1xx — PITS value-flow analysis (abstract interpretation)
+# ------------------------------------------------------------------ #
+_r("PITS101", Severity.ERROR, "pits", "guaranteed division by zero",
+   "the divisor is the constant 0 on every execution; fix the expression "
+   "computing it")
+_r("PITS102", Severity.ERROR, "pits", "guaranteed domain error",
+   "the argument range is entirely outside the function's domain "
+   "(sqrt of a negative, ln of a non-positive, asin/acos outside [-1, 1])")
+_r("PITS103", Severity.WARNING, "pits", "branch can never execute",
+   "the condition is decided by constants; delete the dead branch or fix "
+   "the condition")
+_r("PITS104", Severity.WARNING, "pits", "output is provably constant",
+   "the output ignores every input; either that is intentional or a "
+   "variable was shadowed by a literal")
+_r("PITS105", Severity.WARNING, "pits", "dead store",
+   "the assigned value is overwritten before any statement can read it; "
+   "delete the first assignment")
+
+# ------------------------------------------------------------------ #
 # DF1xx — design structure
 # ------------------------------------------------------------------ #
 _r("DF100", Severity.ERROR, "design", "no design yet",
@@ -171,3 +192,22 @@ _r("MF403", Severity.INFO, "machine", "forall width below processor count",
 _r("MF404", Severity.INFO, "machine", "high CCR on a high-diameter topology",
    "communication-bound designs schedule better on denser topologies "
    "(hypercube, full)")
+
+# ------------------------------------------------------------------ #
+# CG5xx — generated-code concurrency (communication-plan verification)
+# ------------------------------------------------------------------ #
+_r("CG501", Severity.ERROR, "codegen", "generated program deadlocks",
+   "the per-processor send/receive sequences cannot all complete under "
+   "blocking queue semantics; re-derive the schedule or report a codegen bug")
+_r("CG502", Severity.ERROR, "codegen", "receive has no matching send",
+   "a processor blocks forever waiting on a channel nobody sends on; the "
+   "communication plan is missing a producer")
+_r("CG503", Severity.WARNING, "codegen", "message is never received",
+   "a sent message is never consumed; the channel stays full for the "
+   "lifetime of the program")
+_r("CG504", Severity.ERROR, "codegen", "channel carries more than one message",
+   "each (producer, consumer, variable, processor) channel must be used by "
+   "exactly one send and one receive")
+_r("CG505", Severity.WARNING, "codegen", "send to the sender's own processor",
+   "same-processor data transfer should be lowered to a local store read, "
+   "not a queue message")

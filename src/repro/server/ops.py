@@ -122,7 +122,14 @@ def op_lint(payload: dict[str, Any]) -> dict[str, Any]:
     fail_on = payload.get("fail_on", "error")
     if fail_on not in ("error", "warning"):
         raise OpError(f"fail_on must be 'error' or 'warning', got {fail_on!r}")
-    report = lint_project(project, suppress=[str(r) for r in suppress])
+    concurrency = bool(payload.get("concurrency", False))
+    scheduler = str(payload.get("scheduler", "mh"))
+    report = lint_project(
+        project,
+        suppress=[str(r) for r in suppress],
+        concurrency=concurrency,
+        scheduler=scheduler,
+    )
     failed = report.error_count > 0 or (
         fail_on == "warning" and report.warning_count > 0
     )
@@ -267,7 +274,7 @@ PROJECT_OPS = frozenset({"lint", "schedule", "speedup", "sweep", "simulate"})
 #: Payload fields consumed by each project op beyond the project itself —
 #: everything that changes the answer must be part of the coalesce key.
 _OPTION_FIELDS: dict[str, tuple[str, ...]] = {
-    "lint": ("suppress", "fail_on"),
+    "lint": ("suppress", "fail_on", "concurrency", "scheduler"),
     "schedule": ("use_cache", "gantt"),
     "speedup": ("proc_counts", "family", "use_cache"),
     "sweep": ("schedulers", "proc_counts", "family", "use_cache"),

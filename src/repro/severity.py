@@ -1,0 +1,24 @@
+"""The one shared severity scale for every diagnostic in the environment.
+
+Historically :mod:`repro.calc.analyze` defined its own ``Severity`` enum and
+:mod:`repro.lint` imported it, which worked but put the canonical definition
+in an odd place (the PITS checker) and made the lint package depend on the
+calculator layer for a three-value enum.  The definition now lives here, at
+the root of the package where nothing else is imported, and both layers
+re-export it — ``repro.calc.analyze.Severity`` remains a compatibility
+alias, so ``from repro.calc.analyze import Severity`` keeps working and
+identity checks (``d.severity is Severity.ERROR``) hold across layers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,171 @@
+"""Behavioral tests for the PITS abstract interpreter."""
+
+import math
+
+from repro.analysis.absint import interpret
+from repro.analysis.domains import Interval, Kind
+from repro.severity import Severity
+
+INF = math.inf
+
+
+def rules(analysis):
+    return sorted(d.rule for d in analysis.diagnostics)
+
+
+class TestValueTracking:
+    def test_constant_propagation(self):
+        a = interpret("output y\ny := 2 + 3 * 4")
+        assert a.final("y").ival == Interval.const(14.0)
+
+    def test_inputs_are_unknown(self):
+        # an input may be a scalar or an array: kind ANY, range TOP
+        a = interpret("input x\noutput y\ny := x + 1")
+        assert a.final("x").kind is Kind.ANY
+        assert not a.final("y").ival.is_const
+
+    def test_branch_join(self):
+        a = interpret(
+            "input c\noutput y\nif c > 0 then\ny := 1\nelse\ny := 5\nend"
+        )
+        assert a.final("y").ival == Interval(1.0, 5.0)
+
+    def test_builtin_transfer_abs(self):
+        a = interpret("input x\noutput y\ny := abs(x) + 1")
+        assert a.final("y").ival.lo == 1.0
+
+    def test_named_constant(self):
+        a = interpret("output y\ny := PI")
+        assert a.final("y").ival == Interval.const(math.pi)
+
+    def test_array_summary(self):
+        a = interpret("input n\noutput v\nv := zeros(n)")
+        v = a.final("v")
+        assert v.kind is Kind.ARRAY
+        assert v.ival == Interval.const(0.0)
+
+
+class TestLoops:
+    def test_while_widens_and_terminates(self):
+        a = interpret(
+            "input n\noutput y\nlocal i\ni := 1\n"
+            "while i < n do\ni := i + 1\nend\ny := i"
+        )
+        assert a.final("y").ival.lo == 1.0
+        assert a.final("y").ival.hi == INF
+        assert rules(a) == []
+
+    def test_for_loop_bounds(self):
+        a = interpret(
+            "output s\nlocal i\ns := 0\nfor i := 1 to 10 do\ns := s + 1\nend"
+        )
+        # s grows by 1 per iteration: widening gives [0, inf], never negative
+        assert a.final("s").ival.lo == 0.0
+
+    def test_repeat_executes_at_least_once(self):
+        a = interpret(
+            "output y\nlocal i\ni := 0\nrepeat\ni := i + 1\nuntil i >= 1\ny := i"
+        )
+        assert a.final("y").ival.lo >= 1.0
+
+
+class TestRules:
+    def test_no_false_positive_on_guarded_division(self):
+        a = interpret("input x, d\noutput y\ny := x / (abs(d) + 1)")
+        assert rules(a) == []
+
+    def test_division_by_interval_containing_zero_is_silent(self):
+        # d MAY be zero but is not ALWAYS zero: no PITS101
+        a = interpret("input d\noutput y\ny := 1 / d")
+        assert "PITS101" not in rules(a)
+
+    def test_guaranteed_division_by_zero(self):
+        a = interpret("output y\nlocal d\nd := 3 - 3\ny := 1 / d")
+        assert "PITS101" in rules(a)
+        (d,) = [d for d in a.diagnostics if d.rule == "PITS101"]
+        assert d.severity is Severity.ERROR
+
+    def test_domain_error_through_branch_join(self):
+        # both branches leave d negative -> sqrt must fail
+        a = interpret(
+            "input c\noutput y\nlocal d\n"
+            "if c > 0 then\nd := 0 - 1\nelse\nd := 0 - 2\nend\ny := sqrt(d)"
+        )
+        assert "PITS102" in rules(a)
+
+    def test_unreachable_else_branch(self):
+        a = interpret(
+            "input x\noutput y\nlocal f\nf := 0\n"
+            "if f = 0 then\ny := x\nelse\ny := 1\nend"
+        )
+        assert "PITS103" in rules(a)
+
+    def test_reachable_branches_are_silent(self):
+        a = interpret(
+            "input c\noutput y\nif c > 0 then\ny := 1\nelse\ny := 2\nend"
+        )
+        assert "PITS103" not in rules(a)
+
+    def test_constant_output_needs_inputs_to_fire(self):
+        # without inputs, a constant output is the program's whole point
+        a = interpret("output y\ny := 42")
+        assert "PITS104" not in rules(a)
+
+    def test_dead_store_not_reported_when_read_in_loop(self):
+        a = interpret(
+            "input n\noutput s\nlocal t\nt := 0\n"
+            "while t < n do\nt := t + 1\nend\ns := t"
+        )
+        assert "PITS105" not in rules(a)
+
+    def test_diagnostics_are_deduplicated(self):
+        # the division is re-analyzed on every fixpoint iteration but must
+        # be reported once
+        a = interpret(
+            "input n\noutput y\nlocal d, i\nd := 0\ni := 0\ny := 0\n"
+            "while i < n do\ny := 1 / d\ni := i + 1\nend"
+        )
+        assert [d.rule for d in a.diagnostics].count("PITS101") == 1
+
+
+class TestEffects:
+    def test_one_effect_per_top_level_statement(self):
+        a = interpret("input x\noutput y\nlocal t\nt := x + 1\ny := t * 2")
+        assert len(a.effects) == 2
+        assert a.effects[0].reads == frozenset({"x"})
+        assert a.effects[0].writes == frozenset({"t"})
+        assert a.effects[1].reads == frozenset({"t"})
+        assert a.effects[1].writes == frozenset({"y"})
+
+    def test_display_is_impure(self):
+        a = interpret("input x\noutput y\ny := x\ndisplay(y)")
+        assert a.effects[0].pure
+        assert not a.effects[1].pure
+
+    def test_proven_safe_division_is_total(self):
+        a = interpret("output y\nlocal t\nt := 5\ny := t / 2")
+        assert all(eff.total for eff in a.effects)
+
+    def test_possible_division_by_zero_may_raise(self):
+        a = interpret("input d\noutput y\ny := 1 / d")
+        assert not a.effects[0].total
+
+    def test_nested_block_effects_fold_upward(self):
+        a = interpret(
+            "input c, x\noutput y\nif c > 0 then\ny := x\nelse\ny := 0\nend"
+        )
+        (eff,) = a.effects
+        assert eff.reads >= {"c", "x"}
+        assert eff.writes == frozenset({"y"})
+
+
+class TestTotality:
+    def test_syntax_error_yields_empty_analysis(self):
+        a = interpret("output y\ny := +")
+        assert a.diagnostics == () and a.effects == ()
+
+    def test_interpret_accepts_parsed_program(self):
+        from repro.calc.parser import parse
+
+        a = interpret(parse("output y\ny := 1"))
+        assert a.final("y").ival == Interval.const(1.0)

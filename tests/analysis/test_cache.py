@@ -1,0 +1,123 @@
+"""Tests for the incremental analysis cache."""
+
+import threading
+
+from repro.analysis.cache import (
+    ANALYSIS_VERSION,
+    AnalysisCache,
+    cached_plan_diagnostics,
+    cached_program_diagnostics,
+    plan_key,
+    program_key,
+    shared_cache,
+)
+
+
+class TestAnalysisCache:
+    def test_get_or_compute_memoizes(self):
+        cache = AnalysisCache()
+        calls = []
+        for _ in range(3):
+            v = cache.get_or_compute("k", lambda: calls.append(1) or "result")
+            assert v == "result"
+        assert len(calls) == 1
+        assert cache.stats() == {"entries": 1, "hits": 2, "misses": 1}
+
+    def test_lru_eviction(self):
+        cache = AnalysisCache(maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)  # refresh a
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        assert len(cache) == 2
+        calls = []
+        cache.get_or_compute("b", lambda: calls.append(1) or 2)
+        assert calls, "b should have been evicted"
+
+    def test_clear_resets_counters(self):
+        cache = AnalysisCache()
+        cache.get_or_compute("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_thread_safety_smoke(self):
+        cache = AnalysisCache(maxsize=8)
+        errors = []
+
+        def hammer(i):
+            try:
+                for k in range(50):
+                    cache.get_or_compute(f"k{k % 12}", lambda: k)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+
+
+class TestKeys:
+    def test_program_key_is_content_addressed(self):
+        assert program_key("output y\ny := 1") == program_key("output y\ny := 1")
+        assert program_key("output y\ny := 1") != program_key("output y\ny := 2")
+
+    def test_program_key_embeds_version(self):
+        assert str(ANALYSIS_VERSION)  # bumping the version must change keys
+        # (structural check: the key is a function of the version constant)
+        import repro.analysis.cache as c
+
+        k1 = program_key("output y\ny := 1")
+        c.ANALYSIS_VERSION += 1
+        try:
+            assert program_key("output y\ny := 1") != k1
+        finally:
+            c.ANALYSIS_VERSION -= 1
+
+    def test_plan_key_tracks_op_order(self):
+        from repro.sim.plan import CommPlan, Send, Step
+
+        def plan(sends):
+            return CommPlan(
+                steps_by_proc={
+                    0: [Step(task="a", proc=0, start=0.0, sends=list(sends))]
+                },
+                output_sources={},
+            )
+
+        s1, s2 = Send("a", "b", "x", 1), Send("a", "c", "y", 1)
+        assert plan_key(plan([s1, s2])) != plan_key(plan([s2, s1]))
+        assert plan_key(plan([s1])) == plan_key(plan([s1]))
+
+
+class TestCachedEntryPoints:
+    def test_cached_program_diagnostics_hits(self):
+        cache = AnalysisCache()
+        src = "output y\nlocal d\nd := 0\ny := 1 / d"
+        d1 = cached_program_diagnostics(src, cache)
+        d2 = cached_program_diagnostics(src, cache)
+        assert d1 is d2  # the literal same tuple: served from cache
+        assert any(d.rule == "PITS101" for d in d1)
+        assert cache.stats()["hits"] == 1
+
+    def test_cached_plan_diagnostics_hits(self):
+        from repro.sim.plan import CommPlan, Recv, Step
+
+        cache = AnalysisCache()
+        plan = CommPlan(
+            steps_by_proc={
+                1: [Step(task="b", proc=1, start=0.0, recvs=[Recv("a", "x", 0)])]
+            },
+            output_sources={},
+        )
+        d1 = cached_plan_diagnostics(plan, cache)
+        d2 = cached_plan_diagnostics(plan, cache)
+        assert d1 is d2
+        assert [d.rule_id for d in d1] == ["CG502"]
+
+    def test_shared_cache_is_a_singleton(self):
+        assert shared_cache() is shared_cache()

@@ -1,0 +1,113 @@
+"""Unit tests for the interval / kind abstract domains."""
+
+import math
+
+from repro.analysis.domains import BOTTOM, TOP, AbsValue, Interval, Kind
+
+INF = math.inf
+
+
+class TestIntervalLattice:
+    def test_const_and_predicates(self):
+        iv = Interval.const(3.0)
+        assert iv.is_const and not iv.is_bottom
+        assert iv.contains(3.0) and not iv.contains(2.9)
+        assert Interval.const(math.nan) == TOP
+
+    def test_bottom_detection(self):
+        assert BOTTOM.is_bottom
+        assert not TOP.is_bottom
+        assert not TOP.is_const
+
+    def test_join(self):
+        assert Interval(1, 2).join(Interval(5, 6)) == Interval(1, 6)
+        assert BOTTOM.join(Interval(1, 2)) == Interval(1, 2)
+        assert Interval(1, 2).join(BOTTOM) == Interval(1, 2)
+
+    def test_widen_jumps_growing_bounds_to_infinity(self):
+        assert Interval(0, 10).widen(Interval(0, 11)) == Interval(0, INF)
+        assert Interval(0, 10).widen(Interval(-1, 10)) == Interval(-INF, 10)
+        # stable bounds stay put
+        assert Interval(0, 10).widen(Interval(2, 9)) == Interval(0, 10)
+
+    def test_widening_chain_stabilizes(self):
+        iv = Interval.const(0.0)
+        for k in range(1, 100):
+            iv = iv.widen(Interval(0.0, float(k)))
+        assert iv == Interval(0.0, INF)
+
+
+class TestIntervalArithmetic:
+    def test_add_sub(self):
+        assert Interval(1, 2).add(Interval(10, 20)) == Interval(11, 22)
+        assert Interval(1, 2).sub(Interval(10, 20)) == Interval(-19, -8)
+
+    def test_mul_sign_cases(self):
+        assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+        assert Interval(-2, -1).mul(Interval(-3, -2)) == Interval(2, 6)
+
+    def test_mul_inf_times_zero_is_sound(self):
+        assert Interval(0, 0).mul(TOP) == Interval(0, 0)
+
+    def test_div_away_from_zero(self):
+        assert Interval(10, 20).div(Interval(2, 5)) == Interval(2, 10)
+
+    def test_div_straddling_zero_is_top(self):
+        assert Interval(1, 1).div(Interval(-1, 1)) == TOP
+
+    def test_bottom_propagates(self):
+        assert BOTTOM.add(Interval(1, 2)).is_bottom
+        assert Interval(1, 2).mul(BOTTOM).is_bottom
+        assert BOTTOM.neg().is_bottom
+        assert BOTTOM.abs().is_bottom
+
+    def test_abs(self):
+        assert Interval(-3, 2).abs() == Interval(0, 3)
+        assert Interval(-3, -1).abs() == Interval(1, 3)
+        assert Interval(1, 3).abs() == Interval(1, 3)
+
+    def test_min_max(self):
+        assert Interval(1, 5).min_(Interval(3, 4)) == Interval(1, 4)
+        assert Interval(1, 5).max_(Interval(3, 4)) == Interval(3, 5)
+
+
+class TestTriStateComparisons:
+    def test_lt(self):
+        assert Interval(1, 2).lt(Interval(3, 4)) is True
+        assert Interval(3, 4).lt(Interval(1, 3)) is False
+        assert Interval(1, 3).lt(Interval(2, 4)) is None
+
+    def test_le(self):
+        assert Interval(1, 2).le(Interval(2, 4)) is True
+        assert Interval(3, 4).le(Interval(1, 2)) is False
+        assert Interval(1, 3).le(Interval(2, 4)) is None
+
+    def test_eq(self):
+        assert Interval.const(2.0).eq(Interval.const(2.0)) is True
+        assert Interval(1, 2).eq(Interval(3, 4)) is False
+        assert Interval(1, 3).eq(Interval(2, 4)) is None
+
+    def test_bottom_compares_unknown(self):
+        assert BOTTOM.lt(TOP) is None
+        assert TOP.eq(BOTTOM) is None
+
+
+class TestKindAndAbsValue:
+    def test_kind_join(self):
+        assert Kind.SCALAR.join(Kind.SCALAR) is Kind.SCALAR
+        assert Kind.SCALAR.join(Kind.ARRAY) is Kind.ANY
+        assert Kind.ANY.join(Kind.ARRAY) is Kind.ANY
+
+    def test_absvalue_join_and_widen(self):
+        a = AbsValue.const(1.0)
+        b = AbsValue.const(5.0)
+        assert a.join(b) == AbsValue.scalar(Interval(1, 5))
+        widened = AbsValue.scalar(Interval(0, 1)).widen(
+            AbsValue.scalar(Interval(0, 2))
+        )
+        assert widened.ival == Interval(0, INF)
+
+    def test_array_summary(self):
+        arr = AbsValue.array(Interval(0, 0))
+        assert arr.kind is Kind.ARRAY
+        assert arr.join(AbsValue.const(1.0)).kind is Kind.ANY

@@ -1,0 +1,57 @@
+"""Unit tests for statement effect summaries."""
+
+from repro.analysis.effects import StmtEffect
+
+
+def eff(**kw):
+    kw.setdefault("reads", frozenset())
+    kw.setdefault("writes", frozenset())
+    return StmtEffect(**kw)
+
+
+class TestPredicates:
+    def test_pure_and_total_defaults(self):
+        e = eff()
+        assert e.pure and e.total
+
+    def test_display_breaks_purity(self):
+        assert not eff(displays=True).pure
+
+    def test_may_raise_breaks_totality(self):
+        assert not eff(may_raise=True).total
+
+
+class TestInterference:
+    def test_disjoint_pure_statements_commute(self):
+        a = eff(reads=frozenset({"x"}), writes=frozenset({"a"}))
+        b = eff(reads=frozenset({"y"}), writes=frozenset({"b"}))
+        assert not a.interferes(b)
+
+    def test_write_read_dependency(self):
+        a = eff(writes=frozenset({"t"}))
+        b = eff(reads=frozenset({"t"}))
+        assert a.interferes(b) and b.interferes(a)
+
+    def test_write_write_conflict(self):
+        a = eff(writes=frozenset({"t"}))
+        b = eff(writes=frozenset({"t"}))
+        assert a.interferes(b)
+
+    def test_two_displays_interfere(self):
+        assert eff(displays=True).interferes(eff(displays=True))
+
+    def test_two_raisers_interfere(self):
+        # exception order is observable even with disjoint variables
+        assert eff(may_raise=True).interferes(eff(may_raise=True))
+
+
+class TestMerge:
+    def test_merge_unions_everything(self):
+        a = eff(line=3, reads=frozenset({"x"}), writes=frozenset({"a"}))
+        b = eff(line=5, reads=frozenset({"y"}), writes=frozenset({"b"}),
+                displays=True, may_raise=True)
+        m = a.merge(b)
+        assert m.line == 3
+        assert m.reads == frozenset({"x", "y"})
+        assert m.writes == frozenset({"a", "b"})
+        assert m.displays and m.may_raise

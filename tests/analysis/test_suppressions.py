@@ -1,0 +1,81 @@
+"""Inline ``# lint: disable=...`` suppressions in PITS source."""
+
+from repro.calc.analyze import analyze
+from repro.graph.dataflow import DataflowGraph
+from repro.lint import lint_design
+
+
+def rules(diags):
+    return sorted(d.rule for d in diags)
+
+
+SRC_DIV = "output y\nlocal d\nd := 0\ny := 1 / d"
+
+
+class TestSameLine:
+    def test_trailing_comment_suppresses_that_line(self):
+        assert "PITS101" in rules(analyze(SRC_DIV))
+        suppressed = SRC_DIV + "  # lint: disable=PITS101"
+        assert "PITS101" not in rules(analyze(suppressed))
+
+    def test_other_lines_unaffected(self):
+        src = (
+            "output y, z\nlocal d\nd := 0\n"
+            "y := 1 / d  # lint: disable=PITS101\n"
+            "z := 2 / d"
+        )
+        hits = [d for d in analyze(src) if d.rule == "PITS101"]
+        assert [d.line for d in hits] == [5]
+
+    def test_multiple_rules_comma_separated(self):
+        src = (
+            "output y\nlocal d, t\n"
+            "t := 1  # lint: disable=PITS105\n"
+            "t := 2\n"
+            "d := 0\n"
+            "y := (1 / d) + t  # lint: disable=PITS101,PITS102\n"
+        )
+        assert rules(analyze(src)) == []
+
+
+class TestPrecedingLine:
+    def test_comment_only_line_governs_the_next_line(self):
+        src = (
+            "output y\nlocal d\nd := 0\n"
+            "# lint: disable=PITS101\n"
+            "y := 1 / d"
+        )
+        assert "PITS101" not in rules(analyze(src))
+
+
+class TestWholeFile:
+    def test_disable_file(self):
+        src = "# lint: disable-file=PITS101\n" + SRC_DIV
+        assert "PITS101" not in rules(analyze(src))
+
+    def test_disable_file_leaves_other_rules(self):
+        src = (
+            "# lint: disable-file=PITS101\n"
+            "output y\nlocal d, t\nt := 1\nt := 2\nd := 0\ny := (1 / d) + t"
+        )
+        assert "PITS105" in rules(analyze(src))
+
+
+class TestIntegration:
+    def test_suppressions_reach_lint_design(self):
+        g = DataflowGraph("d")
+        g.add_task(
+            "t",
+            program="output y\nlocal d\nd := 0\ny := 1 / d  # lint: disable=PITS101",
+        )
+        g.add_storage("y", data="y")
+        g.connect("t", "y")
+        report = lint_design(g)
+        assert "PITS101" not in [d.rule_id for d in report.diagnostics]
+
+    def test_pre_existing_rules_suppressible_too(self):
+        src = "input a, b\noutput r\nr := a  # unused b\n"
+        assert "PITS007" in rules(analyze(src))
+        assert "PITS007" not in rules(
+            analyze("# lint: disable-file=PITS007\n" + src)
+        )

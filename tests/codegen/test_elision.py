@@ -1,0 +1,87 @@
+"""Effect-gated statement elision in the Python generator.
+
+``gen_task_function`` drops trailing top-level statements only when the
+abstract interpreter's effect summaries prove the elision unobservable:
+pure (no display), total (cannot raise), and not feeding any kept later
+statement.  These tests pin the gate from both sides — what must go and,
+more importantly, what must stay.
+"""
+
+from repro.calc.interp import run_program
+from repro.calc.parser import parse
+from repro.codegen import runtime as _rt
+from repro.codegen.pits2py import (
+    _elidable_statements,
+    function_name,
+    gen_task_function,
+)
+
+import numpy as np
+
+
+def run_generated(source, **inputs):
+    code = gen_task_function("case", source)
+    ns = {"_rt": _rt, "_np": np}
+    exec(compile(code, "<test>", "exec"), ns)  # noqa: S102
+    shown = []
+    outputs = ns[function_name("case")](dict(inputs), shown.append)
+    return code, outputs, shown
+
+
+class TestWhatGoes:
+    def test_trailing_dead_pure_statement_is_elided(self):
+        src = "input x\noutput y\nlocal t\ny := x + 1\nt := 5"
+        code, outputs, _ = run_generated(src, x=2.0)
+        assert outputs == {"y": 3.0}
+        assert "v_t" not in code
+
+    def test_dead_chain_is_elided_together(self):
+        src = (
+            "input x\noutput y\nlocal a, b\n"
+            "y := x\na := 3\nb := a / 0.5\nb := b * 2"
+        )
+        assert _elidable_statements(parse(src)) == {1, 2, 3}
+        code, outputs, _ = run_generated(src, x=7.0)
+        assert outputs == {"y": 7.0}
+        assert "v_a" not in code and "v_b" not in code
+
+
+class TestWhatStays:
+    def test_display_is_never_elided(self):
+        src = "input x\noutput y\ny := x + 1\ndisplay(y)"
+        assert _elidable_statements(parse(src)) == set()
+        _, outputs, shown = run_generated(src, x=1.0)
+        assert outputs == {"y": 2.0}
+        assert shown == ["2"]
+
+    def test_possible_raiser_is_never_elided(self):
+        # 1 / x raises when x = 0; the interpreter would raise, so the
+        # generated code must too — the statement cannot be dropped
+        src = "input x\noutput y\nlocal t\ny := x + 1\nt := 1 / x"
+        assert _elidable_statements(parse(src)) == set()
+
+    def test_store_feeding_a_kept_raiser_is_kept(self):
+        # t := 0 is "dead" for the outputs, but the kept statement after it
+        # reads t: eliding the store would change which error is raised
+        src = (
+            "input x\noutput y\nlocal t, u\n"
+            "y := x\nt := x - x\nu := 1 / t"
+        )
+        elide = _elidable_statements(parse(src))
+        assert 1 not in elide, "the store feeding a kept raiser must stay"
+
+    def test_statements_before_the_last_output_write_are_kept(self):
+        src = "input x\noutput y\nlocal t\nt := x * 2\ny := t + 1"
+        assert _elidable_statements(parse(src)) == set()
+
+
+class TestSemanticsPreserved:
+    def test_generated_matches_interpreter_with_elision(self):
+        src = (
+            "input x\noutput y\nlocal dead\n"
+            "y := x\ndead := (1 + 2) * 4"
+        )
+        assert _elidable_statements(parse(src)), "case must actually elide"
+        result = run_program(src, x=3.0)
+        _, outputs, _ = run_generated(src, x=3.0)
+        assert outputs == result.outputs

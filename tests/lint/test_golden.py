@@ -75,6 +75,23 @@ PITS_CASES = [
     ("PITS017", "output r\nlocal t\nr := 1\nt := 99", Severity.WARNING, 4,
      "statement runs after every output is already final and "
      "cannot affect the result"),
+    # PITS1xx — abstract interpretation (interval / kind domains)
+    ("PITS101", "input a\noutput y\nlocal d\nd := 0\ny := a / d",
+     Severity.ERROR, 5,
+     "division by zero is guaranteed: the divisor is always 0"),
+    ("PITS102", "input a\noutput y\nlocal d\nd := 0 - 4\ny := sqrt(d) + a",
+     Severity.ERROR, 5,
+     "sqrt() is always outside its domain here (argument is in [-4.0, -4.0])"),
+    ("PITS103",
+     "input a\noutput y\nlocal d\nd := 1\nif d > 2 then\ny := 0\nelse\ny := a\nend",
+     Severity.WARNING, 6,
+     "branch never executes: the condition is always false"),
+    ("PITS104", "input a\noutput y\ny := 3 * 2", Severity.WARNING, 0,
+     "output 'y' is provably the constant 6 on every input"),
+    ("PITS105", "input a\noutput y\nlocal t\nt := 5\nt := a\ny := t",
+     Severity.WARNING, 4,
+     "value assigned to 't' is overwritten on line 5 before it can be read "
+     "(dead store)"),
 ]
 
 
