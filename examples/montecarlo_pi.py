@@ -11,7 +11,7 @@ Run:  python examples/montecarlo_pi.py
 import math
 
 from repro.apps import montecarlo_taskgraph, reference_pi
-from repro.codegen import generate_python, run_generated
+from repro.codegen import generate, run_generated
 from repro.machine import MachineParams, make_machine
 from repro.sched import MHScheduler, predict_speedup
 from repro.sim import calibrate_works, run_parallel, simulate
@@ -48,7 +48,7 @@ def main() -> None:
     print(f"threaded run: pi ~= {estimate}  (|err| = {abs(estimate - math.pi):.4f})")
     assert estimate == reference_pi(WORKERS, TRIALS)
 
-    generated = generate_python(schedule)
+    generated = generate(schedule, target="threads")
     out = run_generated(generated)
     print(f"generated program agrees: {float(out['pi_est']) == estimate}")
 

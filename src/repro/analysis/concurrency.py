@@ -8,10 +8,12 @@ consumes, two writers racing on one channel, and circular waits — and all
 of them are decidable *statically*, because the op sequences are finite and
 fixed at generation time.
 
-This module extracts the per-processor channel-op sequences **through the
-generator's own ordering hook** (:func:`repro.codegen.pygen.proc_steps`),
-so the analyzer verifies exactly what the emitted program will run; any
-reordering bug in the generator is visible to the analyzer by construction.
+This module extracts the per-processor channel-op sequences **from the
+shared lowering IR** (:func:`repro.codegen.ir.lower_steps`, which itself
+delegates ordering to :func:`repro.codegen.pygen.proc_steps` at call time),
+so the analyzer verifies exactly the step lists every backend consumes; any
+reordering in the lowering is visible to the analyzer and to all emitters
+identically, by construction.
 
 Rules:
 
@@ -39,36 +41,51 @@ from typing import TYPE_CHECKING
 from repro.lint.diagnostics import Diagnostic, make_diagnostic
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.codegen.ir import ComputeStep
     from repro.sim.plan import CommPlan
 
-#: (src_task, dst_task, var, dst_proc) — mirrors pygen._channel_key.
+#: (src_task, dst_task, var, dst_proc) — the IR's channel identity.
 Channel = tuple[str, str, str, int]
 
 #: ("send" | "recv", channel, task) — one blocking channel operation.
 Op = tuple[str, Channel, str]
 
 
-def plan_ops(plan: "CommPlan") -> dict[int, list[Op]]:
-    """Per-processor channel-op sequences, in generated execution order.
+def ir_ops(
+    procs: "dict[int, tuple[ComputeStep, ...]]",
+) -> dict[int, list[Op]]:
+    """Per-processor channel-op sequences of lowered step lists.
 
-    Ordering is delegated to :func:`repro.codegen.pygen.proc_steps` (looked
-    up at call time, so a patched generator is analyzed as patched).
+    Takes the ``procs`` mapping of a
+    :class:`~repro.codegen.ir.LoweredProgram` (or the first element of a
+    :func:`~repro.codegen.ir.lower_steps` result) — the analyzer reads the
+    same step lists the backends emit from.
     """
-    from repro.codegen import pygen
-
     ops: dict[int, list[Op]] = {}
-    for proc in sorted(plan.steps_by_proc):
+    for proc in sorted(procs):
         seq: list[Op] = []
-        for step in pygen.proc_steps(plan, proc):
+        for step in procs[proc]:
             for recv in step.recvs:
-                chan: Channel = (recv.src_task, step.task, recv.var, step.proc)
-                seq.append(("recv", chan, step.task))
+                seq.append(("recv", step.recv_channel(recv), step.task))
             for send in step.sends:
-                chan = (send.src_task, send.dst_task, send.var, send.dst_proc)
-                seq.append(("send", chan, step.task))
+                seq.append(("send", step.send_channel(send), step.task))
         if seq:
             ops[proc] = seq
     return ops
+
+
+def plan_ops(plan: "CommPlan") -> dict[int, list[Op]]:
+    """Per-processor channel-op sequences, in generated execution order.
+
+    Lowers the plan through the shared IR
+    (:func:`repro.codegen.ir.lower_steps`, which delegates ordering to
+    :func:`repro.codegen.pygen.proc_steps` at call time, so a patched
+    generator is analyzed as patched).
+    """
+    from repro.codegen.ir import lower_steps
+
+    procs, _channels = lower_steps(plan)
+    return ir_ops(procs)
 
 
 def plan_signature(plan: "CommPlan") -> dict:

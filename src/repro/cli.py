@@ -11,7 +11,8 @@ Projects are the JSON documents written by
     python -m repro.cli sweep     project.json --scheduler mh,hlfet --jobs 4 --stats
     python -m repro.cli simulate  project.json --contention
     python -m repro.cli run       project.json [--parallel]
-    python -m repro.cli codegen   project.json --language python -o prog.py
+    python -m repro.cli codegen   project.json --target threads -o prog.py
+    python -m repro.cli codegen   project.json --target inproc --run
     python -m repro.cli topology  --family hypercube --procs 8
     python -m repro.cli demo
 
@@ -241,9 +242,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: legacy ``--language`` names -> backend targets
+_LEGACY_LANGUAGES = {"python": "threads", "mpi": "mpi", "c": "c"}
+
+
 def cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.codegen.api import generate as generate_source, run as run_target
+
+    if args.list:
+        from repro.codegen import list_backends
+
+        for entry in list_backends():
+            abilities = []
+            if entry["emits_source"]:
+                abilities.append("emit")
+            if entry["runnable"]:
+                abilities.append("run")
+            print(f"{entry['name']:<8} [{','.join(abilities)}] {entry['description']}")
+        return 0
+    if not args.project:
+        raise UsageError("codegen needs a project file (or --list)")
     project = _load(args.project)
-    source = project.generate(args.language, scheduler=args.scheduler)
+    if args.target and args.language:
+        raise UsageError("pass --target or --language, not both")
+    target = args.target or _LEGACY_LANGUAGES.get(args.language or "", "threads")
+    if args.run:
+        outputs = run_target(project, target=target, scheduler=args.scheduler)
+        for name in sorted(outputs):
+            print(f"{name} = {outputs[name]}")
+        return 0
+    source = generate_source(project, target=target, scheduler=args.scheduler)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(source)
@@ -483,10 +511,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="threaded execution of the schedule (default: sequential)")
     p.set_defaults(fn=cmd_run)
 
-    p = sub.add_parser("codegen", help="generate the parallel program")
-    add_project(p)
+    p = sub.add_parser(
+        "codegen",
+        help="generate (or run) the parallel program on a backend target",
+    )
+    p.add_argument(
+        "project", nargs="?",
+        help="path to a saved Banger project (.json); omit with --list",
+    )
     add_scheduler(p)
-    p.add_argument("--language", default="python", choices=("python", "mpi", "c"))
+    p.add_argument(
+        "--target", choices=("threads", "inproc", "mpi", "c"),
+        help="codegen backend (default: threads)",
+    )
+    p.add_argument(
+        "--language", choices=("python", "mpi", "c"),
+        help="legacy alias for --target ('python' means 'threads')",
+    )
+    p.add_argument(
+        "--run", action="store_true",
+        help="execute on the target backend and print the design outputs",
+    )
+    p.add_argument(
+        "--list", action="store_true",
+        help="list registered backends and exit",
+    )
     p.add_argument("-o", "--output", help="write to a file instead of stdout")
     p.set_defaults(fn=cmd_codegen)
 

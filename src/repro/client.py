@@ -153,6 +153,9 @@ class BangerClient:
     def simulate(self, project: dict[str, Any], **options: Any) -> dict[str, Any]:
         return self.post("/simulate", {"project": project, **options})
 
+    def codegen(self, project: dict[str, Any], **options: Any) -> dict[str, Any]:
+        return self.post("/codegen", {"project": project, **options})
+
     def conform(self, **options: Any) -> dict[str, Any]:
         return self.post("/conform", dict(options))
 

@@ -1,29 +1,63 @@
 """Code generation — the paper's promised final step, implemented.
 
-Three generators, all driven by the schedule's communication plan:
+One lowering IR, many targets: a schedule is lowered once to a
+:class:`~repro.codegen.ir.LoweredProgram` (:func:`lower`), and pluggable
+backends (:mod:`repro.codegen.backends`) render or execute it:
 
-* :func:`generate_python` — a runnable threaded message-passing Python
-  program (:func:`run_generated` executes it for tests and demos);
-* :func:`generate_mpi` — an mpi4py script (one rank per processor);
-* :func:`generate_c` — C-like pseudocode for human review.
+* ``threads`` — a runnable threaded message-passing Python program;
+* ``inproc`` — direct in-process execution of the IR, with an event trace;
+* ``mpi`` — an mpi4py script (one rank per processor);
+* ``c`` — C-like pseudocode for human review.
+
+The public entry points are :func:`generate` (source text for any target)
+and :func:`run` (execute on a runnable target); :func:`list_backends`
+enumerates targets.  The historical per-target functions
+(:func:`generate_python`, :func:`generate_mpi`, :func:`generate_c`) are
+:class:`DeprecationWarning` aliases with byte-identical output.
 
 PITS-level translation lives in :mod:`repro.codegen.pits2py`
 (:func:`gen_task_function`), with runtime semantics shared with the
 interpreter via :mod:`repro.codegen.runtime`.
 """
 
+from repro.codegen.api import as_lowered, generate, run
+from repro.codegen.backends import (
+    BACKENDS,
+    Backend,
+    ExecutionResult,
+    TraceEvent,
+    backend_names,
+    get_backend,
+    list_backends,
+    run_generated,
+    trace_problems,
+)
 from repro.codegen.cgen import generate_c
+from repro.codegen.ir import LoweredProgram, lower
 from repro.codegen.mpigen import generate_mpi
 from repro.codegen.pits2py import function_name, gen_expr, gen_task_function, mangle
-from repro.codegen.pygen import generate_python, run_generated
+from repro.codegen.pygen import generate_python
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
+    "ExecutionResult",
+    "LoweredProgram",
+    "TraceEvent",
+    "as_lowered",
+    "backend_names",
     "function_name",
     "gen_expr",
     "gen_task_function",
+    "generate",
     "generate_c",
     "generate_mpi",
     "generate_python",
+    "get_backend",
+    "list_backends",
+    "lower",
     "mangle",
+    "run",
     "run_generated",
+    "trace_problems",
 ]

@@ -1,169 +1,25 @@
-"""C-like pseudocode generator — the human-readable program listing.
+"""Deprecated facade over the ``c`` backend.
 
-Banger's promised generators targeted "specific target parallel computer
-systems" of the early 1990s, whose lingua franca was C with a send/recv
-library.  This generator renders the schedule's communication plan in that
-style.  The output is documentation-quality pseudocode (it is not compiled);
-the runnable generator is :mod:`repro.codegen.pygen`.
+The pseudocode renderer lives in :mod:`repro.codegen.backends.c`, driven
+by the lowering IR; :func:`generate_c` survives as a
+:class:`DeprecationWarning` alias with byte-identical output.
 """
 
 from __future__ import annotations
 
-from repro.calc import ast
-from repro.calc.parser import parse
-from repro.errors import CodegenError
+import warnings
+
 from repro.sched.schedule import Schedule
-from repro.sim.plan import build_comm_plan
-
-_I = "    "
-
-_BINOPS = {
-    "+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
-    "=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
-    "and": "&&", "or": "||",
-}
-
-
-def _c_expr(e: ast.Expr) -> str:
-    if isinstance(e, ast.Num):
-        return f"{e.value:g}"
-    if isinstance(e, ast.BoolLit):
-        return "1" if e.value else "0"
-    if isinstance(e, ast.Str):
-        return f"\"{e.value}\""
-    if isinstance(e, ast.Name):
-        return e.ident
-    if isinstance(e, ast.Index):
-        subs = "".join(f"[(int)({_c_expr(s)}) - 1]" for s in e.subscripts)
-        return f"{e.base}{subs}"
-    if isinstance(e, ast.Unary):
-        op = "!" if e.op == "not" else e.op
-        return f"({op}{_c_expr(e.operand)})"
-    if isinstance(e, ast.Binary):
-        if e.op == "^":
-            return f"pow({_c_expr(e.left)}, {_c_expr(e.right)})"
-        return f"({_c_expr(e.left)} {_BINOPS[e.op]} {_c_expr(e.right)})"
-    if isinstance(e, ast.Call):
-        args = ", ".join(_c_expr(a) for a in e.args)
-        return f"{e.func}({args})"
-    if isinstance(e, ast.ArrayLit):
-        items = ", ".join(_c_expr(x) for x in e.elements)
-        return f"{{{items}}}"
-    raise CodegenError(f"cannot render {type(e).__name__}")
-
-
-def _c_stmt(s: ast.Stmt, depth: int) -> list[str]:
-    pad = _I * depth
-    if isinstance(s, ast.Assign):
-        return [f"{pad}{_c_expr(s.target)} = {_c_expr(s.value)};"]
-    if isinstance(s, ast.If):
-        lines = [f"{pad}if ({_c_expr(s.cond)}) {{"]
-        lines += _c_block(s.then, depth + 1)
-        for cond, block in s.elifs:
-            lines.append(f"{pad}}} else if ({_c_expr(cond)}) {{")
-            lines += _c_block(block, depth + 1)
-        if s.orelse:
-            lines.append(f"{pad}}} else {{")
-            lines += _c_block(s.orelse, depth + 1)
-        lines.append(f"{pad}}}")
-        return lines
-    if isinstance(s, ast.While):
-        return (
-            [f"{pad}while ({_c_expr(s.cond)}) {{"]
-            + _c_block(s.body, depth + 1)
-            + [f"{pad}}}"]
-        )
-    if isinstance(s, ast.Repeat):
-        return (
-            [f"{pad}do {{"]
-            + _c_block(s.body, depth + 1)
-            + [f"{pad}}} while (!({_c_expr(s.cond)}));"]
-        )
-    if isinstance(s, ast.For):
-        step = _c_expr(s.step) if s.step is not None else "1"
-        return (
-            [
-                f"{pad}for ({s.var} = {_c_expr(s.start)}; "
-                f"{s.var} <= {_c_expr(s.stop)}; {s.var} += {step}) {{"
-            ]
-            + _c_block(s.body, depth + 1)
-            + [f"{pad}}}"]
-        )
-    if isinstance(s, ast.CallStmt):
-        if s.call.func == "display":
-            args = ", ".join(_c_expr(a) for a in s.call.args)
-            return [f'{pad}printf({args});']
-        return [f"{pad}{_c_expr(s.call)};"]
-    raise CodegenError(f"cannot render {type(s).__name__}")
-
-
-def _c_block(stmts: tuple[ast.Stmt, ...], depth: int) -> list[str]:
-    if not stmts:
-        return [f"{_I * depth};"]
-    out: list[str] = []
-    for s in stmts:
-        out += _c_stmt(s, depth)
-    return out
-
-
-def _c_function(task: str, source: str) -> list[str]:
-    program = parse(source)
-    safe = "".join(c if c.isalnum() else "_" for c in task)
-    params = ", ".join(f"double {v}" for v in program.inputs) or "void"
-    lines = [f"/* PITS routine for node {task} */"]
-    lines.append(f"void task_{safe}({params}) {{")
-    decls = ", ".join(program.outputs + program.locals)
-    if decls:
-        lines.append(f"{_I}double {decls};")
-    lines += _c_block(program.body, 1)
-    lines.append("}")
-    return lines
 
 
 def generate_c(schedule: Schedule) -> str:
-    """C-like pseudocode for the whole scheduled design."""
-    graph = schedule.graph
-    plan = build_comm_plan(schedule)
-    lines = [
-        "/*",
-        f" * Generated by Banger codegen (pseudocode listing).",
-        f" * Design:  {graph.name}",
-        f" * Target:  {schedule.machine.name} ({schedule.machine.n_procs} processors)",
-        f" * Scheduler: {schedule.scheduler}; predicted makespan "
-        f"{schedule.makespan():.3f}",
-        " */",
-        "",
-        "#include <stdio.h>",
-        "#include <math.h>",
-        '#include "banger_runtime.h"  /* send(), recv(), vectors, matrices */',
-        "",
-    ]
-    for task in graph.topological_order():
-        source = graph.task(task).program
-        if source is None:
-            raise CodegenError(f"task {task!r} has no PITS program")
-        lines += _c_function(task, source)
-        lines.append("")
+    """Deprecated alias: use ``repro.codegen.generate(schedule, target="c")``."""
+    warnings.warn(
+        "generate_c() is deprecated; use "
+        "repro.codegen.generate(schedule, target='c')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.codegen.api import generate
 
-    lines.append("int main(int argc, char **argv) {")
-    lines.append(f"{_I}int self = node_id();  /* which processor am I */")
-    for proc in plan.procs_used():
-        lines.append(f"{_I}if (self == {proc}) {{")
-        for step in plan.steps_by_proc[proc]:
-            safe = "".join(c if c.isalnum() else "_" for c in step.task)
-            for recv in step.recvs:
-                lines.append(
-                    f"{_I}{_I}recv({recv.src_proc}, \"{recv.var}\");"
-                    f"  /* {recv.var} from {recv.src_task} */"
-                )
-            lines.append(f"{_I}{_I}task_{safe}(/* wired by runtime */);")
-            for send in step.sends:
-                lines.append(
-                    f"{_I}{_I}send({send.dst_proc}, \"{send.var}\");"
-                    f"  /* {send.var} to {send.dst_task} */"
-                )
-        lines.append(f"{_I}}}")
-    lines.append(f"{_I}return 0;")
-    lines.append("}")
-    lines.append("")
-    return "\n".join(lines)
+    return generate(schedule, target="c")

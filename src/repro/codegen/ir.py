@@ -1,0 +1,345 @@
+"""The lowering IR: one canonical program form every backend consumes.
+
+A :class:`LoweredProgram` is derived **once** from a schedule (flattened
+graph + placement) and is the single source of truth for everything the
+execution layer does with it:
+
+* the ``threads`` backend renders it as the threaded message-passing
+  Python program (:mod:`repro.codegen.backends.threads`);
+* the ``inproc`` backend executes it directly on a thread pool with no
+  source round-trip (:mod:`repro.codegen.backends.inproc`);
+* the ``mpi`` and ``c`` backends render mpi4py / C-pseudocode listings;
+* the static concurrency analyzer (:mod:`repro.analysis.concurrency`)
+  extracts its channel-op sequences from the same step lists, so whatever
+  the backends emit is exactly what gets verified.
+
+Step ordering is delegated to the generator's historical ordering hook,
+:func:`repro.codegen.pygen.proc_steps` (looked up at call time): patching
+the hook changes the IR, and therefore *every* backend and the analyzer,
+identically — that is the drift-proofing this module exists for.
+
+The IR is canonical-JSON-serializable (:meth:`LoweredProgram.to_dict` /
+:meth:`from_dict` round-trip) and content-hashed with the same fingerprint
+machinery as :mod:`repro.graph.serialize`, so it can live in the
+:class:`repro.sched.service.ScheduleService` cache and key daemon request
+coalescing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import CodegenError
+from repro.graph.serialize import _decode_value, _encode_value, fingerprint
+from repro.sched.schedule import Schedule
+from repro.sim.plan import CommPlan, build_comm_plan
+
+#: Bump when the document layout changes; hashes embed it, so old cache
+#: entries can never be mistaken for new ones.
+IR_VERSION = 1
+
+#: (src_task, dst_task, var, dst_proc) — one single-shot message channel.
+Channel = tuple[str, str, str, int]
+
+
+# --------------------------------------------------------------------- #
+# per-step operations
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReadOp:
+    """Read ``var`` of ``src_task`` from this processor's local store."""
+
+    src_task: str
+    var: str
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """Block until ``var`` of ``src_task`` arrives from ``src_proc``."""
+
+    src_task: str
+    var: str
+    src_proc: int
+    size: float = 1.0
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Ship ``var`` (produced here by ``src_task``) to ``dst_proc``."""
+
+    src_task: str
+    dst_task: str
+    var: str
+    dst_proc: int
+    size: float = 1.0
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    """Run one task copy: receive, read locals, execute, then send."""
+
+    task: str
+    proc: int
+    start: float
+    graph_inputs: tuple[str, ...] = ()
+    reads: tuple[ReadOp, ...] = ()
+    recvs: tuple[RecvOp, ...] = ()
+    sends: tuple[SendOp, ...] = ()
+
+    def recv_channel(self, recv: RecvOp) -> Channel:
+        return (recv.src_task, self.task, recv.var, self.proc)
+
+    @staticmethod
+    def send_channel(send: SendOp) -> Channel:
+        return (send.src_task, send.dst_task, send.var, send.dst_proc)
+
+
+@dataclass(frozen=True)
+class TaskCode:
+    """Both renderings of one task's routine the backends need."""
+
+    #: the original PITS source (C backend re-parses it)
+    pits: str
+    #: the translated Python ``def`` (threads/inproc/mpi backends)
+    python: str
+
+
+# --------------------------------------------------------------------- #
+# the program
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LoweredProgram:
+    """Canonical per-processor program lowered from one schedule."""
+
+    design: str
+    machine: str
+    n_procs: int
+    scheduler: str
+    makespan: float
+    #: emission order for task routines (deduplicated topological order)
+    task_order: tuple[str, ...]
+    tasks: dict[str, TaskCode] = field(default_factory=dict)
+    input_defaults: dict[str, Any] = field(default_factory=dict)
+    #: processor -> its step list, in execution order; empty processors
+    #: are omitted (keys iterate sorted)
+    procs: dict[int, tuple[ComputeStep, ...]] = field(default_factory=dict)
+    #: every channel, deduplicated, in first-send order
+    channels: tuple[Channel, ...] = ()
+    #: graph output variable -> (producer task, processor holding it)
+    output_sources: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def procs_used(self) -> list[int]:
+        return sorted(self.procs)
+
+    def steps(self, proc: int) -> tuple[ComputeStep, ...]:
+        return self.procs.get(proc, ())
+
+    def all_steps(self) -> Iterator[ComputeStep]:
+        for proc in sorted(self.procs):
+            yield from self.procs[proc]
+
+    def step_count(self) -> int:
+        return sum(len(steps) for steps in self.procs.values())
+
+    # ------------------------------------------------------------------ #
+    # serialization + content addressing
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": IR_VERSION,
+            "type": "lowered-program",
+            "design": self.design,
+            "machine": self.machine,
+            "n_procs": self.n_procs,
+            "scheduler": self.scheduler,
+            "makespan": self.makespan,
+            "task_order": list(self.task_order),
+            "tasks": {
+                name: {"pits": code.pits, "python": code.python}
+                for name, code in self.tasks.items()
+            },
+            "input_defaults": {
+                k: _encode_value(v) for k, v in self.input_defaults.items()
+            },
+            "procs": [
+                {
+                    "proc": proc,
+                    "steps": [
+                        {
+                            "task": s.task,
+                            "start": s.start,
+                            "graph_inputs": list(s.graph_inputs),
+                            "reads": [[r.src_task, r.var] for r in s.reads],
+                            "recvs": [
+                                [r.src_task, r.var, r.src_proc, r.size]
+                                for r in s.recvs
+                            ],
+                            "sends": [
+                                [s_.src_task, s_.dst_task, s_.var,
+                                 s_.dst_proc, s_.size]
+                                for s_ in s.sends
+                            ],
+                        }
+                        for s in self.procs[proc]
+                    ],
+                }
+                for proc in sorted(self.procs)
+            ],
+            "channels": [list(c) for c in self.channels],
+            "output_sources": {
+                var: [task, proc]
+                for var, (task, proc) in self.output_sources.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "LoweredProgram":
+        if doc.get("type") != "lowered-program":
+            raise CodegenError(
+                f"not a lowered-program document (type={doc.get('type')!r})"
+            )
+        if doc.get("format") != IR_VERSION:
+            raise CodegenError(
+                f"unsupported lowered-program format {doc.get('format')!r}; "
+                f"this build reads version {IR_VERSION}"
+            )
+        procs: dict[int, tuple[ComputeStep, ...]] = {}
+        for entry in doc.get("procs", []):
+            proc = int(entry["proc"])
+            procs[proc] = tuple(
+                ComputeStep(
+                    task=s["task"],
+                    proc=proc,
+                    start=float(s["start"]),
+                    graph_inputs=tuple(s.get("graph_inputs", ())),
+                    reads=tuple(ReadOp(*r) for r in s.get("reads", ())),
+                    recvs=tuple(
+                        RecvOp(r[0], r[1], int(r[2]), float(r[3]))
+                        for r in s.get("recvs", ())
+                    ),
+                    sends=tuple(
+                        SendOp(x[0], x[1], x[2], int(x[3]), float(x[4]))
+                        for x in s.get("sends", ())
+                    ),
+                )
+                for s in entry.get("steps", ())
+            )
+        return cls(
+            design=doc.get("design", ""),
+            machine=doc.get("machine", ""),
+            n_procs=int(doc.get("n_procs", 0)),
+            scheduler=doc.get("scheduler", ""),
+            makespan=float(doc.get("makespan", 0.0)),
+            task_order=tuple(doc.get("task_order", ())),
+            tasks={
+                name: TaskCode(pits=entry["pits"], python=entry["python"])
+                for name, entry in (doc.get("tasks") or {}).items()
+            },
+            input_defaults={
+                k: _decode_value(v)
+                for k, v in (doc.get("input_defaults") or {}).items()
+            },
+            procs=procs,
+            channels=tuple(
+                (c[0], c[1], c[2], int(c[3])) for c in doc.get("channels", ())
+            ),
+            output_sources={
+                var: (pair[0], int(pair[1]))
+                for var, pair in (doc.get("output_sources") or {}).items()
+            },
+        )
+
+    def content_hash(self) -> str:
+        """SHA-256 fingerprint of the canonical document — the cache key."""
+        return fingerprint(self.to_dict())
+
+
+# --------------------------------------------------------------------- #
+# lowering
+# --------------------------------------------------------------------- #
+def lower_steps(
+    plan: CommPlan,
+) -> tuple[dict[int, tuple[ComputeStep, ...]], tuple[Channel, ...]]:
+    """The structural half of lowering: per-processor step lists + channels.
+
+    Ordering is delegated to :func:`repro.codegen.pygen.proc_steps` (looked
+    up at call time, so a patched hook changes the IR — and with it every
+    backend and the concurrency analyzer — identically).
+    """
+    from repro.codegen import pygen
+
+    procs: dict[int, tuple[ComputeStep, ...]] = {}
+    channels: list[Channel] = []
+    seen: set[Channel] = set()
+    for proc in sorted(plan.steps_by_proc):
+        steps = []
+        for step in pygen.proc_steps(plan, proc):
+            compute = ComputeStep(
+                task=step.task,
+                proc=proc,
+                start=step.start,
+                graph_inputs=tuple(step.graph_inputs),
+                reads=tuple(ReadOp(r.src_task, r.var) for r in step.local_reads),
+                recvs=tuple(
+                    RecvOp(r.src_task, r.var, r.src_proc, r.size)
+                    for r in step.recvs
+                ),
+                sends=tuple(
+                    SendOp(s.src_task, s.dst_task, s.var, s.dst_proc, s.size)
+                    for s in step.sends
+                ),
+            )
+            steps.append(compute)
+            for send in compute.sends:
+                chan = ComputeStep.send_channel(send)
+                if chan not in seen:
+                    seen.add(chan)
+                    channels.append(chan)
+        if steps:
+            procs[proc] = tuple(steps)
+    return procs, tuple(channels)
+
+
+def lower(schedule: Schedule, plan: CommPlan | None = None) -> LoweredProgram:
+    """Lower one schedule to its canonical :class:`LoweredProgram`.
+
+    Raises :class:`CodegenError` if any task has no PITS program or a
+    program with static errors — exactly the gate the source generators
+    have always applied.
+    """
+    from repro.codegen.pits2py import gen_task_function
+
+    graph = schedule.graph
+    plan = plan if plan is not None else build_comm_plan(schedule)
+
+    task_order = tuple(dict.fromkeys(graph.topological_order()))
+    tasks: dict[str, TaskCode] = {}
+    for task in task_order:
+        source = graph.task(task).program
+        if source is None:
+            raise CodegenError(
+                f"task {task!r} has no PITS program; cannot generate code"
+            )
+        tasks[task] = TaskCode(pits=source, python=gen_task_function(task, source))
+
+    procs, channels = lower_steps(plan)
+    return LoweredProgram(
+        design=graph.name,
+        machine=schedule.machine.name,
+        n_procs=schedule.machine.n_procs,
+        scheduler=schedule.scheduler,
+        makespan=schedule.makespan(),
+        task_order=task_order,
+        tasks=tasks,
+        input_defaults=dict(graph.input_values),
+        procs=procs,
+        channels=channels,
+        output_sources={
+            var: (task, proc)
+            for var, (task, proc) in plan.output_sources.items()
+        },
+    )

@@ -1,114 +1,25 @@
-"""mpi4py-style program generator.
+"""Deprecated facade over the ``mpi`` backend.
 
-Produces a script in the idiom of the mpi4py tutorial (lower-case
-``comm.send`` / ``comm.recv`` of generic Python objects, one rank per
-processor of the target machine, tags allocated per channel).  The output is
-valid Python — tests ``compile()`` it — but running it requires an MPI
-installation, so the runnable-by-construction generator remains
-:mod:`repro.codegen.pygen`.
+The emitter lives in :mod:`repro.codegen.backends.mpi`, driven by the
+lowering IR; :func:`generate_mpi` survives as a :class:`DeprecationWarning`
+alias with byte-identical output.
 """
 
 from __future__ import annotations
 
-from repro.codegen.pits2py import function_name, gen_task_function
-from repro.errors import CodegenError
-from repro.sched.schedule import Schedule
-from repro.sim.plan import build_comm_plan
+import warnings
 
-_I = "    "
+from repro.sched.schedule import Schedule
 
 
 def generate_mpi(schedule: Schedule) -> str:
-    """mpi4py source text for the scheduled design."""
-    graph = schedule.graph
-    plan = build_comm_plan(schedule)
-
-    # allocate one tag per channel, deterministically
-    tags: dict[tuple[str, str, str, int], int] = {}
-    for step in plan.all_steps():
-        for send in step.sends:
-            key = (send.src_task, send.dst_task, send.var, send.dst_proc)
-            tags.setdefault(key, 100 + len(tags))
-
-    lines = [
-        '"""mpi4py program generated by Banger codegen.',
-        "",
-        f"Design: {graph.name}",
-        f"Target: {schedule.machine.name} ({schedule.machine.n_procs} ranks)",
-        f"Run with: mpiexec -n {schedule.machine.n_procs} python this_file.py",
-        '"""',
-        "",
-        "import numpy as _np",
-        "from mpi4py import MPI",
-        "",
-        "from repro.codegen import runtime as _rt",
-        "",
-        "comm = MPI.COMM_WORLD",
-        "rank = comm.Get_rank()",
-        "",
-    ]
-    for task in graph.topological_order():
-        source = graph.task(task).program
-        if source is None:
-            raise CodegenError(f"task {task!r} has no PITS program")
-        lines.append(gen_task_function(task, source))
-        lines.append("")
-
-    lines.append("def _inputs():")
-    items = ", ".join(
-        f"{var!r}: {_repr_value(value)}" for var, value in sorted(graph.input_values.items())
+    """Deprecated alias: use ``repro.codegen.generate(schedule, target="mpi")``."""
+    warnings.warn(
+        "generate_mpi() is deprecated; use "
+        "repro.codegen.generate(schedule, target='mpi')",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    lines.append(f"{_I}return {{{items}}}")
-    lines.append("")
-    lines.append("")
+    from repro.codegen.api import generate
 
-    first = True
-    for proc in plan.procs_used():
-        kw = "if" if first else "elif"
-        first = False
-        lines.append(f"{kw} rank == {proc}:")
-        lines.append(f"{_I}inputs = _inputs()")
-        lines.append(f"{_I}store = {{}}")
-        for step in plan.steps_by_proc[proc]:
-            lines.append(f"{_I}# task {step.task} (scheduled start {step.start:g})")
-            lines.append(f"{_I}env = {{}}")
-            for var in step.graph_inputs:
-                lines.append(f"{_I}env[{var!r}] = inputs[{var!r}]")
-            for read in step.local_reads:
-                if read.var:
-                    lines.append(
-                        f"{_I}env[{read.var!r}] = store[({read.src_task!r}, {read.var!r})]"
-                    )
-            for recv in step.recvs:
-                tag = tags[(recv.src_task, step.task, recv.var, step.proc)]
-                target = f"env[{recv.var!r}]" if recv.var else "_"
-                lines.append(
-                    f"{_I}{target} = comm.recv(source={recv.src_proc}, tag={tag})"
-                )
-            lines.append(
-                f"{_I}out = {function_name(step.task)}(env, print)"
-            )
-            lines.append(f"{_I}store.update({{({step.task!r}, k): v for k, v in out.items()}})")
-            for send in step.sends:
-                tag = tags[(send.src_task, send.dst_task, send.var, send.dst_proc)]
-                payload = (
-                    f"store[({send.src_task!r}, {send.var!r})]" if send.var else "None"
-                )
-                lines.append(
-                    f"{_I}comm.send({payload}, dest={send.dst_proc}, tag={tag})"
-                )
-        for var, (task, p) in sorted(plan.output_sources.items()):
-            if p == proc:
-                lines.append(
-                    f'{_I}print(f"{var} = {{store[({task!r}, {var!r})]}}")'
-                )
-        lines.append("")
-    return "\n".join(lines)
-
-
-def _repr_value(value) -> str:
-    import numpy as np
-
-    if isinstance(value, np.ndarray):
-        return f"_np.array({value.tolist()!r}, dtype=float)"
-    return repr(float(value) if isinstance(value, int) and not isinstance(value, bool) else value)
+    return generate(schedule, target="mpi")

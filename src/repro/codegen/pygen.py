@@ -1,206 +1,48 @@
-"""Generate a runnable Python message-passing program from a schedule.
+"""The threaded-Python generator's historical home (now a thin facade).
 
-This is the "final step in producing a production-level parallel program"
-the paper left as future work.  The generated module is self-contained up to
-the Banger runtime (``repro.codegen.runtime``): one Python function per PITS
-routine, one function per processor executing that processor's steps in
-schedule order with blocking queue receives (mpi4py-style send/recv), and a
-``main(inputs=None)`` entry point returning the design's outputs.
+The emitter itself lives in :mod:`repro.codegen.backends.threads`, driven
+by the lowering IR (:mod:`repro.codegen.ir`).  This module keeps two
+things:
 
-The program is *behaviourally identical* to the threaded executor because
-both are generated from the same :class:`~repro.sim.plan.CommPlan`.
+* :func:`proc_steps` — **the** step-ordering hook.  The IR lowering
+  (:func:`repro.codegen.ir.lower_steps`) looks it up at call time, so
+  patching it reorders the IR and with it every backend *and* the static
+  concurrency analyzer, identically.
+* :func:`generate_python` — a :class:`DeprecationWarning` alias for
+  ``repro.codegen.generate(schedule, target="threads")``, kept
+  byte-identical to the historical output.
+
+:func:`run_generated` is re-exported from the threads backend unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any
+import warnings
 
-import numpy as np
-
-from repro.codegen.pits2py import function_name, gen_task_function
-from repro.errors import CodegenError
+from repro.codegen.backends.threads import run_generated  # noqa: F401
 from repro.sched.schedule import Schedule
-from repro.sim.plan import CommPlan, Step, build_comm_plan
-
-_I = "    "
-
-
-def _value_repr(value: Any) -> str:
-    if isinstance(value, np.ndarray):
-        return f"_np.array({value.tolist()!r}, dtype=float)"
-    if isinstance(value, (bool, float, int, str)):
-        return repr(float(value) if isinstance(value, int) and not isinstance(value, bool) else value)
-    if isinstance(value, (list, tuple)):
-        return f"_np.array({list(value)!r}, dtype=float)"
-    raise CodegenError(f"cannot embed input value of type {type(value).__name__}")
-
-
-def _channel_key(src_task: str, dst_task: str, var: str, dst_proc: int) -> str:
-    return repr((src_task, dst_task, var, dst_proc))
+from repro.sim.plan import CommPlan, Step
 
 
 def proc_steps(plan: CommPlan, proc: int) -> list[Step]:
     """The steps of one processor, in the order the generated code runs them.
 
-    This is the single point deciding emission order; the static
-    concurrency analyzer (:mod:`repro.analysis.concurrency`) verifies the
-    exact same sequence, so whatever the generator emits is what gets
-    checked for deadlock freedom.
+    This is the single point deciding emission order; the IR lowering calls
+    it for every processor, so whatever order it returns is what every
+    backend emits and what the static concurrency analyzer
+    (:mod:`repro.analysis.concurrency`) checks for deadlock freedom.
     """
     return plan.steps_by_proc[proc]
 
 
 def generate_python(schedule: Schedule, module_doc: str = "") -> str:
-    """Full source text of the parallel program for ``schedule``."""
-    graph = schedule.graph
-    plan: CommPlan = build_comm_plan(schedule)
-
-    for task in graph.task_names:
-        if graph.task(task).program is None:
-            raise CodegenError(
-                f"task {task!r} has no PITS program; cannot generate code"
-            )
-
-    lines: list[str] = []
-    doc = module_doc or (
-        f"Parallel program generated by Banger codegen.\n\n"
-        f"Design: {graph.name}\n"
-        f"Target: {schedule.machine.name} "
-        f"({schedule.machine.n_procs} processors)\n"
-        f"Scheduler: {schedule.scheduler}\n"
-        f"Predicted makespan: {schedule.makespan():.3f} time units"
+    """Deprecated alias: use ``repro.codegen.generate(schedule, target="threads")``."""
+    warnings.warn(
+        "generate_python() is deprecated; use "
+        "repro.codegen.generate(schedule, target='threads')",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    lines.append(f'"""{doc}\n"""')
-    lines.append("")
-    lines.append("import queue as _queue")
-    lines.append("import threading as _threading")
-    lines.append("")
-    lines.append("import numpy as _np")
-    lines.append("")
-    lines.append("from repro.codegen import runtime as _rt")
-    lines.append("")
-    lines.append("")
+    from repro.codegen.api import generate
 
-    # --- task routines -------------------------------------------------- #
-    seen: set[str] = set()
-    for task in graph.topological_order():
-        if task in seen:
-            continue
-        seen.add(task)
-        lines.append(gen_task_function(task, graph.task(task).program))  # type: ignore[arg-type]
-        lines.append("")
-        lines.append("")
-
-    # --- input defaults -------------------------------------------------- #
-    defaults = ", ".join(
-        f"{var!r}: {_value_repr(value)}" for var, value in sorted(graph.input_values.items())
-    )
-    lines.append(f"_INPUT_DEFAULTS = {{{defaults}}}")
-    lines.append("")
-    lines.append("")
-
-    # --- one function per processor -------------------------------------- #
-    used_procs = plan.procs_used()
-    channel_keys: list[str] = []
-    for step in plan.all_steps():
-        for send in step.sends:
-            channel_keys.append(
-                _channel_key(send.src_task, send.dst_task, send.var, send.dst_proc)
-            )
-
-    for proc in used_procs:
-        lines += _gen_proc_function(plan, proc)
-        lines.append("")
-        lines.append("")
-
-    # --- main -------------------------------------------------------------- #
-    lines.append("def main(inputs=None):")
-    lines.append(f'{_I}"""Run the parallel program; returns the design outputs."""')
-    lines.append(f"{_I}values = dict(_INPUT_DEFAULTS)")
-    lines.append(f"{_I}values.update(inputs or {{}})")
-    if channel_keys:
-        lines.append(f"{_I}channels = {{")
-        for key in channel_keys:
-            lines.append(f"{_I}{_I}{key}: _queue.Queue(maxsize=1),")
-        lines.append(f"{_I}}}")
-    else:
-        lines.append(f"{_I}channels = {{}}")
-    lines.append(f"{_I}results = {{}}")
-    lines.append(f"{_I}displays = []")
-    lines.append(f"{_I}threads = [")
-    for proc in used_procs:
-        lines.append(
-            f"{_I}{_I}_threading.Thread(target=_proc_{proc}, "
-            f"args=(channels, values, results, displays), name='proc{proc}'),"
-        )
-    lines.append(f"{_I}]")
-    lines.append(f"{_I}for t in threads:")
-    lines.append(f"{_I}{_I}t.start()")
-    lines.append(f"{_I}for t in threads:")
-    lines.append(f"{_I}{_I}t.join()")
-    lines.append(f"{_I}for line in displays:")
-    lines.append(f"{_I}{_I}print(line)")
-    out_items = ", ".join(
-        f"{var!r}: results[({task!r}, {var!r})]"
-        for var, (task, _) in sorted(plan.output_sources.items())
-    )
-    lines.append(f"{_I}return {{{out_items}}}")
-    lines.append("")
-    lines.append("")
-    lines.append('if __name__ == "__main__":')
-    lines.append(f"{_I}for name, value in sorted(main().items()):")
-    lines.append(f'{_I}{_I}print(f"{{name}} = {{value}}")')
-    lines.append("")
-    return "\n".join(lines)
-
-
-def _gen_proc_function(plan: CommPlan, proc: int) -> list[str]:
-    lines = [f"def _proc_{proc}(channels, inputs, results, displays):"]
-    lines.append(f'{_I}"""Steps of processor {proc}, in schedule order."""')
-    lines.append(f"{_I}store = {{}}")
-    outputs_here = {
-        (task, var) for var, (task, p) in plan.output_sources.items() if p == proc
-    }
-    for step in proc_steps(plan, proc):
-        lines += _gen_step(step, outputs_here)
-    if not proc_steps(plan, proc):
-        lines.append(f"{_I}pass")
-    return lines
-
-
-def _gen_step(step: Step, outputs_here: set[tuple[str, str]]) -> list[str]:
-    lines = [f"{_I}# --- {step.task} (scheduled start {step.start:g}) ---"]
-    lines.append(f"{_I}env = {{}}")
-    for var in step.graph_inputs:
-        lines.append(f"{_I}env[{var!r}] = inputs[{var!r}]")
-    for read in step.local_reads:
-        if read.var:
-            lines.append(f"{_I}env[{read.var!r}] = store[({read.src_task!r}, {read.var!r})]")
-    for recv in step.recvs:
-        key = _channel_key(recv.src_task, step.task, recv.var, step.proc)
-        if recv.var:
-            lines.append(f"{_I}env[{recv.var!r}] = channels[{key}].get()")
-        else:
-            lines.append(f"{_I}channels[{key}].get()")
-    lines.append(
-        f"{_I}out = {function_name(step.task)}("
-        f"{{k: env[k] for k in env}}, "
-        f"lambda line: displays.append({step.task!r} + ': ' + line))"
-    )
-    lines.append(f"{_I}for _k, _v in out.items():")
-    lines.append(f"{_I}{_I}store[({step.task!r}, _k)] = _v")
-    for send in step.sends:
-        key = _channel_key(send.src_task, send.dst_task, send.var, send.dst_proc)
-        payload = f"store[({send.src_task!r}, {send.var!r})]" if send.var else "None"
-        lines.append(f"{_I}channels[{key}].put({payload})")
-    for task, var in sorted(outputs_here):
-        if task == step.task:
-            lines.append(f"{_I}results[({task!r}, {var!r})] = store[({task!r}, {var!r})]")
-    return lines
-
-
-def run_generated(source: str, inputs: dict[str, Any] | None = None) -> dict[str, Any]:
-    """Execute generated program text in a fresh namespace (for tests)."""
-    namespace: dict[str, Any] = {"__name__": "banger_generated"}
-    exec(compile(source, "<banger-generated>", "exec"), namespace)
-    return namespace["main"](inputs)
+    return generate(schedule, target="threads", module_doc=module_doc)

@@ -34,6 +34,11 @@ name             kind    invariant
                  graph   the CG5xx concurrency analyzer finds no errors on
                          real plans, and plans it passes actually run to
                          completion on live threads and queues
+``exec_trace``   graph   the ``inproc`` backend's event trace obeys the
+                         lowered program's step lists, channel plan, and
+                         precedence constraints, and its outputs are
+                         bit-identical to the sequential PITS reference
+                         executor and the generated ``threads`` program
 ``pits_codegen`` pits    a PITS routine computes bit-identical outputs (and
                          display lines) through the tree-walking interpreter
                          and the generated-Python path; domain errors must
@@ -285,6 +290,105 @@ def _codegen_deadlock(ctx: CaseContext) -> list[str]:
             "to completion on live threads"
         ]
     return []
+
+
+def _with_programs(tg):
+    """A copy of ``tg`` with deterministic straight-line PITS programs.
+
+    Fuzz graphs are weight-only; to push one through the codegen pipeline
+    each task gets a synthesized routine whose inputs are its in-edge (and
+    graph-input) variables and whose outputs are its out-edge variables plus
+    any graph outputs it owns.  Sinks that would otherwise produce nothing
+    gain a synthetic ``out_<task>`` graph output so every run has observable
+    results.  The bodies are pure float arithmetic — a position-weighted sum
+    of the inputs — so any two conforming engines must agree bit for bit.
+
+    Returns ``None`` when a variable or task name cannot serve as a PITS
+    identifier (a corpus graph with exotic names): the oracle then holds
+    vacuously.
+    """
+    from repro.calc.tokens import KEYWORDS
+
+    usable = lambda n: bool(n) and n.isidentifier() and n.lower() not in KEYWORDS  # noqa: E731
+    ptg = tg.copy()
+    for i, var in enumerate(sorted(ptg.graph_inputs)):
+        ptg.input_values.setdefault(var, float(i + 1))
+    for task in ptg.task_names:
+        ins = sorted({e.var for e in ptg.in_edges(task) if e.var})
+        ins += sorted(
+            v for v, consumers in ptg.graph_inputs.items()
+            if task in consumers and v not in ins
+        )
+        outs = sorted(
+            {e.var for e in ptg.out_edges(task) if e.var}
+            | {v for v, producer in ptg.graph_outputs.items() if producer == task}
+        )
+        if not outs:
+            synth = f"out_{task}"
+            if synth in ins or synth in ptg.graph_outputs:
+                return None
+            ptg.graph_outputs[synth] = task
+            outs = [synth]
+        if set(ins) & set(outs):
+            return None
+        if not all(usable(n) for n in (task, *ins, *outs)):
+            return None
+        lines = [f"task {task}"]
+        if ins:
+            lines.append("input " + ", ".join(ins))
+        lines.append("output " + ", ".join(outs))
+        for j, out in enumerate(outs):
+            terms = [f"({v} / {i + 2})" for i, v in enumerate(ins)]
+            lines.append(f"{out} := " + " + ".join([*terms, f"{float(j + 1)}"]))
+        ptg.task(task).program = "\n".join(lines) + "\n"
+    return ptg
+
+
+@register("exec_trace", GRAPH,
+          "inproc execution obeys the lowered plan and matches the "
+          "reference executors bit for bit")
+def _exec_trace(ctx: CaseContext) -> list[str]:
+    from repro.codegen.backends import get_backend, run_generated, trace_problems
+    from repro.codegen.ir import lower
+    from repro.sim.dataflow_exec import run_dataflow
+
+    ptg = _with_programs(ctx.graph)
+    if ptg is None:
+        return []  # names unusable as PITS identifiers: vacuously conforms
+    schedule = get_scheduler(ctx.case.scheduler).schedule(ptg, ctx.machine)
+    program = lower(schedule)
+
+    result = get_backend("inproc").execute(program)
+    problems = [f"trace: {p}" for p in trace_problems(program, result.events)]
+
+    reference = run_dataflow(ptg)
+    if set(result.outputs) != set(reference.outputs):
+        problems.append(
+            f"inproc produced outputs {sorted(result.outputs)}, "
+            f"reference executor {sorted(reference.outputs)}"
+        )
+    else:
+        for var in sorted(reference.outputs):
+            if not values_close(result.outputs[var], reference.outputs[var]):
+                problems.append(
+                    f"output {var!r} diverges: reference "
+                    f"{reference.outputs[var]!r}, inproc {result.outputs[var]!r}"
+                )
+
+    threaded = run_generated(get_backend("threads").emit(program))
+    if set(threaded) != set(result.outputs):
+        problems.append(
+            f"threads program produced outputs {sorted(threaded)}, "
+            f"inproc {sorted(result.outputs)}"
+        )
+    else:
+        for var in sorted(threaded):
+            if not values_close(threaded[var], result.outputs[var]):
+                problems.append(
+                    f"output {var!r} diverges: inproc "
+                    f"{result.outputs[var]!r}, threads {threaded[var]!r}"
+                )
+    return problems
 
 
 # --------------------------------------------------------------------- #

@@ -18,9 +18,6 @@ from typing import Any, Sequence
 from repro.calc.cost import measure_work
 from repro.calc.interp import RunResult, run_program
 from repro.calc.panel import CalculatorPanel
-from repro.codegen.cgen import generate_c
-from repro.codegen.mpigen import generate_mpi
-from repro.codegen.pygen import generate_python
 from repro.errors import ReproError, ValidationError
 from repro.graph.dataflow import DataflowGraph
 from repro.graph.hierarchy import flatten
@@ -372,18 +369,40 @@ class BangerProject:
     # ------------------------------------------------------------------ #
     # step 4: code generation
     # ------------------------------------------------------------------ #
+    #: historical ``generate(language=...)`` names -> backend targets
+    _LEGACY_TARGETS = {"python": "threads"}
+
+    def lower(
+        self,
+        scheduler: str | Scheduler | ScheduleRequest = "mh",
+        use_cache: bool | None = None,
+    ):
+        """The design's lowered program (cached by content, like schedules).
+
+        Returns the :class:`~repro.codegen.ir.LoweredProgram` every codegen
+        backend consumes, memoized in the project's
+        :class:`ScheduleService` under the same content-addressed key as
+        the schedule itself.
+        """
+        req = as_request(scheduler, use_cache=use_cache)
+        machine = self._require_machine()
+        return self.service.lower(
+            self.flat(), machine, req.scheduler, use_cache=req.use_cache
+        )
+
     def generate(
-        self, language: str = "python", scheduler: str | Scheduler = "mh"
+        self, language: str = "threads", scheduler: str | Scheduler = "mh"
     ) -> str:
-        """Generate the parallel program ('python', 'mpi', or 'c')."""
-        schedule = self.schedule(scheduler)
-        if language == "python":
-            return generate_python(schedule)
-        if language == "mpi":
-            return generate_mpi(schedule)
-        if language == "c":
-            return generate_c(schedule)
-        raise ReproError(f"unknown language {language!r} (python, mpi, or c)")
+        """Generate the parallel program for a backend target.
+
+        ``language`` names a registered backend (``threads``, ``mpi``,
+        ``c``; see :func:`repro.codegen.list_backends`); the historical
+        name ``python`` still maps to ``threads``.
+        """
+        from repro.codegen.api import generate as generate_source
+
+        target = self._LEGACY_TARGETS.get(language, language)
+        return generate_source(self, target=target, scheduler=scheduler)
 
     # ------------------------------------------------------------------ #
     # persistence

@@ -148,6 +148,8 @@ class ServiceStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    ir_hits: int = 0
+    ir_misses: int = 0
     disk_hits: int = 0
     disk_writes: int = 0
     disk_evictions: int = 0
@@ -239,6 +241,11 @@ class ScheduleService:
         self.max_entries = max_entries
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self._lru: "OrderedDict[tuple[str, str, str], Schedule]" = OrderedDict()
+        # Lowered-program cache (memory only): same content key as the
+        # schedule LRU — the IR is a pure function of (graph, machine,
+        # scheduler) — but a separate store, because the disk layer only
+        # knows how to round-trip Schedule documents.
+        self._ir_lru: "OrderedDict[tuple[str, str, str], Any]" = OrderedDict()
         self._disk_dir = self._resolve_disk_dir(disk_cache)
         self._stats = ServiceStats(max_workers=self.max_workers)
         # One service may be shared by many threads (the banger daemon's
@@ -313,6 +320,42 @@ class ScheduleService:
         result = sched.schedule(graph, machine)
         self._put(key, result)
         return result
+
+    def lower(
+        self,
+        graph: TaskGraph,
+        machine: TargetMachine,
+        scheduler: str | Scheduler = "mh",
+        use_cache: bool = True,
+    ):
+        """The lowered program for ``graph`` on ``machine``, memoized.
+
+        Lowering (:func:`repro.codegen.ir.lower`) is a pure function of the
+        schedule, and the schedule is a pure function of this key, so the
+        :class:`~repro.codegen.ir.LoweredProgram` is cached under the same
+        content-addressed triple as the schedule itself.  Every codegen
+        surface (``banger codegen``, the daemon's ``/codegen`` op, the
+        project API) shares entries through here.
+        """
+        from repro.codegen.ir import lower as _lower
+
+        sched = resolve_scheduler(scheduler)
+        if not use_cache:
+            return _lower(sched.schedule(graph, machine))
+        key = self._key(graph, machine, sched)
+        with self._lock:
+            if key in self._ir_lru:
+                self._ir_lru.move_to_end(key)
+                self._stats.ir_hits += 1
+                return self._ir_lru[key]
+            self._stats.ir_misses += 1
+        program = _lower(self.schedule(graph, machine, sched))
+        with self._lock:
+            self._ir_lru[key] = program
+            self._ir_lru.move_to_end(key)
+            while len(self._ir_lru) > self.max_entries:
+                self._ir_lru.popitem(last=False)
+        return program
 
     # ------------------------------------------------------------------ #
     # sweeps
@@ -591,6 +634,11 @@ class ScheduleService:
             ]
             for key in doomed:
                 del self._lru[key]
+            for key in list(self._ir_lru):
+                if (graph_hash is not None and key[0] == graph_hash) or (
+                    machine_hash is not None and key[1] == machine_hash
+                ):
+                    del self._ir_lru[key]
             self._stats.evictions += len(doomed)
             return len(doomed)
 
@@ -599,6 +647,7 @@ class ScheduleService:
         with self._lock:
             self._stats.evictions += len(self._lru)
             self._lru.clear()
+            self._ir_lru.clear()
 
     def __len__(self) -> int:
         with self._lock:

@@ -59,6 +59,7 @@ ROUTES = {
     "/sweep": "sweep",
     "/simulate": "simulate",
     "/speedup": "speedup",
+    "/codegen": "codegen",
     "/conform": "conform",
 }
 DEBUG_ROUTES = {

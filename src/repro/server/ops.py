@@ -210,6 +210,46 @@ def op_simulate(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def op_codegen(payload: dict[str, Any]) -> dict[str, Any]:
+    from repro.codegen.backends import get_backend
+    from repro.errors import CodegenError
+    from repro.graph.serialize import _encode_value
+
+    project = _project_from_payload(payload)
+    target = payload.get("target", "threads")
+    if not isinstance(target, str):
+        raise OpError(f"target must be a backend name string, got {target!r}")
+    req = _request(payload)
+    try:
+        backend = get_backend(target)
+        program = project.lower(
+            ScheduleRequest(scheduler=req.scheduler, use_cache=req.use_cache)
+        )
+    except CodegenError as exc:
+        raise OpError(str(exc)) from None
+    doc: dict[str, Any] = {
+        "type": "banger-codegen",
+        "project": project.name,
+        "target": target,
+        "scheduler": program.scheduler,
+        "n_procs": program.n_procs,
+        "makespan": program.makespan,
+        "ir_hash": program.content_hash(),
+    }
+    if backend.emits_source:
+        doc["source"] = backend.emit(program)
+    if payload.get("run"):
+        if not backend.runnable:
+            raise OpError(f"target {target!r} cannot run in-process; "
+                          f"request its source instead")
+        try:
+            outputs = backend.run(program)
+        except CodegenError as exc:
+            raise OpError(str(exc)) from None
+        doc["outputs"] = {k: _encode_value(v) for k, v in outputs.items()}
+    return doc
+
+
 def op_conform(payload: dict[str, Any]) -> dict[str, Any]:
     from repro.conformance import run
 
@@ -259,6 +299,7 @@ OPS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "speedup": op_speedup,
     "sweep": op_sweep,
     "simulate": op_simulate,
+    "codegen": op_codegen,
     "conform": op_conform,
     "crash": op_crash,
     "sleep": op_sleep,
@@ -269,7 +310,7 @@ OPS: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
 DEBUG_OPS = frozenset({"crash", "sleep", "boom"})
 
 #: Ops whose payload carries a project document (keyed by content hashes).
-PROJECT_OPS = frozenset({"lint", "schedule", "speedup", "sweep", "simulate"})
+PROJECT_OPS = frozenset({"lint", "schedule", "speedup", "sweep", "simulate", "codegen"})
 
 #: Payload fields consumed by each project op beyond the project itself —
 #: everything that changes the answer must be part of the coalesce key.
@@ -279,6 +320,7 @@ _OPTION_FIELDS: dict[str, tuple[str, ...]] = {
     "speedup": ("proc_counts", "family", "use_cache"),
     "sweep": ("schedulers", "proc_counts", "family", "use_cache"),
     "simulate": ("contention", "use_cache"),
+    "codegen": ("target", "run", "use_cache"),
 }
 
 
@@ -296,7 +338,7 @@ def coalesce_key(op: str, payload: dict[str, Any]) -> str:
     if op in PROJECT_OPS:
         project = _project_from_payload(payload)
         fps = project.fingerprints()
-        if op in ("schedule", "speedup", "simulate"):
+        if op in ("schedule", "speedup", "simulate", "codegen"):
             sched_key = scheduler_cache_key(
                 resolve_scheduler(_scheduler_name(payload))
             )

@@ -82,13 +82,13 @@ class TestScheduledExecution:
         np.testing.assert_allclose(par.outputs["x"], np.linalg.solve(A, b), rtol=1e-9)
 
     def test_generated_code_correct(self):
-        from repro.codegen import generate_python, run_generated
+        from repro.codegen import generate, run_generated
 
         n = 4
         A, b = system(n, seed=4)
         machine = make_machine("full", 4, CHEAP)
         schedule = get_scheduler("mh").schedule(lun_taskgraph(n), machine)
-        out = run_generated(generate_python(schedule), {"A": A, "b": b})
+        out = run_generated(generate(schedule, target="threads"), {"A": A, "b": b})
         np.testing.assert_allclose(out["x"], np.linalg.solve(A, b), rtol=1e-9)
 
     def test_calibrated_speedup_shape(self):

@@ -15,7 +15,7 @@ from repro.calc import run_program
 from repro.codegen import (
     function_name,
     gen_task_function,
-    generate_python,
+    generate,
     run_generated,
 )
 from repro.codegen import runtime as _rt
@@ -139,7 +139,7 @@ def test_full_pipeline_equivalence(trees1, trees2, inputs):
     machine = make_machine("full", 2, MachineParams(msg_startup=0.5))
     schedule = get_scheduler("roundrobin").schedule(tg, machine)
     par = run_parallel(schedule)
-    gen = run_generated(generate_python(schedule))
+    gen = run_generated(generate(schedule, target="threads"))
 
     for key in ("x", "y"):
         assert par.outputs[key] == seq.outputs[key]

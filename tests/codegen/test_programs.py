@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.codegen import generate_c, generate_mpi, generate_python, run_generated
+from repro.codegen import generate, run_generated
 from repro.errors import CodegenError
 from repro.graph import DataflowGraph, TaskGraph, flatten
 from repro.machine import MachineParams, make_machine, single_processor
@@ -44,12 +44,12 @@ class TestGeneratePython:
     def test_generated_matches_reference(self, n_procs, scheduler):
         tg = diamond_design()
         schedule = schedule_for(tg, n_procs, scheduler)
-        source = generate_python(schedule)
+        source = generate(schedule, target="threads")
         assert run_generated(source) == run_dataflow(tg).outputs
 
     def test_inputs_override(self):
         tg = diamond_design()
-        source = generate_python(schedule_for(tg))
+        source = generate(schedule_for(tg), target="threads")
         assert run_generated(source, {"x": 2.0}) == {"y": 6.0}
 
     def test_arrays_through_generated_channels(self):
@@ -64,13 +64,13 @@ class TestGeneratePython:
         g.connect("w", "total")
         g.connect("total", "t")
         tg = flatten(g)
-        source = generate_python(schedule_for(tg, 2))
+        source = generate(schedule_for(tg, 2), target="threads")
         assert run_generated(source) == {"t": 60.0}
 
     def test_module_doc_mentions_design_and_machine(self):
         tg = diamond_design()
         schedule = schedule_for(tg)
-        source = generate_python(schedule)
+        source = generate(schedule, target="threads")
         assert "gen_demo" in source
         assert "full(3)" in source
         assert "Predicted makespan" in source
@@ -82,10 +82,10 @@ class TestGeneratePython:
         s = Schedule(tg, machine)
         s.add("bare", 0, 0.0, 1.0)
         with pytest.raises(CodegenError, match="no PITS program"):
-            generate_python(s)
+            generate(s, target="threads")
 
     def test_generated_source_compiles_standalone(self):
-        source = generate_python(schedule_for(diamond_design()))
+        source = generate(schedule_for(diamond_design()), target="threads")
         compile(source, "<gen>", "exec")
 
     def test_duplication_generates_correctly(self):
@@ -99,16 +99,16 @@ class TestGeneratePython:
         s.add("src", 0, 0.0, 1.0)
         s.add("src", 1, 0.0, 1.0)
         s.add("use", 1, 1.0, 2.0)
-        assert run_generated(generate_python(s)) == {"y": 8.0}
+        assert run_generated(generate(s, target="threads")) == {"y": 8.0}
 
 
 class TestGenerateMPI:
     def test_compiles(self):
-        source = generate_mpi(schedule_for(diamond_design()))
+        source = generate(schedule_for(diamond_design()), target="mpi")
         compile(source, "<mpi>", "exec")
 
     def test_uses_mpi4py_idioms(self):
-        source = generate_mpi(schedule_for(diamond_design()))
+        source = generate(schedule_for(diamond_design()), target="mpi")
         assert "from mpi4py import MPI" in source
         assert "comm = MPI.COMM_WORLD" in source
         assert "comm.Get_rank()" in source
@@ -118,7 +118,7 @@ class TestGenerateMPI:
 
     def test_rank_blocks_cover_used_procs(self):
         schedule = schedule_for(diamond_design())
-        source = generate_mpi(schedule)
+        source = generate(schedule, target="mpi")
         from repro.sim import build_comm_plan
 
         for proc in build_comm_plan(schedule).procs_used():
@@ -127,7 +127,7 @@ class TestGenerateMPI:
     def test_tags_pair_up(self):
         import re
 
-        source = generate_mpi(schedule_for(diamond_design(), 3))
+        source = generate(schedule_for(diamond_design(), 3), target="mpi")
         send_tags = sorted(re.findall(r"comm\.send\(.*tag=(\d+)\)", source))
         recv_tags = sorted(re.findall(r"comm\.recv\(.*tag=(\d+)\)", source))
         assert send_tags == recv_tags
@@ -136,7 +136,7 @@ class TestGenerateMPI:
 
 class TestGenerateC:
     def test_structure(self):
-        source = generate_c(schedule_for(diamond_design()))
+        source = generate(schedule_for(diamond_design()), target="c")
         assert "#include" in source
         assert "void task_split" in source
         assert "int main" in source
@@ -155,7 +155,7 @@ class TestGenerateC:
         g.add_storage("x_out", data="x")
         g.connect("a_in", "t")
         g.connect("t", "x_out")
-        source = generate_c(schedule_for(flatten(g), 1))
+        source = generate(schedule_for(flatten(g), 1), target="c")
         assert "for (" in source
         assert "while (" in source
         assert "do {" in source
@@ -169,4 +169,4 @@ class TestGenerateC:
         s = Schedule(tg, machine)
         s.add("bare", 0, 0.0, 1.0)
         with pytest.raises(CodegenError):
-            generate_c(s)
+            generate(s, target="c")

@@ -99,8 +99,10 @@ def test_codegen_deadlock_oracle_reports_the_mutant(monkeypatch):
 def test_mutation_reaches_the_emitted_program(monkeypatch):
     """The generator and the analyzer read the same ordering hook: the
     mutant's reversed order shows up in the generated Python text too."""
+    from repro.codegen import generate
+
     _, _, schedule = chain_schedule()
-    clean = pygen.generate_python(schedule)
+    clean = generate(schedule, target="threads")
     monkeypatch.setattr(pygen, "proc_steps", reversed_steps)
-    mutated = pygen.generate_python(schedule)
+    mutated = generate(schedule, target="threads")
     assert mutated != clean

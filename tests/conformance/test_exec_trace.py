@@ -1,0 +1,119 @@
+"""The ``exec_trace`` oracle: weight-only fuzz graphs get synthesized PITS
+programs, run through the ``inproc`` backend, and the observed event trace
+plus outputs are checked against the plan and the reference executors."""
+
+import dataclasses
+
+import pytest
+
+from repro.codegen import get_backend, trace_problems
+from repro.codegen.ir import lower
+from repro.conformance import ORACLES, CaseContext, graph_case
+from repro.conformance.cases import GRAPH
+from repro.conformance.generators import CaseGenerator
+from repro.conformance.oracles import _with_programs
+from repro.graph.generators import fork_join, random_layered
+from repro.machine import MachineParams, make_machine
+from repro.sched import get_scheduler
+
+PARAMS = MachineParams(msg_startup=0.5, transmission_rate=5.0)
+
+
+def pinned_case():
+    tg = fork_join(3, work=2.0, comm=1.0)
+    machine = make_machine("full", 2, PARAMS)
+    return graph_case(tg, machine, "mh")
+
+
+class TestRegistration:
+    def test_registered_with_graph_kind(self):
+        assert "exec_trace" in ORACLES
+        assert ORACLES["exec_trace"].kind == GRAPH
+
+    def test_skips_pits_cases(self):
+        gen = CaseGenerator(3)
+        case = gen.next_pits_case()
+        assert ORACLES["exec_trace"].check(CaseContext(case)) == []
+
+
+class TestProgramSynthesis:
+    def test_programs_cover_every_task(self):
+        tg = random_layered(12, 4, edge_prob=0.5, seed=5)
+        ptg = _with_programs(tg)
+        assert ptg is not None
+        for task in ptg.task_names:
+            assert ptg.task(task).program, task
+        # the original stays weight-only: synthesis works on a copy
+        assert all(tg.task(t).program is None for t in tg.task_names)
+
+    def test_sinks_gain_observable_outputs(self):
+        ptg = _with_programs(fork_join(2, work=1.0, comm=1.0))
+        assert ptg is not None
+        assert any(producer == "join" for producer in ptg.graph_outputs.values())
+
+    def test_keyword_variable_is_vacuous(self):
+        from repro.graph.taskgraph import TaskGraph
+
+        tg = TaskGraph("kw")
+        tg.add_task("a", work=1)
+        tg.add_task("b", work=1)
+        tg.add_edge("a", "b", var="while", size=1.0)  # PITS keyword
+        assert _with_programs(tg) is None
+
+
+class TestOracle:
+    def test_clean_on_pinned_case(self):
+        assert ORACLES["exec_trace"].check(CaseContext(pinned_case())) == []
+
+    def test_clean_on_fuzz_sample(self):
+        gen = CaseGenerator(11)
+        checked = 0
+        while checked < 8:
+            case = gen.next_case()
+            if case.kind != GRAPH:
+                continue
+            assert ORACLES["exec_trace"].check(CaseContext(case)) == [], case.case_id()
+            checked += 1
+
+
+class TestTraceProblems:
+    """Forged event streams must be convicted by the trace checker."""
+
+    @pytest.fixture
+    def run(self):
+        ctx = CaseContext(pinned_case())
+        ptg = _with_programs(ctx.graph)
+        schedule = get_scheduler("mh").schedule(ptg, ctx.machine)
+        program = lower(schedule)
+        result = get_backend("inproc").execute(program)
+        assert trace_problems(program, result.events) == []
+        return program, list(result.events)
+
+    def test_dropped_compute_is_flagged(self, run):
+        program, events = run
+        pruned = [e for e in events if e.kind != "compute" or e.task != "join"]
+        assert any("computed" in p for p in trace_problems(program, pruned))
+
+    def test_recv_before_send_is_flagged(self, run):
+        program, events = run
+        forged = []
+        for e in events:
+            if e.kind in ("send", "recv") and e.channel is not None:
+                # swap the observed order for one channel
+                flipped = dataclasses.replace(
+                    e, seq=(-e.seq if e.channel == program.channels[0] else e.seq)
+                )
+                forged.append(flipped)
+            else:
+                forged.append(e)
+        problems = trace_problems(program, forged)
+        assert problems, "reversed channel order went unnoticed"
+
+    def test_unplanned_channel_is_flagged(self, run):
+        program, events = run
+        ghost = dataclasses.replace(
+            events[-1], kind="send", channel=("ghost", "join", "zz", 0)
+        )
+        assert any(
+            "unplanned" in p for p in trace_problems(program, events + [ghost])
+        )

@@ -298,13 +298,26 @@ class TestCodegenIntegration:
         np.testing.assert_allclose(out["x"], np.linalg.solve(A, B))
 
     def test_generate_all_languages(self, lu_project):
-        assert "def main" in lu_project.generate("python")
+        assert "def main" in lu_project.generate("python")  # legacy alias
+        assert "def main" in lu_project.generate("threads")
         assert "mpi4py" in lu_project.generate("mpi")
         assert "#include" in lu_project.generate("c")
 
+    def test_legacy_language_name_maps_to_threads(self, lu_project):
+        assert lu_project.generate("python") == lu_project.generate("threads")
+
     def test_unknown_language(self, lu_project):
-        with pytest.raises(ReproError, match="unknown language"):
+        with pytest.raises(ReproError, match="unknown codegen target"):
             lu_project.generate("fortran")
+
+    def test_project_lower_and_run(self, lu_project):
+        program = lu_project.lower()
+        assert program.n_procs == lu_project.machine.n_procs
+        assert program.content_hash() == lu_project.lower().content_hash()
+        from repro.codegen import run
+
+        out = run(lu_project, target="inproc", inputs={"A": A, "b": B})
+        np.testing.assert_allclose(out["x"], np.linalg.solve(A, B))
 
 
 class TestPersistence:

@@ -171,12 +171,12 @@ class TestSplitScheduledExecution:
         np.testing.assert_allclose(par.outputs["w"], ref.outputs["w"])
 
     def test_generated_code_matches(self):
-        from repro.codegen import generate_python, run_generated
+        from repro.codegen import generate, run_generated
 
         tg = split_forall(vector_graph(10), "vscale", 2)
         machine = make_machine("full", 2, MachineParams(msg_startup=0.1))
         schedule = get_scheduler("mh").schedule(tg, machine)
-        out = run_generated(generate_python(schedule))
+        out = run_generated(generate(schedule, target="threads"))
         ref = run_dataflow(vector_graph(10))
         np.testing.assert_allclose(out["w"], ref.outputs["w"])
 

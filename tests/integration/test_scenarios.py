@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import lu3_design
-from repro.codegen import generate_python, run_generated
+from repro.codegen import generate, run_generated
 from repro.env import BangerProject
 from repro.graph import DataflowGraph, flatten
 from repro.graph.generators import random_hierarchical
@@ -52,7 +52,7 @@ class TestSaveLoadSplitGenerate:
         check_schedule(improved)
 
         reloaded = schedule_from_json(schedule_to_json(improved))
-        generated = generate_python(reloaded)
+        generated = generate(reloaded, target="threads")
         out = run_generated(generated)
         np.testing.assert_allclose(out["w"], reference)
 
