@@ -7,6 +7,7 @@ Projects are the JSON documents written by
     python -m repro.cli lint      project.json --format sarif
     python -m repro.cli outline   project.json
     python -m repro.cli schedule  project.json --scheduler mh --gantt
+    python -m repro.cli edit      project.json --move t3 2 --swap a b
     python -m repro.cli speedup   project.json --procs 1,2,4,8
     python -m repro.cli sweep     project.json --scheduler mh,hlfet --jobs 4 --stats
     python -m repro.cli simulate  project.json --contention
@@ -142,6 +143,69 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         with open(args.chrome_trace, "w", encoding="utf-8") as fh:
             fh.write(schedule_to_chrome_trace(schedule))
         print(f"wrote {args.chrome_trace} (open in chrome://tracing)")
+    return 0
+
+
+def cmd_edit(args: argparse.Namespace) -> int:
+    from repro.sched import move_task, swap_tasks
+
+    project = _load(args.project)
+    moves = args.move or []
+    swaps = args.swap or []
+    if not moves and not swaps:
+        raise UsageError("nothing to edit; pass --move TASK PROC and/or --swap A B")
+    schedule = project.schedule(args.scheduler)
+    makespan_before = schedule.makespan()
+    edits: list[dict] = []
+    lines: list[str] = []
+    for task, proc_text in moves:
+        try:
+            proc = int(proc_text)
+        except ValueError:
+            raise UsageError(
+                f"--move needs an integer processor, got {proc_text!r}"
+            ) from None
+        result = move_task(schedule, task, proc)
+        schedule = result.schedule
+        lines.append(f"move {task} -> P{proc}: {result.render()}")
+        edits.append({
+            "kind": "move", "task": task, "proc": proc,
+            "makespan_before": result.makespan_before,
+            "makespan_after": result.makespan_after,
+            "delta": result.delta,
+        })
+    for a, b in swaps:
+        result = swap_tasks(schedule, a, b)
+        schedule = result.schedule
+        lines.append(f"swap {a} <-> {b}: {result.render()}")
+        edits.append({
+            "kind": "swap", "tasks": [a, b],
+            "makespan_before": result.makespan_before,
+            "makespan_after": result.makespan_after,
+            "delta": result.delta,
+        })
+    makespan_after = schedule.makespan()
+    if args.json:
+        print(json.dumps({
+            "type": "banger-edit",
+            "project": project.name,
+            "scheduler": args.scheduler,
+            "makespan_before": makespan_before,
+            "makespan_after": makespan_after,
+            "delta": makespan_after - makespan_before,
+            "edits": edits,
+        }, indent=2))
+    else:
+        for line in lines:
+            print(line)
+        delta = makespan_after - makespan_before
+        verdict = ("worse" if delta > 1e-9
+                   else ("better" if delta < -1e-9 else "same"))
+        print(f"total: makespan {makespan_before:.3f} -> {makespan_after:.3f} "
+              f"({verdict}, {delta:+.3f})")
+        if args.gantt:
+            print()
+            print(render_gantt(schedule, highlight_critical=True))
     return 0
 
 
@@ -463,6 +527,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", help="write placements as CSV")
     p.add_argument("--chrome-trace", help="write Chrome tracing JSON")
     p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser(
+        "edit",
+        help="what-if schedule edits: move/swap tasks, see the makespan respond",
+        epilog="Edits apply in order (moves first, then swaps), each re-timed "
+               "with the shared fixed-assignment pass so the result is always "
+               "feasible.  A worsening edit still exits 0 — the delta is the "
+               "answer; unknown tasks or processors exit 1.",
+    )
+    add_project(p)
+    add_scheduler(p)
+    p.add_argument("--move", nargs=2, action="append", metavar=("TASK", "PROC"),
+                   help="reassign TASK to processor PROC (repeatable)")
+    p.add_argument("--swap", nargs=2, action="append", metavar=("A", "B"),
+                   help="exchange the processors of tasks A and B (repeatable)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable result instead of text")
+    p.add_argument("--gantt", action="store_true",
+                   help="print the edited schedule's Gantt chart (text mode)")
+    p.set_defaults(fn=cmd_edit)
 
     p = sub.add_parser("speedup", help="speedup prediction sweep")
     add_project(p)

@@ -34,6 +34,11 @@ name             kind    invariant
                  graph   the CG5xx concurrency analyzer finds no errors on
                          real plans, and plans it passes actually run to
                          completion on live threads and queues
+``incremental``  graph   after a deterministic single-node work edit,
+                         incremental rescheduling stays feasible and is
+                         byte-identical to the full-reference reschedule;
+                         an unchanged graph returns the prior schedule
+                         object verbatim
 ``exec_trace``   graph   the ``inproc`` backend's event trace obeys the
                          lowered program's step lists, channel plan, and
                          precedence constraints, and its outputs are
@@ -271,6 +276,38 @@ def _lint_sim(ctx: CaseContext) -> list[str]:
     except Exception as exc:  # noqa: BLE001
         return [f"lint-clean design failed downstream: {type(exc).__name__}: {exc}"]
     return []
+
+
+@register("incremental", GRAPH,
+          "a single-node edit reschedules incrementally to the same bytes "
+          "as the full reference, and stays feasible")
+def _incremental(ctx: CaseContext) -> list[str]:
+    from repro.sched.incremental import full_reschedule, incremental_reschedule
+
+    problems: list[str] = []
+    prev = ctx.schedule
+    if not prev.is_complete():
+        return []  # nothing to reuse: the feasible oracle owns this case
+
+    # No-op edit: same content, so the prior schedule comes back verbatim.
+    same = incremental_reschedule(prev, ctx.graph.copy())
+    if same.schedule is not prev or not same.unchanged:
+        problems.append("unchanged graph did not return the prior schedule")
+
+    # Deterministic single-node edit: bump the first task's work.
+    edited = ctx.graph.copy()
+    victim = edited.task_names[0]
+    edited.set_work(victim, edited.work(victim) * 2.0 + 1.0)
+
+    inc = incremental_reschedule(prev, edited)
+    problems += [f"incremental: {p}" for p in schedule_problems(inc.schedule)]
+    reference = full_reschedule(prev, edited)
+    if schedule_to_dict(inc.schedule) != schedule_to_dict(reference):
+        problems.append(
+            f"incremental reschedule (dirty {inc.n_dirty}/{inc.n_tasks}) "
+            "diverges from the full-reference reschedule"
+        )
+    return problems
 
 
 @register("codegen_deadlock", GRAPH,

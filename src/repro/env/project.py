@@ -27,6 +27,8 @@ from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine, make_machine
 from repro.machine.params import MachineParams
 from repro.sched.base import Scheduler
+from repro.sched.incremental import IncrementalResult, incremental_reschedule
+from repro.sched.registry import scheduler_cache_key
 from repro.sched.schedule import Schedule
 from repro.sched.service import (
     ScheduleRequest,
@@ -68,6 +70,10 @@ class BangerProject:
         self.service: ScheduleService = service if service is not None else ScheduleService()
         self._flat: TaskGraph | None = None
         self._flat_hash: str | None = None
+        # Last schedule produced per scheduler key — the base an edit's
+        # reschedule() re-times incrementally.  Deliberately NOT cleared by
+        # _invalidate: surviving the edit is its entire purpose.
+        self._prior: dict[str, Schedule] = {}
 
     # ------------------------------------------------------------------ #
     # step 1: the drawing
@@ -286,9 +292,48 @@ class BangerProject:
         """Map the flattened design onto the machine (cached by content)."""
         req = as_request(scheduler)
         machine = self._require_machine()
-        return self.service.schedule(
+        result = self.service.schedule(
             self.flat(), machine, req.scheduler, use_cache=req.use_cache
         )
+        self._prior[scheduler_cache_key(req.resolved_scheduler())] = result
+        return result
+
+    def reschedule(
+        self, scheduler: str | Scheduler | ScheduleRequest = "mh"
+    ) -> IncrementalResult:
+        """Re-time the design after an edit, reusing the prior schedule.
+
+        If this project has scheduled with the same scheduler on the same
+        machine before, only the edited tasks (and their cone) are
+        re-placed — the clean prefix of the prior schedule is kept verbatim
+        (see :mod:`repro.sched.incremental`).  Without a usable prior (first
+        call, or the machine changed) it falls back to a full
+        :meth:`schedule` and reports ``fallback="cold"``.
+
+        Incremental schedules are *edit products*, not content-addressed
+        answers, so they are never written into the service cache — a later
+        :meth:`schedule` of the same design still computes (and caches) the
+        scheduler's own answer.
+        """
+        req = as_request(scheduler)
+        machine = self._require_machine()
+        flat = self.flat()
+        key = scheduler_cache_key(req.resolved_scheduler())
+        prior = self._prior.get(key)
+        if (
+            prior is None
+            or prior.machine.content_hash() != machine.content_hash()
+        ):
+            full = self.service.schedule(
+                flat, machine, req.scheduler, use_cache=req.use_cache
+            )
+            result = IncrementalResult(
+                full, len(flat), len(flat), 0, fallback="cold"
+            )
+        else:
+            result = incremental_reschedule(prior, flat)
+        self._prior[key] = result.schedule
+        return result
 
     def gantt(
         self, scheduler: str | Scheduler | ScheduleRequest = "mh", width: int = 72

@@ -40,6 +40,7 @@ class TargetMachine:
         self.topology = topology
         self.params = params
         self.name = name or topology.name
+        self._hash_cache: tuple[int, str] | None = None
 
     # ------------------------------------------------------------------ #
     # the cost model
@@ -107,10 +108,23 @@ class TargetMachine:
 
     def content_hash(self) -> str:
         """Stable fingerprint of params + topology — the machine half of the
-        scheduling cache key (see :mod:`repro.sched.service`)."""
+        scheduling cache key (see :mod:`repro.sched.service`).
+
+        Cached per topology revision: params and name are frozen after
+        construction, so the fingerprint only changes when the link set does
+        (``Topology._invalidate_caches`` bumps ``_revision``).  This makes the
+        per-kernel-build compiled-table lookup O(1) instead of re-serializing
+        the whole machine document.
+        """
         from repro.graph.serialize import fingerprint
 
-        return fingerprint(self.to_dict())
+        revision = self.topology._revision
+        cached = self._hash_cache
+        if cached is not None and cached[0] == revision:
+            return cached[1]
+        digest = fingerprint(self.to_dict())
+        self._hash_cache = (revision, digest)
+        return digest
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TargetMachine":

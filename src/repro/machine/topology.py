@@ -14,8 +14,9 @@ algorithms (e-cube, XY) which tests cross-check against BFS distances.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import MachineError, RoutingError
 
@@ -40,6 +41,11 @@ class Topology:
             raise MachineError(f"topology needs >= 1 processor, got {n_procs}")
         self.n_procs = n_procs
         self.name = name or f"{self.family}({n_procs})"
+        # Daemon worker threads share machines: every derived-table build is
+        # double-checked under this lock (reentrant — diameter() builds the
+        # BFS tables while already holding it).
+        self._lock = threading.RLock()
+        self._revision = 0
         self._adj: dict[int, set[int]] = {p: set() for p in range(n_procs)}
         self._links: set[tuple[int, int]] = set()
         for a, b in links:
@@ -54,20 +60,38 @@ class Topology:
         self._check_proc(b)
         if a == b:
             raise MachineError(f"self-link on processor {a} is not allowed")
-        key = (min(a, b), max(a, b))
-        self._links.add(key)
-        self._adj[a].add(b)
-        self._adj[b].add(a)
-        self._invalidate_caches()
+        with self._lock:
+            key = (min(a, b), max(a, b))
+            self._links.add(key)
+            self._adj[a].add(b)
+            self._adj[b].add(a)
+            self._invalidate_caches()
 
     def _invalidate_caches(self) -> None:
-        """Drop every derived table; called whenever the link set changes."""
-        self._dist: list[list[int]] | None = None
-        self._next_hop: list[list[int]] | None = None
-        self._sorted_adj: list[list[int]] | None = None
-        self._diameter: int | None = None
-        self._avg_distance: float | None = None
-        self._route_links_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        """Drop every derived table; called whenever the link set changes.
+
+        Also bumps ``_revision``, the cheap change counter that keys
+        revision-scoped caches elsewhere (``TargetMachine.content_hash``,
+        the compiled-topology tables in :mod:`repro.machine.compiled`).
+        """
+        with self._lock:
+            self._revision += 1
+            self._dist: list[list[int]] | None = None
+            self._next_hop: list[list[int]] | None = None
+            self._sorted_adj: list[list[int]] | None = None
+            self._diameter: int | None = None
+            self._avg_distance: float | None = None
+            self._route_links_cache: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Locks do not pickle — drop it (topologies ship to sweep workers)."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def _check_proc(self, p: int) -> None:
         if not (0 <= p < self.n_procs):
@@ -85,9 +109,14 @@ class Topology:
 
     def _sorted_neighbors(self) -> list[list[int]]:
         """Adjacency lists sorted once per link-set revision."""
-        if self._sorted_adj is None:
-            self._sorted_adj = [sorted(self._adj[p]) for p in range(self.n_procs)]
-        return self._sorted_adj
+        adj = self._sorted_adj
+        if adj is None:
+            with self._lock:
+                adj = self._sorted_adj
+                if adj is None:
+                    adj = [sorted(self._adj[p]) for p in range(self.n_procs)]
+                    self._sorted_adj = adj
+        return adj
 
     def neighbors(self, p: int) -> list[int]:
         self._check_proc(p)
@@ -108,28 +137,35 @@ class Topology:
     # ------------------------------------------------------------------ #
     # shortest paths
     # ------------------------------------------------------------------ #
-    def _ensure_tables(self) -> None:
-        if self._dist is not None:
-            return
-        n = self.n_procs
-        INF = n + 1
-        dist = [[INF] * n for _ in range(n)]
-        nxt = [[-1] * n for _ in range(n)]
-        adj = self._sorted_neighbors()
-        for src in range(n):
-            dist[src][src] = 0
-            nxt[src][src] = src
-            q: deque[int] = deque([src])
-            while q:
-                u = q.popleft()
-                for v in adj[u]:
-                    if dist[src][v] > dist[src][u] + 1:
-                        dist[src][v] = dist[src][u] + 1
-                        # first hop out of src towards v
-                        nxt[src][v] = v if u == src else nxt[src][u]
-                        q.append(v)
-        self._dist = dist
-        self._next_hop = nxt
+    def _ensure_tables(self) -> tuple[list[list[int]], list[list[int]]]:
+        """Build (or fetch) the BFS tables; returns a consistent snapshot."""
+        dist, nxt = self._dist, self._next_hop
+        if dist is not None and nxt is not None:
+            return dist, nxt
+        with self._lock:
+            dist, nxt = self._dist, self._next_hop
+            if dist is not None and nxt is not None:
+                return dist, nxt
+            n = self.n_procs
+            INF = n + 1
+            dist = [[INF] * n for _ in range(n)]
+            nxt = [[-1] * n for _ in range(n)]
+            adj = self._sorted_neighbors()
+            for src in range(n):
+                dist[src][src] = 0
+                nxt[src][src] = src
+                q: deque[int] = deque([src])
+                while q:
+                    u = q.popleft()
+                    for v in adj[u]:
+                        if dist[src][v] > dist[src][u] + 1:
+                            dist[src][v] = dist[src][u] + 1
+                            # first hop out of src towards v
+                            nxt[src][v] = v if u == src else nxt[src][u]
+                            q.append(v)
+            self._dist = dist
+            self._next_hop = nxt
+            return dist, nxt
 
     def hops(self, src: int, dst: int) -> int:
         """Shortest-path link count between two processors."""
@@ -137,8 +173,8 @@ class Topology:
         self._check_proc(dst)
         if src == dst:
             return 0
-        self._ensure_tables()
-        d = self._dist[src][dst]  # type: ignore[index]
+        dist, _ = self._ensure_tables()
+        d = dist[src][dst]
         if d > self.n_procs:
             raise RoutingError(f"{self.name}: no route from {src} to {dst}")
         return d
@@ -149,13 +185,13 @@ class Topology:
         self._check_proc(dst)
         if src == dst:
             return [src]
-        self._ensure_tables()
-        if self._dist[src][dst] > self.n_procs:  # type: ignore[index]
+        dist, nxt = self._ensure_tables()
+        if dist[src][dst] > self.n_procs:
             raise RoutingError(f"{self.name}: no route from {src} to {dst}")
         path = [src]
         cur = src
         while cur != dst:
-            cur = self._next_hop[cur][dst]  # type: ignore[index]
+            cur = nxt[cur][dst]
             path.append(cur)
         return path
 
@@ -165,23 +201,29 @@ class Topology:
         if cached is None:
             path = self.route(src, dst)
             cached = [(min(a, b), max(a, b)) for a, b in zip(path, path[1:])]
-            self._route_links_cache[(src, dst)] = cached
+            with self._lock:
+                self._route_links_cache[(src, dst)] = cached
         return list(cached)
 
     def diameter(self) -> int:
         """Longest shortest path; raises if disconnected.  Cached."""
-        if self._diameter is not None:
-            return self._diameter
-        self._ensure_tables()
-        best = 0
-        for row in self._dist:  # type: ignore[union-attr]
-            for d in row:
-                if d > self.n_procs:
-                    raise RoutingError(f"{self.name} is disconnected")
-                if d > best:
-                    best = d
-        self._diameter = best
-        return best
+        best = self._diameter
+        if best is not None:
+            return best
+        with self._lock:
+            best = self._diameter
+            if best is not None:
+                return best
+            dist, _ = self._ensure_tables()
+            best = 0
+            for row in dist:
+                for d in row:
+                    if d > self.n_procs:
+                        raise RoutingError(f"{self.name} is disconnected")
+                    if d > best:
+                        best = d
+            self._diameter = best
+            return best
 
     def average_distance(self) -> float:
         """Mean hop count over ordered distinct pairs (0 for 1 processor).
@@ -191,23 +233,29 @@ class Topology:
         edge when computing priorities, which made the uncached O(n²) scan
         the dominant cost of scheduling on large machines.
         """
-        if self._avg_distance is not None:
-            return self._avg_distance
+        avg = self._avg_distance
+        if avg is not None:
+            return avg
         if self.n_procs == 1:
             self._avg_distance = 0.0
             return 0.0
-        self._ensure_tables()
-        total = 0
-        for src in range(self.n_procs):
-            row = self._dist[src]  # type: ignore[index]
-            for dst in range(self.n_procs):
-                if src != dst:
-                    d = row[dst]
-                    if d > self.n_procs:
-                        raise RoutingError(f"{self.name} is disconnected")
-                    total += d
-        self._avg_distance = total / (self.n_procs * (self.n_procs - 1))
-        return self._avg_distance
+        with self._lock:
+            avg = self._avg_distance
+            if avg is not None:
+                return avg
+            dist, _ = self._ensure_tables()
+            total = 0
+            for src in range(self.n_procs):
+                row = dist[src]
+                for dst in range(self.n_procs):
+                    if src != dst:
+                        d = row[dst]
+                        if d > self.n_procs:
+                            raise RoutingError(f"{self.name} is disconnected")
+                        total += d
+            avg = total / (self.n_procs * (self.n_procs - 1))
+            self._avg_distance = avg
+            return avg
 
     def is_connected(self) -> bool:
         if self.n_procs == 1:

@@ -62,6 +62,13 @@ from repro.sched.serialize import (
     schedule_to_dict,
     schedule_to_json,
 )
+from repro.sched.incremental import (
+    IncrementalResult,
+    dirty_closure,
+    dirty_tasks,
+    full_reschedule,
+    incremental_reschedule,
+)
 from repro.sched.grain import (
     GrainPackedScheduler,
     Packing,
@@ -143,6 +150,11 @@ __all__ = [
     "ETFScheduler",
     "GrainPackedScheduler",
     "HLFETScheduler",
+    "IncrementalResult",
+    "dirty_closure",
+    "dirty_tasks",
+    "full_reschedule",
+    "incremental_reschedule",
     "ISHScheduler",
     "KernelState",
     "ReadyHeap",

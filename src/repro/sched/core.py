@@ -45,6 +45,11 @@ from typing import Callable, Sequence
 from repro.errors import ScheduleError
 from repro.graph.analysis import b_levels, static_levels, t_levels
 from repro.graph.taskgraph import TaskEdge, TaskGraph
+from repro.machine.compiled import (
+    compiled_counters,
+    compiled_for,
+    reset_compiled_counters,
+)
 from repro.machine.machine import TargetMachine
 from repro.sched.schedule import Message, Placement, Schedule
 
@@ -74,16 +79,21 @@ def kernel_counters() -> dict[str, int | float]:
 
     ``kernel_builds``/``kernel_build_ms`` count :class:`SchedKernel`
     constructions and their cumulative wall time; ``route_cache_hits``/
-    ``route_cache_misses`` count memoized-route lookups across all kernels.
+    ``route_cache_misses`` count memoized-route lookups across all kernels;
+    ``compiled_hits``/``compiled_misses`` count compiled-topology table
+    lookups (see :mod:`repro.machine.compiled`).
     """
     with _COUNTER_LOCK:
-        return dict(_COUNTERS)
+        snapshot: dict[str, int | float] = dict(_COUNTERS)
+    snapshot.update(compiled_counters())
+    return snapshot
 
 
 def reset_kernel_counters() -> None:
     """Zero the kernel counters (benchmarks and tests)."""
     with _COUNTER_LOCK:
         _COUNTERS.update(_ZERO_COUNTERS)
+    reset_compiled_counters()
 
 
 # --------------------------------------------------------------------- #
@@ -122,6 +132,9 @@ class SchedKernel:
         ]
         self._params = machine.params
         self._topology = machine.topology
+        # Compile-ahead tables: content-addressed by machine hash, so a warm
+        # topology costs one O(1) cache probe instead of lazy BFS per pair.
+        self._compiled = compiled_for(machine)
         self._hops: dict[tuple[int, int], int] = {}
         self._comm: dict[tuple[int, float], float] = {}
         self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
@@ -141,7 +154,7 @@ class SchedKernel:
         pair = (src_proc, dst_proc)
         hops = self._hops.get(pair)
         if hops is None:
-            hops = self._topology.hops(src_proc, dst_proc)
+            hops = self._compiled.hops(src_proc, dst_proc)
             self._hops[pair] = hops
         key = (hops, size)
         cost = self._comm.get(key)
@@ -154,7 +167,7 @@ class SchedKernel:
         """Memoized ``machine.mean_comm_cost`` (one entry per message size)."""
         cost = self._mean_comm.get(size)
         if cost is None:
-            cost = self.machine.mean_comm_cost(size)
+            cost = self._compiled.mean_comm_cost(self._params, size)
             self._mean_comm[size] = cost
         return cost
 
@@ -164,7 +177,7 @@ class SchedKernel:
         path = self._routes.get(pair)
         if path is None:
             _bump("route_cache_misses")
-            path = tuple(self.machine.route(src_proc, dst_proc))
+            path = self._compiled.route(src_proc, dst_proc)
             self._routes[pair] = path
         else:
             _bump("route_cache_hits")

@@ -49,6 +49,12 @@ from repro.errors import ScheduleError
 from repro.graph.analysis import average_parallelism
 from repro.graph.serialize import fingerprint
 from repro.graph.taskgraph import TaskGraph
+from repro.machine.compiled import (
+    CompiledTopology,
+    compiled_for,
+    evict_compiled,
+    seed_compiled,
+)
 from repro.machine.machine import TargetMachine, make_machine, single_processor
 from repro.machine.params import IDEAL, MachineParams
 from repro.sched.base import Scheduler
@@ -164,6 +170,8 @@ class ServiceStats:
     kernel_build_ms: float = 0.0
     route_cache_hits: int = 0
     route_cache_misses: int = 0
+    compiled_hits: int = 0
+    compiled_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -188,7 +196,9 @@ class ServiceStats:
             f"{self.last_sweep_jobs} job(s) (max workers {self.max_workers})\n"
             f"kernel: {self.kernel_builds} build(s) in "
             f"{self.kernel_build_ms:.1f} ms, routes {self.route_cache_hits} "
-            f"hit(s) / {self.route_cache_misses} miss(es)"
+            f"hit(s) / {self.route_cache_misses} miss(es), compiled "
+            f"topologies {self.compiled_hits} hit(s) / "
+            f"{self.compiled_misses} miss(es)"
         )
 
 
@@ -246,6 +256,10 @@ class ScheduleService:
         # scheduler) — but a separate store, because the disk layer only
         # knows how to round-trip Schedule documents.
         self._ir_lru: "OrderedDict[tuple[str, str, str], Any]" = OrderedDict()
+        # Compiled-topology tables, keyed by machine hash alone (they depend
+        # on nothing else).  Also written through to the disk tier so warm
+        # tables are shared across processes and shards.
+        self._compiled_lru: "OrderedDict[str, CompiledTopology]" = OrderedDict()
         self._disk_dir = self._resolve_disk_dir(disk_cache)
         self._stats = ServiceStats(max_workers=self.max_workers)
         # One service may be shared by many threads (the banger daemon's
@@ -317,9 +331,43 @@ class ScheduleService:
         cached = self._get(key)
         if cached is not None:
             return cached
+        # Warm the compiled-topology tables (disk tier included) before the
+        # kernel asks for them, so a cold process on a known machine still
+        # skips route compilation.
+        self.compiled(machine)
         result = sched.schedule(graph, machine)
         self._put(key, result)
         return result
+
+    def compiled(self, machine: TargetMachine) -> CompiledTopology:
+        """The compiled routing tables for ``machine``, memoized by hash.
+
+        Three tiers: this service's LRU, the versioned disk cache (under
+        ``compiled/<machine-hash>.json``), then compilation via
+        :func:`repro.machine.compiled.compiled_for`.  Whatever tier answers,
+        the process-wide cache consulted by :class:`~repro.sched.core.SchedKernel`
+        is seeded, so subsequent kernel builds hit in O(1).
+        """
+        key = machine.content_hash()
+        with self._lock:
+            hit = self._compiled_lru.get(key)
+            if hit is not None:
+                self._compiled_lru.move_to_end(key)
+                return hit
+        tables = self._compiled_disk_get(key)
+        from_disk = tables is not None
+        if tables is None:
+            tables = compiled_for(machine)
+        else:
+            seed_compiled(tables)
+        with self._lock:
+            self._compiled_lru[key] = tables
+            self._compiled_lru.move_to_end(key)
+            while len(self._compiled_lru) > self.max_entries:
+                self._compiled_lru.popitem(last=False)
+        if not from_disk:
+            self._compiled_disk_put(tables)
+        return tables
 
     def lower(
         self,
@@ -614,6 +662,61 @@ class ScheduleService:
             pass
 
     # ------------------------------------------------------------------ #
+    # compiled-topology disk tier (same directory, namespaced keys)
+    # ------------------------------------------------------------------ #
+    def _compiled_disk_path(self, machine_hash: str) -> Path:
+        # Namespaced under compiled/ so the schedule-entry layout (one JSON
+        # per key at the top of the versioned directory) is undisturbed.
+        assert self._disk_dir is not None
+        return self._disk_dir / "compiled" / (machine_hash + ".json")
+
+    def _compiled_disk_get(self, machine_hash: str) -> CompiledTopology | None:
+        if self._disk_dir is None:
+            return None
+        path = self._compiled_disk_path(machine_hash)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            doc = json.loads(text)
+            if doc.get("cache_version") != CACHE_VERSION or doc.get("key") != [
+                "compiled",
+                machine_hash,
+            ]:
+                raise ValueError("cache entry does not match its key")
+            tables = CompiledTopology.from_dict(doc["compiled"])
+            if tables.machine_hash != machine_hash:
+                raise ValueError("compiled tables carry the wrong machine hash")
+            return tables
+        except Exception:
+            # Corrupt or mismatched tables: evict and recompile, never raise.
+            # The schedule-entry disk counters are left alone — compiled
+            # traffic is observable via compiled_hits / compiled_misses.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _compiled_disk_put(self, tables: CompiledTopology) -> None:
+        if self._disk_dir is None:
+            return
+        try:
+            path = self._compiled_disk_path(tables.machine_hash)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            doc = {
+                "cache_version": CACHE_VERSION,
+                "key": ["compiled", tables.machine_hash],
+                "compiled": tables.to_dict(),
+            }
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
     # invalidation + observability
     # ------------------------------------------------------------------ #
     def invalidate(
@@ -624,6 +727,12 @@ class ScheduleService:
         Content addressing already guarantees correctness (a mutated graph
         or machine hashes to new keys); eviction reclaims the memory held by
         entries that can no longer be asked for.  Returns the count evicted.
+
+        A machine-hash-targeted eviction also drops that machine's
+        compiled-topology tables — from this service's LRU, from the
+        process-wide cache the kernels consult, and from the disk tier — so
+        an in-place topology mutation can never be served routes compiled
+        for the old link set.
         """
         with self._lock:
             doomed = [
@@ -640,7 +749,16 @@ class ScheduleService:
                 ):
                     del self._ir_lru[key]
             self._stats.evictions += len(doomed)
-            return len(doomed)
+            if machine_hash is not None:
+                self._compiled_lru.pop(machine_hash, None)
+        if machine_hash is not None:
+            evict_compiled(machine_hash)
+            if self._disk_dir is not None:
+                try:
+                    self._compiled_disk_path(machine_hash).unlink()
+                except OSError:
+                    pass
+        return len(doomed)
 
     def clear(self) -> None:
         """Drop every in-memory entry (the disk cache is left alone)."""
@@ -648,6 +766,7 @@ class ScheduleService:
             self._stats.evictions += len(self._lru)
             self._lru.clear()
             self._ir_lru.clear()
+            self._compiled_lru.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -667,6 +786,10 @@ class ScheduleService:
         )
         snap.route_cache_misses = int(
             counters["route_cache_misses"] - base["route_cache_misses"]
+        )
+        snap.compiled_hits = int(counters["compiled_hits"] - base["compiled_hits"])
+        snap.compiled_misses = int(
+            counters["compiled_misses"] - base["compiled_misses"]
         )
         return snap
 

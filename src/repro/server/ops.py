@@ -26,8 +26,9 @@ from repro.errors import ReproError, ValidationError
 from repro.graph.serialize import fingerprint
 from repro.lint import lint_project, to_json
 from repro.sched.core import kernel_counters
+from repro.sched.incremental import incremental_reschedule
 from repro.sched.registry import resolve_scheduler, scheduler_cache_key
-from repro.sched.serialize import schedule_to_dict
+from repro.sched.serialize import schedule_from_dict, schedule_to_dict
 from repro.sched.service import ScheduleRequest, ScheduleService
 from repro.sim import simulate
 from repro.viz.gantt import render_gantt
@@ -139,14 +140,51 @@ def op_lint(payload: dict[str, Any]) -> dict[str, Any]:
     return doc
 
 
+def _base_schedule(payload: dict[str, Any]):
+    """The previous schedule for an incremental request, if any."""
+    doc = payload.get("base_schedule")
+    if doc is None:
+        return None
+    if not isinstance(doc, dict):
+        raise OpError(
+            f"base_schedule must be a saved schedule document, got {doc!r}"
+        )
+    try:
+        return schedule_from_dict(doc)
+    except ReproError as exc:
+        raise OpError(f"malformed base_schedule: {exc}") from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise OpError(f"malformed base_schedule document: {exc!r}") from None
+
+
 def op_schedule(payload: dict[str, Any]) -> dict[str, Any]:
     from repro.sched.metrics import report as schedule_report
 
     project = _project_from_payload(payload)
     req = _request(payload)
-    schedule = project.schedule(
-        ScheduleRequest(scheduler=req.scheduler, use_cache=req.use_cache)
-    )
+    base = _base_schedule(payload)
+    incremental = None
+    if base is not None:
+        # Edit-loop path: re-time against the client's previous schedule
+        # instead of scheduling from scratch.  The base document is part of
+        # the coalesce key, so identical edits still share one computation.
+        try:
+            result = incremental_reschedule(base, project.flat())
+        except ReproError as exc:
+            raise OpError(f"incremental reschedule failed: {exc}") from None
+        schedule = result.schedule
+        incremental = {
+            "n_tasks": result.n_tasks,
+            "n_dirty": result.n_dirty,
+            "n_reused": result.n_reused,
+            "reused_fraction": result.reused_fraction,
+            "unchanged": result.unchanged,
+            "fallback": result.fallback,
+        }
+    else:
+        schedule = project.schedule(
+            ScheduleRequest(scheduler=req.scheduler, use_cache=req.use_cache)
+        )
     doc: dict[str, Any] = {
         "type": "banger-schedule",
         "project": project.name,
@@ -156,6 +194,8 @@ def op_schedule(payload: dict[str, Any]) -> dict[str, Any]:
         "report": asdict(schedule_report(schedule)),
         "schedule": schedule_to_dict(schedule),
     }
+    if incremental is not None:
+        doc["incremental"] = incremental
     if payload.get("gantt"):
         doc["gantt"] = render_gantt(schedule)
     return doc
@@ -316,7 +356,7 @@ PROJECT_OPS = frozenset({"lint", "schedule", "speedup", "sweep", "simulate", "co
 #: everything that changes the answer must be part of the coalesce key.
 _OPTION_FIELDS: dict[str, tuple[str, ...]] = {
     "lint": ("suppress", "fail_on", "concurrency", "scheduler"),
-    "schedule": ("use_cache", "gantt"),
+    "schedule": ("use_cache", "gantt", "base_schedule"),
     "speedup": ("proc_counts", "family", "use_cache"),
     "sweep": ("schedulers", "proc_counts", "family", "use_cache"),
     "simulate": ("contention", "use_cache"),
@@ -375,5 +415,7 @@ def execute(op: str, payload: dict[str, Any]) -> dict[str, Any]:
             "route_cache_misses": int(
                 k1["route_cache_misses"] - k0["route_cache_misses"]
             ),
+            "compiled_hits": int(k1["compiled_hits"] - k0["compiled_hits"]),
+            "compiled_misses": int(k1["compiled_misses"] - k0["compiled_misses"]),
         },
     }

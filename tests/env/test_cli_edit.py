@@ -1,0 +1,84 @@
+"""The `banger edit` subcommand: what-if moves from the shell."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import lu3_design
+from repro.cli import main
+from repro.env import BangerProject
+from repro.machine import MachineParams
+
+
+@pytest.fixture
+def project_path(tmp_path):
+    A = np.array([[4.0, 3.0, 2.0], [2.0, 4.0, 1.0], [1.0, 2.0, 3.0]])
+    b = np.array([1.0, 2.0, 3.0])
+    project = BangerProject("edit-test").set_design(lu3_design(A, b))
+    project.set_machine("hypercube", 4,
+                        MachineParams(msg_startup=0.2, transmission_rate=20.0))
+    path = tmp_path / "project.json"
+    project.save(str(path))
+    return str(path)
+
+
+def _some_tasks(path, n=2):
+    project = BangerProject.load(path)
+    return list(project.schedule("mh").scheduled_tasks())[:n]
+
+
+class TestEdit:
+    def test_move_prints_delta(self, project_path, capsys):
+        (task,) = _some_tasks(project_path, 1)
+        assert main(["edit", project_path, "--move", task, "1"]) == 0
+        out = capsys.readouterr().out
+        assert f"move {task} -> P1" in out
+        assert "total: makespan" in out
+
+    def test_moves_and_swaps_compose(self, project_path, capsys):
+        a, b = _some_tasks(project_path, 2)
+        code = main([
+            "edit", project_path,
+            "--move", a, "0", "--move", b, "2", "--swap", a, b,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("move ") == 2
+        assert f"swap {a} <-> {b}" in out
+
+    def test_json_output(self, project_path, capsys):
+        (task,) = _some_tasks(project_path, 1)
+        assert main(["edit", project_path, "--json",
+                     "--move", task, "1"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["type"] == "banger-edit"
+        assert doc["edits"][0]["kind"] == "move"
+        assert doc["edits"][0]["task"] == task
+        assert doc["makespan_after"] == pytest.approx(
+            doc["makespan_before"] + doc["delta"]
+        )
+
+    def test_gantt_flag(self, project_path, capsys):
+        (task,) = _some_tasks(project_path, 1)
+        assert main(["edit", project_path, "--move", task, "0",
+                     "--gantt"]) == 0
+        assert "P0" in capsys.readouterr().out
+
+    def test_no_edits_is_usage_error(self, project_path, capsys):
+        assert main(["edit", project_path]) == 2
+        assert "nothing to edit" in capsys.readouterr().err
+
+    def test_non_integer_proc_is_usage_error(self, project_path, capsys):
+        (task,) = _some_tasks(project_path, 1)
+        assert main(["edit", project_path, "--move", task, "north"]) == 2
+        assert "integer processor" in capsys.readouterr().err
+
+    def test_unknown_task_fails_with_1(self, project_path, capsys):
+        assert main(["edit", project_path, "--move", "no_such_task", "1"]) == 1
+        assert "unknown task" in capsys.readouterr().err
+
+    def test_out_of_range_proc_fails_with_1(self, project_path, capsys):
+        (task,) = _some_tasks(project_path, 1)
+        assert main(["edit", project_path, "--move", task, "99"]) == 1
+        assert "out of range" in capsys.readouterr().err

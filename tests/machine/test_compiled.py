@@ -1,0 +1,181 @@
+"""CompiledTopology: byte-identity with the live topology, serialization,
+the process cache + counters, and staleness on machine invalidation."""
+
+import json
+
+import pytest
+
+from repro.conformance.generators import MACHINE_FAMILIES
+from repro.errors import MachineError
+from repro.machine import MachineParams, TargetMachine, make_machine
+from repro.machine.compiled import (
+    FORMAT_VERSION,
+    CompiledTopology,
+    cached_compiled,
+    clear_compiled,
+    compiled_counters,
+    compiled_for,
+    evict_compiled,
+    reset_compiled_counters,
+)
+from repro.machine.topology import Topology
+from repro.sched.service import ScheduleService
+
+PARAMS = MachineParams(msg_startup=0.3, transmission_rate=8.0, hop_latency=0.1)
+
+
+def every_family_machine():
+    for family, sizes in MACHINE_FAMILIES:
+        for n in (sizes[0], sizes[-1]):
+            yield make_machine(family, n, PARAMS)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "machine", every_family_machine(), ids=lambda m: m.topology.name
+    )
+    def test_tables_match_live_topology(self, machine):
+        topo = machine.topology
+        compiled = CompiledTopology.compile(machine)
+        assert compiled.n_procs == topo.n_procs
+        assert compiled.machine_hash == machine.content_hash()
+        for src in range(topo.n_procs):
+            for dst in range(topo.n_procs):
+                assert compiled.hops(src, dst) == topo.hops(src, dst)
+                assert compiled.route(src, dst) == tuple(topo.route(src, dst))
+                assert compiled.route_links(src, dst) == topo.route_links(src, dst)
+        assert compiled.diameter() == topo.diameter()
+        # Exact float equality: the summation order is replicated on purpose.
+        assert compiled.average_distance() == topo.average_distance()
+        for size in (0.0, 1.0, 7.25):
+            assert compiled.mean_comm_cost(machine.params, size) == (
+                machine.mean_comm_cost(size)
+            )
+
+    def test_single_processor_machine(self):
+        machine = make_machine("full", 1, PARAMS)
+        compiled = CompiledTopology.compile(machine)
+        assert compiled.diameter() == 0
+        assert compiled.average_distance() == 0.0
+        assert compiled.mean_comm_cost(machine.params, 5.0) == 0.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        machine = make_machine("hypercube", 8, PARAMS)
+        compiled = CompiledTopology.compile(machine)
+        doc = compiled.to_dict()
+        json.dumps(doc)  # JSON-safe: lists and scalars only
+        reloaded = CompiledTopology.from_dict(doc)
+        assert reloaded.machine_hash == compiled.machine_hash
+        assert reloaded.dist == compiled.dist
+        assert reloaded.routes == compiled.routes
+        assert reloaded.to_dict() == doc
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(MachineError, match="not a compiled-topology"):
+            CompiledTopology.from_dict({"type": "schedule"})
+
+    def test_future_format_version_rejected(self):
+        doc = CompiledTopology.compile(make_machine("ring", 4, PARAMS)).to_dict()
+        doc["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(MachineError, match="unsupported"):
+            CompiledTopology.from_dict(doc)
+
+    def test_malformed_table_sizes_rejected(self):
+        with pytest.raises(MachineError, match="entries"):
+            CompiledTopology("deadbeef", 2, [0], [()])
+
+
+class TestProcessCache:
+    def test_hit_and_miss_counters(self):
+        clear_compiled()
+        reset_compiled_counters()
+        machine = make_machine("mesh", 9, PARAMS)
+        first = compiled_for(machine)
+        again = compiled_for(machine)
+        assert again is first
+        # A content-equal machine object shares the entry.
+        clone = make_machine("mesh", 9, PARAMS)
+        assert compiled_for(clone) is first
+        counters = compiled_counters()
+        assert counters["compiled_misses"] == 1
+        assert counters["compiled_hits"] == 2
+
+    def test_evict_forces_recompile(self):
+        clear_compiled()
+        machine = make_machine("star", 4, PARAMS)
+        first = compiled_for(machine)
+        evict_compiled(machine.content_hash())
+        assert cached_compiled(machine.content_hash()) is None
+        assert compiled_for(machine) is not first
+
+
+class TestServiceTiers:
+    def test_disk_tier_shares_tables_across_services(self, tmp_path):
+        clear_compiled()
+        machine = make_machine("torus", 9, PARAMS)
+        svc1 = ScheduleService(disk_cache=tmp_path)
+        tables = svc1.compiled(machine)
+        path = svc1.disk_dir / "compiled" / (machine.content_hash() + ".json")
+        assert path.exists()
+
+        clear_compiled()  # a "new process"
+        reset_compiled_counters()
+        svc2 = ScheduleService(disk_cache=tmp_path)
+        loaded = svc2.compiled(machine)
+        assert loaded.to_dict() == tables.to_dict()
+        # Served from disk: no compile happened, and the kernels' cache is
+        # seeded so their lookups hit.
+        assert compiled_counters()["compiled_misses"] == 0
+        assert cached_compiled(machine.content_hash()) is loaded
+
+    def test_corrupt_disk_entry_recompiles(self, tmp_path):
+        machine = make_machine("tree", 7, PARAMS)
+        svc = ScheduleService(disk_cache=tmp_path)
+        svc.compiled(machine)
+        path = svc.disk_dir / "compiled" / (machine.content_hash() + ".json")
+        path.write_text("{not json", encoding="utf-8")
+
+        clear_compiled()
+        fresh = ScheduleService(disk_cache=tmp_path).compiled(machine)
+        assert fresh.machine_hash == machine.content_hash()
+        # The corrupt entry was evicted and rewritten with good tables.
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["key"] == ["compiled", machine.content_hash()]
+
+    def test_invalidate_evicts_every_tier(self, tmp_path):
+        """An in-place topology mutation must never be served stale routes."""
+        clear_compiled()
+        # A hand-built line: BFS-routed, so new links genuinely change routes.
+        topo = Topology(4, [(0, 1), (1, 2), (2, 3)], name="line4")
+        machine = TargetMachine(topo, PARAMS)
+        old_hash = machine.content_hash()
+
+        svc = ScheduleService(disk_cache=tmp_path)
+        stale = svc.compiled(machine)
+        assert stale.hops(0, 3) == 3
+        disk_path = svc.disk_dir / "compiled" / (old_hash + ".json")
+        assert disk_path.exists()
+
+        topo.add_link(0, 3)  # the mutation: hash changes, old tables are stale
+        assert machine.content_hash() != old_hash
+        svc.invalidate(machine_hash=old_hash)
+
+        assert cached_compiled(old_hash) is None  # process tier
+        assert not disk_path.exists()  # disk tier
+        fresh = svc.compiled(machine)  # service tier recompiles
+        assert fresh is not stale
+        assert fresh.hops(0, 3) == 1
+        assert fresh.machine_hash == machine.content_hash()
+
+    def test_schedule_warms_the_compiled_cache(self):
+        from repro.graph.generators import fork_join
+
+        clear_compiled()
+        machine = make_machine("hypercube", 4, PARAMS)
+        svc = ScheduleService(disk_cache=False)
+        svc.schedule(fork_join(4), machine, "mh")
+        assert cached_compiled(machine.content_hash()) is not None
+        stats = svc.stats()
+        assert stats.compiled_misses >= 1

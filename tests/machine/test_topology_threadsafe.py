@@ -1,0 +1,92 @@
+"""Concurrent topology queries on cold caches must agree with serial answers.
+
+Daemon worker threads and the schedule service share :class:`Topology`
+objects; every derived table (BFS distance/next-hop, sorted adjacency,
+diameter, average distance, route-link lists) is filled lazily.  Before the
+lock was added, two threads racing on a cold topology could observe a
+half-built table.  These tests hammer cold topologies from many threads and
+require every answer to match a serially-computed reference exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.machine import build_topology
+
+FAMILIES = [("hypercube", 16), ("mesh", 16), ("chordal", 8), ("ring", 12)]
+
+
+def _run_threads(n_threads: int, fn) -> None:
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def worker(i: int) -> None:
+        barrier.wait()
+        try:
+            fn(i)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+@pytest.mark.parametrize("family,n", FAMILIES)
+def test_cold_concurrent_queries_match_serial_reference(family, n):
+    reference = build_topology(family, n)
+    pairs = [(a, b) for a in range(n) for b in range(n)]
+    expected = {
+        (a, b): (
+            reference.hops(a, b),
+            list(reference.route(a, b)),
+            reference.route_links(a, b),
+        )
+        for a, b in pairs
+    }
+    expected_diameter = reference.diameter()
+    expected_avg = reference.average_distance()
+
+    for _ in range(3):  # several cold starts to give races a chance
+        topo = build_topology(family, n)
+
+        def hammer(i: int) -> None:
+            # Stagger the query mix so threads collide on different tables.
+            if i % 3 == 0:
+                assert topo.diameter() == expected_diameter
+                assert topo.average_distance() == expected_avg
+            for a, b in pairs:
+                assert topo.hops(a, b) == expected[(a, b)][0]
+                assert list(topo.route(a, b)) == expected[(a, b)][1]
+                assert topo.route_links(a, b) == expected[(a, b)][2]
+            assert topo.diameter() == expected_diameter
+            assert topo.average_distance() == expected_avg
+
+        _run_threads(8, hammer)
+
+
+def test_concurrent_kernel_builds_share_one_topology():
+    """Kernel construction (BFS + compiled tables) is safe on a shared machine."""
+    from repro.graph.generators import fork_join
+    from repro.machine import MachineParams, make_machine
+    from repro.sched.core import SchedKernel
+
+    machine = make_machine("hypercube", 8, MachineParams())
+    graph = fork_join(6)
+    reference = SchedKernel(graph, machine)
+    expected = [
+        reference.route(a, b) for a in range(8) for b in range(8) if a != b
+    ]
+
+    def build(i: int) -> None:
+        kernel = SchedKernel(graph, machine)
+        got = [kernel.route(a, b) for a in range(8) for b in range(8) if a != b]
+        assert got == expected
+
+    _run_threads(8, build)
