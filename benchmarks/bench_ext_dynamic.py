@@ -1,0 +1,193 @@
+"""EXT-M — dynamic execution: reactive rescheduling vs a static schedule.
+
+PR 9's tentpole exists so a schedule survives the machine misbehaving: a
+processor that suddenly runs 6x slower no longer drags the whole makespan
+with it, because the reactive policy observes the straggler in the trace
+and re-maps every not-yet-started task around it.  This benchmark quantifies
+that claim and writes ``benchmarks/out/BENCH_dynamic.json``:
+
+* **straggler suite** — for every graph family x topology family cell,
+  schedule with static MH, then slow the hottest processor (most assigned
+  work) down by 6x at 5% of the static makespan.  The *passive* bar replays
+  the static schedule under the fault
+  (:func:`repro.sim.dynamic.simulate_dynamic`); the *reactive* bar runs
+  :func:`repro.sched.reactive.reactive_execute` on the same scenario.  The
+  p50 of passive/reactive makespan ratios must be >= 1.3 (the straggler
+  must be worth reacting to).
+* **failure suite** (informative, no gate) — kill the hottest processor
+  mid-run and record how many tasks each policy strands: the passive replay
+  loses the dead processor's whole queue, the reactive one re-maps it.
+* **smoke run** (``BENCH_SMOKE=1``) — a 3x3 cell subset with the ratio bar
+  at >= 1.1 so CI stays quick and immune to runner noise.
+
+The artifact records per-cell makespans, rounds, re-mapped task counts,
+and stranded sets, so a policy regression is visible in the numbers even
+when the aggregate bar still passes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+
+from conftest import OUT_DIR, write_artifact
+from repro.graph import generators as gg
+from repro.machine import MachineParams, build_topology
+from repro.machine.machine import TargetMachine
+from repro.machine.scenario import PROC_FAIL, PROC_SLOWDOWN, FaultEvent, FaultScenario
+from repro.sched.mh import MHScheduler
+from repro.sched.reactive import reactive_execute
+from repro.sim.dynamic import simulate_dynamic
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+PARAMS = MachineParams(
+    msg_startup=0.1, transmission_rate=20.0, process_startup=0.0, hop_latency=0.05
+)
+
+#: All 11 graph-generator families at bench-friendly sizes.
+GRAPH_FAMILIES: tuple[tuple[str, object], ...] = (
+    ("chain", lambda: gg.chain(12, work=4.0, comm=1.0)),
+    ("fork_join", lambda: gg.fork_join(10, work=4.0, comm=1.0)),
+    ("diamond", lambda: gg.diamond(4, work=4.0, comm=1.0)),
+    ("out_tree", lambda: gg.out_tree(2, 4, work=4.0, comm=1.0)),
+    ("in_tree", lambda: gg.in_tree(2, 4, work=4.0, comm=1.0)),
+    ("butterfly", lambda: gg.butterfly(4, work=4.0, comm=1.0)),
+    ("gauss", lambda: gg.gaussian_elimination(5, work=4.0, comm=1.0)),
+    ("lu", lambda: gg.lu_taskgraph(5, work=4.0, comm=1.0)),
+    ("map_reduce", lambda: gg.map_reduce(8, work=4.0, comm=1.0)),
+    ("stencil", lambda: gg.stencil(4, 4, work=4.0, comm=1.0)),
+    ("layered", lambda: gg.random_layered(28, 5, seed=7)),
+)
+
+#: All 10 topology families the machine layer ships.
+TOPOLOGIES: tuple[tuple[str, int], ...] = (
+    ("full", 4),
+    ("ring", 4),
+    ("star", 4),
+    ("linear", 4),
+    ("bus", 4),
+    ("hypercube", 4),
+    ("mesh", 4),
+    ("torus", 4),
+    ("tree", 7),
+    ("chordal", 5),
+)
+
+if SMOKE:
+    GRAPH_FAMILIES = GRAPH_FAMILIES[:3]
+    TOPOLOGIES = TOPOLOGIES[:3]
+
+REQUIRED_P50 = 1.1 if SMOKE else 1.3
+SLOWDOWN_FACTOR = 6.0
+
+RESULTS: dict = {
+    "type": "BENCH_dynamic",
+    "smoke": SMOKE,
+    "python": sys.version.split()[0],
+    "slowdown_factor": SLOWDOWN_FACTOR,
+    "required_p50": REQUIRED_P50,
+}
+
+
+def _flush() -> None:
+    write_artifact("BENCH_dynamic.json", json.dumps(RESULTS, indent=2) + "\n")
+
+
+def _hot_proc(schedule) -> int:
+    """The processor carrying the most assigned work."""
+    load: dict[int, float] = {}
+    for p in schedule:
+        load[p.proc] = load.get(p.proc, 0.0) + (p.finish - p.start)
+    return max(sorted(load), key=lambda proc: load[proc])
+
+
+def _cells():
+    for gname, build in GRAPH_FAMILIES:
+        tg = build()
+        for tname, n in TOPOLOGIES:
+            machine = TargetMachine(build_topology(tname, n), PARAMS)
+            schedule = MHScheduler().schedule(tg, machine)
+            yield gname, tname, schedule
+
+
+def test_reactive_beats_static_under_stragglers(artifact_dir):
+    """p50 of passive/reactive makespans under a 6x straggler >= the bar."""
+    cells = []
+    ratios = []
+    for gname, tname, schedule in _cells():
+        hot = _hot_proc(schedule)
+        at = round(0.05 * schedule.makespan(), 6)
+        scenario = FaultScenario(
+            events=(
+                FaultEvent(time=at, kind=PROC_SLOWDOWN, proc=hot,
+                           factor=SLOWDOWN_FACTOR),
+            ),
+            name=f"straggler-{gname}-{tname}",
+        )
+        passive = simulate_dynamic(schedule, scenario)
+        result = reactive_execute(schedule, scenario)
+        ratio = passive.makespan() / result.makespan()
+        ratios.append(ratio)
+        cells.append({
+            "graph": gname,
+            "topology": tname,
+            "static_makespan": schedule.makespan(),
+            "passive_makespan": passive.makespan(),
+            "reactive_makespan": result.makespan(),
+            "ratio": round(ratio, 4),
+            "rounds": result.n_rounds,
+            "remapped_tasks": result.total_remaps,
+        })
+    p50 = statistics.median(ratios)
+    RESULTS["straggler"] = {
+        "p50_ratio": round(p50, 4),
+        "min_ratio": round(min(ratios), 4),
+        "max_ratio": round(max(ratios), 4),
+        "cells": cells,
+    }
+    _flush()
+    assert p50 >= REQUIRED_P50, (
+        f"reactive p50 improvement {p50:.3f}x under stragglers is below "
+        f"the required {REQUIRED_P50}x"
+    )
+
+
+def test_reactive_recovers_failed_processor_work(artifact_dir):
+    """Killing the hottest processor: reactive strands fewer tasks (no gate)."""
+    cells = []
+    for gname, tname, schedule in _cells():
+        hot = _hot_proc(schedule)
+        at = round(0.2 * schedule.makespan(), 6)
+        scenario = FaultScenario(
+            events=(FaultEvent(time=at, kind=PROC_FAIL, proc=hot),),
+            name=f"failure-{gname}-{tname}",
+        )
+        passive = simulate_dynamic(schedule, scenario)
+        result = reactive_execute(schedule, scenario)
+        cells.append({
+            "graph": gname,
+            "topology": tname,
+            "passive_stranded": len(passive.stranded),
+            "reactive_stranded": len(result.trace.stranded),
+            "rounds": result.n_rounds,
+            "remapped_tasks": result.total_remaps,
+        })
+        # The reactive policy must never strand *more* work than doing
+        # nothing when a processor dies (the bench suite avoids the one
+        # known adversarial shape: dead links splitting a consumer's
+        # senders, which only the link-failure profile can produce).
+        assert len(result.trace.stranded) <= len(passive.stranded), (
+            f"{gname} x {tname}: reactive stranded {result.trace.stranded} "
+            f"vs passive {passive.stranded}"
+        )
+    total_passive = sum(c["passive_stranded"] for c in cells)
+    total_reactive = sum(c["reactive_stranded"] for c in cells)
+    RESULTS["failure"] = {
+        "total_passive_stranded": total_passive,
+        "total_reactive_stranded": total_reactive,
+        "cells": cells,
+    }
+    _flush()

@@ -280,12 +280,53 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     project = _load(args.project)
     schedule = project.schedule(args.scheduler)
-    trace = simulate(schedule, contention=args.contention)
-    print(render_trace_gantt(trace))
-    print()
-    print(f"static makespan    {schedule.makespan():.3f}")
-    print(f"simulated makespan {trace.makespan():.3f}"
-          + (" (with link contention)" if args.contention else ""))
+    scenario = None
+    if args.scenario:
+        from repro.machine.scenario import FaultScenario
+
+        with open(args.scenario, encoding="utf-8") as fh:
+            scenario = FaultScenario.from_dict(json.load(fh))
+    if scenario is None:
+        trace = simulate(schedule, contention=args.contention)
+        print(render_trace_gantt(trace))
+        print()
+        print(f"static makespan    {schedule.makespan():.3f}")
+        print(f"simulated makespan {trace.makespan():.3f}"
+              + (" (with link contention)" if args.contention else ""))
+        return 0
+
+    label = scenario.name or "scenario"
+    if args.reactive:
+        from repro.sched.reactive import reactive_execute
+
+        result = reactive_execute(
+            schedule, scenario,
+            threshold=args.threshold, contention=args.contention,
+        )
+        trace = result.trace
+        passive = result.traces[0]
+        print(render_trace_gantt(trace))
+        print()
+        print(f"static makespan    {schedule.makespan():.3f}")
+        print(f"passive makespan   {passive.makespan():.3f} under {label!r} "
+              f"({len(passive.stranded)} stranded)")
+        print(f"reactive makespan  {trace.makespan():.3f} "
+              f"({result.n_rounds} round(s), {result.total_remaps} task(s) "
+              f"re-mapped, {len(trace.stranded)} stranded)")
+    else:
+        from repro.sim.dynamic import simulate_dynamic
+
+        trace = simulate_dynamic(schedule, scenario, contention=args.contention)
+        print(render_trace_gantt(trace))
+        print()
+        print(f"static makespan    {schedule.makespan():.3f}")
+        print(f"dynamic makespan   {trace.makespan():.3f} under {label!r}")
+    if trace.killed:
+        print(f"killed tasks       {', '.join(sorted(trace.killed))}")
+    if trace.lost:
+        print(f"lost messages      {len(trace.lost)}")
+    if trace.stranded:
+        print(f"stranded tasks     {', '.join(sorted(trace.stranded))}")
     return 0
 
 
@@ -581,11 +622,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", help="write the sweep results + stats as JSON")
     p.set_defaults(fn=cmd_sweep)
 
-    p = sub.add_parser("simulate", help="discrete-event replay of the schedule")
+    p = sub.add_parser(
+        "simulate",
+        help="discrete-event replay of the schedule",
+        epilog="With --scenario the replay injects the fault scenario "
+               "(stragglers, processor/link failures, duration noise); add "
+               "--reactive to re-map not-yet-started tasks around the faults "
+               "as they are observed.",
+    )
     add_project(p)
     add_scheduler(p)
     p.add_argument("--contention", action="store_true",
                    help="model one-message-at-a-time links")
+    p.add_argument("--scenario", default=None,
+                   help="fault-scenario JSON file to inject during the replay")
+    p.add_argument("--reactive", action="store_true",
+                   help="reschedule unstarted tasks online as faults appear "
+                        "(requires --scenario)")
+    p.add_argument("--threshold", type=float, default=2.0,
+                   help="observed/expected slowdown ratio that flags a "
+                        "straggler processor (default: 2.0)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("run", help="execute the design")

@@ -30,6 +30,7 @@ from repro.graph.serialize import (
 )
 from repro.graph.taskgraph import TaskGraph
 from repro.machine.machine import TargetMachine
+from repro.machine.scenario import FaultScenario
 
 FORMAT_VERSION = 1
 
@@ -94,6 +95,18 @@ class Case:
             raise ReproError(f"case {self.case_id} is not a graph case")
         return self.payload["scheduler"]
 
+    def scenario(self) -> FaultScenario | None:
+        """The pinned fault scenario, if the case carries one.
+
+        Absent for every pre-dynamic corpus case (the key is only emitted
+        when a scenario is attached, so old case ids are unchanged); the
+        dynamic oracles derive a seeded scenario for bare cases.
+        """
+        if self.kind != GRAPH:
+            raise ReproError(f"case {self.case_id} is not a graph case")
+        doc = self.payload.get("scenario")
+        return None if doc is None else FaultScenario.from_dict(doc)
+
     # ------------------------------------------------------------------ #
     # materialization (pits cases)
     # ------------------------------------------------------------------ #
@@ -109,16 +122,26 @@ class Case:
         return {k: _decode_value(v) for k, v in self.payload["inputs"].items()}
 
 
-def graph_case(tg: TaskGraph, machine: TargetMachine, scheduler: str) -> Case:
-    """Package a task graph + machine + scheduler name as a graph case."""
-    return Case(
-        kind=GRAPH,
-        payload={
-            "graph": taskgraph_to_dict(tg),
-            "machine": machine.to_dict(),
-            "scheduler": scheduler,
-        },
-    )
+def graph_case(
+    tg: TaskGraph,
+    machine: TargetMachine,
+    scheduler: str,
+    scenario: FaultScenario | None = None,
+) -> Case:
+    """Package a task graph + machine + scheduler name as a graph case.
+
+    ``scenario`` optionally pins a fault scenario for the dynamic oracles;
+    the payload key is omitted entirely when absent so that scenario-free
+    cases keep their historical case ids.
+    """
+    payload: dict[str, Any] = {
+        "graph": taskgraph_to_dict(tg),
+        "machine": machine.to_dict(),
+        "scheduler": scheduler,
+    }
+    if scenario is not None:
+        payload["scenario"] = scenario.to_dict()
+    return Case(kind=GRAPH, payload=payload)
 
 
 def pits_case(source: str, inputs: dict[str, Any]) -> Case:

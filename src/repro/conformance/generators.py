@@ -23,6 +23,7 @@ from repro.conformance.cases import Case, graph_case, pits_case
 from repro.graph import generators as gg
 from repro.graph.taskgraph import TaskGraph
 from repro.machine import MachineParams, TargetMachine, build_topology
+from repro.machine.scenario import PROFILES, seeded_scenario
 
 #: (family, legal small processor counts) — every topology family the
 #: machine layer ships, at sizes that keep a fuzz run fast.
@@ -89,7 +90,23 @@ class CaseGenerator:
         tg = self._random_graph()
         machine = self._random_machine()
         scheduler = self.rng.choice(FUZZ_SCHEDULERS)
-        return graph_case(tg, machine, scheduler)
+        scenario = None
+        if self.rng.random() < 0.5:
+            # Pin a fault scenario so the dynamic oracles replay this exact
+            # straggler/failure mix; the horizon approximates the critical
+            # path so events land mid-execution, not after everything ends.
+            horizon = (
+                sum(machine.exec_time(tg.work(t)) for t in tg.task_names)
+                / machine.topology.n_procs
+                + 1.0
+            )
+            scenario = seeded_scenario(
+                self.rng.randrange(2**32),
+                machine,
+                horizon,
+                profile=self.rng.choice(PROFILES),
+            )
+        return graph_case(tg, machine, scheduler, scenario=scenario)
 
     def _random_graph(self) -> TaskGraph:
         rng = self.rng
@@ -134,7 +151,28 @@ class CaseGenerator:
             transmission_rate=round(rng.uniform(1.0, 50.0), 3),
             hop_latency=round(rng.uniform(0.0, 0.5), 3),
         )
-        return TargetMachine(build_topology(family, n), params)
+        topology = build_topology(family, n)
+        # ~30% of machines are heterogeneous: degraded processors and/or
+        # degraded links.  Static schedulers must stay blind to the factors
+        # (the dynamic_null oracle enforces it), so these draws widen the
+        # dynamic-simulation coverage without forking the schedule space.
+        speeds = None
+        if rng.random() < 0.3:
+            speeds = [round(rng.uniform(0.3, 1.0), 3) for _ in range(n)]
+        bandwidths = None
+        if rng.random() < 0.3:
+            links = topology.links
+            if links:
+                picks = rng.sample(links, min(len(links), rng.randint(1, 2)))
+                bandwidths = {
+                    link: round(rng.uniform(0.3, 1.0), 3) for link in sorted(picks)
+                }
+        return TargetMachine(
+            topology,
+            params,
+            proc_speed_factors=speeds,
+            link_bandwidth_factors=bandwidths,
+        )
 
     # ------------------------------------------------------------------ #
     # pits cases

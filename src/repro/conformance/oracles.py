@@ -39,6 +39,17 @@ name             kind    invariant
                          byte-identical to the full-reference reschedule;
                          an unchanged graph returns the prior schedule
                          object verbatim
+``dynamic_null`` graph   the dynamic simulator under an *empty* fault
+                         scenario is byte-identical to the static replay
+                         (uniform machines), degradation-only and
+                         deterministic under the derived scenario; static
+                         schedulers stay heterogeneity-blind
+``reactive_safe``
+                 graph   every reactive replanning round stays feasible
+                         (SCH201-SCH205), never re-maps a started task,
+                         respects precedence in the observed trace, strands
+                         exactly the provably-doomed task set, and replays
+                         deterministically
 ``exec_trace``   graph   the ``inproc`` backend's event trace obeys the
                          lowered program's step lists, channel plan, and
                          precedence constraints, and its outputs are
@@ -69,9 +80,11 @@ from repro.graph.generators import as_dataflow
 from repro.graph.hierarchy import flatten
 from repro.graph.serialize import taskgraph_from_dict, taskgraph_to_dict
 from repro.machine.machine import TargetMachine
+from repro.machine.scenario import PROFILES, FaultScenario, seeded_scenario
 from repro.sched import get_scheduler
 from repro.sched.serialize import schedule_from_dict, schedule_to_dict
 from repro.sched.validate import schedule_problems
+from repro.sim.dynamic import expected_stranded, simulate_dynamic
 from repro.sim.executor import compare_with_static, simulate
 
 
@@ -119,6 +132,35 @@ class CaseContext:
         from repro.sim.plan import build_comm_plan
 
         return self._get("plan", lambda: build_comm_plan(self.schedule))
+
+    @property
+    def scenario(self) -> FaultScenario:
+        """The fault scenario the dynamic oracles exercise.
+
+        A case that pins one in its payload gets that exact scenario
+        (corpus witnesses replay bit-for-bit); otherwise one is derived
+        deterministically from the case id, so every historical case gains
+        dynamic coverage without its content address changing.
+        """
+
+        def build() -> FaultScenario:
+            pinned = self.case.scenario()
+            if pinned is not None:
+                return pinned
+            seed = int(self.case.case_id, 16) % 2**32
+            horizon = self.trace.makespan() or 1.0
+            profile = PROFILES[seed % len(PROFILES)]
+            return seeded_scenario(seed, self.machine, horizon, profile=profile)
+
+        return self._get("scenario", build)
+
+    @property
+    def dynamic_trace(self):
+        """The dynamic replay of :attr:`schedule` under :attr:`scenario`."""
+        return self._get(
+            "dynamic_trace",
+            lambda: simulate_dynamic(self.schedule, self.scenario),
+        )
 
 
 @dataclass(frozen=True)
@@ -307,6 +349,156 @@ def _incremental(ctx: CaseContext) -> list[str]:
             f"incremental reschedule (dirty {inc.n_dirty}/{inc.n_tasks}) "
             "diverges from the full-reference reschedule"
         )
+    return problems
+
+
+@register("dynamic_null", GRAPH,
+          "empty-scenario dynamic replay is byte-identical to the static "
+          "replay; faults only ever slow execution down, deterministically")
+def _dynamic_null(ctx: CaseContext) -> list[str]:
+    problems: list[str] = []
+    empty = FaultScenario.empty()
+
+    if ctx.machine.is_uniform:
+        # The null contract proper: with no faults and a uniform machine the
+        # dynamic engine must reproduce the static replay bit for bit.
+        null = simulate_dynamic(ctx.schedule, empty)
+        if null.runs != ctx.trace.runs:
+            problems.append("empty-scenario dynamic runs differ from static")
+        if null.hops != ctx.trace.hops:
+            problems.append("empty-scenario dynamic hops differ from static")
+        if null.stranded or null.killed_runs or null.lost:
+            problems.append(
+                "empty scenario stranded/killed/lost something: "
+                f"{null.stranded} {null.killed} {null.lost}"
+            )
+    else:
+        # Heterogeneous machine: static schedulers must be factor-blind
+        # (identical placements on the factor-stripped machine) and the
+        # dynamic replay degradation-only (no task beats its nominal time).
+        blind = get_scheduler(ctx.case.scheduler).schedule(
+            ctx.graph, ctx.machine.uniform()
+        )
+        mine = sorted((p.task, p.proc, p.start, p.finish) for p in ctx.schedule)
+        theirs = sorted((p.task, p.proc, p.start, p.finish) for p in blind)
+        if mine != theirs:
+            problems.append(
+                f"scheduler {ctx.case.scheduler!r} is not heterogeneity-blind: "
+                "placements differ on the factor-stripped machine"
+            )
+        null = simulate_dynamic(ctx.schedule, empty)
+        for run in null.runs:
+            nominal = ctx.schedule.primary(run.task).duration
+            if not approx_ge(run.finish - run.start, nominal):
+                problems.append(
+                    f"task {run.task!r} ran in {run.finish - run.start:g} "
+                    f"under factors, beating its nominal {nominal:g}"
+                )
+        if not approx_ge(null.makespan(), ctx.trace.makespan()):
+            problems.append(
+                f"heterogeneous makespan {null.makespan():g} beats the "
+                f"uniform replay {ctx.trace.makespan():g}"
+            )
+
+    # Degradation-only + determinism under the (derived or pinned) scenario.
+    dyn = ctx.dynamic_trace
+    for run in dyn.runs:
+        nominal = ctx.schedule.primary(run.task).duration
+        if not approx_ge(run.finish - run.start, nominal):
+            problems.append(
+                f"task {run.task!r} observed duration {run.finish - run.start:g} "
+                f"beats its nominal {nominal:g} under faults"
+            )
+    again = simulate_dynamic(ctx.schedule, ctx.scenario)
+    if (
+        again.runs != dyn.runs
+        or again.hops != dyn.hops
+        or again.stranded != dyn.stranded
+        or again.lost != dyn.lost
+    ):
+        problems.append("dynamic simulation of the same scenario twice differed")
+    if not ctx.scenario.has_failures and dyn.stranded:
+        problems.append(
+            f"failure-free scenario stranded tasks: {dyn.stranded}"
+        )
+    return problems
+
+
+@register("reactive_safe", GRAPH,
+          "reactive rescheduling stays feasible, never moves started tasks, "
+          "and strands exactly the doomed set")
+def _reactive_safe(ctx: CaseContext) -> list[str]:
+    from repro.sched.reactive import reactive_execute
+
+    if ctx.schedule.has_duplication():
+        return []  # reactive targets primary-copy schedules only
+    problems: list[str] = []
+    res = reactive_execute(ctx.schedule, ctx.scenario)
+
+    # Every replanned schedule must pass the full independent checker.
+    for i, plan in enumerate(res.plans):
+        problems += [f"round {i}: {p}" for p in schedule_problems(plan)]
+
+    # Started tasks are immutable: each round's pinned set keeps its
+    # processor from the plan the trigger was observed under.
+    for k, rnd in enumerate(res.rounds):
+        before, after = res.plans[k], res.plans[k + 1]
+        for task in sorted(rnd.pinned):
+            if after.primary(task).proc != before.primary(task).proc:
+                problems.append(
+                    f"round {k} re-mapped started task {task!r} from proc "
+                    f"{before.primary(task).proc} to {after.primary(task).proc}"
+                )
+
+    # The observed trace must respect precedence and nominal-duration floors.
+    final = res.trace
+    finish = {r.task: r.finish for r in final.runs}
+    start = {r.task: r.start for r in final.runs}
+    for run in final.runs:
+        nominal = res.schedule.primary(run.task).duration
+        if not approx_ge(run.finish - run.start, nominal):
+            problems.append(
+                f"task {run.task!r} observed duration {run.finish - run.start:g} "
+                f"beats its nominal {nominal:g}"
+            )
+        for edge in ctx.graph.in_edges(run.task):
+            if edge.src not in finish:
+                problems.append(
+                    f"task {run.task!r} ran but predecessor {edge.src!r} "
+                    "never completed"
+                )
+            elif not approx_le(finish[edge.src], start[run.task]):
+                problems.append(
+                    f"task {run.task!r} started at {start[run.task]:g} before "
+                    f"predecessor {edge.src!r} finished at {finish[edge.src]:g}"
+                )
+
+    # Stranding must match the independent doomed-set fixpoint exactly.
+    expected = expected_stranded(res.schedule, final, ctx.scenario)
+    if expected is not None and expected != set(final.stranded):
+        problems.append(
+            f"stranded set {sorted(final.stranded)} != provably-doomed "
+            f"set {sorted(expected)}"
+        )
+    killed = {r.task for r in final.killed_runs}
+    if not killed <= set(final.stranded):
+        problems.append(
+            f"killed tasks {sorted(killed - set(final.stranded))} not stranded"
+        )
+    if not ctx.scenario.has_failures and final.stranded:
+        problems.append(
+            f"failure-free scenario stranded tasks: {final.stranded}"
+        )
+
+    # Determinism: the whole reactive loop replays bit for bit.
+    res2 = reactive_execute(ctx.schedule, ctx.scenario)
+    if (
+        res2.n_rounds != res.n_rounds
+        or res2.trace.runs != final.runs
+        or res2.trace.hops != final.hops
+        or res2.trace.stranded != final.stranded
+    ):
+        problems.append("reactive execution of the same scenario twice differed")
     return problems
 
 

@@ -8,7 +8,9 @@ so typical failures collapse in a few dozen oracle evaluations.
 
 Graph-case reductions: drop task chunks / single tasks (with incident
 edges), drop single edges, shrink the machine within its topology family,
-normalize task works and edge sizes to 1.  PITS-case reductions: delete
+normalize task works and edge sizes to 1, and simplify any pinned fault
+scenario (drop single events, silence duration noise, drop an emptied
+scenario entirely).  PITS-case reductions: delete
 body statements (only candidates that still pass static analysis are
 proposed, so the shrinker cannot wander into "fails because it no longer
 parses" territory) and simplify inputs toward 0 and 1.
@@ -108,17 +110,29 @@ def _graph_candidates(case: Case) -> Iterator[Case]:
         p = _clone(payload)
         del p["graph"]["edges"][i]
         yield Case(GRAPH, p)
-    # 4. shrink the machine within its family
+    # 4. shrink the machine within its family (factor-free: heterogeneity
+    #    factors index the old processor count, so they are dropped along
+    #    with any scenario events that target now-missing procs or links)
     machine = payload["machine"]
     family = machine["topology"].get("family", "")
     n = machine["topology"]["n_procs"]
     for smaller in _FAMILY_LADDER.get(family, ()):
         if smaller < n:
             p = _clone(payload)
+            topology = build_topology(family, smaller)
             p["machine"] = TargetMachine(
-                build_topology(family, smaller),
+                topology,
                 MachineParams(**machine["params"]),
             ).to_dict()
+            if "scenario" in p:
+                p["scenario"]["events"] = [
+                    e for e in p["scenario"]["events"]
+                    if (e.get("proc") is None or e["proc"] < smaller)
+                    and (
+                        e.get("link") is None
+                        or topology.has_link(e["link"][0], e["link"][1])
+                    )
+                ]
             yield Case(GRAPH, p)
     # 5. normalize weights: all works to 1, then all edge sizes to 1
     if any(t["work"] != 1.0 for t in graph["tasks"]):
@@ -131,6 +145,21 @@ def _graph_candidates(case: Case) -> Iterator[Case]:
         for e in p["graph"]["edges"]:
             e["size"] = 1.0
         yield Case(GRAPH, p)
+    # 6. simplify the fault scenario: drop single events, silence the noise
+    scenario = payload.get("scenario")
+    if scenario is not None:
+        for i in range(len(scenario["events"])):
+            p = _clone(payload)
+            del p["scenario"]["events"][i]
+            yield Case(GRAPH, p)
+        if scenario.get("duration_noise"):
+            p = _clone(payload)
+            p["scenario"]["duration_noise"] = 0.0
+            yield Case(GRAPH, p)
+        if not scenario["events"] and not scenario.get("duration_noise"):
+            p = _clone(payload)
+            del p["scenario"]
+            yield Case(GRAPH, p)
 
 
 def _with_tasks_dropped(case: Case, drop: set[str]) -> Case:

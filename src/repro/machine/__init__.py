@@ -12,6 +12,13 @@ Public surface:
 """
 
 from repro.machine.machine import TargetMachine, make_machine, single_processor
+from repro.machine.scenario import (
+    EVENT_KINDS,
+    PROFILES,
+    FaultEvent,
+    FaultScenario,
+    seeded_scenario,
+)
 from repro.machine.params import (
     IDEAL,
     IPSC_LIKE,
@@ -39,6 +46,11 @@ from repro.machine.topologies import (
 from repro.machine.topology import CustomTopology, Topology
 
 __all__ = [
+    "EVENT_KINDS",
+    "PROFILES",
+    "FaultEvent",
+    "FaultScenario",
+    "seeded_scenario",
     "BalancedTree",
     "Bus",
     "ChordalRing",

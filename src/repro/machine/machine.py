@@ -8,7 +8,7 @@ predicted and simulated schedules exact in the contention-free case.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.errors import MachineError
 from repro.machine.params import IDEAL, MachineParams
@@ -28,6 +28,18 @@ class TargetMachine:
         machine: unit-speed processors, free communication).
     name:
         Display name; defaults to the topology's.
+    proc_speed_factors:
+        Optional per-processor relative speeds in ``(0, 1]`` — ``params``
+        describes the machine at its *nominal best* and a factor below 1.0
+        marks a permanently slower processor.  The static schedulers plan
+        on nominal times; only the dynamic simulator
+        (:mod:`repro.sim.dynamic`) and the reactive rescheduler consume the
+        factors, so a uniform machine (all 1.0, the default) keeps every
+        existing schedule and content hash byte-identical.
+    link_bandwidth_factors:
+        Optional per-link relative bandwidths in ``(0, 1]``, keyed by the
+        normalized link ``(min(a, b), max(a, b))``.  Same contract: nominal
+        is the ceiling, factors only degrade, uniform maps hash-identically.
     """
 
     def __init__(
@@ -35,12 +47,62 @@ class TargetMachine:
         topology: Topology,
         params: MachineParams = IDEAL,
         name: str = "",
+        proc_speed_factors: "Sequence[float] | None" = None,
+        link_bandwidth_factors: "dict[tuple[int, int], float] | None" = None,
     ):
         topology.validate()
         self.topology = topology
         self.params = params
         self.name = name or topology.name
+        self.proc_speed_factors = self._check_speed_factors(proc_speed_factors)
+        self.link_bandwidth_factors = self._check_bandwidth_factors(
+            link_bandwidth_factors
+        )
         self._hash_cache: tuple[int, str] | None = None
+
+    def _check_speed_factors(
+        self, factors: "Sequence[float] | None"
+    ) -> tuple[float, ...] | None:
+        """Normalize: uniform (all 1.0 / absent) is stored as ``None``."""
+        if factors is None:
+            return None
+        values = tuple(float(f) for f in factors)
+        if len(values) != self.topology.n_procs:
+            raise MachineError(
+                f"proc_speed_factors has {len(values)} entries for "
+                f"{self.topology.n_procs} processors"
+            )
+        for proc, f in enumerate(values):
+            if not 0.0 < f <= 1.0:
+                raise MachineError(
+                    f"proc_speed_factors[{proc}] = {f!r}; factors are relative "
+                    "to the nominal params and must be in (0, 1]"
+                )
+        return None if all(f == 1.0 for f in values) else values
+
+    def _check_bandwidth_factors(
+        self, factors: "dict[tuple[int, int], float] | None"
+    ) -> dict[tuple[int, int], float] | None:
+        if not factors:
+            return None
+        links = {(min(a, b), max(a, b)) for a, b in self.topology.links}
+        normalized: dict[tuple[int, int], float] = {}
+        for (a, b), f in factors.items():
+            link = (min(int(a), int(b)), max(int(a), int(b)))
+            if link not in links:
+                raise MachineError(
+                    f"link_bandwidth_factors names link {link}, which is not "
+                    f"a link of topology {self.topology.name!r}"
+                )
+            f = float(f)
+            if not 0.0 < f <= 1.0:
+                raise MachineError(
+                    f"link_bandwidth_factors[{link}] = {f!r}; factors are "
+                    "relative to the nominal params and must be in (0, 1]"
+                )
+            if f != 1.0:
+                normalized[link] = f
+        return normalized or None
 
     # ------------------------------------------------------------------ #
     # the cost model
@@ -85,10 +147,41 @@ class TargetMachine:
         return self.topology.route(src_proc, dst_proc)
 
     # ------------------------------------------------------------------ #
+    # heterogeneity (consumed by the dynamic regime only)
+    # ------------------------------------------------------------------ #
+    def speed_factor(self, proc: int) -> float:
+        """Relative speed of ``proc`` (1.0 nominal; below 1.0 is slower)."""
+        if self.proc_speed_factors is None:
+            return 1.0
+        return self.proc_speed_factors[proc]
+
+    def bandwidth_factor(self, a: int, b: int) -> float:
+        """Relative bandwidth of link ``(a, b)`` (1.0 nominal)."""
+        if self.link_bandwidth_factors is None:
+            return 1.0
+        return self.link_bandwidth_factors.get((min(a, b), max(a, b)), 1.0)
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every processor and link runs at nominal speed."""
+        return self.proc_speed_factors is None and self.link_bandwidth_factors is None
+
+    def uniform(self) -> "TargetMachine":
+        """This machine with all heterogeneity factors stripped to nominal.
+
+        Used by the ``dynamic_null`` oracle: the factor-free view is the
+        machine the static cost model already describes, so the empty-
+        scenario dynamic replay must match the static replay byte for byte.
+        """
+        if self.is_uniform:
+            return self
+        return TargetMachine(self.topology, self.params, name=self.name)
+
+    # ------------------------------------------------------------------ #
     # serialization
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "type": "machine",
             "name": self.name,
             "params": {
@@ -105,6 +198,17 @@ class TargetMachine:
                 "links": [list(l) for l in self.topology.links],
             },
         }
+        # Heterogeneity factors are emitted only when non-uniform so every
+        # pre-existing machine document — and therefore every content hash,
+        # cache key, and corpus case id — stays byte-identical.
+        if self.proc_speed_factors is not None:
+            doc["proc_speed_factors"] = list(self.proc_speed_factors)
+        if self.link_bandwidth_factors is not None:
+            doc["link_bandwidth_factors"] = [
+                [a, b, f]
+                for (a, b), f in sorted(self.link_bandwidth_factors.items())
+            ]
+        return doc
 
     def content_hash(self) -> str:
         """Stable fingerprint of params + topology — the machine half of the
@@ -140,7 +244,19 @@ class TargetMachine:
         # Preserve the original family so loaded machines keep driving
         # family-default sweeps (a reloaded mesh project still sweeps meshes).
         topo.family = topo_doc.get("family", topo.family)
-        return cls(topo, params, name=data.get("name", ""))
+        speeds = data.get("proc_speed_factors")
+        bandwidths = data.get("link_bandwidth_factors")
+        return cls(
+            topo,
+            params,
+            name=data.get("name", ""),
+            proc_speed_factors=speeds,
+            link_bandwidth_factors=(
+                {(int(a), int(b)): float(f) for a, b, f in bandwidths}
+                if bandwidths
+                else None
+            ),
+        )
 
     def __repr__(self) -> str:
         return f"TargetMachine({self.name!r}, procs={self.n_procs})"

@@ -69,6 +69,15 @@ from repro.sched.incremental import (
     full_reschedule,
     incremental_reschedule,
 )
+from repro.sched.reactive import (
+    ReactiveResult,
+    ReactiveRound,
+    Trigger,
+    detect_triggers,
+    reactive_counters,
+    reactive_execute,
+    reset_reactive_counters,
+)
 from repro.sched.grain import (
     GrainPackedScheduler,
     Packing,
@@ -125,6 +134,13 @@ __all__ = [
     "AnnealingScheduler",
     "CPOPScheduler",
     "DLSScheduler",
+    "ReactiveResult",
+    "ReactiveRound",
+    "Trigger",
+    "detect_triggers",
+    "reactive_counters",
+    "reactive_execute",
+    "reset_reactive_counters",
     "schedule_from_dict",
     "schedule_from_json",
     "schedule_to_dict",

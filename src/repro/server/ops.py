@@ -26,11 +26,12 @@ from repro.errors import ReproError, ValidationError
 from repro.graph.serialize import fingerprint
 from repro.lint import lint_project, to_json
 from repro.sched.core import kernel_counters
+from repro.sched.reactive import reactive_counters
 from repro.sched.incremental import incremental_reschedule
 from repro.sched.registry import resolve_scheduler, scheduler_cache_key
 from repro.sched.serialize import schedule_from_dict, schedule_to_dict
 from repro.sched.service import ScheduleRequest, ScheduleService
-from repro.sim import simulate
+from repro.sim import dynamic_counters, simulate
 from repro.viz.gantt import render_gantt
 
 
@@ -232,22 +233,74 @@ def op_sweep(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _scenario(payload: dict[str, Any]):
+    """The fault scenario for a dynamic simulate request, if any."""
+    doc = payload.get("scenario")
+    if doc is None:
+        return None
+    if not isinstance(doc, dict):
+        raise OpError(f"scenario must be a fault-scenario document, got {doc!r}")
+    from repro.machine.scenario import FaultScenario
+
+    try:
+        return FaultScenario.from_dict(doc)
+    except ReproError as exc:
+        raise OpError(f"malformed scenario: {exc}") from None
+    except (KeyError, TypeError, ValueError) as exc:
+        raise OpError(f"malformed scenario document: {exc!r}") from None
+
+
 def op_simulate(payload: dict[str, Any]) -> dict[str, Any]:
     project = _project_from_payload(payload)
     req = _request(payload)
     contention = bool(payload.get("contention", False))
+    scenario = _scenario(payload)
     schedule = project.schedule(
         ScheduleRequest(scheduler=req.scheduler, use_cache=req.use_cache)
     )
-    trace = simulate(schedule, contention=contention)
-    return {
+    doc: dict[str, Any] = {
         "type": "banger-simulate",
         "project": project.name,
         "scheduler": schedule.scheduler,
         "contention": contention,
         "static_makespan": schedule.makespan(),
-        "simulated_makespan": trace.makespan(),
     }
+    if scenario is None:
+        trace = simulate(schedule, contention=contention)
+        doc["simulated_makespan"] = trace.makespan()
+        return doc
+
+    try:
+        scenario.validate_for(schedule.machine)
+    except ReproError as exc:
+        raise OpError(f"scenario does not fit the project machine: {exc}") from None
+    doc["scenario"] = scenario.name or "scenario"
+    if payload.get("reactive"):
+        from repro.sched.reactive import reactive_execute
+
+        try:
+            threshold = float(payload.get("threshold", 2.0))
+        except (TypeError, ValueError) as exc:
+            raise OpError(f"threshold must be a number: {exc}") from None
+        result = reactive_execute(
+            schedule, scenario, threshold=threshold, contention=contention
+        )
+        trace = result.trace
+        doc["reactive"] = {
+            "threshold": threshold,
+            "rounds": result.n_rounds,
+            "remapped_tasks": result.total_remaps,
+            "passive_makespan": result.traces[0].makespan(),
+        }
+    else:
+        from repro.sim.dynamic import simulate_dynamic
+
+        trace = simulate_dynamic(schedule, scenario, contention=contention)
+    doc["simulated_makespan"] = trace.makespan()
+    doc["stranded"] = sorted(trace.stranded)
+    doc["killed"] = sorted(trace.killed)
+    doc["lost_messages"] = len(trace.lost)
+    return doc
 
 
 def op_codegen(payload: dict[str, Any]) -> dict[str, Any]:
@@ -359,7 +412,7 @@ _OPTION_FIELDS: dict[str, tuple[str, ...]] = {
     "schedule": ("use_cache", "gantt", "base_schedule"),
     "speedup": ("proc_counts", "family", "use_cache"),
     "sweep": ("schedulers", "proc_counts", "family", "use_cache"),
-    "simulate": ("contention", "use_cache"),
+    "simulate": ("contention", "use_cache", "scenario", "reactive", "threshold"),
     "codegen": ("target", "run", "use_cache"),
 }
 
@@ -402,8 +455,10 @@ def execute(op: str, payload: dict[str, Any]) -> dict[str, Any]:
         raise OpError(f"unknown operation {op!r}")
     service = shared_service()
     k0, s0 = kernel_counters(), service.stats()
+    d0, r0 = dynamic_counters(), reactive_counters()
     result = fn(payload)
     k1, s1 = kernel_counters(), service.stats()
+    d1, r1 = dynamic_counters(), reactive_counters()
     return {
         "result": result,
         "counters": {
@@ -417,5 +472,7 @@ def execute(op: str, payload: dict[str, Any]) -> dict[str, Any]:
             ),
             "compiled_hits": int(k1["compiled_hits"] - k0["compiled_hits"]),
             "compiled_misses": int(k1["compiled_misses"] - k0["compiled_misses"]),
+            "reactive_remaps": int(r1["reactive_remaps"] - r0["reactive_remaps"]),
+            "stranded_tasks": int(d1["stranded_tasks"] - d0["stranded_tasks"]),
         },
     }

@@ -20,6 +20,12 @@ from repro.sim.dataflow_exec import (
     run_dataflow,
     run_task,
 )
+from repro.sim.dynamic import (
+    DynamicTrace,
+    dynamic_counters,
+    reset_dynamic_counters,
+    simulate_dynamic,
+)
 from repro.sim.engine import EventEngine
 from repro.sim.executor import compare_with_static, simulate
 from repro.sim.plan import CommPlan, LocalRead, Recv, Send, Step, build_comm_plan
@@ -30,6 +36,7 @@ from repro.sim.trace import MessageHop, TaskRun, Trace
 __all__ = [
     "CommPlan",
     "DataflowResult",
+    "DynamicTrace",
     "EventEngine",
     "LocalRead",
     "MessageHop",
@@ -47,9 +54,12 @@ __all__ = [
     "calibrate_works",
     "collect_task_env",
     "compare_with_static",
+    "dynamic_counters",
     "required_outputs",
+    "reset_dynamic_counters",
     "run_dataflow",
     "run_parallel",
     "run_task",
     "simulate",
+    "simulate_dynamic",
 ]

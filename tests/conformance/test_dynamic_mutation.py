@@ -1,0 +1,141 @@
+"""Mutation checks for the dynamic oracles.
+
+Two intentional bugs, one per oracle:
+
+* an off-by-one in the dynamic simulator's single time-scaling seam
+  (:func:`repro.sim.dynamic._scaled`) — every scaled duration gains a tiny
+  epsilon, so the empty-scenario replay is no longer byte-identical to the
+  static one and ``dynamic_null`` must convict;
+* a precedence-breaking re-map in the reactive rescheduler's placement seam
+  (:func:`repro.sched.reactive._dirty_start`) — re-mapped tasks start
+  earlier than their data allows, so ``reactive_safe`` must convict.
+
+Both witnesses then shrink and survive the corpus round trip, proving the
+whole find -> shrink -> pin loop works for dynamic cases too.
+"""
+
+import pytest
+
+import repro.sched.reactive as reactive_mod
+import repro.sim.dynamic as dynamic_mod
+from repro.conformance import (
+    ORACLES,
+    CaseContext,
+    CorpusEntry,
+    graph_case,
+    load_entry,
+    shrink,
+    write_entry,
+)
+from repro.graph.generators import random_layered
+from repro.machine import MachineParams, make_machine
+from repro.machine.scenario import PROC_SLOWDOWN, FaultEvent, FaultScenario
+from repro.sched.mh import MHScheduler
+
+PARAMS = MachineParams(msg_startup=0.5, transmission_rate=5.0)
+
+
+def _case(with_scenario: bool):
+    tg = random_layered(20, 4, seed=3)
+    machine = make_machine("hypercube", 4, PARAMS)
+    scenario = None
+    if with_scenario:
+        # slow the busiest processor down 6x right away so the reactive
+        # policy is guaranteed to observe a straggler and replan
+        schedule = MHScheduler().schedule(tg, machine)
+        load: dict[int, float] = {}
+        for p in schedule:
+            load[p.proc] = load.get(p.proc, 0.0) + (p.finish - p.start)
+        hot = max(sorted(load), key=lambda proc: load[proc])
+        scenario = FaultScenario(
+            events=(FaultEvent(time=0.0, kind=PROC_SLOWDOWN, proc=hot, factor=6.0),),
+            name="mutation-straggler",
+        )
+    return graph_case(tg, machine, "mh", scenario=scenario)
+
+
+# --------------------------------------------------------------------- #
+# mutant 1: time-scaling off-by-one vs dynamic_null
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def scaling_mutant(monkeypatch):
+    def off_by_epsilon(value: float, scale: float) -> float:
+        return value * scale + 1e-6  # the bug: never exactly the identity
+
+    monkeypatch.setattr(dynamic_mod, "_scaled", off_by_epsilon)
+
+
+def _null_fails(case) -> bool:
+    return bool(ORACLES["dynamic_null"].check(CaseContext(case)))
+
+
+def test_dynamic_null_catches_the_scaling_mutant(scaling_mutant):
+    case = _case(with_scenario=False)
+    problems = ORACLES["dynamic_null"].check(CaseContext(case))
+    assert problems
+    assert any("differ" in p for p in problems)
+
+
+def test_dynamic_null_passes_without_the_mutant():
+    assert ORACLES["dynamic_null"].check(CaseContext(_case(False))) == []
+
+
+def test_scaling_witness_shrinks_and_pins(scaling_mutant, tmp_path):
+    case = _case(with_scenario=False)
+    assert _null_fails(case)
+    small, spent = shrink(case, _null_fails)
+    assert len(small.payload["graph"]["tasks"]) <= 12
+    assert spent <= 400
+    assert _null_fails(small)
+
+    entry = CorpusEntry(case=small, oracle="dynamic_null",
+                        detail="time-scaling mutation check", origin="test")
+    path = write_entry(tmp_path, entry)
+    assert path.name == f"graph-dynamic_null-{small.case_id}.json"
+    assert _null_fails(load_entry(path).case)
+
+
+# --------------------------------------------------------------------- #
+# mutant 2: precedence-breaking re-map vs reactive_safe
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def remap_mutant(monkeypatch):
+    real = reactive_mod._dirty_start
+
+    def too_early(state, ti, proc) -> float:
+        return 0.5 * real(state, ti, proc)  # the bug: ignores data readiness
+
+    monkeypatch.setattr(reactive_mod, "_dirty_start", too_early)
+
+
+def _reactive_fails(case) -> bool:
+    return bool(ORACLES["reactive_safe"].check(CaseContext(case)))
+
+
+def test_reactive_safe_catches_the_remap_mutant(remap_mutant):
+    case = _case(with_scenario=True)
+    problems = ORACLES["reactive_safe"].check(CaseContext(case))
+    assert problems
+
+
+def test_reactive_safe_passes_without_the_mutant():
+    assert ORACLES["reactive_safe"].check(CaseContext(_case(True))) == []
+
+
+def test_remap_witness_shrinks_and_pins(remap_mutant, tmp_path):
+    case = _case(with_scenario=True)
+    assert _reactive_fails(case)
+    small, spent = shrink(case, _reactive_fails)
+    assert len(small.payload["graph"]["tasks"]) <= 14
+    assert spent <= 400
+    assert _reactive_fails(small)
+    # the shrunk witness keeps a scenario: without one that triggers a
+    # replan the mutant is unreachable
+    assert small.payload.get("scenario") is not None
+
+    entry = CorpusEntry(case=small, oracle="reactive_safe",
+                        detail="precedence-breaking re-map mutation check",
+                        origin="test")
+    path = write_entry(tmp_path, entry)
+    assert path.name == f"graph-reactive_safe-{small.case_id}.json"
+    assert _reactive_fails(load_entry(path).case)

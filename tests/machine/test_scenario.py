@@ -1,0 +1,146 @@
+"""Fault scenarios: validation, canonical form, seeding, and noise."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import MachineParams, build_topology
+from repro.machine.machine import TargetMachine
+from repro.machine.scenario import (
+    EVENT_KINDS,
+    LINK_FAIL,
+    LINK_SLOWDOWN,
+    PROC_FAIL,
+    PROC_SLOWDOWN,
+    PROFILES,
+    FaultEvent,
+    FaultScenario,
+    seeded_scenario,
+)
+
+
+@pytest.fixture
+def machine():
+    return TargetMachine(build_topology("hypercube", 4), MachineParams())
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MachineError):
+            FaultEvent(time=1.0, kind="meteor", proc=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(MachineError):
+            FaultEvent(time=-0.1, kind=PROC_FAIL, proc=0)
+
+    def test_proc_events_need_a_proc(self):
+        with pytest.raises(MachineError):
+            FaultEvent(time=0.0, kind=PROC_FAIL)
+
+    def test_link_events_need_a_link(self):
+        with pytest.raises(MachineError):
+            FaultEvent(time=0.0, kind=LINK_FAIL)
+
+    def test_slowdown_factor_below_one_rejected(self):
+        with pytest.raises(MachineError):
+            FaultEvent(time=0.0, kind=PROC_SLOWDOWN, proc=0, factor=0.5)
+
+    def test_link_endpoints_are_normalized(self):
+        e = FaultEvent(time=0.0, kind=LINK_FAIL, link=(3, 1))
+        assert e.link == (1, 3)
+
+    def test_round_trip(self):
+        e = FaultEvent(time=2.5, kind=LINK_SLOWDOWN, link=(0, 2), factor=4.0)
+        assert FaultEvent.from_dict(e.to_dict()) == e
+
+
+class TestFaultScenario:
+    def test_events_are_canonically_sorted(self):
+        a = FaultEvent(time=5.0, kind=PROC_FAIL, proc=1)
+        b = FaultEvent(time=1.0, kind=PROC_SLOWDOWN, proc=0, factor=3.0)
+        assert FaultScenario(events=(a, b)).events == FaultScenario(
+            events=(b, a)
+        ).events
+
+    def test_empty_scenario(self):
+        s = FaultScenario.empty()
+        assert s.is_empty and not s.has_failures
+        assert s.failed_procs() == frozenset()
+
+    def test_has_failures_only_for_fail_kinds(self):
+        slow = FaultScenario(
+            events=(FaultEvent(time=0.0, kind=PROC_SLOWDOWN, proc=0, factor=2.0),)
+        )
+        assert not slow.has_failures
+        dead = FaultScenario(events=(FaultEvent(time=1.0, kind=PROC_FAIL, proc=0),))
+        assert dead.has_failures
+        assert dead.failed_procs() == frozenset({0})
+        assert dead.failed_procs(at=0.5) == frozenset()
+
+    def test_round_trip_preserves_content_hash(self):
+        s = FaultScenario(
+            events=(
+                FaultEvent(time=1.0, kind=PROC_FAIL, proc=2),
+                FaultEvent(time=0.5, kind=LINK_SLOWDOWN, link=(0, 1), factor=2.0),
+            ),
+            duration_noise=0.1,
+            noise_seed=7,
+            name="witness",
+        )
+        again = FaultScenario.from_dict(s.to_dict())
+        assert again.content_hash() == s.content_hash()
+        assert again.events == s.events
+
+    def test_noise_multiplier_deterministic_and_degrading(self):
+        s = FaultScenario(duration_noise=0.2, noise_seed=3)
+        for task in ("a", "b", "lud.fa"):
+            m = s.noise_multiplier(task)
+            assert m >= 1.0
+            assert m == s.noise_multiplier(task)
+        assert s.noise_multiplier("a") != s.noise_multiplier("b")
+
+    def test_no_noise_is_exactly_one(self):
+        assert FaultScenario.empty().noise_multiplier("a") == 1.0
+
+    def test_validate_for_rejects_bad_targets(self, machine):
+        out_of_range = FaultScenario(
+            events=(FaultEvent(time=0.0, kind=PROC_FAIL, proc=9),)
+        )
+        with pytest.raises(MachineError):
+            out_of_range.validate_for(machine)
+        missing_link = FaultScenario(
+            # hypercube(4) has no (0, 3) link
+            events=(FaultEvent(time=0.0, kind=LINK_FAIL, link=(0, 3)),)
+        )
+        with pytest.raises(MachineError):
+            missing_link.validate_for(machine)
+
+
+class TestSeededScenario:
+    def test_deterministic(self, machine):
+        a = seeded_scenario(5, machine, 100.0, profile="combined")
+        b = seeded_scenario(5, machine, 100.0, profile="combined")
+        assert a.content_hash() == b.content_hash()
+
+    def test_seeds_differ(self, machine):
+        ids = {
+            seeded_scenario(s, machine, 100.0, profile="combined").content_hash()
+            for s in range(8)
+        }
+        assert len(ids) > 1
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_profiles_validate_and_stay_in_horizon(self, machine, profile):
+        s = seeded_scenario(3, machine, 90.0, profile=profile)
+        s.validate_for(machine)
+        for e in s.events:
+            assert e.kind in EVENT_KINDS
+            assert 0.0 <= e.time <= 60.0  # events land in [0, 2/3 horizon]
+
+    def test_failures_never_kill_every_processor(self, machine):
+        for seed in range(30):
+            s = seeded_scenario(seed, machine, 50.0, profile="failure")
+            assert len(s.failed_procs()) < machine.n_procs
+
+    def test_unknown_profile_rejected(self, machine):
+        with pytest.raises(MachineError):
+            seeded_scenario(0, machine, 10.0, profile="apocalypse")

@@ -1,0 +1,88 @@
+"""Property-based tests for the reactive rescheduler.
+
+Satellite invariants from the dynamic-execution PR: every replanned
+schedule is SCH-valid, started tasks are never re-mapped, and the whole
+observe -> replan -> resimulate loop is deterministic (resimulating twice
+is byte-identical).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph.generators import random_layered
+from repro.machine import MachineParams, make_machine
+from repro.machine.scenario import PROFILES, seeded_scenario
+from repro.sched import schedule_problems
+from repro.sched.mh import MHScheduler
+from repro.sched.reactive import reactive_execute
+
+graph_st = st.tuples(
+    st.integers(4, 22),
+    st.integers(1, 5),
+    st.floats(0.1, 0.7),
+    st.integers(0, 9999),
+).map(
+    lambda a: random_layered(a[0], min(a[1], a[0]), edge_prob=a[2], seed=a[3])
+)
+
+machine_st = st.sampled_from(["hypercube", "ring", "star", "full"]).map(
+    lambda fam: make_machine(
+        fam, {"hypercube": 4, "ring": 4, "star": 5, "full": 4}[fam],
+        MachineParams(msg_startup=0.3, transmission_rate=10.0),
+    )
+)
+
+scenario_seed_st = st.integers(0, 9999)
+profile_st = st.sampled_from(PROFILES)
+
+
+def _run(graph, machine, scenario_seed, profile):
+    schedule = MHScheduler().schedule(graph, machine)
+    scenario = seeded_scenario(
+        scenario_seed, machine, max(schedule.makespan(), 1.0), profile=profile
+    )
+    return schedule, scenario, reactive_execute(schedule, scenario)
+
+
+@given(graph_st, machine_st, scenario_seed_st, profile_st)
+@settings(max_examples=40, deadline=None)
+def test_every_round_plan_is_sch_valid(graph, machine, scenario_seed, profile):
+    _, _, result = _run(graph, machine, scenario_seed, profile)
+    for i, plan in enumerate(result.plans):
+        assert schedule_problems(plan) == [], f"round {i} plan is infeasible"
+
+
+@given(graph_st, machine_st, scenario_seed_st, profile_st)
+@settings(max_examples=40, deadline=None)
+def test_started_tasks_are_never_remapped(graph, machine, scenario_seed, profile):
+    _, _, result = _run(graph, machine, scenario_seed, profile)
+    for k, rnd in enumerate(result.rounds):
+        before, after = result.plans[k], result.plans[k + 1]
+        # a task observed to have started before the trigger keeps its proc
+        for run in result.traces[k].runs:
+            if run.start < rnd.trigger.time and run.task in rnd.pinned:
+                assert after.primary(run.task).proc == before.primary(run.task).proc
+
+
+@given(graph_st, machine_st, scenario_seed_st, profile_st)
+@settings(max_examples=25, deadline=None)
+def test_reactive_execution_is_deterministic(graph, machine, scenario_seed, profile):
+    schedule, scenario, first = _run(graph, machine, scenario_seed, profile)
+    second = reactive_execute(schedule, scenario)
+    assert second.n_rounds == first.n_rounds
+    assert second.trace.runs == first.trace.runs
+    assert second.trace.hops == first.trace.hops
+    assert second.trace.stranded == first.trace.stranded
+    for a, b in zip(first.plans, second.plans):
+        assert sorted((p.task, p.proc, p.start) for p in a) == sorted(
+            (p.task, p.proc, p.start) for p in b
+        )
+
+
+@given(graph_st, machine_st, scenario_seed_st)
+@settings(max_examples=25, deadline=None)
+def test_failure_free_scenarios_strand_nothing(graph, machine, scenario_seed):
+    schedule, scenario, result = _run(graph, machine, scenario_seed, "straggler")
+    assert not scenario.has_failures
+    assert result.trace.stranded == []
+    assert set(result.trace.completed) == set(graph.task_names)
