@@ -1,0 +1,152 @@
+"""EXT-ST — the project store: dedup ratio, warm get latency, quota gating.
+
+The store's multi-tenant promise is that shared designs cost one copy and
+reads stay instant; its admission promise is that a tenant over quota is
+rejected *before* any bytes land.  This benchmark measures all three on
+the real seeded corpus and writes the numbers to
+``benchmarks/out/BENCH_store.json``:
+
+* **dedup ratio** — seeding the 22-project corpus, then re-publishing
+  every corpus project under a second tenant, must dedup: stored bytes
+  stay well below logical bytes (ratio strictly > 1, asserted — this is
+  the PR's acceptance number).
+* **warm get p50** — median latency of re-inflating a corpus project from
+  a warm on-disk store; recorded, and sanity-bounded loosely enough for
+  shared CI hosts.
+* **quota rejections** — a tenant capped at N projects gets exactly N
+  successful puts and only ``QuotaExceeded`` afterwards, with usage
+  unchanged by the rejected puts.
+
+``BENCH_SMOKE=1`` shrinks the workloads for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+import pytest
+
+from conftest import OUT_DIR, write_artifact
+from repro.errors import QuotaExceeded
+from repro.store import ProjectRepository, TenantQuota
+from repro.store.corpus import corpus_names, seed_corpus
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+#: accumulated across tests; rewritten after each section completes.
+RESULTS: dict = {
+    "type": "BENCH_store",
+    "smoke": SMOKE,
+    "python": sys.version.split()[0],
+}
+
+
+def _flush() -> None:
+    write_artifact("BENCH_store.json", json.dumps(RESULTS, indent=2) + "\n")
+
+
+def test_ext_store_dedup_ratio(artifact_dir, tmp_path):
+    """Corpus + a full second-tenant republish must dedup (ratio > 1)."""
+    repo = ProjectRepository(str(tmp_path / "store"))
+    seed_corpus(repo)
+    seeded_bytes = repo.blobs.total_bytes()
+
+    names = corpus_names()[: 6 if SMOKE else None]
+    for name in names:
+        repo.put("mirror", name, repo.get("corpus", name), message="republish")
+
+    stats = repo.blobs.stats.as_dict()
+    ratio = stats["dedup_ratio"]
+    RESULTS["dedup"] = {
+        "corpus_projects": len(corpus_names()),
+        "republished": len(names),
+        "seeded_stored_bytes": seeded_bytes,
+        "final_stored_bytes": stats["stored_bytes"],
+        "logical_bytes": stats["logical_bytes"],
+        "dedup_hits": stats["dedup_hits"],
+        "dedup_ratio": ratio,
+    }
+    _flush()
+    assert ratio > 1.0, f"no dedup across tenants (ratio {ratio:.3f})"
+    # the republish itself was ~free: every blob already existed
+    assert repo.blobs.total_bytes() == seeded_bytes, (
+        "republishing identical projects should not store new blob bytes"
+    )
+
+
+def test_ext_store_warm_get_p50(artifact_dir, tmp_path):
+    """Median warm ``get`` over the on-disk corpus, in milliseconds."""
+    repo = ProjectRepository(str(tmp_path / "store"))
+    seed_corpus(repo)
+    # a fresh repository over the same root: every read hits the disk tier
+    warm = ProjectRepository(str(tmp_path / "store"))
+    names = corpus_names()[: 4 if SMOKE else None]
+
+    for name in names:  # prime the in-memory blob cache
+        warm.get("corpus", name)
+    rounds = 2 if SMOKE else 5
+    samples = []
+    for _ in range(rounds):
+        for name in names:
+            t0 = time.perf_counter()
+            doc = warm.get("corpus", name)
+            samples.append(time.perf_counter() - t0)
+            assert doc["type"] == "banger-project"
+
+    p50 = statistics.median(samples)
+    RESULTS["warm_get"] = {
+        "projects": len(names),
+        "samples": len(samples),
+        "p50_ms": p50 * 1e3,
+        "max_ms": max(samples) * 1e3,
+    }
+    _flush()
+    # loose sanity bound: a warm get re-inflates from memory and must not
+    # cost anything like a scheduler run, even on a busy CI host.
+    assert p50 < 0.25, f"warm get p50 {p50 * 1e3:.1f} ms is not warm"
+
+
+def test_ext_store_quota_rejections_are_exact(artifact_dir, tmp_path):
+    """N allowed puts succeed, every one after that is QuotaExceeded."""
+    cap = 3
+    repo = ProjectRepository(
+        str(tmp_path / "store"), quota=TenantQuota(max_projects=cap)
+    )
+    seed_corpus(repo)  # corpus tenant is exempt and must not interfere
+    doc = repo.get("corpus", "family_lu")
+
+    accepted = rejected = 0
+    attempts = cap + (2 if SMOKE else 5)
+    for i in range(attempts):
+        try:
+            repo.put("tenant", f"p{i}", doc)
+            accepted += 1
+        except QuotaExceeded as err:
+            rejected += 1
+            assert err.tenant == "tenant"
+    usage_after = len(repo.refs.projects("tenant"))
+
+    RESULTS["quota"] = {
+        "max_projects": cap,
+        "attempts": attempts,
+        "accepted": accepted,
+        "rejected": rejected,
+        "projects_after": usage_after,
+    }
+    _flush()
+    assert accepted == cap and rejected == attempts - cap
+    assert usage_after == cap, "a rejected put must not leave partial state"
+
+
+def test_ext_store_artifact(artifact_dir):
+    """The JSON artifact carries all three sections plus metadata."""
+    path = OUT_DIR / "BENCH_store.json"
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert doc["type"] == "BENCH_store"
+    assert doc["dedup"]["dedup_ratio"] > 1.0
+    assert doc["warm_get"]["p50_ms"] > 0
+    assert doc["quota"]["rejected"] > 0

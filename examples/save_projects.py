@@ -1,52 +1,69 @@
-"""Save every shipped application as a Banger project JSON file.
+"""Save every shipped application as a project file *and* store version.
 
-The files land next to this script (``examples/*.json``) and are the corpus
-the CI self-check lints::
+Each legacy example still lands next to this script (``examples/*.json``,
+the corpus the CI self-check lints), but the build of each project now
+lives in :mod:`repro.store.corpus` and every run also publishes the whole
+scenario corpus — the six examples plus one project per generator family —
+into the content-addressed project store::
 
-    python examples/save_projects.py
+    python examples/save_projects.py            # .banger-store (or $BANGER_STORE_DIR)
+    python examples/save_projects.py /tmp/store
     python -m repro.cli lint examples/lu_decomposition.json --fail-on error
+    python -m repro.cli lint store://corpus/lu_decomposition --fail-on error
 
-Each project carries a design from :mod:`repro.apps` plus a 4-processor
-hypercube with the paper's iPSC-flavoured communication parameters, so the
-machine-fit rules (MF4xx) have something to look at too.
+The file on disk and the stored version are byte-identical: the script
+asserts that the saved JSON's content fingerprint equals the stored
+project hash (``tests/store/test_examples_migration.py`` pins the same
+hashes), so ``examples/lu_decomposition.json`` and
+``store://corpus/lu_decomposition`` are interchangeable inputs.
 """
 
+import json
+import os
 import pathlib
+import sys
 
-from repro.apps import (
-    heat_design,
-    lu3_design,
-    lun_design,
-    matmul_design,
-    montecarlo_design,
-    pipeline_design,
+from repro.graph.serialize import fingerprint
+from repro.store import ProjectRepository
+from repro.store.corpus import (
+    CORPUS_TENANT,
+    example_names,
+    example_project,
+    seed_corpus,
 )
-from repro.env.project import BangerProject
-from repro.machine import MachineParams
 
 HERE = pathlib.Path(__file__).parent
 
-DESIGNS = {
-    "lu_decomposition": lu3_design,
-    "lu_blocked": lambda: lun_design(4),
-    "heat_equation": heat_design,
-    "matrix_multiply": matmul_design,
-    "montecarlo_pi": montecarlo_design,
-    "signal_pipeline": pipeline_design,
-}
 
-
-def main() -> None:
-    params = MachineParams(msg_startup=0.2, transmission_rate=20.0)
-    for name, factory in sorted(DESIGNS.items()):
-        project = BangerProject(name).set_design(factory())
-        project.set_machine("hypercube", 4, params)
+def main(store_dir: str | None = None) -> None:
+    root = (
+        store_dir
+        or os.environ.get("BANGER_STORE_DIR")
+        or ".banger-store"
+    )
+    repo = ProjectRepository(root)
+    stored = seed_corpus(repo)
+    for name in example_names():
+        project = example_project(name)
         path = HERE / f"{name}.json"
         project.save(str(path))
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        info = stored[name]
+        if fingerprint(on_disk) != info["project"]:
+            raise SystemExit(
+                f"{path.name} and {CORPUS_TENANT}/{name} diverged: "
+                f"{fingerprint(on_disk)[:12]} != {info['project'][:12]}"
+            )
         fb = project.feedback()
         status = "ok" if fb.ok else f"{fb.error_count} error(s)"
-        print(f"saved {path.name}: {status}")
+        print(
+            f"saved {path.name} -> {CORPUS_TENANT}/{name}@{info['version']} "
+            f"({info['project'][:12]}): {status}"
+        )
+    families = sorted(set(stored) - set(example_names()))
+    print(f"store {root}: +{len(families)} generator-family project(s), "
+          f"{len(repo.blobs)} blob(s)")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -15,7 +15,15 @@ Projects are the JSON documents written by
     python -m repro.cli codegen   project.json --target threads -o prog.py
     python -m repro.cli codegen   project.json --target inproc --run
     python -m repro.cli topology  --family hypercube --procs 8
+    python -m repro.cli projects  put alice/mydesign project.json
+    python -m repro.cli projects  log alice/mydesign
     python -m repro.cli demo
+
+Wherever a command takes a project file, a store reference works too:
+``corpus://<name>[@v]`` draws from the built-in scenario corpus and
+``store://<tenant>/<name>[@v]`` from the local project store
+(``--store``/``BANGER_STORE_DIR``, default ``.banger-store``) — so
+``banger sweep corpus://family_butterfly`` needs no JSON file at all.
 
 Exit codes are uniform across every subcommand:
 
@@ -33,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -57,8 +66,62 @@ class UsageError(ReproError):
     """Bad flag values or unusable input files — exits with status 2."""
 
 
+def _store_root(explicit: str | None = None) -> str:
+    """The local store directory: ``--store``, else the environment, else
+    ``.banger-store`` in the working directory."""
+    return explicit or os.environ.get("BANGER_STORE_DIR") or ".banger-store"
+
+
+def _parse_ref(text: str) -> tuple[str, str, int | None]:
+    """``tenant/name[@version]`` -> its parts."""
+    version: int | None = None
+    if "@" in text:
+        text, _, vtext = text.rpartition("@")
+        try:
+            version = int(vtext)
+        except ValueError:
+            raise UsageError(
+                f"bad version {vtext!r} in project ref; expected an integer"
+            ) from None
+    if "/" not in text:
+        raise UsageError(
+            f"bad project ref {text!r}; expected tenant/name[@version]"
+        )
+    tenant, name = text.split("/", 1)
+    return tenant, name, version
+
+
+def _resolve_store_uri(path: str) -> dict | None:
+    """A project document for ``corpus://`` / ``store://`` URIs, else None."""
+    from repro.errors import StoreError
+
+    if path.startswith("corpus://"):
+        from repro.store.corpus import CORPUS_TENANT, default_corpus
+
+        ref = path[len("corpus://"):]
+        name, version = ref, None
+        if "@" in ref:
+            _, name, version = _parse_ref(f"{CORPUS_TENANT}/{ref}")
+        try:
+            return default_corpus().get(CORPUS_TENANT, name, version)
+        except StoreError as exc:
+            raise UsageError(str(exc)) from None
+    if path.startswith("store://"):
+        from repro.store import ProjectRepository
+
+        tenant, name, version = _parse_ref(path[len("store://"):])
+        try:
+            return ProjectRepository(_store_root()).get(tenant, name, version)
+        except StoreError as exc:
+            raise UsageError(str(exc)) from None
+    return None
+
+
 def _load(path: str) -> BangerProject:
     try:
+        doc = _resolve_store_uri(path)
+        if doc is not None:
+            return BangerProject.from_dict(doc)
         return BangerProject.load(path)
     except ValidationError as exc:
         raise UsageError(f"not a Banger project file: {exc}") from None
@@ -451,6 +514,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         else:
             from repro.server.app import _default_access_log as access_log
 
+    quota = None
+    if args.quota_projects or args.quota_versions or args.quota_bytes:
+        from repro.store import TenantQuota
+
+        quota = TenantQuota(
+            max_projects=args.quota_projects,
+            max_versions_per_project=args.quota_versions,
+            max_bytes=args.quota_bytes,
+        )
+
     daemon = BangerDaemon(
         host=args.host,
         port=args.port,
@@ -460,6 +533,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         debug=args.debug,
         access_log=access_log,
+        store_dir=args.store or os.environ.get("BANGER_STORE_DIR") or None,
+        tenant_quota=quota,
+        seed_corpus=not args.no_seed_corpus,
     )
 
     def ready(d: BangerDaemon) -> None:
@@ -474,6 +550,112 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     asyncio.run(run_daemon(daemon, ready=ready))
     return 0
+
+
+def cmd_projects(args: argparse.Namespace) -> int:
+    from repro.errors import QuotaExceeded, StoreError
+    from repro.store import ProjectRepository
+
+    repo = ProjectRepository(_store_root(args.store))
+    try:
+        return _run_projects_action(repo, args)
+    except QuotaExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+
+
+def _run_projects_action(repo, args: argparse.Namespace) -> int:
+    action = args.action
+    if action == "list":
+        if args.tenant:
+            names = repo.refs.projects(args.tenant)
+            if not names and args.tenant not in repo.refs.tenants():
+                print(f"error: no tenant {args.tenant!r} in the store",
+                      file=sys.stderr)
+                return EXIT_FAILURE
+            for name in names:
+                head = repo.refs.head(args.tenant, name)
+                print(f"{args.tenant}/{name}@{head['v']}  "
+                      f"{head['manifest'][:12]}  {head.get('message', '')}")
+        else:
+            for tenant in repo.refs.tenants():
+                print(f"{tenant}  ({len(repo.refs.projects(tenant))} project(s))")
+        return EXIT_OK
+    if action == "seed":
+        from repro.store.corpus import seed_corpus
+
+        info = seed_corpus(repo)
+        print(f"seeded {len(info)} corpus project(s) into {repo.blobs.total_bytes()} "
+              f"stored byte(s)")
+        return EXIT_OK
+    if action == "put":
+        tenant, name, _ = _parse_ref(args.ref)
+        with open(args.project, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        scenario = None
+        if args.scenario:
+            with open(args.scenario, encoding="utf-8") as fh:
+                scenario = json.load(fh)
+        info = repo.put(tenant, name, doc, message=args.message,
+                        scenario=scenario)
+        print(f"{tenant}/{name}@{info['version']}  {info['manifest'][:12]}  "
+              f"(project {info['project'][:12]})")
+        return EXIT_OK
+    if action == "get":
+        tenant, name, version = _parse_ref(args.ref)
+        doc = repo.get(tenant, name, version)
+        text = json.dumps(doc, indent=2)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+        return EXIT_OK
+    if action == "log":
+        tenant, name, _ = _parse_ref(args.ref)
+        for entry in repo.log(tenant, name):
+            project = (entry.get("project") or "?")[:12]
+            print(f"v{entry['v']}  manifest {entry['manifest'][:12]}  "
+                  f"project {project}  {entry.get('message', '')}")
+        return EXIT_OK
+    if action == "diff":
+        tenant, name, version_a = _parse_ref(args.ref)
+        to_tenant, to_name, version_b = _parse_ref(args.against)
+        delta = repo.diff(tenant, name, version_a, version_b,
+                          to_tenant=to_tenant, to_name=to_name)
+        if args.json:
+            print(json.dumps(delta, indent=2, sort_keys=True))
+        elif delta["identical"]:
+            print("identical (same manifest)")
+        else:
+            for key, comp in sorted(delta["components"].items()):
+                mark = "=" if comp["equal"] else "≠"
+                print(f"{key:<9} {mark}")
+            for verb in ("added", "removed", "changed"):
+                for path in delta["nodes"][verb]:
+                    print(f"node {verb:<8} {path}")
+            for verb in ("added", "removed"):
+                for arc in delta["arcs"][verb]:
+                    print(f"arc  {verb:<8} {arc}")
+        return EXIT_OK if delta["identical"] or not args.fail_on_diff else EXIT_FAILURE
+    if action == "fork":
+        tenant, name, version = _parse_ref(args.ref)
+        to_tenant, to_name, _ = _parse_ref(args.to)
+        info = repo.fork(tenant, name, to_tenant, to_name, version=version,
+                         message=args.message)
+        print(f"{to_tenant}/{to_name}@{info['version']}  "
+              f"{info['manifest'][:12]}  (zero-copy)")
+        return EXIT_OK
+    if action == "gc":
+        result = repo.gc(max_bytes=args.max_bytes)
+        print(f"deleted {result['deleted']} blob(s); {result['live']} live, "
+              f"{result['stored_bytes']} byte(s) on disk")
+        return EXIT_OK
+    raise UsageError(f"unknown projects action {action!r}")
 
 
 def cmd_topology(args: argparse.Namespace) -> int:
@@ -519,7 +701,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_project(p: argparse.ArgumentParser) -> None:
-        p.add_argument("project", help="path to a saved Banger project (.json)")
+        p.add_argument("project",
+                       help="path to a saved Banger project (.json), or a "
+                            "store://tenant/name[@v] / corpus://<name> ref")
 
     def add_scheduler(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scheduler", default="mh", choices=sorted(SCHEDULERS))
@@ -727,7 +911,71 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append JSON access-log lines here (default: stderr)")
     p.add_argument("--no-access-log", action="store_true",
                    help="disable the access log entirely")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="project-store directory served under /projects "
+                        "(default: BANGER_STORE_DIR or in-memory)")
+    p.add_argument("--quota-projects", type=int, default=0,
+                   help="max projects per tenant (0 = unlimited)")
+    p.add_argument("--quota-versions", type=int, default=0,
+                   help="max versions per project (0 = unlimited)")
+    p.add_argument("--quota-bytes", type=int, default=0,
+                   help="max logical bytes written per tenant (0 = unlimited)")
+    p.add_argument("--no-seed-corpus", action="store_true",
+                   help="skip seeding the built-in scenario corpus at startup")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "projects",
+        help="the local content-addressed project store",
+        epilog="Refs are tenant/name[@version]; the store lives in --store "
+               "(or BANGER_STORE_DIR, default .banger-store).  Any other "
+               "subcommand can read from it via store://tenant/name[@v] and "
+               "corpus://<name> project arguments.  See docs/projects.md.",
+    )
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="store directory (default: BANGER_STORE_DIR "
+                        "or .banger-store)")
+    actions = p.add_subparsers(dest="action", required=True)
+
+    a = actions.add_parser("list", help="tenants, or one tenant's projects")
+    a.add_argument("tenant", nargs="?", default=None)
+
+    a = actions.add_parser("put", help="store a project file as a new version")
+    a.add_argument("ref", help="tenant/name")
+    a.add_argument("project", help="path to a saved Banger project (.json)")
+    a.add_argument("-m", "--message", default="", help="version message")
+    a.add_argument("--scenario", default=None,
+                   help="fault-scenario JSON to attach to this version")
+
+    a = actions.add_parser("get", help="print (or write) a stored project")
+    a.add_argument("ref", help="tenant/name[@version]")
+    a.add_argument("-o", "--output", default=None,
+                   help="write the project JSON here instead of stdout")
+
+    a = actions.add_parser("log", help="version history of a project")
+    a.add_argument("ref", help="tenant/name")
+
+    a = actions.add_parser("diff", help="content delta between two refs")
+    a.add_argument("ref", help="tenant/name[@version]")
+    a.add_argument("against", help="tenant/name[@version] to compare with")
+    a.add_argument("--json", action="store_true",
+                   help="machine-readable delta instead of text")
+    a.add_argument("--fail-on-diff", action="store_true",
+                   help="exit 1 when the refs differ (for scripts)")
+
+    a = actions.add_parser("fork", help="zero-copy branch of a version")
+    a.add_argument("ref", help="tenant/name[@version] to fork from")
+    a.add_argument("to", help="tenant/name of the new project")
+    a.add_argument("-m", "--message", default="", help="version message")
+
+    a = actions.add_parser("gc", help="drop unreferenced blobs")
+    a.add_argument("--max-bytes", type=int, default=None,
+                   help="if still over this size, also trim non-head "
+                        "version history oldest-first (heads always survive)")
+
+    a = actions.add_parser("seed", help="(re)seed the built-in corpus tenant")
+
+    p.set_defaults(fn=cmd_projects)
 
     p = sub.add_parser("topology", help="draw a topology family")
     p.add_argument("--family", default="hypercube")

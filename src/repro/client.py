@@ -44,11 +44,16 @@ class ServerError(ReproError):
     doc:
         The daemon's decoded error document (``{"type": "banger-error",
         "kind": ..., "message": ...}``), or ``{}`` if the body was not JSON.
+    retry_after:
+        Seconds from the ``Retry-After`` header (403 quota rejections and
+        503 backpressure carry it), or ``None``.
     """
 
-    def __init__(self, status: int, doc: dict[str, Any]):
+    def __init__(self, status: int, doc: dict[str, Any],
+                 retry_after: float | None = None):
         self.status = status
         self.doc = doc
+        self.retry_after = retry_after
         kind = doc.get("kind", "error")
         message = doc.get("message", "(no message)")
         super().__init__(f"daemon answered {status} ({kind}): {message}")
@@ -120,7 +125,18 @@ class BangerClient:
         except (json.JSONDecodeError, UnicodeDecodeError):
             doc = {}
         if response.status >= 300:
-            raise ServerError(response.status, doc if isinstance(doc, dict) else {})
+            retry_after: float | None = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            raise ServerError(
+                response.status,
+                doc if isinstance(doc, dict) else {},
+                retry_after=retry_after,
+            )
         return doc
 
     def post(self, path: str, payload: dict[str, Any]) -> dict[str, Any]:
@@ -158,6 +174,83 @@ class BangerClient:
 
     def conform(self, **options: Any) -> dict[str, Any]:
         return self.post("/conform", dict(options))
+
+    # ------------------------------------------------------------------ #
+    # project store
+    # ------------------------------------------------------------------ #
+    def projects(self, tenant: str | None = None) -> dict[str, Any]:
+        """Tenants in the store, or one tenant's projects."""
+        return self.get("/projects" if tenant is None else f"/projects/{tenant}")
+
+    def project_put(
+        self,
+        tenant: str,
+        name: str,
+        project: dict[str, Any],
+        message: str = "",
+        scenario: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"project": project, "message": message}
+        if scenario is not None:
+            payload["scenario"] = scenario
+        return self.post(f"/projects/{tenant}/{name}", payload)
+
+    def project_get(
+        self, tenant: str, name: str, version: int | None = None
+    ) -> dict[str, Any]:
+        path = f"/projects/{tenant}/{name}"
+        if version is not None:
+            path += f"/v/{version}"
+        return self.get(path)
+
+    def project_log(self, tenant: str, name: str) -> dict[str, Any]:
+        return self.get(f"/projects/{tenant}/{name}/log")
+
+    def project_diff(
+        self,
+        tenant: str,
+        name: str,
+        version_a: int | None = None,
+        version_b: int | None = None,
+        to_tenant: str | None = None,
+        to_name: str | None = None,
+    ) -> dict[str, Any]:
+        if to_tenant is None and to_name is None and (
+            version_a is not None and version_b is not None
+        ):
+            return self.get(
+                f"/projects/{tenant}/{name}/diff/{version_a}/{version_b}"
+            )
+        payload: dict[str, Any] = {}
+        if version_a is not None:
+            payload["version_a"] = version_a
+        if version_b is not None:
+            payload["version_b"] = version_b
+        if to_tenant is not None:
+            payload["to_tenant"] = to_tenant
+        if to_name is not None:
+            payload["to_name"] = to_name
+        return self.post(f"/projects/{tenant}/{name}/diff", payload)
+
+    def project_fork(
+        self,
+        tenant: str,
+        name: str,
+        to_tenant: str,
+        to_name: str,
+        version: int | None = None,
+        message: str = "",
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "to_tenant": to_tenant, "to_name": to_name, "message": message,
+        }
+        if version is not None:
+            payload["version"] = version
+        return self.post(f"/projects/{tenant}/{name}/fork", payload)
+
+    def store_gc(self, max_bytes: int | None = None) -> dict[str, Any]:
+        payload = {} if max_bytes is None else {"max_bytes": max_bytes}
+        return self.post("/projects/gc", payload)
 
 
 def wait_until_ready(

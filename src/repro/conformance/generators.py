@@ -6,7 +6,10 @@ that is what makes ``banger conform --seed 0`` a reproducible CI gate and
 lets two runs be compared digest-for-digest.
 
 Graph cases are layered on :mod:`repro.graph.generators` (the stock
-scheduling-literature families plus seeded random layered DAGs); machines
+scheduling-literature families plus seeded random layered DAGs) and on the
+stored scenario corpus (:mod:`repro.store.corpus`) — a slice of every run
+replays designs drawn from the project store, shipped examples included;
+machines
 cover every topology family at its legal small sizes; PITS cases mix the
 stock :mod:`repro.calc.library` routines (randomized inputs, including the
 domain edges: negative square roots, zero denominators, degenerate fits)
@@ -110,6 +113,11 @@ class CaseGenerator:
 
     def _random_graph(self) -> TaskGraph:
         rng = self.rng
+        # ~20% of graph cases replay a *stored* corpus project — the fuzzer
+        # exercises exactly the designs the project store ships, shipped
+        # examples included, not just freshly generated shapes.
+        if rng.random() < 0.2:
+            return self._corpus_graph()
         work = round(rng.uniform(0.5, 8.0), 3)
         comm = round(rng.uniform(0.1, 12.0), 3)
         builders = (
@@ -126,9 +134,21 @@ class CaseGenerator:
             lambda: gg.map_reduce(rng.randint(2, 6), work=work, comm=comm),
             lambda: gg.stencil(rng.randint(2, 4), rng.randint(2, 4),
                                work=work, comm=comm),
+            lambda: gg.pipeline_stages(rng.randint(2, 4), rng.randint(2, 4),
+                                       work=work, comm=comm),
+            lambda: gg.wavefront(rng.randint(2, 5), work=work, comm=comm),
+            lambda: gg.ml_train_apply(rng.randint(2, 5), work=work, comm=comm),
+            lambda: gg.bitonic_sort(rng.choice((2, 4)), work=work, comm=comm),
+            lambda: gg.cholesky(rng.randint(2, 3), work=work, comm=comm),
             lambda: self._random_layered(),
         )
         return rng.choice(builders)()
+
+    def _corpus_graph(self) -> TaskGraph:
+        """One stored corpus design, flattened to its scheduling view."""
+        from repro.store.corpus import corpus_names, corpus_taskgraph
+
+        return corpus_taskgraph(self.rng.choice(corpus_names()))
 
     def _random_layered(self) -> TaskGraph:
         rng = self.rng

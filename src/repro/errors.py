@@ -92,3 +92,26 @@ class CodegenError(ReproError):
 
 class SimError(ReproError):
     """Discrete-event simulation failed or was given inconsistent input."""
+
+
+class StoreError(ReproError):
+    """Project-store failure (unknown ref, missing blob, corrupt manifest)."""
+
+
+class QuotaExceeded(StoreError):
+    """A tenant write was refused because it would exceed a quota.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose write was refused.
+    quota, usage:
+        The limit that was hit and the usage that would have resulted.
+    """
+
+    def __init__(self, message: str, tenant: str = "",
+                 quota: int = 0, usage: int = 0):
+        super().__init__(message)
+        self.tenant = tenant
+        self.quota = quota
+        self.usage = usage

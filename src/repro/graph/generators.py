@@ -217,6 +217,159 @@ def stencil(rows: int, cols: int, work: float = 1.0, comm: float = 1.0) -> TaskG
     return tg
 
 
+def pipeline_stages(stages: int, width: int = 4, work: float = 1.0,
+                    comm: float = 1.0) -> TaskGraph:
+    """A software pipeline: ``stages`` ranks of ``width`` parallel workers.
+
+    Worker ``(s, i)`` feeds its same-index successor ``(s+1, i)`` and its
+    rotated neighbour ``(s+1, (i+1) mod width)`` — the shuffle keeps every
+    stage's workers coupled, so a scheduler cannot trivially strip the
+    pipeline into independent chains.
+    """
+    _require(stages >= 2, f"pipeline_stages: stages must be >= 2, got {stages}")
+    _require(width >= 1, f"pipeline_stages: width must be >= 1, got {width}")
+    tg = TaskGraph(f"pipeline{stages}x{width}")
+    for s in range(stages):
+        for i in range(width):
+            tg.add_task(f"p{s}_{i}", work=work)
+    for s in range(stages - 1):
+        for i in range(width):
+            tg.add_edge(f"p{s}_{i}", f"p{s+1}_{i}", var=f"f{s}_{i}", size=comm)
+            if width > 1:
+                tg.add_edge(f"p{s}_{i}", f"p{s+1}_{(i+1) % width}",
+                            var=f"r{s}_{i}", size=comm)
+    return tg
+
+
+def wavefront(n: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """A triangular wavefront: row ``i`` has ``i+1`` tasks and ``(i, j)``
+    depends on ``(i-1, j-1)`` and ``(i-1, j)`` where they exist.
+
+    This is the dependence structure of dynamic-programming kernels
+    (Smith-Waterman anti-diagonals, triangular solves): parallelism grows
+    linearly with depth instead of being fixed up front.
+    """
+    _require(n >= 1, f"wavefront: n must be >= 1, got {n}")
+    tg = TaskGraph(f"wavefront{n}")
+    for i in range(n):
+        for j in range(i + 1):
+            tg.add_task(f"w{i}_{j}", work=work)
+    for i in range(1, n):
+        for j in range(i + 1):
+            if j < i:
+                tg.add_edge(f"w{i-1}_{j}", f"w{i}_{j}", var=f"d{i}_{j}", size=comm)
+            if j > 0:
+                tg.add_edge(f"w{i-1}_{j-1}", f"w{i}_{j}", var=f"a{i}_{j}", size=comm)
+    return tg
+
+
+def ml_train_apply(features: int = 4, work: float = 1.0,
+                   comm: float = 1.0) -> TaskGraph:
+    """A ForML-style train/apply DAG: one ingest feeding twin branches.
+
+    ``ingest`` splits into a train and an apply path; each path extracts
+    ``features`` feature columns in parallel, the train path fits a model,
+    the apply path scores against it, and ``evaluate`` joins both — the
+    shape of a production ML topology expressed as one task graph.
+    """
+    _require(features >= 1, f"ml_train_apply: features must be >= 1, got {features}")
+    tg = TaskGraph(f"mltrainapply{features}")
+    tg.add_task("ingest", work=work * 2)
+    tg.add_task("split_train", work=work)
+    tg.add_task("split_apply", work=work)
+    tg.add_edge("ingest", "split_train", var="raw_t", size=comm * 2)
+    tg.add_edge("ingest", "split_apply", var="raw_a", size=comm * 2)
+    tg.add_task("fit", work=work * 4)
+    tg.add_task("predict", work=work * 2)
+    for i in range(features):
+        for branch, sink in (("train", "fit"), ("apply", "predict")):
+            name = f"feat_{branch}{i}"
+            tg.add_task(name, work=work)
+            tg.add_edge(f"split_{branch}", name, var=f"c{branch[0]}{i}", size=comm)
+            tg.add_edge(name, sink, var=f"x{branch[0]}{i}", size=comm)
+    tg.add_edge("fit", "predict", var="model", size=comm * 4)
+    tg.add_task("evaluate", work=work)
+    tg.add_edge("predict", "evaluate", var="scores", size=comm)
+    tg.add_edge("fit", "evaluate", var="metrics", size=comm)
+    return tg
+
+
+def bitonic_sort(n_keys: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """The bitonic sorting network over ``n_keys`` (a power of two) keys.
+
+    Each compare-exchange box becomes a task reading the latest producers
+    of its two lanes; with ``log2(n) * (log2(n)+1) / 2`` rounds this is a
+    denser, less regular communication pattern than the FFT butterfly.
+    """
+    _require(n_keys >= 2 and n_keys & (n_keys - 1) == 0,
+             f"bitonic_sort: n_keys must be a power of two >= 2, got {n_keys}")
+    tg = TaskGraph(f"bitonic{n_keys}")
+    # last task to have written each lane; lanes start at virtual sources
+    last: list[str | None] = [None] * n_keys
+    for i in range(n_keys):
+        src = f"in{i}"
+        tg.add_task(src, work=work)
+        last[i] = src
+    round_no = 0
+    size = 2
+    while size <= n_keys:
+        stride = size // 2
+        while stride >= 1:
+            for low in range(n_keys):
+                high = low | stride
+                if high == low or (low & stride):
+                    continue
+                box = f"c{round_no}_{low}"
+                tg.add_task(box, work=work)
+                for lane in (low, high):
+                    tg.add_edge(last[lane], box, var=f"k{round_no}_{lane}",
+                                size=comm)
+                last[low] = last[high] = box
+            round_no += 1
+            stride //= 2
+        size *= 2
+    return tg
+
+
+def cholesky(n_tiles: int, work: float = 1.0, comm: float = 1.0) -> TaskGraph:
+    """The tiled Cholesky-factorization task graph over an ``n x n`` tile grid.
+
+    Per step ``k``: ``potrf{k}`` factors the diagonal tile, feeding the
+    panel solves ``trsm{k}_{i}`` (i > k), which feed the trailing updates
+    ``syrk{k}_{i}_{j}`` (j <= i); updates chain into the next step's tasks
+    on the same tile.  The standard irregular-density DAG of tiled dense
+    linear algebra.
+    """
+    _require(n_tiles >= 2, f"cholesky: n_tiles must be >= 2, got {n_tiles}")
+    tg = TaskGraph(f"cholesky{n_tiles}")
+    # producer of the current value of tile (i, j), i >= j
+    owner: dict[tuple[int, int], str] = {}
+    for k in range(n_tiles):
+        potrf = f"potrf{k}"
+        tg.add_task(potrf, work=work * (n_tiles - k))
+        if (k, k) in owner:
+            tg.add_edge(owner[(k, k)], potrf, var=f"t{k}_{k}", size=comm)
+        owner[(k, k)] = potrf
+        for i in range(k + 1, n_tiles):
+            trsm = f"trsm{k}_{i}"
+            tg.add_task(trsm, work=work * (n_tiles - k))
+            tg.add_edge(potrf, trsm, var=f"l{k}", size=comm)
+            if (i, k) in owner:
+                tg.add_edge(owner[(i, k)], trsm, var=f"t{i}_{k}", size=comm)
+            owner[(i, k)] = trsm
+        for i in range(k + 1, n_tiles):
+            for j in range(k + 1, i + 1):
+                syrk = f"syrk{k}_{i}_{j}"
+                tg.add_task(syrk, work=work * (n_tiles - k))
+                tg.add_edge(owner[(i, k)], syrk, var=f"p{k}_{i}", size=comm)
+                if j != i:
+                    tg.add_edge(owner[(j, k)], syrk, var=f"q{k}_{j}", size=comm)
+                if (i, j) in owner:
+                    tg.add_edge(owner[(i, j)], syrk, var=f"u{i}_{j}", size=comm)
+                owner[(i, j)] = syrk
+    return tg
+
+
 def random_layered(
     n_tasks: int,
     n_layers: int,
@@ -334,4 +487,13 @@ FAMILIES = {
     "map_reduce": lambda: map_reduce(8),
     "stencil": lambda: stencil(4, 4),
     "random": lambda: random_layered(32, 6, seed=7),
+    "pipeline": lambda: pipeline_stages(5, 4),
+    "wavefront": lambda: wavefront(6),
+    "ml_train_apply": lambda: ml_train_apply(4),
+    "bitonic": lambda: bitonic_sort(8),
+    "cholesky": lambda: cholesky(4),
 }
+
+#: The families added alongside the project store (corpus growth); tests
+#: assert these appear both in the stored corpus and in fuzz cases.
+NEW_FAMILIES = ("pipeline", "wavefront", "ml_train_apply", "bitonic", "cholesky")

@@ -63,6 +63,7 @@ from repro.sched.registry import resolve_scheduler, scheduler_cache_key
 from repro.sched.schedule import Schedule
 from repro.sched.serialize import schedule_from_dict, schedule_to_dict
 from repro.sched.sweeps import SpeedupPoint, SpeedupReport
+from repro.store.evict import dir_files, enforce_size_cap
 
 #: Bump when the on-disk entry format changes; old directories are ignored.
 CACHE_VERSION = 1
@@ -159,6 +160,7 @@ class ServiceStats:
     disk_hits: int = 0
     disk_writes: int = 0
     disk_evictions: int = 0
+    disk_gc_deletions: int = 0
     sweeps: int = 0
     parallel_sweeps: int = 0
     serial_fallbacks: int = 0
@@ -189,7 +191,8 @@ class ServiceStats:
             f"{self.evictions} eviction(s), {self.entries} entries "
             f"(hit rate {self.hit_rate:.0%})\n"
             f"disk:  {self.disk_hits} hit(s), {self.disk_writes} write(s), "
-            f"{self.disk_evictions} corrupt entr(ies) evicted\n"
+            f"{self.disk_evictions} corrupt entr(ies) evicted, "
+            f"{self.disk_gc_deletions} trimmed by the size cap\n"
             f"sweep: {self.sweeps} run(s), {self.parallel_sweeps} parallel, "
             f"{self.serial_fallbacks} serial fallback(s), last "
             f"{self.last_sweep_seconds * 1000:.1f} ms on "
@@ -238,6 +241,12 @@ class ScheduleService:
         ``~/.cache/banger``.  ``False``: memory only.  A path: use it.
     max_workers:
         Upper bound on sweep worker processes (default: CPU count).
+    disk_cache_max_bytes:
+        Byte cap on the versioned disk cache.  ``None`` (default) reads
+        ``BANGER_CACHE_MAX_BYTES`` from the environment; unset/0 means
+        uncapped (the pre-cap behaviour).  When set, every disk write
+        trims the cache oldest-first back under the cap using the shared
+        eviction policy in :mod:`repro.store.evict`.
     """
 
     def __init__(
@@ -245,10 +254,19 @@ class ScheduleService:
         max_entries: int = 512,
         disk_cache: bool | str | Path | None = None,
         max_workers: int | None = None,
+        disk_cache_max_bytes: int | None = None,
     ):
         if max_entries < 1:
             raise ScheduleError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        if disk_cache_max_bytes is None:
+            try:
+                disk_cache_max_bytes = int(
+                    os.environ.get("BANGER_CACHE_MAX_BYTES", "0")
+                )
+            except ValueError:
+                disk_cache_max_bytes = 0
+        self.disk_cache_max_bytes = disk_cache_max_bytes or None
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self._lru: "OrderedDict[tuple[str, str, str], Schedule]" = OrderedDict()
         # Lowered-program cache (memory only): same content key as the
@@ -660,6 +678,30 @@ class ScheduleService:
         except OSError:
             # A read-only or full cache directory must never break scheduling.
             pass
+        self._enforce_disk_cap()
+
+    def _enforce_disk_cap(self) -> None:
+        """Trim the disk tier oldest-first back under its byte cap."""
+        if self._disk_dir is None or not self.disk_cache_max_bytes:
+            return
+        deleted = enforce_size_cap(
+            dir_files(self._disk_dir), self.disk_cache_max_bytes
+        )
+        if deleted:
+            with self._lock:
+                self._stats.disk_gc_deletions += len(deleted)
+
+    def gc_disk(self, max_bytes: int | None = None) -> int:
+        """Explicitly trim the disk cache to ``max_bytes`` (or the configured
+        cap); returns how many entries were deleted.  A no-op when the disk
+        tier is off or no cap is known."""
+        cap = max_bytes if max_bytes is not None else self.disk_cache_max_bytes
+        if self._disk_dir is None or not cap:
+            return 0
+        deleted = enforce_size_cap(dir_files(self._disk_dir), cap)
+        with self._lock:
+            self._stats.disk_gc_deletions += len(deleted)
+        return len(deleted)
 
     # ------------------------------------------------------------------ #
     # compiled-topology disk tier (same directory, namespaced keys)
@@ -715,6 +757,7 @@ class ScheduleService:
             tmp.replace(path)
         except OSError:
             pass
+        self._enforce_disk_cap()
 
     # ------------------------------------------------------------------ #
     # invalidation + observability

@@ -50,7 +50,9 @@ from repro.server.protocol import (
     json_body,
     read_request,
 )
+from repro.server.store_api import store_request
 from repro.server.workers import WorkerCrash, WorkerPool, WorkerTimeout
+from repro.store import ProjectRepository, TenantQuota
 
 #: URL path -> op name.  Debug routes exist only under ``--debug``.
 ROUTES = {
@@ -121,6 +123,17 @@ class BangerDaemon:
         Expose ``/debug/*`` fault-injection routes.
     access_log:
         Callable given one dict per finished request; ``None`` disables.
+    store_dir:
+        Directory for the project store's persistence; ``None`` keeps it
+        in memory (still fully functional for the daemon's lifetime).
+    tenant_quota:
+        Per-tenant write limits (:class:`repro.store.TenantQuota`)
+        enforced on ``/projects`` puts and forks; a violation is answered
+        403 with ``Retry-After``, riding the same admission-control path
+        as 503 backpressure.  ``None`` disables quotas.
+    seed_corpus:
+        Publish the built-in scenario corpus (shipped examples + every
+        generator family) under the ``corpus`` tenant at startup.
     """
 
     def __init__(
@@ -133,6 +146,9 @@ class BangerDaemon:
         cache_entries: int = 512,
         debug: bool = False,
         access_log: Callable[[dict[str, Any]], None] | None = _default_access_log,
+        store_dir: str | None = None,
+        tenant_quota: TenantQuota | None = None,
+        seed_corpus: bool = True,
     ):
         import os
 
@@ -146,6 +162,10 @@ class BangerDaemon:
         self.cache_entries = cache_entries
         self.debug = debug
         self.access_log = access_log
+        self.store_dir = store_dir
+        self.tenant_quota = tenant_quota
+        self.seed_corpus = seed_corpus
+        self.store: ProjectRepository | None = None
 
         self.metrics = ServerMetrics()
         self.pool: WorkerPool | None = None
@@ -181,6 +201,16 @@ class BangerDaemon:
         self._keys = ThreadPoolExecutor(
             max_workers=2, thread_name_prefix="banger-keys"
         )
+        # The project store lives in the daemon process (refs are stateful;
+        # worker processes only ever see immutable payloads).  Seeding runs
+        # off-loop so a slow disk never delays the socket bind.
+        self.store = ProjectRepository(self.store_dir, quota=self.tenant_quota)
+        if self.seed_corpus:
+            from repro.store.corpus import seed_corpus as _seed
+
+            await asyncio.get_running_loop().run_in_executor(
+                self._keys, _seed, self.store
+            )
         self._server = await asyncio.start_server(
             self._client_connected, self.host, self.port
         )
@@ -283,7 +313,7 @@ class BangerDaemon:
                 raise
             ms = (time.perf_counter() - t0) * 1000.0
             keep = request.keep_alive and not self._draining
-            extra = {"Retry-After": "1"} if status == 503 else None
+            extra = {"Retry-After": "1"} if status in (403, 503) else None
             # Record before writing: once the bytes are flushed the client
             # may act on them immediately, and observers (tests, scrapers)
             # must already see this request counted.
@@ -322,6 +352,8 @@ class BangerDaemon:
             return 200, json_body(self._healthz_doc()), "internal"
         if path == "/metrics":
             return 200, json_body(self._metrics_doc()), "internal"
+        if path == "/projects" or path.startswith("/projects/"):
+            return await self._store_dispatch(request)
 
         op = ROUTES.get(path)
         if op is None and self.debug:
@@ -329,7 +361,7 @@ class BangerDaemon:
         if op is None:
             return 404, error_body(
                 "not-found", f"no such endpoint: {path}",
-                endpoints=sorted(ROUTES) + (["/healthz", "/metrics"]),
+                endpoints=sorted(ROUTES) + ["/healthz", "/metrics", "/projects"],
             ), "error"
         if request.method != "POST":
             return 405, error_body(
@@ -377,6 +409,59 @@ class BangerDaemon:
             outcome = await self._wait_for_outcome(conn, entry)
             return outcome.status, outcome.body, "coalesced"
         return await self._lead_and_wait(conn, op, payload, key=key)
+
+    async def _store_dispatch(
+        self, request: Request
+    ) -> tuple[int, bytes, str]:
+        """Serve one ``/projects`` request off the event loop.
+
+        Store operations are admitted through the same queue-limit gate as
+        compute work (they hold an ``_active_ops`` slot while running), so
+        an overloaded daemon answers 503 before touching the repository —
+        and a quota violation inside it comes back 403 with the same
+        ``Retry-After`` header 503 carries.
+        """
+        if self.store is None:
+            return 404, error_body(
+                "not-found", "the project store is not running yet"
+            ), "error"
+        if request.method == "POST":
+            try:
+                payload = request.json()
+            except ProtocolError as exc:
+                return 400, error_body("bad-request", str(exc)), "error"
+            if not isinstance(payload, dict):
+                return 400, error_body(
+                    "bad-request", "request body must be a JSON object"
+                ), "error"
+        elif request.method == "GET":
+            payload = {}
+        else:
+            return 405, error_body(
+                "method-not-allowed",
+                f"{request.path} accepts GET and POST",
+            ), "error"
+        if self._active_ops >= self.queue_limit:
+            return 503, error_body(
+                "overloaded",
+                f"daemon is at its queue limit ({self.queue_limit} in flight); "
+                "retry shortly",
+            ), "rejected"
+        loop = asyncio.get_running_loop()
+        self._active_ops += 1
+        self.metrics.enter(self._active_ops)
+        try:
+            status, doc = await loop.run_in_executor(
+                self._keys, store_request,
+                self.store, request.method, request.path, payload,
+            )
+        finally:
+            self._active_ops -= 1
+            self.metrics.exit(self._active_ops)
+        disposition = "computed" if status == 200 else (
+            "rejected" if status == 403 else "error"
+        )
+        return status, json_body(doc), disposition
 
     async def _lead_and_wait(
         self, conn: BufferedConn, op: str, payload: dict[str, Any],
@@ -591,6 +676,7 @@ class BangerDaemon:
                 "max_entries": self.cache_entries,
             },
             "service": shared_service().stats().as_dict(),
+            "store": self.store.stats() if self.store is not None else None,
         }
 
 

@@ -26,6 +26,7 @@ MAX_HEADER_BYTES = 64 * 1024
 REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     408: "Request Timeout",

@@ -1,0 +1,42 @@
+"""Multi-tenant, content-addressed project storage.
+
+Layers, bottom-up: :mod:`repro.store.evict` (the shared oldest-first disk
+eviction policy, also used by the schedule service's disk cache),
+:mod:`repro.store.blobs` (deduplicating blob tier keyed on
+``graph.serialize`` fingerprints), :mod:`repro.store.refs` (tenant/name →
+linear version history), and :mod:`repro.store.repository`
+(``get/put/fork/diff/log/gc`` plus quotas).
+
+The scenario corpus lives in :mod:`repro.store.corpus`, which is *not*
+imported here: it pulls in ``repro.env`` and ``repro.apps``, and this
+package must stay importable from ``repro.sched.service`` (which uses the
+eviction policy) without creating an import cycle.
+"""
+
+from repro.store.blobs import BlobStats, BlobStore
+from repro.store.evict import (
+    dir_files,
+    enforce_size_cap,
+    oldest_first,
+    total_bytes,
+)
+from repro.store.refs import RefStore, check_name
+from repro.store.repository import (
+    EXEMPT_TENANTS,
+    ProjectRepository,
+    TenantQuota,
+)
+
+__all__ = [
+    "BlobStats",
+    "BlobStore",
+    "EXEMPT_TENANTS",
+    "ProjectRepository",
+    "RefStore",
+    "TenantQuota",
+    "check_name",
+    "dir_files",
+    "enforce_size_cap",
+    "oldest_first",
+    "total_bytes",
+]

@@ -1,0 +1,106 @@
+"""Size-capped disk-cache GC for the schedule service (regression suite).
+
+The disk cache grew unboundedly before the store PR; it now shares the
+store's eviction policy (:mod:`repro.store.evict`): oldest entries go
+first, the cap is enforced after every write, and trims are counted in
+``ServiceStats.disk_gc_deletions``.
+"""
+
+import os
+
+import pytest
+
+from repro.graph.generators import fork_join, lu_taskgraph
+from repro.machine import MachineParams, make_machine
+from repro.sched import ScheduleService
+from repro.sched.serialize import schedule_to_json
+from repro.store.evict import dir_files, total_bytes
+
+PARAMS = MachineParams(msg_startup=0.5, transmission_rate=5.0)
+
+
+def machine(n=4):
+    return make_machine("hypercube", n, PARAMS)
+
+
+def fill_cache(svc, n_graphs=6):
+    for i in range(2, 2 + n_graphs):
+        svc.schedule(fork_join(i, work=1.0, comm=1.0), machine(), "mh")
+
+
+def schedule_entries(svc):
+    """Disk-cache schedule files (the compiled/ tier rides along too)."""
+    return [p for p in dir_files(svc.disk_dir) if p.parent.name != "compiled"]
+
+
+def test_uncapped_cache_never_trims(tmp_path):
+    svc = ScheduleService(disk_cache=tmp_path)
+    fill_cache(svc)
+    assert svc.stats().disk_gc_deletions == 0
+    assert len(schedule_entries(svc)) == 6
+
+
+def test_cap_bounds_disk_bytes_after_every_write(tmp_path):
+    probe = ScheduleService(disk_cache=tmp_path)
+    probe.schedule(fork_join(2, work=1.0, comm=1.0), machine(), "mh")
+    (entry,) = schedule_entries(probe)
+    cap = 3 * entry.stat().st_size
+
+    svc = ScheduleService(disk_cache=tmp_path, disk_cache_max_bytes=cap)
+    fill_cache(svc, n_graphs=8)
+    assert total_bytes(dir_files(svc.disk_dir)) <= cap
+    assert svc.stats().disk_gc_deletions > 0
+
+
+def test_oldest_entries_are_evicted_first(tmp_path):
+    svc = ScheduleService(disk_cache=tmp_path)
+    svc.schedule(fork_join(2, work=1.0, comm=1.0), machine(), "mh")
+    (old_entry,) = schedule_entries(svc)
+    os.utime(old_entry, (1000, 1000))  # force it to look ancient
+
+    size = old_entry.stat().st_size
+    capped = ScheduleService(
+        disk_cache=tmp_path, disk_cache_max_bytes=2 * size + size // 2
+    )
+    for i in (3, 4, 5):
+        capped.schedule(fork_join(i, work=1.0, comm=1.0), machine(), "mh")
+    assert not old_entry.exists(), "the stale entry must be trimmed first"
+
+
+def test_trimmed_entry_is_recomputed_not_an_error(tmp_path):
+    graph = lu_taskgraph(4)
+    svc = ScheduleService(disk_cache=tmp_path, disk_cache_max_bytes=1)
+    first = svc.schedule(graph, machine(), "mh")
+    # the cap is absurd, so nothing can persist...
+    assert total_bytes(dir_files(svc.disk_dir)) <= 1
+    # ...but a fresh service recomputes the identical schedule, no traceback
+    fresh = ScheduleService(disk_cache=tmp_path)
+    again = fresh.schedule(graph, machine(), "mh")
+    assert schedule_to_json(again) == schedule_to_json(first)
+    assert fresh.stats().disk_hits == 0
+
+
+def test_env_var_sets_the_cap(tmp_path, monkeypatch):
+    monkeypatch.setenv("BANGER_CACHE_MAX_BYTES", "1")
+    svc = ScheduleService(disk_cache=tmp_path)
+    assert svc.disk_cache_max_bytes == 1
+    fill_cache(svc, n_graphs=2)
+    assert total_bytes(dir_files(svc.disk_dir)) <= 1
+    monkeypatch.setenv("BANGER_CACHE_MAX_BYTES", "not a number")
+    assert ScheduleService(disk_cache=tmp_path).disk_cache_max_bytes is None
+
+
+def test_gc_disk_trims_on_demand(tmp_path):
+    svc = ScheduleService(disk_cache=tmp_path)
+    fill_cache(svc, n_graphs=5)
+    before = total_bytes(dir_files(svc.disk_dir))
+    deleted = svc.gc_disk(max_bytes=before // 2)
+    assert deleted > 0
+    assert total_bytes(dir_files(svc.disk_dir)) <= before // 2
+    assert svc.stats().disk_gc_deletions == deleted
+
+
+def test_stats_render_mentions_the_cap_counter(tmp_path):
+    svc = ScheduleService(disk_cache=tmp_path, disk_cache_max_bytes=1)
+    fill_cache(svc, n_graphs=2)
+    assert "trimmed by the size cap" in svc.stats().render()

@@ -1,0 +1,73 @@
+"""The ref tier: naming rules, linear history, persistence, GC roots."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store import RefStore, check_name
+
+
+def test_append_numbers_versions_from_one():
+    refs = RefStore()
+    assert refs.append("alice", "proj", "m1") == 1
+    assert refs.append("alice", "proj", "m2") == 2
+    assert [e["v"] for e in refs.versions("alice", "proj")] == [1, 2]
+    assert refs.head("alice", "proj")["manifest"] == "m2"
+
+
+def test_resolve_pinned_and_head_versions():
+    refs = RefStore()
+    refs.append("t", "p", "m1", "first")
+    refs.append("t", "p", "m2", "second")
+    assert refs.resolve("t", "p")["manifest"] == "m2"
+    assert refs.resolve("t", "p", 1)["message"] == "first"
+    with pytest.raises(StoreError, match="has no version 9"):
+        refs.resolve("t", "p", 9)
+
+
+def test_unknown_project_raises_store_error():
+    refs = RefStore()
+    with pytest.raises(StoreError, match="no project t/missing"):
+        refs.versions("t", "missing")
+
+
+@pytest.mark.parametrize("bad", ["", "../evil", "a/b", ".hidden", "sp ace"])
+def test_bad_names_are_rejected(bad):
+    refs = RefStore()
+    with pytest.raises(StoreError, match="bad (tenant|project) name"):
+        refs.append(bad, "ok", "m")
+    with pytest.raises(StoreError, match="bad (tenant|project) name"):
+        refs.append("ok", bad, "m")
+
+
+def test_check_name_passes_reasonable_names_through():
+    for name in ("alice", "family_lu", "v1.2-rc", "A9"):
+        assert check_name("tenant", name) == name
+
+
+def test_refs_persist_across_reopen(tmp_path):
+    refs = RefStore(tmp_path)
+    refs.append("alice", "proj", "m1", "hello")
+    refs.append("bob", "other", "m2")
+    reopened = RefStore(tmp_path)
+    assert reopened.tenants() == ["alice", "bob"]
+    assert reopened.head("alice", "proj")["message"] == "hello"
+    assert reopened.version_count("bob") == 1
+
+
+def test_manifests_collects_all_roots_and_heads_only():
+    refs = RefStore()
+    refs.append("t", "p", "m1")
+    refs.append("t", "p", "m2")
+    refs.append("t", "q", "m3")
+    assert refs.manifests() == {"m1", "m2", "m3"}
+    assert refs.manifests(heads_only=True) == {"m2", "m3"}
+
+
+def test_delete_removes_project_and_empty_tenant(tmp_path):
+    refs = RefStore(tmp_path)
+    refs.append("t", "p", "m1")
+    refs.delete("t", "p")
+    assert refs.tenants() == []
+    assert RefStore(tmp_path).tenants() == []
+    with pytest.raises(StoreError):
+        refs.delete("t", "p")
